@@ -1,0 +1,58 @@
+// Experiment E5: the non-FFT phases of the SSA pipeline (paper Section V):
+// T_DOTPROD versus the number of DSP modular multipliers, and the
+// carry-recovery latency versus its lane count, validated against the
+// cycle-accurate units.
+
+#include <cstdio>
+
+#include "hw/accel/carry_recovery.hpp"
+#include "hw/accel/pointwise.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hemul;
+  constexpr double kClockNs = 5.0;
+  constexpr std::size_t kPoints = 65536;
+
+  std::printf("E5: dot-product and carry-recovery phases (N = 65536, T_C = 5 ns)\n");
+  std::printf("Paper: T_DOTPROD = T_C*65536/32 ~ 10.2 us with 32 modular multipliers\n");
+  std::printf("(4 PEs x 8 twiddle multipliers reused); carry recovery ~ 20 us.\n\n");
+
+  util::Rng rng(5);
+  fp::FpVec a(kPoints);
+  fp::FpVec b(kPoints);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    a[i] = fp::Fp{rng.next()};
+    b[i] = fp::Fp{rng.next()};
+  }
+
+  util::Table dot({"modular multipliers", "DSP blocks", "cycles", "T_DOTPROD"});
+  for (const unsigned mults : {8u, 16u, 32u, 64u, 128u}) {
+    hw::PointwiseUnit unit(mults);
+    hw::PointwiseUnit::Report report;
+    (void)unit.multiply(a, b, &report);
+    dot.add_row({std::to_string(mults), std::to_string(unit.dsp_blocks()),
+                 util::with_commas(report.cycles),
+                 util::format_time_ns(static_cast<double>(report.cycles) * kClockNs)});
+  }
+  std::printf("%s\n", dot.render().c_str());
+
+  fp::FpVec coeffs(kPoints);
+  for (auto& c : coeffs) c = fp::Fp::from_canonical(rng.below(1ULL << 48));
+
+  util::Table carry({"carry lanes (coeff/cycle)", "cycles", "latency"});
+  for (const unsigned lanes : {4u, 8u, 16u, 32u, 64u}) {
+    hw::CarryRecoveryUnit unit(lanes);
+    hw::CarryRecoveryUnit::Report report;
+    (void)unit.recover(coeffs, 24, &report);
+    carry.add_row({std::to_string(lanes), util::with_commas(report.cycles),
+                   util::format_time_ns(static_cast<double>(report.cycles) * kClockNs)});
+  }
+  std::printf("%s\n", carry.render().c_str());
+
+  std::printf("The paper's operating point: 32 multipliers -> 10.24 us; 16 carry\n");
+  std::printf("lanes -> 20.48 us (\"its maximum delay is approximately 20 us\").\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment E3: banked-memory ablation (paper Section IV.c / Fig. 5).
+// Replays the FFT unit's actual access traces against the paper's
+// two-dimensional banking scheme and the naive linear interleave,
+// counting bank-conflict stall cycles and achieved words/cycle.
+
+#include <cstdio>
+
+#include "hw/memory/banked_buffer.hpp"
+#include "hw/pe/data_route.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hemul;
+
+struct TrafficResult {
+  u64 ideal_cycles = 0;
+  u64 actual_cycles = 0;
+  u64 conflicts = 0;
+};
+
+/// Replays a full buffer of FFT-64 traffic: 64 windows, each 8 read cycles
+/// (stride-8 columns) and 8 write cycles, plus a full consecutive reload.
+TrafficResult replay(hw::BankingScheme scheme) {
+  hw::BankedBuffer buf(scheme);
+  // FFT reads + writes.
+  for (unsigned base = 0; base < 4096; base += 64) {
+    for (unsigned c = 0; c < 8; ++c) {
+      (void)buf.read8(hw::DataRoute::fft64_read_addresses(base, c));
+    }
+    std::array<fp::Fp, 8> row{};
+    for (unsigned c = 0; c < 8; ++c) {
+      buf.write8(hw::DataRoute::fft64_write_addresses(base, c), row);
+    }
+  }
+  // Fill traffic (reload of the full 4096-word buffer).
+  std::array<fp::Fp, 8> row{};
+  for (unsigned c = 0; c < 512; ++c) buf.write8(hw::DataRoute::fill_addresses(c), row);
+
+  TrafficResult r;
+  r.ideal_cycles = 64 * 16 + 512;  // one cycle per 8-word batch
+  r.actual_cycles = buf.access_cycles();
+  r.conflicts = buf.conflict_cycles();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E3: banked memory schemes under real FFT traffic (one 4096-word buffer:\n");
+  std::printf("64 FFT-64 windows, stride-8 reads/writes, plus a full reload)\n\n");
+
+  util::Table t({"scheme", "banks", "ideal cycles", "actual cycles", "conflict stalls",
+                 "words/cycle"});
+  for (const auto& [name, scheme] :
+       {std::pair{"linear (addr mod 16)", hw::BankingScheme::kLinear},
+        std::pair{"2-D skewed 4x4 (paper Fig. 5)", hw::BankingScheme::kTwoDimensional}}) {
+    const TrafficResult r = replay(scheme);
+    const double words_per_cycle =
+        static_cast<double>(r.ideal_cycles) * 8.0 / static_cast<double>(r.actual_cycles);
+    t.add_row({name, "16 x 256x64b", util::with_commas(r.ideal_cycles),
+               util::with_commas(r.actual_cycles), util::with_commas(r.conflicts),
+               util::format_fixed(words_per_cycle, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("The 2-D scheme sustains the full 8 words/cycle the FFT unit needs\n");
+  std::printf("(zero conflicts on both column-wise FFT access and row-wise fills);\n");
+  std::printf("linear interleave halves effective bandwidth on the stride-8 pattern.\n");
+  std::printf("Capacity per buffer: 4096 points, 16 dual-port banks, 32 M20K = 640 Kbit\n");
+  std::printf("raw (256 Kbit of data), as in paper Fig. 5.\n");
+  return 0;
+}

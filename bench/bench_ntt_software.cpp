@@ -1,0 +1,90 @@
+// Experiment E8 (supporting): software NTT throughput across transform
+// sizes and kernels, via google-benchmark. Establishes the software
+// baseline the simulated accelerator is compared against and shows the
+// relative cost of the mixed-radix staging vs. the iterative radix-2 path.
+
+#include <benchmark/benchmark.h>
+
+#include "ntt/convolution.hpp"
+#include "ntt/mixed_radix.hpp"
+#include "ntt/radix2.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hemul;
+
+fp::FpVec random_vec(std::size_t n) {
+  util::Rng rng(n);
+  fp::FpVec v(n);
+  for (auto& x : v) x = fp::Fp{rng.next()};
+  return v;
+}
+
+void BM_Radix2Forward(benchmark::State& state) {
+  const auto n = static_cast<u64>(state.range(0));
+  const ntt::Radix2Ntt engine(n);
+  fp::FpVec data = random_vec(n);
+  for (auto _ : state) {
+    engine.forward(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_Radix2Forward)->RangeMultiplier(4)->Range(64, 65536);
+
+void BM_MixedRadixPaperPlan(benchmark::State& state) {
+  const ntt::MixedRadixNtt engine(ntt::NttPlan::paper_64k());
+  const fp::FpVec data = random_vec(65536);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.forward(data));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_MixedRadixPaperPlan);
+
+void BM_MixedRadixUniform16(benchmark::State& state) {
+  const ntt::MixedRadixNtt engine(ntt::NttPlan::uniform(16, 65536));
+  const fp::FpVec data = random_vec(65536);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.forward(data));
+  }
+}
+BENCHMARK(BM_MixedRadixUniform16);
+
+void BM_CyclicConvolution(benchmark::State& state) {
+  const auto n = static_cast<u64>(state.range(0));
+  const fp::FpVec a = random_vec(n);
+  const fp::FpVec b = random_vec(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntt::cyclic_convolve(a, b));
+  }
+}
+BENCHMARK(BM_CyclicConvolution)->RangeMultiplier(16)->Range(256, 65536);
+
+void BM_FieldMultiplication(benchmark::State& state) {
+  util::Rng rng(99);
+  fp::Fp a{rng.next()};
+  const fp::Fp b{rng.next() | 1};
+  for (auto _ : state) {
+    a *= b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMultiplication);
+
+void BM_FieldShiftMultiplication(benchmark::State& state) {
+  util::Rng rng(100);
+  fp::Fp a{rng.next()};
+  u64 k = 0;
+  for (auto _ : state) {
+    a = a.mul_pow2(k);
+    k = (k + 67) % 192;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldShiftMultiplication);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Experiment T1: regenerates the paper's Table I (comparison of resource
+// usage between the proposed accelerator and the Wang-Huang [28] baseline
+// on the Stratix V 5SGSMD8 device).
+//
+// Paper values: proposed 104,000 ALMs (40%) / 116,000 regs (11%) /
+// 256 DSP (13%) / 8 Mbit M20K (20%); [28] 231,000 (88%) / 336,377 (31%) /
+// 720 (37%) / not reported.
+
+#include <cstdio>
+
+#include "hw/resources/report.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace hemul;
+
+  const hw::ResourceComparison comparison = hw::ResourceComparison::paper();
+
+  std::printf("TABLE I. COMPARISON OF RESOURCE USAGE.\n");
+  std::printf("Device: %s\n\n", comparison.device.name.c_str());
+  std::printf("%s\n", comparison.render_table().c_str());
+
+  std::printf("ALM saving vs [28]: %s (paper: \"around 60%% saving in hardware costs\")\n",
+              util::format_percent(comparison.alm_saving()).c_str());
+  const double reg_saving =
+      1.0 - static_cast<double>(comparison.proposed.registers) /
+                static_cast<double>(comparison.baseline.registers);
+  const double dsp_saving =
+      1.0 - static_cast<double>(comparison.proposed.dsp_blocks) /
+                static_cast<double>(comparison.baseline.dsp_blocks);
+  std::printf("Register saving: %s, DSP saving: %s\n",
+              util::format_percent(reg_saving).c_str(),
+              util::format_percent(dsp_saving).c_str());
+
+  std::printf("\nPer-component breakdown (proposed, one PE):\n");
+  const hw::ResourceVec fft = hw::fft64_cost(hw::Fft64UnitParams::optimized());
+  const hw::ResourceVec mem = hw::memory_cost(8);
+  const hw::ResourceVec mm = hw::modmult_cost(8);
+  std::printf("  FFT-64 unit : %s\n", fft.describe().c_str());
+  std::printf("  memory      : %s\n", mem.describe().c_str());
+  std::printf("  twiddle mult: %s\n", mm.describe().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Experiment T2: regenerates the paper's Table II (comparison of execution
+// time) from (a) the cycle-accurate simulation of the accelerator and
+// (b) the published numbers of the compared systems.
+//
+// Paper values: proposed FFT 30.7 us / mult 122 us; [28] FPGA 125 / 405;
+// [30] ASIC -- / 206; [26] GPU -- / 765; [27] GPU -- / 583.
+
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "hw/perf/literature.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hemul;
+
+  // Cycle-accurate run of one full 786,432-bit multiplication.
+  core::Accelerator accel;
+  util::Rng rng(2016);
+  const auto a = bigint::BigUInt::random_bits(rng, 786432);
+  const auto b = bigint::BigUInt::random_bits(rng, 786432);
+  const core::MultiplyResult result = accel.multiply(a, b);
+  const hw::MultiplyReport& report = *result.hw_report;
+
+  std::printf("TABLE II. COMPARISON OF EXECUTION TIME.\n");
+  std::printf("(simulated at T_C = %.1f ns, P = %u PEs, plan %s)\n\n",
+              accel.config().hardware.clock_ns, accel.config().hardware.ntt.num_pes,
+              accel.config().hardware.ntt.plan.describe().c_str());
+
+  util::Table t({"", "Proposed here", "[28]", "[30]", "[26]", "[27]"});
+  const auto& lit = hw::literature_table();
+  const auto cell = [](std::optional<double> us) {
+    return us.has_value() ? util::format_fixed(*us, us < 100 ? 1 : 0) : std::string("--");
+  };
+  t.add_row({"FFT (us)", util::format_fixed(report.fft_time_us(), 1),
+             cell(lit[0].fft_us), cell(lit[1].fft_us), cell(lit[2].fft_us),
+             cell(lit[3].fft_us)});
+  t.add_row({"Multiplication (us)", util::format_fixed(report.total_time_us(), 1),
+             cell(lit[0].mult_us), cell(lit[1].mult_us), cell(lit[2].mult_us),
+             cell(lit[3].mult_us)});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Breakdown of the simulated multiplication:\n");
+  std::printf("  3 x FFT       : %llu cycles (%s each)\n",
+              static_cast<unsigned long long>(report.fft_cycles),
+              util::format_time_ns(report.fft_time_us() * 1000.0).c_str());
+  std::printf("  dot product   : %llu cycles (%s)\n",
+              static_cast<unsigned long long>(report.pointwise.cycles),
+              util::format_time_ns(report.pointwise_time_us() * 1000.0).c_str());
+  std::printf("  carry recovery: %llu cycles (%s)\n",
+              static_cast<unsigned long long>(report.carry.cycles),
+              util::format_time_ns(report.carry_time_us() * 1000.0).c_str());
+  std::printf("  total         : %llu cycles (%s)\n\n",
+              static_cast<unsigned long long>(report.total_cycles),
+              util::format_time_ns(report.total_time_us() * 1000.0).c_str());
+
+  std::printf("Speedups (published time / simulated time):\n");
+  for (const auto& entry : lit) {
+    if (entry.mult_us.has_value()) {
+      std::printf("  vs %s (%s): %.2fx\n", entry.label.c_str(), entry.platform.c_str(),
+                  *entry.mult_us / report.total_time_us());
+    }
+  }
+  std::printf("Paper: \"The execution time of [28] is 3.32X larger ... the other "
+              "results are 1.69X larger, or more.\"\n");
+  return 0;
+}

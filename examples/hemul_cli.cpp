@@ -1,0 +1,123 @@
+// hemul_cli: command-line front end to the accelerator model.
+//
+//   hemul_cli mul <hexA> <hexB>     multiply two hex integers (simulated HW)
+//   hemul_cli random <bits>         multiply two random <bits>-bit operands
+//   hemul_cli batch <n> <bits>      stream n random products, report throughput
+//   hemul_cli table1                print the Table I resource comparison
+//   hemul_cli perf [P]              print the Section V performance model
+//
+// Exit code 0 on success; 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bigint/mul.hpp"
+#include "core/accelerator.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hemul;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hemul_cli mul <hexA> <hexB> | random <bits> | batch <n> <bits> |\n"
+               "                 table1 | perf [P]\n");
+  return 2;
+}
+
+void print_report(const core::MultiplyResult& result) {
+  std::printf("product bits : %zu\n", result.product.bit_length());
+  if (result.hw_report.has_value()) {
+    std::printf("cycles       : %llu\n",
+                static_cast<unsigned long long>(result.hw_report->total_cycles));
+    std::printf("modeled time : %s\n",
+                util::format_time_ns(result.hw_report->total_time_us() * 1000.0).c_str());
+  }
+}
+
+int cmd_mul(const std::string& a_hex, const std::string& b_hex) {
+  const auto a = bigint::BigUInt::from_hex(a_hex);
+  const auto b = bigint::BigUInt::from_hex(b_hex);
+  core::Accelerator accel;
+  const auto result = accel.multiply(a, b);
+  std::printf("%s\n", result.product.to_hex().c_str());
+  print_report(result);
+  const bool ok = result.product == bigint::mul_auto(a, b);
+  std::printf("verified     : %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}
+
+int cmd_random(std::size_t bits) {
+  util::Rng rng(0xC11);
+  const auto a = bigint::BigUInt::random_bits(rng, bits);
+  const auto b = bigint::BigUInt::random_bits(rng, bits);
+  core::Accelerator accel;
+  const auto result = accel.multiply(a, b);
+  print_report(result);
+  const bool ok = result.product == bigint::mul_auto(a, b);
+  std::printf("verified     : %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}
+
+int cmd_batch(std::size_t n, std::size_t bits) {
+  util::Rng rng(0xBA7C);
+  std::vector<std::pair<bigint::BigUInt, bigint::BigUInt>> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ops.emplace_back(bigint::BigUInt::random_bits(rng, bits),
+                     bigint::BigUInt::random_bits(rng, bits));
+  }
+  hw::HwAccelerator accel(hw::AcceleratorConfig::paper());
+  hw::HwAccelerator::BatchReport report;
+  const auto products = accel.multiply_batch(ops, &report);
+  std::printf("products     : %zu\n", products.size());
+  std::printf("total cycles : %llu (%s)\n",
+              static_cast<unsigned long long>(report.total_cycles),
+              util::format_time_ns(report.total_time_us() * 1000.0).c_str());
+  std::printf("throughput   : %.1f products/s (modeled, streamed)\n",
+              report.throughput_per_second());
+  return 0;
+}
+
+int cmd_table1() {
+  std::printf("%s", hw::ResourceComparison::paper().render_table().c_str());
+  return 0;
+}
+
+int cmd_perf(unsigned pes) {
+  hw::PerfParams params = hw::PerfParams::paper();
+  params.num_pes = pes;
+  const hw::PerfBreakdown b = hw::evaluate_perf(params);
+  std::printf("P = %u, plan %s, T_C = %.1f ns\n", pes, params.plan.describe().c_str(),
+              params.clock_ns);
+  std::printf("T_FFT     = %.2f us\n", b.fft_us());
+  std::printf("T_DOTPROD = %.2f us\n", b.dotprod_us());
+  std::printf("T_CARRY   = %.2f us\n", b.carry_us());
+  std::printf("T_MULT    = %.2f us\n", b.mult_us());
+  std::printf("streamed  = %.1f products/s\n", b.mults_per_second());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "mul" && argc == 4) return cmd_mul(argv[2], argv[3]);
+    if (cmd == "random" && argc == 3) return cmd_random(std::strtoull(argv[2], nullptr, 10));
+    if (cmd == "batch" && argc == 4) {
+      return cmd_batch(std::strtoull(argv[2], nullptr, 10),
+                       std::strtoull(argv[3], nullptr, 10));
+    }
+    if (cmd == "table1" && argc == 2) return cmd_table1();
+    if (cmd == "perf") return cmd_perf(argc >= 3 ? static_cast<unsigned>(std::atoi(argv[2])) : 4);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,70 @@
+// multi_fpga_scaling: explores the accelerator's distributed design space
+// -- PE counts, factorization plans and link bandwidths -- the way a
+// deployment on one or several FPGAs would be sized (paper Section IV:
+// "a flexible and composable design solution applicable either to on- or
+// off-chip scenarios, possibly in multi-FPGA settings").
+
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hemul;
+
+void run_config(unsigned pes, u64 link_bw, util::Table& table) {
+  core::Config config = core::Config::paper();
+  config.hardware.ntt.num_pes = pes;
+  config.hardware.ntt.link_words_per_cycle = link_bw;
+  core::Accelerator accel(config);
+
+  util::Rng rng(pes * 31 + link_bw);
+  fp::FpVec data(65536);
+  for (auto& x : data) x = fp::Fp{rng.next()};
+
+  hw::NttRunReport report;
+  (void)accel.ntt_forward(data, &report);
+
+  const double t_fft_us = static_cast<double>(report.total_cycles) * 5.0 / 1000.0;
+  const u64 hidden = report.total_cycles_no_overlap - report.total_cycles;
+  table.add_row(
+      {std::to_string(pes), std::to_string(link_bw) + " w/cyc", report.schedule,
+       util::with_commas(report.total_cycles), util::format_fixed(t_fft_us, 2) + " us",
+       util::with_commas(report.exchange_total_words),
+       util::with_commas(hidden) + " cyc"});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== multi-FPGA / multi-PE scaling explorer ==\n\n");
+  std::printf("64K-point NTT, plan 64*64*16, cycle-accurate simulation at 200 MHz.\n");
+  std::printf("Exchanges run over hypercube links and overlap the next compute\n");
+  std::printf("stage through the double-buffered PE memories.\n\n");
+
+  // The paper's Fig. 2: data distribution / exchange pattern at P = 4.
+  {
+    hw::DistributedNtt engine{hw::DistributedNttConfig{}};
+    std::printf("data distribution (paper Fig. 2, P = 4):\n%s\n",
+                engine.describe_distribution().c_str());
+  }
+
+  util::Table t({"PEs", "link bw", "schedule", "cycles", "T_FFT", "exchanged words",
+                 "comm hidden"});
+  for (const unsigned pes : {1u, 2u, 4u}) run_config(pes, 8, t);
+  t.add_separator();
+  // Narrow links: communication no longer fully hides behind compute.
+  for (const u64 bw : {4u, 2u, 1u}) run_config(4, bw, t);
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Reading the table:\n");
+  std::printf("  * P=4 with 8-word links reproduces the paper: 6,144 cycles = 30.72 us,\n");
+  std::printf("    with all 2 x 8,192 words/PE of exchange traffic hidden.\n");
+  std::printf("  * Off-chip (multi-FPGA) deployments have narrower links: below\n");
+  std::printf("    4 words/cycle the exchange outlives the next stage and starts\n");
+  std::printf("    stalling the pipeline -- the scalability limit of Section IV.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "bigint/div.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace hemul::bigint {
+
+DivSmallResult divmod_small(const BigUInt& dividend, u64 divisor) {
+  if (divisor == 0) throw std::domain_error("division by zero");
+  std::vector<u64> q(dividend.limb_count());
+  u64 rem = 0;
+  const auto limbs = dividend.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    const u128 cur = (static_cast<u128>(rem) << 64) | limbs[i];
+    q[i] = static_cast<u64>(cur / divisor);
+    rem = static_cast<u64>(cur % divisor);
+  }
+  return {BigUInt::from_limbs(std::move(q)), rem};
+}
+
+DivModResult divmod_knuth(const BigUInt& dividend, const BigUInt& divisor) {
+  if (divisor.is_zero()) throw std::domain_error("division by zero");
+  if (dividend < divisor) return {BigUInt{}, dividend};
+  if (divisor.limb_count() == 1) {
+    auto [q, r] = divmod_small(dividend, divisor.limb(0));
+    return {std::move(q), BigUInt{r}};
+  }
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  const std::size_t shift =
+      static_cast<std::size_t>(__builtin_clzll(divisor.limbs().back()));
+  const BigUInt un = dividend << shift;
+  const BigUInt vn = divisor << shift;
+  const std::size_t n = vn.limb_count();
+  const std::size_t m = un.limb_count() - n;
+
+  std::vector<u64> u(un.limbs().begin(), un.limbs().end());
+  u.push_back(0);  // u has m+n+1 digits
+  const std::vector<u64> v(vn.limbs().begin(), vn.limbs().end());
+  std::vector<u64> q(m + 1, 0);
+
+  const u64 v_top = v[n - 1];
+  const u64 v_next = v[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat from the top two dividend digits and v_top.
+    const u128 top2 = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = top2 / v_top;
+    u128 rhat = top2 % v_top;
+    while (qhat >> 64 != 0 ||
+           static_cast<u128>(static_cast<u64>(qhat)) * v_next >
+               ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v_top;
+      if (rhat >> 64 != 0) break;
+    }
+
+    // D4: multiply and subtract u[j..j+n] -= qhat * v.
+    const u64 qh = static_cast<u64>(qhat);
+    u64 mul_carry = 0;
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 prod = mul_wide(qh, v[i]) + mul_carry;
+      mul_carry = static_cast<u64>(prod >> 64);
+      const u64 plo = static_cast<u64>(prod);
+      const u64 d1 = u[j + i] - plo;
+      const u64 b1 = u[j + i] < plo ? 1u : 0u;
+      const u64 d2 = d1 - borrow;
+      const u64 b2 = d1 < borrow ? 1u : 0u;
+      u[j + i] = d2;
+      borrow = b1 | b2;
+    }
+    const u64 top_sub = mul_carry + borrow;
+    const bool went_negative = u[j + n] < top_sub;
+    u[j + n] -= top_sub;
+
+    q[j] = qh;
+    if (went_negative) {
+      // D6: qhat was one too large; add one divisor row back.
+      --q[j];
+      u64 carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u64 s1 = u[j + i] + v[i];
+        const u64 c1 = s1 < u[j + i] ? 1u : 0u;
+        const u64 s2 = s1 + carry;
+        const u64 c2 = s2 < s1 ? 1u : 0u;
+        u[j + i] = s2;
+        carry = c1 | c2;
+      }
+      u[j + n] += carry;  // cancels the earlier wraparound
+    }
+  }
+
+  u.resize(n);
+  BigUInt rem = BigUInt::from_limbs(std::move(u));
+  rem >>= shift;
+  return {BigUInt::from_limbs(std::move(q)), std::move(rem)};
+}
+
+DivModResult divmod(const BigUInt& a, const BigUInt& b) { return divmod_knuth(a, b); }
+
+BigUInt operator/(const BigUInt& a, const BigUInt& b) { return divmod_knuth(a, b).quotient; }
+
+BigUInt operator%(const BigUInt& a, const BigUInt& b) { return divmod_knuth(a, b).remainder; }
+
+CenteredResidue mod_centered(const BigUInt& a, const BigUInt& m) {
+  BigUInt r = a % m;
+  // r in [0, m); recentre to (-m/2, m/2].
+  BigUInt twice_r = r;
+  twice_r <<= 1;
+  if (twice_r > m) return {m - r, true};
+  return {std::move(r), false};
+}
+
+}  // namespace hemul::bigint

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "bigint/biguint.hpp"
+
+namespace hemul::bigint {
+
+/// Knuth Algorithm D multi-word division (TAOCP Vol. 2, 4.3.1).
+/// Exposed separately from operator/ so tests can target the add-back
+/// corner case directly. Divisor must be nonzero.
+DivModResult divmod_knuth(const BigUInt& dividend, const BigUInt& divisor);
+
+/// Division by a single 64-bit word (fast path). Divisor must be nonzero.
+struct DivSmallResult {
+  BigUInt quotient;
+  u64 remainder;
+};
+DivSmallResult divmod_small(const BigUInt& dividend, u64 divisor);
+
+/// Centered residue used by DGHV decryption: returns the representative of
+/// `a mod m` in (-m/2, m/2] as (magnitude, is_negative). m must be nonzero.
+struct CenteredResidue {
+  BigUInt magnitude;
+  bool negative = false;
+};
+CenteredResidue mod_centered(const BigUInt& a, const BigUInt& m);
+
+}  // namespace hemul::bigint

@@ -1,0 +1,94 @@
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "bigint/biguint.hpp"
+#include "bigint/div.hpp"
+#include "bigint/mul.hpp"
+#include "util/check.hpp"
+
+namespace hemul::bigint {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// 10^19 is the largest power of ten below 2^64; decimal conversion works in
+// 19-digit chunks so the expensive big-number operations stay O(n) per chunk.
+constexpr u64 kDecChunk = 10'000'000'000'000'000'000ULL;
+constexpr int kDecChunkDigits = 19;
+
+}  // namespace
+
+BigUInt BigUInt::from_hex(std::string_view hex) {
+  if (hex.empty()) throw std::invalid_argument("from_hex: empty string");
+  std::vector<u64> limbs((hex.size() + 15) / 16, 0);
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    const int digit = hex_digit(hex[hex.size() - 1 - i]);
+    if (digit < 0) throw std::invalid_argument("from_hex: invalid character");
+    limbs[i / 16] |= static_cast<u64>(digit) << (4 * (i % 16));
+  }
+  return from_limbs(std::move(limbs));
+}
+
+BigUInt BigUInt::from_dec(std::string_view dec) {
+  if (dec.empty()) throw std::invalid_argument("from_dec: empty string");
+  BigUInt result;
+  std::size_t pos = 0;
+  // First chunk takes the leading remainder so all later chunks are full.
+  std::size_t take = (dec.size() - 1) % kDecChunkDigits + 1;
+  while (pos < dec.size()) {
+    u64 chunk = 0;
+    u64 scale = 1;
+    for (std::size_t i = 0; i < take; ++i) {
+      const char c = dec[pos + i];
+      if (c < '0' || c > '9') throw std::invalid_argument("from_dec: invalid character");
+      chunk = chunk * 10 + static_cast<u64>(c - '0');
+      scale *= 10;
+    }
+    result = mul_schoolbook(result, BigUInt{take == kDecChunkDigits ? kDecChunk : scale});
+    result += BigUInt{chunk};
+    pos += take;
+    take = kDecChunkDigits;
+  }
+  return result;
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string out;
+  out.reserve(limbs_.size() * 16);
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 15; nib >= 0; --nib) {
+      out.push_back(kDigits[(limbs_[i] >> (4 * nib)) & 0xF]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::string BigUInt::to_dec() const {
+  if (is_zero()) return "0";
+  std::string out;
+  BigUInt cur = *this;
+  while (!cur.is_zero()) {
+    auto [q, r] = divmod_small(cur, kDecChunk);
+    std::string chunk = std::to_string(r);
+    if (!q.is_zero()) chunk.insert(0, kDecChunkDigits - chunk.size(), '0');
+    out.insert(0, chunk);
+    cur = std::move(q);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigUInt& x) {
+  return os << "0x" << x.to_hex() << " (" << x.bit_length() << " bits)";
+}
+
+}  // namespace hemul::bigint

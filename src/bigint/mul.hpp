@@ -1,0 +1,33 @@
+#pragma once
+
+#include "bigint/biguint.hpp"
+
+namespace hemul::bigint {
+
+/// Classical multiplication algorithms.
+///
+/// These are the baselines the paper's Section III argues against for
+/// million-bit operands: schoolbook is O(n^2), Karatsuba O(n^1.585) and
+/// Toom-3 O(n^1.465); the SSA/NTT multiplier (src/ssa) is
+/// O(n log n log log n) and overtakes them around 10^5 bits (bench E4
+/// reproduces the crossover).
+
+/// O(n^2) limb-by-limb product. Always correct; the golden reference.
+BigUInt mul_schoolbook(const BigUInt& a, const BigUInt& b);
+
+/// Karatsuba 2-way splitting; falls back to schoolbook below a threshold.
+BigUInt mul_karatsuba(const BigUInt& a, const BigUInt& b);
+
+/// Toom-Cook 3-way splitting (evaluation points 0, 1, -1, 2, inf with exact
+/// interpolation divisions by 2 and 3); falls back to Karatsuba below a
+/// threshold.
+BigUInt mul_toom3(const BigUInt& a, const BigUInt& b);
+
+/// Size-adaptive dispatcher used by BigUInt::operator*.
+BigUInt mul_auto(const BigUInt& a, const BigUInt& b);
+
+/// Limb-count thresholds of the dispatcher (exposed for the benchmarks).
+inline constexpr std::size_t kKaratsubaThresholdLimbs = 24;
+inline constexpr std::size_t kToom3ThresholdLimbs = 160;
+
+}  // namespace hemul::bigint

@@ -1,0 +1,62 @@
+#include "core/accelerator.hpp"
+
+#include "ssa/multiply.hpp"
+#include "util/check.hpp"
+
+namespace hemul::core {
+
+Accelerator::Accelerator(Config config) : config_(std::move(config)) {
+  config_.validate();
+  if (config_.backend == Backend::kSimulatedHardware) {
+    hw_.emplace(config_.hardware);
+  }
+}
+
+MultiplyResult Accelerator::multiply(const bigint::BigUInt& a, const bigint::BigUInt& b) {
+  MultiplyResult result;
+
+  const hw::PerfBreakdown perf = performance();
+  result.modeled_time_us = perf.mult_us();
+
+  if (hw_.has_value()) {
+    hw::MultiplyReport report;
+    result.product = hw_->multiply(a, b, &report);
+    result.hw_report = std::move(report);
+  } else {
+    result.product = ssa::multiply(a, b, config_.hardware.ssa);
+  }
+  return result;
+}
+
+fp::FpVec Accelerator::ntt_forward(const fp::FpVec& data, hw::NttRunReport* report) {
+  HEMUL_CHECK_MSG(hw_.has_value(), "NTT access requires the simulated-hardware backend");
+  return hw_->ntt_forward(data, report);
+}
+
+fp::FpVec Accelerator::ntt_inverse(const fp::FpVec& data, hw::NttRunReport* report) {
+  HEMUL_CHECK_MSG(hw_.has_value(), "NTT access requires the simulated-hardware backend");
+  return hw_->ntt_inverse(data, report);
+}
+
+hw::ResourceComparison Accelerator::resources() const {
+  hw::ResourceComparison comparison = hw::ResourceComparison::paper();
+  hw::AccelParams params = hw::AccelParams::paper();
+  params.num_pes = config_.hardware.ntt.num_pes;
+  if (config_.hardware.ntt.unit == hw::FftUnitKind::kBaseline) {
+    params.pe.fft = hw::Fft64UnitParams::baseline();
+  }
+  comparison.proposed = hw::accelerator_cost(params);
+  return comparison;
+}
+
+hw::PerfBreakdown Accelerator::performance() const {
+  hw::PerfParams params;
+  params.clock_ns = config_.hardware.clock_ns;
+  params.num_pes = config_.hardware.ntt.num_pes;
+  params.plan = config_.hardware.ntt.plan;
+  params.pointwise_multipliers = config_.hardware.pointwise_multipliers;
+  params.carry_lanes = config_.hardware.carry_lanes;
+  return evaluate_perf(params);
+}
+
+}  // namespace hemul::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "hw/perf/perf_model.hpp"
+#include "hw/resources/report.hpp"
+
+namespace hemul::core {
+
+/// Result of one multiplication through the facade.
+struct MultiplyResult {
+  bigint::BigUInt product;
+  /// Cycle-accurate report (present for the simulated-hardware backend).
+  std::optional<hw::MultiplyReport> hw_report;
+  /// Closed-form Section V latency estimate for this configuration (us).
+  double modeled_time_us = 0.0;
+};
+
+/// The library's public entry point: an ultralong-integer multiplier with
+/// the paper's accelerator behind it.
+///
+/// Typical use:
+///   core::Accelerator accel;                       // paper configuration
+///   auto r = accel.multiply(a, b);                 // 786,432-bit operands
+///   r.product, r.hw_report->total_time_us()
+class Accelerator {
+ public:
+  explicit Accelerator(Config config = Config::paper());
+
+  /// Multiplies two operands of up to config().hardware.ssa operand bits.
+  MultiplyResult multiply(const bigint::BigUInt& a, const bigint::BigUInt& b);
+
+  /// Forward / inverse 64K-point NTT on the simulated hardware.
+  fp::FpVec ntt_forward(const fp::FpVec& data, hw::NttRunReport* report = nullptr);
+  fp::FpVec ntt_inverse(const fp::FpVec& data, hw::NttRunReport* report = nullptr);
+
+  /// Modeled resource usage (Table I) for the current configuration.
+  [[nodiscard]] hw::ResourceComparison resources() const;
+
+  /// Closed-form performance model (Section V) for the configuration.
+  [[nodiscard]] hw::PerfBreakdown performance() const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::optional<hw::HwAccelerator> hw_;
+};
+
+}  // namespace hemul::core

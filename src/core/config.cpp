@@ -1,0 +1,14 @@
+#include "core/config.hpp"
+
+namespace hemul::core {
+
+Config Config::paper() { return Config{}; }
+
+void Config::validate() const {
+  hardware.ssa.validate();
+  if (hardware.ssa.transform_size != hardware.ntt.plan.size) {
+    throw std::invalid_argument("Config: SSA transform size must match the NTT plan");
+  }
+}
+
+}  // namespace hemul::core

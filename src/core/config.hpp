@@ -1,0 +1,27 @@
+#pragma once
+
+#include "hw/accel/accelerator.hpp"
+#include "ssa/params.hpp"
+
+namespace hemul::core {
+
+/// Which engine executes multiplications submitted to the facade.
+enum class Backend {
+  kSimulatedHardware,  ///< cycle-accurate accelerator model (default)
+  kSoftware,           ///< pure software SSA (no hardware modeling)
+};
+
+/// Top-level configuration of the public accelerator API.
+struct Config {
+  Backend backend = Backend::kSimulatedHardware;
+  hw::AcceleratorConfig hardware = hw::AcceleratorConfig::paper();
+
+  /// The paper's prototype: 4 PEs, 200 MHz, 64*64*16 plan, 786,432-bit
+  /// operands.
+  static Config paper();
+
+  /// Checks internal consistency (delegates to the hardware/SSA layers).
+  void validate() const;
+};
+
+}  // namespace hemul::core

@@ -1,0 +1,95 @@
+#include "fhe/circuits.hpp"
+
+#include "util/check.hpp"
+
+namespace hemul::fhe {
+
+Ciphertext Circuits::gate_xor(const Ciphertext& a, const Ciphertext& b) const {
+  return scheme_->add(a, b);
+}
+
+Ciphertext Circuits::gate_and(const Ciphertext& a, const Ciphertext& b) const {
+  ++and_gates_;
+  return scheme_->multiply(a, b);
+}
+
+Ciphertext Circuits::gate_or(const Ciphertext& a, const Ciphertext& b) const {
+  return gate_xor(gate_xor(a, b), gate_and(a, b));
+}
+
+Ciphertext Circuits::gate_not(const Ciphertext& a, const Ciphertext& one) const {
+  return gate_xor(a, one);
+}
+
+Ciphertext Circuits::gate_maj(const Ciphertext& a, const Ciphertext& b,
+                              const Ciphertext& c) const {
+  const Ciphertext ab = gate_and(a, b);
+  const Ciphertext bc = gate_and(b, c);
+  const Ciphertext ca = gate_and(c, a);
+  return gate_xor(gate_xor(ab, bc), ca);
+}
+
+Circuits::AdderResult Circuits::add(const EncryptedInt& a, const EncryptedInt& b,
+                                    const Ciphertext& zero) const {
+  HEMUL_CHECK_MSG(a.size() == b.size(), "adder inputs must have equal width");
+  AdderResult result;
+  result.sum.reserve(a.size());
+  Ciphertext carry = zero;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // sum_i = a ^ b ^ c; carry' = (a^b)c ^ ab (two multiplications).
+    const Ciphertext axb = gate_xor(a[i], b[i]);
+    result.sum.push_back(gate_xor(axb, carry));
+    carry = gate_xor(gate_and(axb, carry), gate_and(a[i], b[i]));
+  }
+  result.carry_out = carry;
+  return result;
+}
+
+Ciphertext Circuits::equals(const EncryptedInt& a, const EncryptedInt& b,
+                            const Ciphertext& one) const {
+  HEMUL_CHECK_MSG(a.size() == b.size(), "comparator inputs must have equal width");
+  HEMUL_CHECK_MSG(!a.empty(), "comparator needs at least one bit");
+  Ciphertext acc = one;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // XNOR = a ^ b ^ 1, then AND-accumulate.
+    const Ciphertext same = gate_xor(gate_xor(a[i], b[i]), one);
+    acc = gate_and(acc, same);
+  }
+  return acc;
+}
+
+EncryptedInt Circuits::multiply(const EncryptedInt& a, const EncryptedInt& b,
+                                const Ciphertext& zero) const {
+  HEMUL_CHECK_MSG(!a.empty() && !b.empty(), "multiplier needs nonempty inputs");
+  const std::size_t out_width = a.size() + b.size();
+  EncryptedInt acc(out_width, zero);
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    // Partial product row j: (a AND b[j]) shifted by j, ripple-added in.
+    EncryptedInt row(out_width, zero);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      row[i + j] = gate_and(a[i], b[j]);
+    }
+    const AdderResult added = add(acc, row, zero);
+    acc = added.sum;  // no overflow: out_width accommodates the product
+  }
+  return acc;
+}
+
+EncryptedInt encrypt_int(Dghv& scheme, u64 value, unsigned width) {
+  EncryptedInt out;
+  out.reserve(width);
+  for (unsigned i = 0; i < width; ++i) {
+    out.push_back(scheme.encrypt((value >> i) & 1u));
+  }
+  return out;
+}
+
+u64 decrypt_int(const Dghv& scheme, const EncryptedInt& value) {
+  u64 out = 0;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (scheme.decrypt(value[i])) out |= 1ULL << i;
+  }
+  return out;
+}
+
+}  // namespace hemul::fhe

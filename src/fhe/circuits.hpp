@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "fhe/dghv.hpp"
+
+namespace hemul::fhe {
+
+/// An encrypted little-endian integer: bit i of the plaintext in word[i].
+using EncryptedInt = std::vector<Ciphertext>;
+
+/// Homomorphic boolean/arithmetic circuits over DGHV ciphertexts -- the
+/// kinds of server-side computations the paper's introduction motivates
+/// (multiparty computation, medical/financial computing, electronic
+/// voting). Every AND gate is one ultralong multiplication on the
+/// accelerator; the circuit classes below track exactly how many.
+class Circuits {
+ public:
+  explicit Circuits(const Dghv& scheme) : scheme_(&scheme) {}
+
+  // --- gates -------------------------------------------------------------
+
+  [[nodiscard]] Ciphertext gate_xor(const Ciphertext& a, const Ciphertext& b) const;
+  [[nodiscard]] Ciphertext gate_and(const Ciphertext& a, const Ciphertext& b) const;
+  /// OR via a ^ b ^ ab (one multiplication).
+  [[nodiscard]] Ciphertext gate_or(const Ciphertext& a, const Ciphertext& b) const;
+  /// NOT via XOR with an encryption of 1.
+  [[nodiscard]] Ciphertext gate_not(const Ciphertext& a, const Ciphertext& one) const;
+  /// 2-of-3 majority: ab ^ bc ^ ca (three multiplications).
+  [[nodiscard]] Ciphertext gate_maj(const Ciphertext& a, const Ciphertext& b,
+                                    const Ciphertext& c) const;
+
+  // --- word-level circuits -------------------------------------------------
+
+  struct AdderResult {
+    EncryptedInt sum;      ///< same width as the inputs
+    Ciphertext carry_out;  ///< the final carry
+  };
+
+  /// Ripple-carry addition of two equal-width encrypted integers.
+  /// Uses 2 multiplications per bit position (carry = maj(a, b, c) with
+  /// shared subterms).
+  [[nodiscard]] AdderResult add(const EncryptedInt& a, const EncryptedInt& b,
+                                const Ciphertext& zero) const;
+
+  /// Equality comparator: AND over XNOR of all bit pairs
+  /// (width multiplications).
+  [[nodiscard]] Ciphertext equals(const EncryptedInt& a, const EncryptedInt& b,
+                                  const Ciphertext& one) const;
+
+  /// Schoolbook product of two encrypted w-bit integers (2w-bit result).
+  [[nodiscard]] EncryptedInt multiply(const EncryptedInt& a, const EncryptedInt& b,
+                                      const Ciphertext& zero) const;
+
+  /// Multiplications (accelerator invocations) issued so far.
+  [[nodiscard]] u64 and_gates_used() const noexcept { return and_gates_; }
+
+ private:
+  const Dghv* scheme_;
+  mutable u64 and_gates_ = 0;
+};
+
+/// Encrypts an integer bit by bit (width bits, little-endian).
+EncryptedInt encrypt_int(Dghv& scheme, u64 value, unsigned width);
+
+/// Decrypts an encrypted integer.
+u64 decrypt_int(const Dghv& scheme, const EncryptedInt& value);
+
+}  // namespace hemul::fhe

@@ -1,0 +1,75 @@
+#include "fhe/dghv.hpp"
+
+#include "bigint/div.hpp"
+#include "bigint/mul.hpp"
+#include "ssa/multiply.hpp"
+#include "util/check.hpp"
+
+namespace hemul::fhe {
+
+using bigint::BigUInt;
+
+namespace {
+
+/// Default multiplication backend: SSA for accelerator-scale operands,
+/// the classical dispatcher below its advantage point.
+BigUInt default_mul(const BigUInt& a, const BigUInt& b) {
+  const std::size_t bits = std::max(a.bit_length(), b.bit_length());
+  return bits >= 100'000 ? ssa::mul_ssa(a, b) : bigint::mul_auto(a, b);
+}
+
+}  // namespace
+
+Dghv::Dghv(const DghvParams& params, u64 seed) : rng_(seed), mul_(default_mul) {
+  params.validate();
+  pk_.params = params;
+
+  // Secret key: odd eta-bit integer.
+  p_ = BigUInt::random_bits(rng_, params.eta);
+  if (!p_.is_odd()) p_ += BigUInt{1};
+
+  // Exact public modulus x0 = q0 * p with q0 odd and gamma-bit x0.
+  const std::size_t q_bits = params.gamma - params.eta;
+  BigUInt q0 = BigUInt::random_bits(rng_, q_bits);
+  if (!q0.is_odd()) q0 += BigUInt{1};
+  pk_.x0 = q0 * p_;
+
+  // Public encryptions of zero: x_i = (q_i * p + 2 r_i) mod x0.
+  pk_.x.reserve(params.tau);
+  for (unsigned i = 0; i < params.tau; ++i) {
+    const BigUInt qi = BigUInt::random_below(rng_, q0);
+    BigUInt ri = BigUInt::random_bits(rng_, params.rho);
+    BigUInt xi = qi * p_ + (ri << 1);
+    pk_.x.push_back(xi % pk_.x0);
+  }
+}
+
+Ciphertext Dghv::encrypt(bool message) {
+  BigUInt c{message ? 1u : 0u};
+  BigUInt r = BigUInt::random_bits(rng_, pk_.params.rho);
+  c += r << 1;
+  for (const BigUInt& xi : pk_.x) {
+    if (rng_.flip()) c += xi << 1;
+  }
+  return {c % pk_.x0, NoiseModel::fresh(pk_.params)};
+}
+
+bool Dghv::decrypt(const Ciphertext& c) const {
+  // One-sided noise keeps the residue in [0, p); plain reduction suffices.
+  return (c.value % p_).is_odd();
+}
+
+Ciphertext Dghv::add(const Ciphertext& a, const Ciphertext& b) const {
+  return {(a.value + b.value) % pk_.x0, NoiseModel::after_add(a.noise_bits, b.noise_bits)};
+}
+
+Ciphertext Dghv::multiply(const Ciphertext& a, const Ciphertext& b) const {
+  return {mul_(a.value, b.value) % pk_.x0,
+          NoiseModel::after_mult(a.noise_bits, b.noise_bits)};
+}
+
+std::size_t Dghv::measured_noise_bits(const Ciphertext& c) const {
+  return (c.value % p_).bit_length();
+}
+
+}  // namespace hemul::fhe

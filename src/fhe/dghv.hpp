@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+#include "fhe/noise.hpp"
+#include "fhe/params.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::fhe {
+
+/// A DGHV ciphertext: the integer value plus the tracked noise estimate.
+struct Ciphertext {
+  bigint::BigUInt value;
+  double noise_bits = 0.0;
+};
+
+/// DGHV public key: the exact modulus x0 = q0*p and the tau noisy
+/// encryptions of zero used by the subset-sum encryption.
+struct PublicKey {
+  DghvParams params;
+  bigint::BigUInt x0;
+  std::vector<bigint::BigUInt> x;
+};
+
+/// The DGHV somewhat-homomorphic scheme over the integers (CMNT variant:
+/// the public modulus x0 is an exact multiple of the secret key, so
+/// reductions modulo x0 add no noise).
+///
+/// Homomorphic multiplication is one gamma-bit x gamma-bit integer product
+/// -- precisely the operation the paper's accelerator implements. The
+/// multiplication backend is pluggable so the examples can route it
+/// through the simulated accelerator.
+///
+/// Noise convention: key and encryption noises are one-sided (r in
+/// [0, 2^rho)), which keeps every residue non-negative and lets decryption
+/// use a plain (uncentered) modular reduction. This is a documented,
+/// security-irrelevant simplification of the symmetric-noise spec.
+class Dghv {
+ public:
+  using MulFn =
+      std::function<bigint::BigUInt(const bigint::BigUInt&, const bigint::BigUInt&)>;
+
+  /// Generates a key pair with the given deterministic seed.
+  Dghv(const DghvParams& params, u64 seed);
+
+  /// Encrypts one bit: c = (m + 2r + 2 * sum_{i in S} x_i) mod x0.
+  [[nodiscard]] Ciphertext encrypt(bool message);
+
+  /// Decrypts: m = (c mod p) mod 2.
+  [[nodiscard]] bool decrypt(const Ciphertext& c) const;
+
+  /// Homomorphic XOR: c1 + c2 (mod x0).
+  [[nodiscard]] Ciphertext add(const Ciphertext& a, const Ciphertext& b) const;
+
+  /// Homomorphic AND: c1 * c2 (mod x0) -- the accelerator workload.
+  [[nodiscard]] Ciphertext multiply(const Ciphertext& a, const Ciphertext& b) const;
+
+  /// Replaces the big-integer multiplication backend (default: SSA).
+  void set_multiplier(MulFn mul) { mul_ = std::move(mul); }
+
+  [[nodiscard]] const PublicKey& public_key() const noexcept { return pk_; }
+  [[nodiscard]] const DghvParams& params() const noexcept { return pk_.params; }
+
+  /// Secret key access for the test suite (noise measurements).
+  [[nodiscard]] const bigint::BigUInt& secret_key() const noexcept { return p_; }
+
+  /// Bits of actual noise in a ciphertext (via the secret key).
+  [[nodiscard]] std::size_t measured_noise_bits(const Ciphertext& c) const;
+
+ private:
+  bigint::BigUInt p_;  ///< secret key: odd eta-bit integer
+  PublicKey pk_;
+  util::Rng rng_;
+  MulFn mul_;
+};
+
+}  // namespace hemul::fhe

@@ -1,0 +1,24 @@
+#include "fhe/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hemul::fhe {
+
+double NoiseModel::after_add(double a, double b) noexcept { return std::max(a, b) + 1.0; }
+
+double NoiseModel::after_mult(double a, double b) noexcept { return a + b + 1.0; }
+
+unsigned NoiseModel::max_mult_depth(const DghvParams& params) noexcept {
+  double noise = fresh(params);
+  unsigned depth = 0;
+  while (true) {
+    const double next = after_mult(noise, noise);
+    if (!decryptable(params, next)) break;
+    noise = next;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace hemul::fhe

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "fhe/params.hpp"
+
+namespace hemul::fhe {
+
+/// Analytic noise-growth tracking for DGHV ciphertexts (bits of the
+/// residue modulo the secret key). Decryption stays correct while the
+/// noise fits the secret key with margin; the homomorphic-depth tests
+/// assert the model against actual decryptions.
+struct NoiseModel {
+  /// Noise of a fresh encryption.
+  static double fresh(const DghvParams& params) noexcept {
+    return params.fresh_noise_bits();
+  }
+
+  /// c1 + c2: residues add (one bit of growth).
+  static double after_add(double a, double b) noexcept;
+
+  /// c1 * c2: residues multiply (noises add in bits, plus one).
+  static double after_mult(double a, double b) noexcept;
+
+  /// Correct decryption needs noise < eta - 2 bits (residue below p/2).
+  static bool decryptable(const DghvParams& params, double noise_bits) noexcept {
+    return noise_bits < static_cast<double>(params.eta) - 2.0;
+  }
+
+  /// Multiplicative depth supported for fresh inputs under this model.
+  static unsigned max_mult_depth(const DghvParams& params) noexcept;
+};
+
+}  // namespace hemul::fhe

@@ -1,0 +1,65 @@
+#include "fhe/params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hemul::fhe {
+
+DghvParams DghvParams::toy() {
+  DghvParams p;
+  p.lambda = 8;
+  p.rho = 8;
+  p.eta = 128;
+  p.gamma = 4096;
+  p.tau = 24;
+  return p;
+}
+
+DghvParams DghvParams::small_paper() {
+  DghvParams p;
+  p.lambda = 42;
+  p.rho = 41;
+  p.eta = 1558;
+  p.gamma = 786432;
+  p.tau = 572;
+  return p;
+}
+
+DghvParams DghvParams::medium() {
+  DghvParams p;
+  p.lambda = 16;
+  p.rho = 16;
+  p.eta = 512;
+  p.gamma = 65536;
+  p.tau = 64;
+  return p;
+}
+
+DghvParams DghvParams::deep() {
+  DghvParams p;
+  p.lambda = 8;
+  p.rho = 8;
+  p.eta = 8192;
+  p.gamma = 32768;
+  p.tau = 16;
+  return p;
+}
+
+void DghvParams::validate() const {
+  if (tau == 0) throw std::invalid_argument("DghvParams: tau must be >= 1");
+  if (rho == 0 || eta == 0 || gamma == 0) {
+    throw std::invalid_argument("DghvParams: rho, eta, gamma must be positive");
+  }
+  if (eta >= gamma) throw std::invalid_argument("DghvParams: need eta < gamma");
+  if (rho + 32 >= eta) {
+    throw std::invalid_argument("DghvParams: need rho << eta for a usable noise budget");
+  }
+}
+
+double DghvParams::fresh_noise_bits() const noexcept {
+  // m + 2r + 2 * sum_{i in S} 2r_i with |S| <= tau:
+  // bounded by 2^(rho+2) * (tau + 1).
+  return static_cast<double>(rho) + 2.0 + std::log2(static_cast<double>(tau) + 1.0);
+}
+
+}  // namespace hemul::fhe

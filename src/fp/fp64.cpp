@@ -1,0 +1,34 @@
+#include "fp/fp64.hpp"
+
+namespace hemul::fp {
+
+Fp Fp::pow(u64 e) const noexcept {
+  Fp base = *this;
+  Fp acc = kOne;
+  while (e != 0) {
+    if (e & 1u) acc *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+Fp Fp::inv() const { return pow(kModulus - 2); }
+
+Fp Fp::mul_pow2(u64 k) const noexcept {
+  k %= 192;  // 2^192 = 1 (mod p)
+  Fp x = *this;
+  if (k >= 96) {  // 2^96 = -1 (mod p)
+    x = x.neg();
+    k -= 96;
+  }
+  // Now k < 96; two shifts of at most 48 keep every intermediate in 128 bits.
+  if (k > 48) {
+    x = from_u128(static_cast<u128>(x.v_) << 48);
+    k -= 48;
+  }
+  if (k != 0) x = from_u128(static_cast<u128>(x.v_) << k);
+  return x;
+}
+
+}  // namespace hemul::fp

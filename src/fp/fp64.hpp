@@ -1,0 +1,133 @@
+#pragma once
+
+#include <compare>
+#include <vector>
+
+#include "util/uint128.hpp"
+
+namespace hemul::fp {
+
+/// The Solinas prime used throughout the accelerator:
+///   p = 2^64 - 2^32 + 1
+/// chosen by the paper because
+///   * 2^96 = -1 (mod p) and 2^192 = 1 (mod p), so multiplication by any
+///     power of two is a 192-bit cyclic rotation (pure wiring + shifts in
+///     hardware), and
+///   * 8 is a primitive 64th root of unity, making all radix-64 butterfly
+///     twiddles shift-only (paper Eq. 3).
+inline constexpr u64 kModulus = 0xFFFF'FFFF'0000'0001ULL;
+
+/// 2^64 mod p = 2^32 - 1. Used by the folding reduction.
+inline constexpr u64 kEpsilon = 0xFFFF'FFFFULL;
+
+/// Reduces a 128-bit value modulo p to the canonical range [0, p).
+///
+/// Uses the Solinas folding identities 2^64 = 2^32 - 1 and 2^96 = -1:
+/// with x = hi_hi*2^96 + hi_lo*2^64 + lo,
+///   x = lo + hi_lo*(2^32 - 1) - hi_hi  (mod p).
+/// Branch-light (conditional moves) and header-inline: this is the single
+/// hottest operation of the software NTT path.
+inline u64 reduce128(u128 x) noexcept {
+  const auto lo = static_cast<u64>(x);
+  const auto hi = static_cast<u64>(x >> 64);
+  const u64 hi_hi = hi >> 32;
+  const u64 hi_lo = hi & kEpsilon;
+
+  // t0 = lo - hi_hi (mod p): a borrow means the wrapped value is too large
+  // by 2^64 = eps (mod p), so subtract eps once more.
+  u64 t0 = lo - hi_hi;
+  t0 -= (lo < hi_hi ? kEpsilon : 0);
+
+  // t1 = hi_lo * (2^32 - 1) < 2^64, add with the symmetric carry fix.
+  const u64 t1 = hi_lo * kEpsilon;
+  u64 t2 = t0 + t1;
+  t2 += (t2 < t1 ? kEpsilon : 0);
+
+  t2 -= (t2 >= kModulus ? kModulus : 0);
+  return t2;
+}
+
+/// An element of GF(p), always stored canonically in [0, p).
+///
+/// Fp is a regular value type: two elements are equal iff their canonical
+/// representatives are equal.
+class Fp {
+ public:
+  constexpr Fp() noexcept = default;
+
+  /// Reduces an arbitrary 64-bit value into the field.
+  constexpr explicit Fp(u64 value) noexcept : v_(value >= kModulus ? value - kModulus : value) {}
+
+  /// Builds an element from a value already known to be canonical.
+  static constexpr Fp from_canonical(u64 value) noexcept {
+    Fp x;
+    x.v_ = value;
+    return x;
+  }
+
+  /// Reduces a 128-bit value into the field.
+  static Fp from_u128(u128 value) noexcept { return from_canonical(reduce128(value)); }
+
+  [[nodiscard]] constexpr u64 value() const noexcept { return v_; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return v_ == 0; }
+
+  friend constexpr bool operator==(Fp, Fp) noexcept = default;
+  friend constexpr auto operator<=>(Fp, Fp) noexcept = default;
+
+  Fp& operator+=(Fp rhs) noexcept {
+    u64 s = v_ + rhs.v_;
+    s += (s < v_ ? kEpsilon : 0);  // wrapped sums land below p after the fix
+    s -= (s >= kModulus ? kModulus : 0);
+    v_ = s;
+    return *this;
+  }
+
+  Fp& operator-=(Fp rhs) noexcept {
+    const u64 d = v_ - rhs.v_;
+    v_ = d + (v_ < rhs.v_ ? kModulus : 0);
+    return *this;
+  }
+
+  Fp& operator*=(Fp rhs) noexcept {
+    v_ = reduce128(mul_wide(v_, rhs.v_));
+    return *this;
+  }
+
+  friend Fp operator+(Fp a, Fp b) noexcept { return a += b; }
+  friend Fp operator-(Fp a, Fp b) noexcept { return a -= b; }
+  friend Fp operator*(Fp a, Fp b) noexcept { return a *= b; }
+
+  /// Additive inverse.
+  [[nodiscard]] Fp neg() const noexcept {
+    return from_canonical(v_ == 0 ? 0 : kModulus - v_);
+  }
+
+  /// a^e by square-and-multiply.
+  [[nodiscard]] Fp pow(u64 e) const noexcept;
+
+  /// Multiplicative inverse by Fermat (a^(p-2)); requires a != 0.
+  [[nodiscard]] Fp inv() const;
+
+  /// Multiplication by 2^k (any k >= 0), implemented with at most three
+  /// 128-bit folds -- the software mirror of the hardware's shift network.
+  /// Exploits 2^192 = 1 (mod p) to reduce k modulo 192 and 2^96 = -1 to
+  /// fold the exponent below 96.
+  [[nodiscard]] Fp mul_pow2(u64 k) const noexcept;
+
+ private:
+  u64 v_ = 0;
+};
+
+inline constexpr Fp kZero = Fp::from_canonical(0);
+inline constexpr Fp kOne = Fp::from_canonical(1);
+
+/// The element 2 as an Fp; powers of it drive the shift-based twiddles.
+inline constexpr Fp kTwo = Fp::from_canonical(2);
+
+/// The paper's 64th root of unity: 8 (Eq. 3).
+inline constexpr Fp kOmega64 = Fp::from_canonical(8);
+
+/// Convenience vector alias used by the NTT layers.
+using FpVec = std::vector<Fp>;
+
+}  // namespace hemul::fp

@@ -1,0 +1,27 @@
+#include "fp/normalize.hpp"
+
+#include "util/check.hpp"
+
+namespace hemul::fp {
+
+i128 normalize_eq4(u128 x) noexcept {
+  const u64 d = static_cast<u64>(x) & 0xFFFF'FFFFULL;
+  const u64 c = static_cast<u64>(x >> 32) & 0xFFFF'FFFFULL;
+  const u64 b = static_cast<u64>(x >> 64) & 0xFFFF'FFFFULL;
+  const u64 a = static_cast<u64>(x >> 96) & 0xFFFF'FFFFULL;
+
+  const i128 shifted = static_cast<i128>((static_cast<u128>(b) + c) << 32);
+  return shifted - static_cast<i128>(a) - static_cast<i128>(b) + static_cast<i128>(d);
+}
+
+Fp addmod(i128 v) {
+  const auto p = static_cast<i128>(kModulus);
+  HEMUL_CHECK_MSG(v > -p && v < 2 * p, "AddMod input out of single-correction range");
+  if (v < 0) v += p;
+  if (v >= p) v -= p;
+  return Fp::from_canonical(static_cast<u64>(v));
+}
+
+Fp normalize_full(u128 x) { return addmod(normalize_eq4(x)); }
+
+}  // namespace hemul::fp

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "fp/fp64.hpp"
+
+namespace hemul::fp {
+
+/// The paper's Eq. 4 coarse reduction for 128-bit values.
+///
+/// Writing x = a*2^96 + b*2^64 + c*2^32 + d with 32-bit digits a..d, the
+/// Solinas identities 2^96 = -1 and 2^64 = 2^32 - 1 (mod p) give
+///
+///     x = 2^32*(b + c) - a - b + d   (mod p).
+///
+/// The returned signed value lies in (-p, 2p) -- the paper's "at most one
+/// extra addition or subtraction with the modulus" -- and is canonicalized
+/// by addmod() below (the hardware AddMod block).
+i128 normalize_eq4(u128 x) noexcept;
+
+/// Final conditional +/- p ("AddMod" block). Requires v in (-p, 2p).
+Fp addmod(i128 v);
+
+/// Eq. 4 followed by AddMod: full 128-bit -> canonical reduction.
+/// Functionally identical to reduce128 (asserted in the tests); kept
+/// separate because the hardware model calls the two halves at different
+/// pipeline stages.
+Fp normalize_full(u128 x);
+
+}  // namespace hemul::fp

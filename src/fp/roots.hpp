@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "fp/fp64.hpp"
+
+namespace hemul::fp {
+
+/// Root-of-unity machinery for GF(p), p = 2^64 - 2^32 + 1.
+///
+/// The multiplicative group has order p - 1 = 2^32 * 3 * 5 * 17 * 257 * 65537,
+/// so power-of-two transform lengths up to 2^32 are supported. The paper's
+/// accelerator additionally needs the root *hierarchy* aligned with the
+/// element 8 so that all inner radix-64 twiddles become shifts:
+/// aligned_root(n) returns an n-th root w with w^(n/64) = 8 exactly.
+
+/// A generator of the full multiplicative group (7 is the conventional
+/// generator for this prime; verified in the test suite).
+Fp group_generator();
+
+/// Returns true iff x has exact multiplicative order n.
+bool has_order(Fp x, u64 n);
+
+/// Primitive n-th root of unity. Requires n | p-1.
+/// Throws std::invalid_argument otherwise.
+Fp primitive_root(u64 n);
+
+/// Primitive n-th root w (n a power of two, 64 <= n <= 2^32) additionally
+/// satisfying w^(n/64) = 8, so the induced 64-point sub-transform twiddles
+/// are exactly the paper's shift-only powers of 8.
+Fp aligned_root(u64 n);
+
+/// Precomputed powers w^0 .. w^(count-1).
+std::vector<Fp> power_table(Fp w, std::size_t count);
+
+/// n^{-1} in the field (for inverse-NTT scaling); requires n != 0 mod p.
+Fp inv_of_u64(u64 n);
+
+/// Prime factors of p-1 (each listed once).
+const std::vector<u64>& group_order_prime_factors();
+
+}  // namespace hemul::fp

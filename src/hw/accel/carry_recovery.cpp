@@ -1,0 +1,22 @@
+#include "hw/accel/carry_recovery.hpp"
+
+#include <stdexcept>
+
+#include "ssa/pack.hpp"
+
+namespace hemul::hw {
+
+CarryRecoveryUnit::CarryRecoveryUnit(unsigned lanes) : lanes_(lanes) {
+  if (lanes == 0) throw std::invalid_argument("CarryRecoveryUnit: needs >= 1 lane");
+}
+
+bigint::BigUInt CarryRecoveryUnit::recover(const fp::FpVec& coeffs, std::size_t coeff_bits,
+                                           Report* report) {
+  if (report != nullptr) {
+    report->coefficients += coeffs.size();
+    report->cycles += (coeffs.size() + lanes_ - 1) / lanes_;
+  }
+  return ssa::carry_recover(coeffs, coeff_bits);
+}
+
+}  // namespace hemul::hw

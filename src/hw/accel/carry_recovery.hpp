@@ -1,0 +1,33 @@
+#pragma once
+
+#include "bigint/biguint.hpp"
+#include "fp/fp64.hpp"
+
+namespace hemul::hw {
+
+/// The final carry-recovery adder (paper Section V): evaluates the inverse
+/// NTT coefficient vector at x = 2^m, i.e. the "shifted sum of the
+/// components", with an ad-hoc pipelined adder structure. The paper quotes
+/// ~20 us for the 64K-coefficient recovery; at 200 MHz that corresponds to
+/// 16 coefficients retired per cycle, the default lane count here.
+class CarryRecoveryUnit {
+ public:
+  struct Report {
+    u64 cycles = 0;
+    u64 coefficients = 0;
+  };
+
+  explicit CarryRecoveryUnit(unsigned lanes = 16);
+
+  /// Shifted-sum evaluation: result = sum_i coeffs[i] * 2^(coeff_bits * i).
+  /// Functionally identical to ssa::carry_recover (asserted in tests).
+  bigint::BigUInt recover(const fp::FpVec& coeffs, std::size_t coeff_bits,
+                          Report* report = nullptr);
+
+  [[nodiscard]] unsigned lanes() const noexcept { return lanes_; }
+
+ private:
+  unsigned lanes_;
+};
+
+}  // namespace hemul::hw

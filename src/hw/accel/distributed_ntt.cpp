@@ -1,0 +1,347 @@
+#include "hw/accel/distributed_ntt.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <stdexcept>
+
+#include "fp/roots.hpp"
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+using fp::Fp;
+using fp::FpVec;
+
+DistributedNtt::DistributedNtt(DistributedNttConfig config)
+    : config_(std::move(config)),
+      cube_(config_.num_pes),
+      schedule_(static_cast<unsigned>(config_.plan.stage_count()), cube_.dimensions()),
+      ledger_(cube_) {
+  const auto& plan = config_.plan;
+  for (const u32 r : plan.radices) {
+    if (r != 8 && r != 16 && r != 32 && r != 64) {
+      throw std::invalid_argument("DistributedNtt: hardware radices are 8/16/32/64");
+    }
+  }
+  for (std::size_t s = 0; s < plan.stage_count(); ++s) {
+    if (plan.sub_ffts_in_stage(s) % config_.num_pes != 0) {
+      throw std::invalid_argument("DistributedNtt: stage groups must divide evenly over PEs");
+    }
+  }
+
+  // Digit strides: digit s has stride prod_{u>s} r_u.
+  stride_.assign(plan.stage_count(), 1);
+  for (std::size_t s = plan.stage_count(); s-- > 0;) {
+    if (s + 1 < plan.stage_count()) stride_[s] = stride_[s + 1] * plan.radices[s + 1];
+  }
+
+  const Fp root = plan.size >= 64 ? fp::aligned_root(plan.size) : fp::primitive_root(plan.size);
+  fwd_table_ = fp::power_table(root, plan.size);
+  n_inv_ = fp::inv_of_u64(plan.size);
+
+  const ProcessingElement::Config pe_config{.banking = config_.banking, .unit = config_.unit};
+  pes_.reserve(config_.num_pes);
+  for (unsigned p = 0; p < config_.num_pes; ++p) pes_.emplace_back(p, pe_config);
+}
+
+std::vector<std::vector<DistributedNtt::KeyBit>> DistributedNtt::key_schedule() const {
+  const auto l = static_cast<unsigned>(config_.plan.stage_count());
+  const unsigned d = cube_.dimensions();
+
+  std::vector<KeyBit> key(d);
+  for (unsigned b = 0; b < d; ++b) {
+    const unsigned var = 1 + b;
+    key[b] = {var, static_cast<unsigned>(std::countr_zero(config_.plan.radices[var])) - 1};
+  }
+
+  std::vector<std::vector<KeyBit>> schedule;
+  schedule.reserve(l);
+  for (unsigned s = 0; s < l; ++s) {
+    schedule.push_back(key);
+    // Exchange after stage s: re-home the bit that would block stage s+1.
+    if (s + 1 < l) {
+      for (auto& bit : key) {
+        if (bit.stage_var == s + 1) {
+          bit = {s, static_cast<unsigned>(std::countr_zero(config_.plan.radices[s])) - 1};
+        }
+      }
+    }
+  }
+  return schedule;
+}
+
+std::string DistributedNtt::describe_distribution() const {
+  const auto l = static_cast<unsigned>(config_.plan.stage_count());
+  const unsigned d = cube_.dimensions();
+  const auto schedule = key_schedule();
+
+  // Paper notation: stage 0 transforms n_l, producing k_l; stage l-1
+  // transforms n_1, producing k_1 (for the 64*64*16 plan: n3, n2, n1).
+  const auto digit_name = [l](unsigned stage_var, bool computed) {
+    return std::string(computed ? "k" : "n") + std::to_string(l - stage_var);
+  };
+  const auto key_name = [&](const KeyBit& bit, unsigned current_stage) {
+    const bool computed = bit.stage_var < current_stage;
+    return digit_name(bit.stage_var, computed) + "[" + std::to_string(bit.bit) + "]";
+  };
+
+  std::string out;
+  for (unsigned s = 0; s < l; ++s) {
+    out += "C" + std::to_string(s) + ": radix-" + std::to_string(config_.plan.radices[s]) +
+           " FFTs over " + digit_name(s, false);
+    if (d > 0) {
+      out += "  (owner bits:";
+      for (const auto& bit : schedule[s]) out += " " + key_name(bit, s);
+      out += ")";
+    }
+    out += "\n";
+    if (s < d) {
+      // The exchange between stage s and s+1 moves exactly one key bit.
+      for (unsigned b = 0; b < d; ++b) {
+        if (!(schedule[s][b] == schedule[s + 1][b])) {
+          out += "X" + std::to_string(s) + ": exchange along hypercube dim " +
+                 std::to_string(b) + ", owner bit " + key_name(schedule[s][b], s) +
+                 " -> " + key_name(schedule[s + 1][b], s + 1) + "\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+unsigned DistributedNtt::owner(const std::vector<u32>& digits,
+                               const std::vector<KeyBit>& key) const {
+  unsigned node = 0;
+  for (unsigned b = 0; b < key.size(); ++b) {
+    node |= ((digits[key[b].stage_var] >> key[b].bit) & 1u) << b;
+  }
+  return node;
+}
+
+FpVec DistributedNtt::forward(const FpVec& data, NttRunReport* report) {
+  return run(data, /*inverse=*/false, report);
+}
+
+FpVec DistributedNtt::inverse(const FpVec& data, NttRunReport* report) {
+  // IDFT(x)[k] = (1/N) * DFT(x)[(N-k) mod N]: the hardware reuses the
+  // forward datapath; 1/N is folded into the final twiddle ROM and the
+  // data route reverses the output addresses.
+  FpVec fwd = run(data, /*inverse=*/true, report);
+  const u64 n = config_.plan.size;
+  FpVec out(n);
+  out[0] = fwd[0];
+  for (u64 k = 1; k < n; ++k) out[k] = fwd[n - k];
+  return out;
+}
+
+FpVec DistributedNtt::run(const FpVec& data, bool inverse, NttRunReport* report) {
+  const auto& plan = config_.plan;
+  const u64 n = plan.size;
+  HEMUL_CHECK_MSG(data.size() == n, "DistributedNtt: input size must match the plan");
+  const auto l = static_cast<unsigned>(plan.stage_count());
+  const unsigned d = cube_.dimensions();
+
+  // Ownership keys per stage (initial bits on untransformed digits,
+  // re-homed one per exchange; legality l > d guarantees feasibility).
+  const std::vector<std::vector<KeyBit>> key_by_stage = key_schedule();
+
+  // Digit tuple of every element (digit s replaced by its output digit k_s
+  // as stages complete); values evolve in the flat input indexing.
+  std::vector<std::vector<u32>> digits(n, std::vector<u32>(l));
+  for (u64 i = 0; i < n; ++i) {
+    for (unsigned s = 0; s < l; ++s) {
+      digits[i][s] = static_cast<u32>((i / stride_[s]) % plan.radices[s]);
+    }
+  }
+
+  FpVec work = data;
+  NttRunReport local_report;
+  std::vector<u64> stage_compute(l, 0);
+  std::vector<u64> stage_exchange(d, 0);
+
+  // Per-PE counter baselines so deltas per stage can be extracted.
+  std::vector<u64> pe_cycles_base(config_.num_pes, 0);
+  std::vector<u64> pe_conflicts_base(config_.num_pes, 0);
+  u64 twiddle_products_before = 0;
+  for (auto& pe : pes_) twiddle_products_before += pe.twiddle_products();
+  const u64 ledger_words_before = ledger_.total_words();
+
+  for (unsigned s = 0; s < l; ++s) {
+    const u32 radix = plan.radices[s];
+    const u64 groups = n / radix;
+    const u64 s_stride = stride_[s];
+
+    // Enumerate group base indices (digit s == 0).
+    std::vector<u64> group_base;
+    group_base.reserve(groups);
+    for (u64 i = 0; i < n; ++i) {
+      if (digits[i][s] == 0) group_base.push_back(i);
+    }
+    HEMUL_CHECK(group_base.size() == groups);
+
+    // Partition groups over PEs by ownership.
+    const std::vector<KeyBit>& key = key_by_stage[s];
+    std::vector<std::vector<u64>> pe_groups(config_.num_pes);
+    for (const u64 base : group_base) {
+      const unsigned node = owner(digits[base], key);
+      // Locality invariant: the whole group shares one owner (the key never
+      // references the digit being transformed).
+      for (u32 v = 1; v < radix; ++v) {
+        HEMUL_CHECK_MSG(owner(digits[base + v * s_stride], key) == node,
+                        "FFT group split across PEs: schedule bug");
+      }
+      pe_groups[node].push_back(base);
+    }
+
+    for (auto& pe : pes_) {
+      pe_cycles_base[pe.id()] = pe.compute_cycles();
+      pe_conflicts_base[pe.id()] =
+          pe.memory().compute().conflict_cycles() + pe.memory().fill().conflict_cycles();
+    }
+
+    const u64 groups_per_chunk = BankedBuffer::kCapacityWords / radix;
+    FpVec next = work;
+
+    for (auto& pe : pes_) {
+      const auto& owned = pe_groups[pe.id()];
+      for (std::size_t chunk = 0; chunk < owned.size(); chunk += groups_per_chunk) {
+        const std::size_t chunk_end = std::min(owned.size(), chunk + groups_per_chunk);
+
+        // Load the chunk into the fill buffer (consecutive row traffic),
+        // then swap: it becomes the compute buffer.
+        FpVec staged;
+        staged.reserve((chunk_end - chunk) * radix);
+        for (std::size_t g = chunk; g < chunk_end; ++g) {
+          for (u32 v = 0; v < radix; ++v) staged.push_back(work[owned[g] + v * s_stride]);
+        }
+        pe.fill(0, staged);
+        pe.swap_buffers();
+
+        for (std::size_t g = chunk; g < chunk_end; ++g) {
+          const u64 base = owned[g];
+          const auto window = static_cast<unsigned>((g - chunk) * radix);
+
+          // Inter-stage twiddle factors for this group's outputs.
+          FpVec twiddles;
+          if (s + 1 < l) {
+            twiddles.resize(radix);
+            u64 level = 1;  // L_{s+1} = prod_{u=0..s+1} r_u
+            for (unsigned u = 0; u <= s + 1; ++u) level *= plan.radices[u];
+            u64 t_prefix = 0;  // sum_{u<s} k_u * W_u
+            u64 weight = 1;
+            for (unsigned u = 0; u < s; ++u) {
+              t_prefix += digits[base][u] * weight;
+              weight *= plan.radices[u];
+            }
+            const u64 w_s = weight;  // W_s = prod_{u<s} r_u
+            const u64 d_next = digits[base][s + 1];
+            for (u32 k = 0; k < radix; ++k) {
+              const u64 t = t_prefix + k * w_s;
+              const u64 exponent = (n / level) * ((d_next * t) % level);
+              Fp tw = fwd_table_[exponent % n];
+              if (inverse && s + 2 == l) tw *= n_inv_;  // fold 1/N into last ROM
+              twiddles[k] = tw;
+            }
+          } else if (l == 1 && inverse) {
+            twiddles.assign(radix, n_inv_);
+          }
+
+          const FpVec outputs = pe.run_fft(window, radix, twiddles);
+          pe.write_back(window, outputs);
+          for (u32 k = 0; k < radix; ++k) next[base + k * s_stride] = outputs[k];
+        }
+
+        // Spot-check the memory path: the fill buffer must hold the last
+        // group's outputs at its window.
+        const auto check_base = static_cast<unsigned>((chunk_end - 1 - chunk) * radix);
+        HEMUL_CHECK(pe.memory().fill().peek(check_base) ==
+                    next[owned[chunk_end - 1]]);
+      }
+    }
+
+    work = std::move(next);
+
+    u64 max_cycles = 0;
+    for (auto& pe : pes_) {
+      const u64 conflicts = pe.memory().compute().conflict_cycles() +
+                            pe.memory().fill().conflict_cycles() -
+                            pe_conflicts_base[pe.id()];
+      max_cycles = std::max(max_cycles,
+                            pe.compute_cycles() - pe_cycles_base[pe.id()] + conflicts);
+      local_report.memory_conflict_cycles += conflicts;
+    }
+    stage_compute[s] = max_cycles;
+
+    StageReport stage_report;
+    stage_report.compute_cycles = max_cycles;
+
+    // Exchange after stage s (for the first d stages): the key bit that
+    // would block stage s+1 has been re-homed onto the just-computed digit
+    // k_s; ship every element whose owner changed.
+    if (s < d) {
+      const std::vector<KeyBit>& new_key = key_by_stage[s + 1];
+      unsigned moved_bit = d;  // sentinel
+      for (unsigned b = 0; b < d; ++b) {
+        if (!(key[b] == new_key[b])) moved_bit = b;
+      }
+      HEMUL_CHECK_MSG(moved_bit < d, "exchange schedule: no key bit re-homed");
+
+      std::map<std::pair<unsigned, unsigned>, u64> traffic;
+      for (u64 i = 0; i < n; ++i) {
+        const unsigned before = owner(digits[i], key);
+        const unsigned after = owner(digits[i], new_key);
+        if (before != after) ++traffic[{before, after}];
+      }
+      u64 max_sent = 0;
+      u64 total = 0;
+      for (const auto& [pair, words] : traffic) {
+        ledger_.record(s, moved_bit, pair.first, pair.second, words);
+        max_sent = std::max(max_sent, words);
+        total += words;
+      }
+      stage_exchange[s] = exchange_cycles(max_sent, config_.link_words_per_cycle);
+      stage_report.exchange_cycles = stage_exchange[s];
+      stage_report.exchange_words = total;
+      stage_report.exchange_dim = moved_bit;
+
+      // Stage boundary: every PE swaps its double buffer.
+      for (auto& pe : pes_) pe.swap_buffers();
+    }
+
+    // Replace digit s by its output digit (identical flat position).
+    for (u64 i = 0; i < n; ++i) {
+      digits[i][s] = static_cast<u32>((i / s_stride) % radix);
+    }
+    local_report.stages.push_back(stage_report);
+  }
+
+  // Final reordering to natural output indexing: out[sum k_s W_s].
+  FpVec out(n);
+  for (u64 i = 0; i < n; ++i) {
+    u64 flat_out = 0;
+    u64 weight = 1;
+    for (unsigned s = 0; s < l; ++s) {
+      flat_out += digits[i][s] * weight;
+      weight *= plan.radices[s];
+    }
+    out[flat_out] = work[i];
+  }
+
+  u64 twiddle_products_after = 0;
+  for (auto& pe : pes_) twiddle_products_after += pe.twiddle_products();
+  local_report.twiddle_products = twiddle_products_after - twiddle_products_before;
+
+  local_report.total_cycles =
+      schedule_.total_cycles(stage_compute, stage_exchange, config_.overlap_comm);
+  local_report.total_cycles_no_overlap =
+      schedule_.total_cycles(stage_compute, stage_exchange, false);
+  local_report.exchange_total_words = ledger_.total_words() - ledger_words_before;
+  local_report.exchanges_single_partner = ledger_.single_partner_per_stage();
+  local_report.schedule = schedule_.describe();
+
+  if (report != nullptr) *report = std::move(local_report);
+  return out;
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fp/fp64.hpp"
+#include "hw/noc/exchange.hpp"
+#include "hw/noc/hypercube.hpp"
+#include "hw/noc/schedule.hpp"
+#include "hw/pe/processing_element.hpp"
+#include "ntt/plan.hpp"
+
+namespace hemul::hw {
+
+/// Configuration of the distributed NTT engine.
+struct DistributedNttConfig {
+  unsigned num_pes = 4;                 ///< P = 2^d processing elements
+  ntt::NttPlan plan = ntt::NttPlan::paper_64k();
+  BankingScheme banking = BankingScheme::kTwoDimensional;
+  FftUnitKind unit = FftUnitKind::kOptimized;
+  u64 link_words_per_cycle = 8;         ///< hypercube link bandwidth
+  bool overlap_comm = true;             ///< double-buffered comm/compute overlap
+};
+
+/// Per-stage cycle breakdown of one distributed transform.
+struct StageReport {
+  u64 compute_cycles = 0;   ///< per-PE FFT initiation intervals
+  u64 exchange_cycles = 0;  ///< per-PE neighbor transfer (0 if no exchange)
+  u64 exchange_words = 0;   ///< total words moved in the exchange
+  unsigned exchange_dim = 0;
+};
+
+/// Full report of one distributed transform run.
+struct NttRunReport {
+  std::vector<StageReport> stages;
+  u64 total_cycles = 0;             ///< overlap-aware schedule total
+  u64 total_cycles_no_overlap = 0;  ///< same schedule without double buffering
+  u64 twiddle_products = 0;         ///< generic (DSP) multiplications
+  u64 memory_conflict_cycles = 0;   ///< bank conflicts across all PE buffers
+  u64 exchange_total_words = 0;
+  bool exchanges_single_partner = true;
+  std::string schedule;             ///< e.g. "C0 X0 C1 X1 C2"
+};
+
+/// The distributed 64K-point NTT (paper Section IV + Fig. 2): P hypercube-
+/// connected PEs execute the Cooley-Tukey stages on local data, exchanging
+/// along one hypercube dimension after each of the first d compute stages.
+///
+/// The run is bit-exact (outputs equal the software MixedRadixNtt) and
+/// cycle-counted per the units' published throughput contracts.
+class DistributedNtt {
+ public:
+  /// Validates the configuration: P a power of two, plan stages l > d,
+  /// all radices implementable by the hardware units (8/16/32/64), and
+  /// per-PE slices fitting the double buffers in whole windows.
+  /// Throws std::invalid_argument on violation.
+  explicit DistributedNtt(DistributedNttConfig config);
+
+  /// Distributed forward transform of data.size() == plan.size elements.
+  fp::FpVec forward(const fp::FpVec& data, NttRunReport* report = nullptr);
+
+  /// Distributed inverse transform (1/N folded into the final twiddle
+  /// stage -- no extra passes).
+  fp::FpVec inverse(const fp::FpVec& data, NttRunReport* report = nullptr);
+
+  [[nodiscard]] const DistributedNttConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Hypercube& topology() const noexcept { return cube_; }
+  [[nodiscard]] const StageSchedule& schedule() const noexcept { return schedule_; }
+
+  /// The PEs (exposed for resource accounting and tests).
+  [[nodiscard]] std::vector<ProcessingElement>& pes() noexcept { return pes_; }
+
+  /// The exchange ledger accumulated over all runs.
+  [[nodiscard]] const ExchangeLedger& ledger() const noexcept { return ledger_; }
+
+  /// One key (ownership) bit: bit `bit` of the current digit value at
+  /// position `stage_var` of the element's digit tuple.
+  struct KeyBit {
+    unsigned stage_var = 0;
+    unsigned bit = 0;
+
+    friend bool operator==(const KeyBit&, const KeyBit&) noexcept = default;
+  };
+
+  /// The ownership key in force during each compute stage: d bits drawn
+  /// from not-yet-transformed digits, re-homed one bit per exchange onto
+  /// the digit just computed. key_schedule()[s] is the key of stage s.
+  [[nodiscard]] std::vector<std::vector<KeyBit>> key_schedule() const;
+
+  /// Renders the paper's Fig. 2 ("Data distribution"): the interleaved
+  /// sequence of computing and communication stages, with the index digit
+  /// involved in each (n3/n2/n1 in the paper's notation for the 64*64*16
+  /// plan) and the ownership bits before/after every exchange.
+  [[nodiscard]] std::string describe_distribution() const;
+
+ private:
+  fp::FpVec run(const fp::FpVec& data, bool inverse, NttRunReport* report);
+
+  [[nodiscard]] unsigned owner(const std::vector<u32>& digits,
+                               const std::vector<KeyBit>& key) const;
+
+  DistributedNttConfig config_;
+  Hypercube cube_;
+  StageSchedule schedule_;
+  std::vector<ProcessingElement> pes_;
+  ExchangeLedger ledger_;
+
+  // Precomputed per-direction twiddle tables (powers of the aligned root).
+  std::vector<fp::Fp> fwd_table_;
+  std::vector<fp::Fp> inv_table_;
+  fp::Fp n_inv_;
+
+  // Digit strides: digit s of index n is (n / stride_[s]) % radices[s].
+  std::vector<u64> stride_;
+};
+
+}  // namespace hemul::hw

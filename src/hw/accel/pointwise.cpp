@@ -1,0 +1,28 @@
+#include "hw/accel/pointwise.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+PointwiseUnit::PointwiseUnit(unsigned multipliers) : mults_(multipliers) {
+  if (multipliers == 0) throw std::invalid_argument("PointwiseUnit: needs >= 1 multiplier");
+}
+
+fp::FpVec PointwiseUnit::multiply(const fp::FpVec& a, const fp::FpVec& b, Report* report) {
+  HEMUL_CHECK_MSG(a.size() == b.size(), "PointwiseUnit: size mismatch");
+  fp::FpVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = mults_[i % mults_.size()].multiply(a[i], b[i]);
+  }
+  if (report != nullptr) {
+    report->products += a.size();
+    // Each multiplier is fully pipelined (one product per cycle), so the
+    // pool finishes in ceil(N / multipliers) cycles.
+    report->cycles += (a.size() + mults_.size() - 1) / mults_.size();
+  }
+  return out;
+}
+
+}  // namespace hemul::hw

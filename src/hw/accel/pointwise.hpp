@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "fp/fp64.hpp"
+#include "hw/dsp/mod_mult.hpp"
+
+namespace hemul::hw {
+
+/// The SSA dot-product phase (paper Section V): the component-wise product
+/// C = A .* B of the two 64K-point spectra, executed on a pool of DSP
+/// modular multipliers.
+///
+/// The paper's configuration reuses the PEs' twiddle multipliers: 4 PEs x 8
+/// = 32 units, giving T_DOTPROD = T_C * 65536/32 ~ 10.2 us.
+class PointwiseUnit {
+ public:
+  struct Report {
+    u64 cycles = 0;
+    u64 products = 0;
+  };
+
+  /// multipliers: number of ModMult64 instances working in parallel.
+  explicit PointwiseUnit(unsigned multipliers);
+
+  /// Component-wise product; sizes must match.
+  fp::FpVec multiply(const fp::FpVec& a, const fp::FpVec& b, Report* report = nullptr);
+
+  [[nodiscard]] unsigned multipliers() const noexcept {
+    return static_cast<unsigned>(mults_.size());
+  }
+  [[nodiscard]] u64 dsp_blocks() const noexcept {
+    return static_cast<u64>(mults_.size()) * ModMult64::kDspBlocks;
+  }
+
+ private:
+  std::vector<ModMult64> mults_;
+};
+
+}  // namespace hemul::hw

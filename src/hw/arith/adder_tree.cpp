@@ -1,0 +1,32 @@
+#include "hw/arith/adder_tree.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+CsaValue AdderTree::reduce(std::span<const Rot192> terms) {
+  HEMUL_CHECK_MSG(terms.size() == config_.inputs, "AdderTree: input arity mismatch");
+  ++reductions_;
+  CsaValue csa = csa_tree(terms, &stats_);
+  if (config_.merge_carry_save) {
+    // The paper's merge: one carry-propagate adder right after the tree
+    // halves the downstream register width (one 192-bit word instead of a
+    // sum/carry pair).
+    csa = CsaValue::from(csa.resolve());
+  }
+  return csa;
+}
+
+SumAndDiff AdderTree::reduce_sum_diff(std::span<const Rot192> terms) {
+  HEMUL_CHECK_MSG(terms.size() == config_.inputs, "AdderTree: input arity mismatch");
+  ++reductions_;
+  std::vector<Rot192> negated(terms.begin(), terms.end());
+  for (std::size_t i = 1; i < negated.size(); i += 2) negated[i] = negated[i].negate();
+  const CsaValue sum = csa_tree(terms, &stats_);
+  const CsaValue diff = csa_tree(negated, &stats_);
+  return {sum.resolve(), diff.resolve()};
+}
+
+}  // namespace hemul::hw

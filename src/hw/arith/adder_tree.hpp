@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+
+#include "hw/arith/carry_save.hpp"
+
+namespace hemul::hw {
+
+/// Output of the dual-output adder tree of the optimized FFT-64 unit.
+struct SumAndDiff {
+  Rot192 sum;   ///< t0 + t1 + ... + t7
+  Rot192 diff;  ///< t0 - t1 + t2 - ... - t7 (even minus odd)
+};
+
+/// The FFT unit's adder tree: compresses 8 shifted samples into one value.
+///
+/// Two structural options mirror the paper's Section IV.b choices:
+///  * merged output (the paper's optimization: "we merged carry-save
+///    vectors immediately after the adder tree, reducing area usage",
+///    at the cost of one extra pipeline stage for the carry propagation);
+///  * dual sum/difference output (the symmetry optimization: components
+///    k and k+4 share the tree, "such modification adds little complexity
+///    to the adder tree").
+class AdderTree {
+ public:
+  struct Config {
+    unsigned inputs = 8;
+    bool merge_carry_save = true;  ///< resolve sum+carry right after the tree
+  };
+
+  explicit AdderTree(Config config) : config_(config) {}
+
+  /// Sum of all inputs in carry-save form (resolved when configured).
+  CsaValue reduce(std::span<const Rot192> terms);
+
+  /// Simultaneous sum and even-minus-odd difference (odd terms enter the
+  /// second tree complemented; exact in the mod 2^192-1 ring).
+  SumAndDiff reduce_sum_diff(std::span<const Rot192> terms);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const CsaTreeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] u64 reductions_performed() const noexcept { return reductions_; }
+
+ private:
+  Config config_;
+  CsaTreeStats stats_;
+  u64 reductions_ = 0;
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,47 @@
+#include "hw/arith/carry_save.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hemul::hw {
+
+CsaValue csa_compress(const Rot192& a, const Rot192& b, const Rot192& c) noexcept {
+  const Rot192 sum = a.bit_xor(b).bit_xor(c);
+  const Rot192 majority = a.bit_and(b).bit_or(a.bit_and(c)).bit_or(b.bit_and(c));
+  return {sum, majority.rotl(1)};
+}
+
+CsaValue csa_accumulate(const CsaValue& acc, const Rot192& term) noexcept {
+  return csa_compress(acc.sum, acc.carry, term);
+}
+
+CsaValue csa_tree(std::span<const Rot192> terms, CsaTreeStats* stats) noexcept {
+  if (terms.empty()) return CsaValue{};
+  if (terms.size() == 1) return CsaValue::from(terms[0]);
+
+  std::vector<Rot192> layer(terms.begin(), terms.end());
+  unsigned depth = 0;
+  unsigned compressors = 0;
+  while (layer.size() > 2) {
+    std::vector<Rot192> next;
+    next.reserve(layer.size() * 2 / 3 + 2);
+    std::size_t i = 0;
+    for (; i + 3 <= layer.size(); i += 3) {
+      const CsaValue c = csa_compress(layer[i], layer[i + 1], layer[i + 2]);
+      next.push_back(c.sum);
+      next.push_back(c.carry);
+      ++compressors;
+    }
+    for (; i < layer.size(); ++i) next.push_back(layer[i]);
+    layer = std::move(next);
+    ++depth;
+  }
+  if (stats != nullptr) {
+    stats->compressors += compressors;
+    stats->depth = std::max(stats->depth, depth);
+  }
+  if (layer.size() == 1) return CsaValue::from(layer[0]);
+  return {layer[0], layer[1]};
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+
+#include "hw/arith/rot192.hpp"
+
+namespace hemul::hw {
+
+/// Carry-save representation of a datapath value: value = sum + carry
+/// (mod 2^192 - 1). The paper's FFT unit keeps accumulators in this
+/// redundant form "to avoid the latency of long carry chains" and merges
+/// the two vectors only at the final AddMod (baseline) or right after the
+/// adder tree (the optimized unit's merge, Section IV.b).
+struct CsaValue {
+  Rot192 sum;
+  Rot192 carry;
+
+  static CsaValue from(const Rot192& x) noexcept { return {x, Rot192{}}; }
+
+  /// Collapses the redundant form with a full end-around-carry addition.
+  [[nodiscard]] Rot192 resolve() const noexcept { return sum.add(carry); }
+
+  [[nodiscard]] fp::Fp to_fp() const noexcept { return resolve().to_fp(); }
+};
+
+/// One layer of 3:2 compression: a + b + c == sum + carry (mod 2^192 - 1).
+/// The carry word rotates left by one position (end-around), which is the
+/// mod-(2^192 - 1) image of the usual carry left-shift.
+CsaValue csa_compress(const Rot192& a, const Rot192& b, const Rot192& c) noexcept;
+
+/// Adds one term into an accumulator kept in carry-save form (one 3:2
+/// compressor stage, constant depth -- this is what makes the accumulator
+/// timing-independent of the accumulated value width).
+CsaValue csa_accumulate(const CsaValue& acc, const Rot192& term) noexcept;
+
+/// Statistics of a tree reduction (for the resource model).
+struct CsaTreeStats {
+  unsigned compressors = 0;  ///< number of 3:2 stages used
+  unsigned depth = 0;        ///< logic depth in compressor stages
+};
+
+/// Reduces any number of terms to carry-save form with a Wallace-style
+/// 3:2 compressor tree. Returns zero for an empty input.
+CsaValue csa_tree(std::span<const Rot192> terms, CsaTreeStats* stats = nullptr) noexcept;
+
+}  // namespace hemul::hw

@@ -1,0 +1,23 @@
+#include "hw/arith/reduction.hpp"
+
+namespace hemul::hw {
+
+fp::Fp ModularReductor::reduce(const Rot192& value) {
+  ++count_;
+  // 192 -> ~65-bit fold: shift-only projection of the three words
+  // (2^64 and 2^128 are rotations in the cyclic ring; in silicon this is
+  // the wiring into the Eq. 4 compressor).
+  const fp::Fp folded = value.to_fp();
+  // Eq. 4 + AddMod on the folded value. The value is already canonical
+  // after to_fp(); running it through normalize keeps the model structure
+  // faithful (Normalize then AddMod), and is the identity here.
+  return fp::normalize_full(static_cast<u128>(folded.value()));
+}
+
+fp::Fp ModularReductor::reduce(const CsaValue& value) { return reduce(value.resolve()); }
+
+fp::Fp pre_normalize(u64 raw) {
+  return fp::normalize_full(static_cast<u128>(raw));
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "fp/normalize.hpp"
+#include "hw/arith/carry_save.hpp"
+
+namespace hemul::hw {
+
+/// The modular reduction back-end of the FFT unit: the paper's Normalize
+/// block (Eq. 4 coarse reduction) followed by AddMod (one conditional +/-p).
+///
+/// The optimized unit instantiates only eight of these, time-multiplexed
+/// across the accumulator blocks (one component per block per cycle); the
+/// baseline unit of [28] instantiates 64.
+class ModularReductor {
+ public:
+  /// Reduces a resolved 192-bit accumulator value to a canonical field
+  /// element. The 192->128 fold uses the cyclic projection (shift-only),
+  /// then Eq. 4 + AddMod complete the reduction.
+  fp::Fp reduce(const Rot192& value);
+
+  /// Reduces a value still in carry-save form (resolves first, modeling the
+  /// final carry-propagate adder in front of the normalizer).
+  fp::Fp reduce(const CsaValue& value);
+
+  [[nodiscard]] u64 reductions_performed() const noexcept { return count_; }
+
+ private:
+  u64 count_ = 0;
+};
+
+/// Pre-reduction of raw operand words before they enter Stage 1 (the
+/// paper: "before Stage 1, we reduce the bit-width of each value by
+/// applying Equation 4. This further decreases the area").
+/// Takes an arbitrary 64-bit word and returns a canonical field element via
+/// the same Eq. 4 normalizer hardware.
+fp::Fp pre_normalize(u64 raw);
+
+}  // namespace hemul::hw

@@ -1,0 +1,62 @@
+#include "hw/arith/rot192.hpp"
+
+namespace hemul::hw {
+
+Rot192 Rot192::add(const Rot192& other) const noexcept {
+  std::array<u64, 3> s{};
+  u64 carry = 0;
+  for (int i = 0; i < 3; ++i) {
+    const u64 a = w_[i];
+    const u64 b = other.w_[i];
+    const u64 t = a + b;
+    const u64 c1 = t < a ? 1u : 0u;
+    s[i] = t + carry;
+    const u64 c2 = s[i] < t ? 1u : 0u;
+    carry = c1 | c2;
+  }
+  if (carry != 0) {
+    // End-around carry: 2^192 = 1 (mod 2^192 - 1). A second wraparound is
+    // impossible: the sum of two values below 2^192 minus 2^192 is at most
+    // 2^192 - 2, so adding 1 cannot carry out again.
+    for (int i = 0; i < 3 && carry != 0; ++i) {
+      s[i] += carry;
+      carry = s[i] == 0 ? 1u : 0u;
+    }
+  }
+  return Rot192(s);
+}
+
+Rot192 Rot192::rotl(u64 k) const noexcept {
+  k %= 192;
+  if (k == 0) return *this;
+  const unsigned word_shift = static_cast<unsigned>(k / 64);
+  const unsigned bit_shift = static_cast<unsigned>(k % 64);
+  std::array<u64, 3> rotated{};
+  for (unsigned i = 0; i < 3; ++i) rotated[(i + word_shift) % 3] = w_[i];
+  if (bit_shift == 0) return Rot192(rotated);
+  std::array<u64, 3> out{};
+  for (unsigned i = 0; i < 3; ++i) {
+    const u64 lo = rotated[i] << bit_shift;
+    const u64 hi = rotated[(i + 2) % 3] >> (64 - bit_shift);
+    out[i] = lo | hi;
+  }
+  return Rot192(out);
+}
+
+fp::Fp Rot192::to_fp() const noexcept {
+  // Shift-only projection: each word contributes via a mul_pow2 (which the
+  // hardware realizes as wiring into the Eq. 4 normalizer).
+  return fp::Fp{w_[0]} + fp::Fp{w_[1]}.mul_pow2(64) + fp::Fp{w_[2]}.mul_pow2(128);
+}
+
+unsigned Rot192::significant_bits() const noexcept {
+  for (int i = 2; i >= 0; --i) {
+    if (w_[i] != 0) {
+      return static_cast<unsigned>(i) * 64 +
+             (64 - static_cast<unsigned>(__builtin_clzll(w_[i])));
+    }
+  }
+  return 0;
+}
+
+}  // namespace hemul::hw

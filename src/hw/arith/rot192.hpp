@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+
+#include "fp/fp64.hpp"
+
+namespace hemul::hw {
+
+/// 192-bit datapath word of the FFT unit, with arithmetic modulo 2^192 - 1.
+///
+/// This is the paper's central hardware trick (Section IV.b): because
+/// 8^64 = 2^192 = 1 (mod p), the prime p divides 2^192 - 1, so arithmetic
+/// modulo 2^192 - 1 projects homomorphically onto GF(p). In that ring,
+///   * multiplication by any power of two is a *cyclic rotation* of the
+///     192-bit word (pure wiring in hardware),
+///   * addition uses an end-around carry,
+///   * negation is bitwise NOT (x + ~x = 2^192 - 1 = 0),
+/// and "no intermediate value can exceed 192 bits".
+class Rot192 {
+ public:
+  constexpr Rot192() noexcept = default;
+
+  /// Zero-extends a field element into the datapath word.
+  static Rot192 from_fp(fp::Fp x) noexcept {
+    return Rot192({x.value(), 0, 0});
+  }
+
+  explicit constexpr Rot192(std::array<u64, 3> words) noexcept : w_(words) {}
+
+  [[nodiscard]] constexpr const std::array<u64, 3>& words() const noexcept { return w_; }
+
+  /// Addition with end-around carry (mod 2^192 - 1).
+  [[nodiscard]] Rot192 add(const Rot192& other) const noexcept;
+
+  /// Cyclic left rotation by k bits = multiplication by 2^k (mod 2^192 - 1).
+  [[nodiscard]] Rot192 rotl(u64 k) const noexcept;
+
+  /// Bitwise complement = additive inverse (mod 2^192 - 1).
+  [[nodiscard]] Rot192 negate() const noexcept {
+    return Rot192({~w_[0], ~w_[1], ~w_[2]});
+  }
+
+  /// Bitwise operations (used by the carry-save compressors).
+  [[nodiscard]] Rot192 bit_and(const Rot192& o) const noexcept {
+    return Rot192({w_[0] & o.w_[0], w_[1] & o.w_[1], w_[2] & o.w_[2]});
+  }
+  [[nodiscard]] Rot192 bit_or(const Rot192& o) const noexcept {
+    return Rot192({w_[0] | o.w_[0], w_[1] | o.w_[1], w_[2] | o.w_[2]});
+  }
+  [[nodiscard]] Rot192 bit_xor(const Rot192& o) const noexcept {
+    return Rot192({w_[0] ^ o.w_[0], w_[1] ^ o.w_[1], w_[2] ^ o.w_[2]});
+  }
+
+  /// Projection to GF(p): w0 + w1*2^64 + w2*2^128 (mod p), computed with
+  /// shift-only field operations (mirrors the hardware Normalize chain).
+  [[nodiscard]] fp::Fp to_fp() const noexcept;
+
+  /// Number of significant bits (0 for zero) -- used by the width-invariant
+  /// checks ("no intermediate exceeds 192 bits" holds by construction; the
+  /// tests additionally track how much of the word is actually exercised).
+  [[nodiscard]] unsigned significant_bits() const noexcept;
+
+  /// Structural equality of representations. Note the ring has one
+  /// redundant encoding (all-ones = zero); use to_fp() for value equality.
+  friend bool operator==(const Rot192&, const Rot192&) noexcept = default;
+
+ private:
+  std::array<u64, 3> w_{0, 0, 0};
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,19 @@
+#include "hw/arith/shifter_bank.hpp"
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+std::vector<Rot192> ShifterBank::apply(std::span<const Rot192> inputs,
+                                       std::span<const u64> shifts) {
+  HEMUL_CHECK_MSG(inputs.size() == lanes_ && shifts.size() == lanes_,
+                  "ShifterBank: lane count mismatch");
+  std::vector<Rot192> out(lanes_);
+  for (unsigned i = 0; i < lanes_; ++i) {
+    out[i] = inputs[i].rotl(shifts[i]);
+  }
+  rotations_ += lanes_;
+  return out;
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hw/arith/rot192.hpp"
+
+namespace hemul::hw {
+
+/// Bank of barrel rotators that applies per-lane power-of-two twiddles
+/// (paper Fig. 3/4: "a shifter bank, where the eight samples are multiplied
+/// by their respective twiddle factor").
+///
+/// Lane i multiplies its input by 2^(shift[i]) as a 192-bit rotation.
+/// The object accumulates operation counts for the activity statistics.
+class ShifterBank {
+ public:
+  explicit ShifterBank(unsigned lanes) : lanes_(lanes) {}
+
+  /// Applies the given per-lane rotations. inputs.size() and shifts.size()
+  /// must equal the lane count.
+  std::vector<Rot192> apply(std::span<const Rot192> inputs, std::span<const u64> shifts);
+
+  [[nodiscard]] unsigned lanes() const noexcept { return lanes_; }
+  [[nodiscard]] u64 rotations_performed() const noexcept { return rotations_; }
+
+ private:
+  unsigned lanes_;
+  u64 rotations_ = 0;
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,7 @@
+#include "hw/dsp/dsp_block.hpp"
+
+namespace hemul::hw {
+
+static_assert(Dsp32x32::kDspBlocks == 2, "paper: one 32x32 multiplier = two DSP blocks");
+
+}  // namespace hemul::hw

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "util/uint128.hpp"
+
+namespace hemul::hw {
+
+/// A 32x32 -> 64 bit pipelined multiplier built from DSP hard blocks.
+///
+/// Paper Section IV.d: "To compute 64x64 multiplications we can split our
+/// operands in 32-bit components and use a basic 32x32-bit DSP multiplier,
+/// which requires only two DSP blocks."
+class Dsp32x32 {
+ public:
+  static constexpr unsigned kDspBlocks = 2;
+  static constexpr unsigned kLatencyCycles = 2;  ///< typical Stratix V DSP pipeline
+
+  [[nodiscard]] u64 multiply(u32 a, u32 b) noexcept {
+    ++ops_;
+    return static_cast<u64>(a) * b;
+  }
+
+  [[nodiscard]] u64 operations() const noexcept { return ops_; }
+
+ private:
+  u64 ops_ = 0;
+};
+
+}  // namespace hemul::hw

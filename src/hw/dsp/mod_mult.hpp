@@ -1,0 +1,33 @@
+#pragma once
+
+#include "fp/fp64.hpp"
+#include "hw/dsp/dsp_block.hpp"
+
+namespace hemul::hw {
+
+/// The accelerator's 64x64 modular multiplier (paper Section IV.d):
+/// schoolbook recomposition of four 32x32 DSP products, partial-product
+/// summation, and Eq. 4 reduction.
+///
+/// Eight DSP blocks per instance; fully pipelined, one product per cycle.
+/// Each PE instantiates eight of these for the inter-stage twiddle factors;
+/// the same 32 multipliers (4 PEs x 8) perform the component-wise product
+/// of the SSA dot-product phase.
+class ModMult64 {
+ public:
+  static constexpr unsigned kMultipliers = 4;  ///< 32x32 partial products
+  static constexpr unsigned kDspBlocks = kMultipliers * Dsp32x32::kDspBlocks;  // 8
+  static constexpr unsigned kLatencyCycles = Dsp32x32::kLatencyCycles + 2;  ///< + sum + Eq.4
+  static constexpr unsigned kThroughputPerCycle = 1;
+
+  /// Modular product; bit-exact vs. fp::Fp multiplication (tested).
+  fp::Fp multiply(fp::Fp a, fp::Fp b);
+
+  [[nodiscard]] u64 products_computed() const noexcept { return products_; }
+
+ private:
+  Dsp32x32 dsp_[kMultipliers];
+  u64 products_ = 0;
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,51 @@
+#include "hw/fft64/baseline_fft64.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+BaselineFft64::BaselineFft64()
+    : shifter_(kInputWordsPerCycle),
+      tree_(AdderTree::Config{.inputs = kInputWordsPerCycle, .merge_carry_save = false}) {}
+
+fp::FpVec BaselineFft64::transform(std::span<const fp::Fp> inputs) {
+  HEMUL_CHECK_MSG(inputs.size() == kRadix, "BaselineFft64: expects 64 samples");
+
+  // One carry-save accumulator per chain; vectors stay unmerged until the
+  // final AddMod (the [28] design point the paper improves on).
+  std::array<CsaValue, kChains> acc{};
+
+  std::vector<Rot192> lane_in(kInputWordsPerCycle);
+  std::vector<u64> lane_shift(kInputWordsPerCycle);
+
+  for (unsigned cycle = 0; cycle < 8; ++cycle) {
+    // Input samples are read 8-by-8 (a[8*cycle .. 8*cycle+7]) and broadcast
+    // to all 64 chains.
+    for (unsigned k = 0; k < kChains; ++k) {
+      for (unsigned lane = 0; lane < kInputWordsPerCycle; ++lane) {
+        const unsigned i = 8 * cycle + lane;
+        lane_in[lane] = Rot192::from_fp(inputs[i]);
+        // Twiddle 8^(i*k) = 2^(3*(i*k mod 64)) (Eq. 3).
+        lane_shift[lane] = 3ULL * ((static_cast<u64>(i) * k) % 64);
+      }
+      const auto shifted = shifter_.apply(lane_in, lane_shift);
+      const CsaValue partial = tree_.reduce(shifted);
+      // 4:2 accumulation of the unmerged partial sum.
+      acc[k] = csa_accumulate(acc[k], partial.sum);
+      acc[k] = csa_accumulate(acc[k], partial.carry);
+    }
+  }
+
+  // 64 modular reductors fire in parallel.
+  fp::FpVec out(kRadix);
+  for (unsigned k = 0; k < kChains; ++k) out[k] = reductor_.reduce(acc[k]);
+
+  ++stats_.transforms;
+  stats_.rotations = shifter_.rotations_performed();
+  stats_.reductions = reductor_.reductions_performed();
+  return out;
+}
+
+}  // namespace hemul::hw

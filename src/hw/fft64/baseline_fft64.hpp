@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "fp/fp64.hpp"
+#include "hw/arith/adder_tree.hpp"
+#include "hw/arith/reduction.hpp"
+#include "hw/arith/shifter_bank.hpp"
+
+namespace hemul::hw {
+
+/// The baseline radix-64 unit of Wang & Huang, ISCAS'13 [28] (paper Fig. 3),
+/// reimplemented as the comparison point for the optimized unit.
+///
+/// Structure: 64 independent computing chains (one per frequency component),
+/// each with an 8-lane shifter bank and an 8-input carry-save adder tree;
+/// carry-save vectors stay unmerged until AddMod; 64 modular reductors run
+/// in parallel after the 8 accumulation cycles; results are written through
+/// a 64-word memory port.
+class BaselineFft64 {
+ public:
+  static constexpr unsigned kRadix = 64;
+  static constexpr unsigned kChains = 64;
+  static constexpr unsigned kReductors = 64;
+  static constexpr unsigned kInputWordsPerCycle = 8;
+  static constexpr unsigned kOutputWordsPerCycle = 64;  ///< 64-wide write port
+
+  struct Stats {
+    u64 transforms = 0;
+    u64 rotations = 0;
+    u64 reductions = 0;
+  };
+
+  BaselineFft64();
+
+  /// Computes the 64-point NTT with root 8 (Eq. 3). Bit-exact against the
+  /// reference DFT; asserted in the test suite.
+  fp::FpVec transform(std::span<const fp::Fp> inputs);
+
+  /// Steady-state initiation interval in clock cycles (one FFT per 8).
+  [[nodiscard]] static constexpr u64 cycles_per_transform() noexcept { return 8; }
+
+  /// Latency of one isolated transform: 8 accumulate cycles + merged
+  /// reduce/write cycle + pipeline depth.
+  [[nodiscard]] static constexpr u64 latency_cycles() noexcept { return 8 + 1 + kPipelineDepth; }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr u64 kPipelineDepth = 3;  // shifter, tree, normalize
+
+  ShifterBank shifter_;
+  AdderTree tree_;
+  ModularReductor reductor_;
+  Stats stats_;
+};
+
+}  // namespace hemul::hw

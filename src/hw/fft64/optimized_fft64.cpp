@@ -1,0 +1,80 @@
+#include "hw/fft64/optimized_fft64.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+OptimizedFft64::OptimizedFft64()
+    : shifter_(kInputWordsPerCycle),
+      tree_(AdderTree::Config{.inputs = kInputWordsPerCycle, .merge_carry_save = true}) {}
+
+fp::FpVec OptimizedFft64::transform(std::span<const fp::Fp> inputs) {
+  HEMUL_CHECK_MSG(inputs.size() == kRadix, "OptimizedFft64: expects 64 samples");
+
+  // acc[k2][k1]: 8 blocks of 8 accumulators (block index = k2).
+  std::array<std::array<Rot192, 8>, kAccumulatorBlocks> acc{};
+
+  std::vector<Rot192> lane_in(kInputWordsPerCycle);
+  std::vector<u64> lane_shift(kInputWordsPerCycle);
+
+  for (unsigned j = 0; j < 8; ++j) {  // 8 accumulation cycles
+    // Strided column read: samples a[8i + j], i = 0..7, after the Eq. 4
+    // bit-width pre-reduction.
+    std::array<Rot192, 8> column{};
+    for (unsigned i = 0; i < 8; ++i) {
+      column[i] = Rot192::from_fp(pre_normalize(inputs[8 * i + j].value()));
+    }
+
+    // Stage 1: four physical trees (k1 = 0..3); the even/odd difference
+    // output provides k1+4.
+    std::array<Rot192, 8> s1{};
+    for (unsigned k1 = 0; k1 < kStage1Components; ++k1) {
+      for (unsigned i = 0; i < 8; ++i) {
+        lane_in[i] = column[i];
+        // w8^(i*k1) = 2^(24*(i*k1 mod 8)).
+        lane_shift[i] = 24ULL * ((static_cast<u64>(i) * k1) % 8);
+      }
+      const auto shifted = shifter_.apply(lane_in, lane_shift);
+      const SumAndDiff sd = tree_.reduce_sum_diff(shifted);
+      // Apply w64^(j*k1) = 2^(3*j*k1) to the sum, and additionally
+      // w16^j = 2^(12*j) to the difference (component k1+4).
+      const u64 base = 3ULL * ((static_cast<u64>(j) * k1) % 64);
+      s1[k1] = sd.sum.rotl(base);
+      s1[k1 + 4] = sd.diff.rotl(base + 12ULL * j);
+    }
+
+    // Accumulators: block k2 adds s1[k1] * w8^(j*k2); the twiddle mux picks
+    // one of four shifts, with a subtract signal for the opposite half.
+    for (unsigned k2 = 0; k2 < kAccumulatorBlocks; ++k2) {
+      const unsigned e = (j * k2) % 8;
+      const bool subtract = e >= 4;
+      const unsigned shift = kTwiddleShifts[e % 4];
+      for (unsigned k1 = 0; k1 < 8; ++k1) {
+        Rot192 term = s1[k1].rotl(shift);
+        if (subtract) {
+          term = term.negate();
+          ++stats_.subtract_activations;
+        }
+        acc[k2][k1] = acc[k2][k1].add(term);
+      }
+    }
+  }
+
+  // Drain: 8 cycles; at cycle t, block k2's mux selects accumulator t and
+  // its reductor emits F[8*k2 + t] -- eight stride-8 components per cycle.
+  fp::FpVec out(kRadix);
+  for (unsigned t = 0; t < 8; ++t) {
+    for (unsigned k2 = 0; k2 < kAccumulatorBlocks; ++k2) {
+      out[8 * k2 + t] = reductor_.reduce(acc[k2][t]);
+    }
+  }
+
+  ++stats_.transforms;
+  stats_.rotations = shifter_.rotations_performed();
+  stats_.reductions = reductor_.reductions_performed();
+  return out;
+}
+
+}  // namespace hemul::hw

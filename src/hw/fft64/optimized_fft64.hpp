@@ -1,0 +1,73 @@
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "fp/fp64.hpp"
+#include "hw/arith/adder_tree.hpp"
+#include "hw/arith/reduction.hpp"
+#include "hw/arith/shifter_bank.hpp"
+
+namespace hemul::hw {
+
+/// The paper's optimized FFT-64 unit (Section IV.b, Fig. 4).
+///
+/// The 64-point transform is itself decomposed 8x8 by Eq. 5:
+///
+///   F[8*k2 + k1] = sum_j ( sum_i a[8i+j] w8^(i*k1) * w64^(j*k1) ) * w8^(j*k2)
+///
+/// Structural optimizations over the baseline (all modeled here):
+///  1. Stage 1 computes only four of the eight k1 components; the adder
+///     tree's even-minus-odd output yields k1+4 for free (w8^(4i) = (-1)^i).
+///  2. The outer twiddles w8^(j*k2) reduce to four shifts {0,24,48,72 bits}
+///     plus a subtract flag (w8^4 = 2^96 = -1).
+///  3. Only 8 modular reductors, time-multiplexed over the 8 accumulator
+///     blocks; each drain cycle emits the 8 components {8*k2 + t}
+///     (stride 8, "appropriately spaced out for memory writing"), so the
+///     write port is 8 words wide instead of 64.
+///  4. Carry-save vectors merge immediately after the adder tree.
+///  5. Inputs pass an Eq. 4 pre-normalization before Stage 1.
+class OptimizedFft64 {
+ public:
+  static constexpr unsigned kRadix = 64;
+  static constexpr unsigned kStage1Components = 4;  ///< physical k1 trees
+  static constexpr unsigned kReductors = 8;
+  static constexpr unsigned kAccumulatorBlocks = 8;
+  static constexpr unsigned kInputWordsPerCycle = 8;
+  static constexpr unsigned kOutputWordsPerCycle = 8;
+  /// The four twiddle shifts of the accumulator mux (bits).
+  static constexpr std::array<unsigned, 4> kTwiddleShifts{0, 24, 48, 72};
+
+  struct Stats {
+    u64 transforms = 0;
+    u64 rotations = 0;
+    u64 reductions = 0;
+    u64 subtract_activations = 0;  ///< accumulator subtract-signal uses
+  };
+
+  OptimizedFft64();
+
+  /// 64-point NTT with root 8; bit-exact against the reference DFT and the
+  /// baseline unit.
+  fp::FpVec transform(std::span<const fp::Fp> inputs);
+
+  /// Initiation interval: one FFT per 8 cycles (drain of transform n
+  /// overlaps accumulation of transform n+1).
+  [[nodiscard]] static constexpr u64 cycles_per_transform() noexcept { return 8; }
+
+  /// Isolated latency: 8 accumulate + 8 drain + pipeline depth (the extra
+  /// stage pays for the carry-save merge, Section IV.b).
+  [[nodiscard]] static constexpr u64 latency_cycles() noexcept { return 8 + 8 + kPipelineDepth; }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr u64 kPipelineDepth = 4;  // shifter, tree, merge, normalize
+
+  ShifterBank shifter_;
+  AdderTree tree_;
+  ModularReductor reductor_;
+  Stats stats_;
+};
+
+}  // namespace hemul::hw

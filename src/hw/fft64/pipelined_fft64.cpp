@@ -1,0 +1,83 @@
+#include "hw/fft64/pipelined_fft64.hpp"
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+u64 PipelinedFft64::push_job(fp::FpVec inputs) {
+  HEMUL_CHECK_MSG(inputs.size() == OptimizedFft64::kRadix, "job must have 64 samples");
+  Job job;
+  job.id = next_id_++;
+  job.inputs = std::move(inputs);
+  queue_.push_back(std::move(job));
+  return next_id_ - 1;
+}
+
+void PipelinedFft64::tick() {
+  ++cycle_;
+
+  // Drain stage: one row of 8 components per cycle through the 8 shared
+  // reductors.
+  if (draining_.has_value()) {
+    Job& job = *draining_;
+    DrainedRow row;
+    row.job_id = job.id;
+    row.drain_cycle = job.progress;
+    for (unsigned k2 = 0; k2 < 8; ++k2) {
+      row.words[k2] = job.outputs[8 * k2 + job.progress];
+    }
+    if (job.progress == 0) first_out_.emplace_back(job.id, cycle_);
+    drained_.push_back(row);
+    ++job.progress;
+    if (job.progress == 8) {
+      ++completed_;
+      draining_.reset();
+    }
+  }
+
+  // Accumulate stage: 8 cycles of column reads + stage-1 + accumulator
+  // updates. On completion, hand over to the drain stage (which has just
+  // freed up in the same cycle when running back to back).
+  if (accumulating_.has_value()) {
+    Job& job = *accumulating_;
+    ++job.progress;
+    if (job.progress == 8) {
+      HEMUL_CHECK_MSG(!draining_.has_value(),
+                      "structural hazard: reductors still busy at hand-off");
+      job.outputs = unit_.transform(job.inputs);
+      job.progress = 0;
+      draining_ = std::move(job);
+      accumulating_.reset();
+    }
+  }
+
+  // Issue the next job once the accumulate stage is free.
+  if (!accumulating_.has_value() && !queue_.empty()) {
+    accumulating_ = std::move(queue_.front());
+    queue_.pop_front();
+    accumulating_->progress = 0;
+  }
+
+  const unsigned in_flight = (accumulating_.has_value() ? 1u : 0u) +
+                             (draining_.has_value() ? 1u : 0u);
+  max_in_flight_ = std::max(max_in_flight_, in_flight);
+}
+
+std::vector<PipelinedFft64::DrainedRow> PipelinedFft64::take_drained() {
+  std::vector<DrainedRow> out;
+  out.swap(drained_);
+  return out;
+}
+
+bool PipelinedFft64::idle() const noexcept {
+  return queue_.empty() && !accumulating_.has_value() && !draining_.has_value();
+}
+
+std::optional<u64> PipelinedFft64::first_output_cycle(u64 job_id) const {
+  for (const auto& [job, cycle] : first_out_) {
+    if (job == job_id) return cycle;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+
+#include "fp/fp64.hpp"
+#include "hw/fft64/optimized_fft64.hpp"
+
+namespace hemul::hw {
+
+/// Cycle-stepped streaming model of the optimized FFT-64 unit.
+///
+/// OptimizedFft64 computes whole transforms and *declares* its throughput;
+/// this wrapper actually steps the clock, modeling the paper's pipelining
+/// claim in Section IV.b: "the maximum average throughput, even in a fully
+/// pipelined solution, is eight components per clock cycle", i.e. the
+/// drain of transform n (8 cycles through the 8 shared reductors) overlaps
+/// the accumulation of transform n+1, sustaining one FFT per 8 cycles with
+/// no structural hazard.
+///
+/// Usage: push jobs, tick() the clock, collect drained output rows.
+class PipelinedFft64 {
+ public:
+  /// One 8-word output row as it leaves the reductors.
+  struct DrainedRow {
+    u64 job_id = 0;
+    unsigned drain_cycle = 0;  ///< 0..7 within the job's drain
+    std::array<fp::Fp, 8> words{};  ///< components {8*k2 + drain_cycle}
+  };
+
+  /// Queues a 64-point transform job; returns its id.
+  u64 push_job(fp::FpVec inputs);
+
+  /// Advances one clock cycle.
+  void tick();
+
+  /// Takes the rows drained so far (8 words each, stride-8 components).
+  std::vector<DrainedRow> take_drained();
+
+  /// True when no job is accumulating, draining or queued.
+  [[nodiscard]] bool idle() const noexcept;
+
+  [[nodiscard]] u64 current_cycle() const noexcept { return cycle_; }
+  [[nodiscard]] u64 jobs_completed() const noexcept { return completed_; }
+
+  /// Cycle at which the first row of a given job drained (for latency
+  /// checks); empty if the job has not drained yet.
+  [[nodiscard]] std::optional<u64> first_output_cycle(u64 job_id) const;
+
+  /// Maximum number of jobs simultaneously in flight so far (accumulate +
+  /// drain stages; 2 in steady state).
+  [[nodiscard]] unsigned max_in_flight() const noexcept { return max_in_flight_; }
+
+ private:
+  struct Job {
+    u64 id = 0;
+    fp::FpVec inputs;
+    fp::FpVec outputs;      ///< filled when accumulation completes
+    unsigned progress = 0;  ///< cycles spent in the current stage
+  };
+
+  OptimizedFft64 unit_;
+  std::deque<Job> queue_;          ///< waiting for the accumulate stage
+  std::optional<Job> accumulating_;
+  std::optional<Job> draining_;
+  std::vector<DrainedRow> drained_;
+  std::vector<std::pair<u64, u64>> first_out_;  ///< (job, cycle)
+  u64 cycle_ = 0;
+  u64 next_id_ = 0;
+  u64 completed_ = 0;
+  unsigned max_in_flight_ = 0;
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,41 @@
+#include "hw/fft64/radix_unit.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+RadixUnit::RadixUnit(unsigned radix)
+    : radix_(radix),
+      log2_root_(192 / radix),
+      shifter_(radix),
+      tree_(AdderTree::Config{.inputs = radix, .merge_carry_save = true}) {
+  if (radix != 8 && radix != 16 && radix != 32 && radix != 64) {
+    throw std::invalid_argument("RadixUnit: radix must be 8, 16, 32 or 64");
+  }
+}
+
+fp::FpVec RadixUnit::transform(std::span<const fp::Fp> inputs) {
+  HEMUL_CHECK_MSG(inputs.size() == radix_, "RadixUnit: sample count mismatch");
+
+  std::vector<Rot192> samples(radix_);
+  for (unsigned i = 0; i < radix_; ++i) {
+    samples[i] = Rot192::from_fp(pre_normalize(inputs[i].value()));
+  }
+
+  std::vector<u64> shifts(radix_);
+  fp::FpVec out(radix_);
+  for (unsigned k = 0; k < radix_; ++k) {
+    for (unsigned i = 0; i < radix_; ++i) {
+      shifts[i] = static_cast<u64>(log2_root_) * ((static_cast<u64>(i) * k) % radix_);
+    }
+    const auto shifted = shifter_.apply(samples, shifts);
+    out[k] = reductor_.reduce(tree_.reduce(shifted));
+  }
+  ++transforms_;
+  return out;
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+
+#include "fp/fp64.hpp"
+#include "hw/arith/adder_tree.hpp"
+#include "hw/arith/reduction.hpp"
+#include "hw/arith/shifter_bank.hpp"
+
+namespace hemul::hw {
+
+/// Generic shift-twiddle radix unit for the smaller sub-transforms.
+///
+/// The paper notes the FFT-64 unit "can be adapted, with minor
+/// modifications, to compute also Radix-8, Radix-16, and Radix-32 FFTs".
+/// For radix r | 64 the root is 8^(64/r) = 2^(192/r), so every butterfly
+/// twiddle remains a rotation. With 8-words/cycle memory ports the unit
+/// sustains one r-point FFT every r/8 cycles (paper: "an FFT-16 will take
+/// two clock cycles").
+class RadixUnit {
+ public:
+  /// radix must be one of 8, 16, 32, 64.
+  explicit RadixUnit(unsigned radix);
+
+  /// r-point NTT with root 2^(192/r); bit-exact vs. the reference DFT.
+  fp::FpVec transform(std::span<const fp::Fp> inputs);
+
+  [[nodiscard]] unsigned radix() const noexcept { return radix_; }
+
+  /// Initiation interval in cycles: max(1, radix/8).
+  [[nodiscard]] u64 cycles_per_transform() const noexcept {
+    return radix_ <= 8 ? 1 : radix_ / 8;
+  }
+
+  [[nodiscard]] u64 transforms_performed() const noexcept { return transforms_; }
+
+ private:
+  unsigned radix_;
+  unsigned log2_root_;  ///< 192 / radix
+  ShifterBank shifter_;
+  AdderTree tree_;
+  ModularReductor reductor_;
+  u64 transforms_ = 0;
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,95 @@
+#include "hw/memory/banked_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+BankedBuffer::BankedBuffer(BankingScheme scheme) : scheme_(scheme), banks_(kBanks) {}
+
+BankAddress BankedBuffer::map(unsigned address) const {
+  HEMUL_CHECK_MSG(address < kCapacityWords, "BankedBuffer: address out of range");
+  if (scheme_ == BankingScheme::kLinear) {
+    // bank = addr mod 16, offset = addr / 16.
+    const unsigned bank = address % kBanks;
+    return {bank / kCols, bank % kCols, address / kBanks};
+  }
+  // Two-dimensional scheme. Decompose the address inside its 64-word FFT
+  // window: address = 64*v + 8*h + l.
+  //   row = h mod 4   -> a stride-8 read {8h + l0 : h} spans each row twice
+  //                      (absorbed by the two ports) in ONE column,
+  //   col = l mod 4   -> a consecutive write {8h0 + l : l} spans each
+  //                      column twice in ONE row.
+  const unsigned v = address / 64;
+  const unsigned h = (address / 8) % 8;
+  const unsigned l = address % 8;
+  const unsigned row = h % 4;
+  const unsigned col = l % 4;
+  const unsigned offset = v * 4 + (h / 4) * 2 + (l / 4);
+  return {row, col, offset};
+}
+
+u64 BankedBuffer::charge_batch(std::span<const unsigned> addresses) {
+  // Count accesses per bank this cycle; each dual-port bank serves at most
+  // two, so the batch costs ceil(max_load / 2) cycles.
+  std::array<unsigned, kBanks> load{};
+  for (const unsigned addr : addresses) {
+    const BankAddress loc = map(addr);
+    ++load[loc.row * kCols + loc.col];
+  }
+  const unsigned max_load = *std::max_element(load.begin(), load.end());
+  const u64 batch_cycles = (max_load + SramBank::kPorts - 1) / SramBank::kPorts;
+  cycles_ += batch_cycles;
+  conflict_cycles_ += batch_cycles - 1;
+  for (auto& bank : banks_) bank.tick();
+  return batch_cycles;
+}
+
+std::array<fp::Fp, BankedBuffer::kWordsPerCycle> BankedBuffer::read8(
+    std::span<const unsigned> addresses) {
+  HEMUL_CHECK_MSG(addresses.size() == kWordsPerCycle, "read8: needs 8 addresses");
+  charge_batch(addresses);
+  std::array<fp::Fp, kWordsPerCycle> out{};
+  for (unsigned i = 0; i < kWordsPerCycle; ++i) {
+    const BankAddress loc = map(addresses[i]);
+    out[i] = fp::Fp::from_canonical(banks_[loc.row * kCols + loc.col].read(loc.offset));
+  }
+  return out;
+}
+
+void BankedBuffer::write8(std::span<const unsigned> addresses,
+                          std::span<const fp::Fp> values) {
+  HEMUL_CHECK_MSG(addresses.size() == kWordsPerCycle && values.size() == kWordsPerCycle,
+                  "write8: needs 8 address/value pairs");
+  charge_batch(addresses);
+  for (unsigned i = 0; i < kWordsPerCycle; ++i) {
+    const BankAddress loc = map(addresses[i]);
+    banks_[loc.row * kCols + loc.col].write(loc.offset, values[i].value());
+  }
+}
+
+void BankedBuffer::load(std::span<const fp::Fp> data) {
+  HEMUL_CHECK_MSG(data.size() <= kCapacityWords, "load: data exceeds capacity");
+  for (unsigned i = 0; i < data.size(); ++i) poke(i, data[i]);
+  cycles_ += (data.size() + kWordsPerCycle - 1) / kWordsPerCycle;
+}
+
+fp::FpVec BankedBuffer::dump(std::size_t count) const {
+  HEMUL_CHECK_MSG(count <= kCapacityWords, "dump: count exceeds capacity");
+  fp::FpVec out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = peek(static_cast<unsigned>(i));
+  return out;
+}
+
+fp::Fp BankedBuffer::peek(unsigned address) const {
+  const BankAddress loc = map(address);
+  return fp::Fp::from_canonical(banks_[loc.row * kCols + loc.col].peek(loc.offset));
+}
+
+void BankedBuffer::poke(unsigned address, fp::Fp value) {
+  const BankAddress loc = map(address);
+  banks_[loc.row * kCols + loc.col].poke(loc.offset, value.value());
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "fp/fp64.hpp"
+#include "hw/memory/sram_bank.hpp"
+
+namespace hemul::hw {
+
+/// Address mapping policy of the buffer.
+enum class BankingScheme {
+  /// Naive linear interleave (bank = word mod 8): parallel on consecutive
+  /// accesses but collides on the FFT unit's stride-8 column reads --
+  /// the problem the paper's Section IV.c calls out.
+  kLinear,
+  /// The paper's two-dimensional scheme (Fig. 5): a 4x4 array of dual-port
+  /// banks; stride-8 reads land column-wise, consecutive writes row-wise,
+  /// both conflict-free at 8 words per cycle.
+  kTwoDimensional,
+};
+
+/// Physical location of a word.
+struct BankAddress {
+  unsigned row = 0;     ///< bank row in the 4x4 array
+  unsigned col = 0;     ///< bank column
+  unsigned offset = 0;  ///< word offset inside the bank
+};
+
+/// A PE-local memory buffer of 4096 field elements backed by 16 dual-port
+/// SRAM banks (256Kb, 32 M20K blocks).
+///
+/// Access is cycle-based: read8/write8 issue eight parallel word accesses
+/// that model one clock cycle. Extra cycles forced by bank conflicts are
+/// tallied (zero for the 2-D scheme on FFT traffic; the invariant the test
+/// suite enforces).
+class BankedBuffer {
+ public:
+  static constexpr unsigned kRows = 4;
+  static constexpr unsigned kCols = 4;
+  static constexpr unsigned kBanks = kRows * kCols;
+  static constexpr unsigned kCapacityWords = kBanks * SramBank::kDepth;  // 4096
+  static constexpr unsigned kWordsPerCycle = 8;
+
+  explicit BankedBuffer(BankingScheme scheme = BankingScheme::kTwoDimensional);
+
+  /// Maps a logical word address [0, 4096) to its bank location.
+  [[nodiscard]] BankAddress map(unsigned address) const;
+
+  /// One read cycle: fetches the eight given addresses in parallel.
+  std::array<fp::Fp, kWordsPerCycle> read8(std::span<const unsigned> addresses);
+
+  /// One write cycle: stores eight words in parallel.
+  void write8(std::span<const unsigned> addresses,
+              std::span<const fp::Fp> values);
+
+  /// Whole-buffer helpers (initial fill / final drain; cycle cost =
+  /// capacity / 8, tallied separately from compute traffic).
+  void load(std::span<const fp::Fp> data);
+  [[nodiscard]] fp::FpVec dump(std::size_t count) const;
+
+  /// Direct word access without cycle accounting (used for assertions).
+  [[nodiscard]] fp::Fp peek(unsigned address) const;
+  void poke(unsigned address, fp::Fp value);
+
+  [[nodiscard]] BankingScheme scheme() const noexcept { return scheme_; }
+  [[nodiscard]] u64 access_cycles() const noexcept { return cycles_; }
+  /// Extra cycles lost to bank-port conflicts (0 for the 2-D scheme on
+  /// FFT access patterns).
+  [[nodiscard]] u64 conflict_cycles() const noexcept { return conflict_cycles_; }
+  [[nodiscard]] u64 m20k_blocks() const noexcept { return kBanks * SramBank::kM20kBlocks; }
+
+ private:
+  /// Issues one batch of accesses, returning the cycles it costs
+  /// (1 when conflict-free, more when a bank is overcommitted).
+  u64 charge_batch(std::span<const unsigned> addresses);
+
+  BankingScheme scheme_;
+  std::vector<SramBank> banks_;
+  u64 cycles_ = 0;
+  u64 conflict_cycles_ = 0;
+};
+
+}  // namespace hemul::hw

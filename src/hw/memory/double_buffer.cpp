@@ -1,0 +1,11 @@
+#include "hw/memory/double_buffer.hpp"
+
+// DoubleBuffer is header-only; this translation unit anchors the library
+// target and keeps one definition of the class's vtable-free layout checks.
+
+namespace hemul::hw {
+
+static_assert(BankedBuffer::kCapacityWords == 4096,
+              "paper Fig. 5: one buffer holds a 4096-point vector");
+
+}  // namespace hemul::hw

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "hw/memory/banked_buffer.hpp"
+
+namespace hemul::hw {
+
+/// Double-buffered PE memory (paper Section IV, Fig. 1): "while a buffer is
+/// feeding current input values, the other one is filled with new values
+/// coming partly from the same node and partly from one of its neighbors.
+/// At the end of a computation stage, the roles of the buffers are swapped."
+///
+/// This is what lets the hypercube exchange overlap the next compute stage.
+class DoubleBuffer {
+ public:
+  explicit DoubleBuffer(BankingScheme scheme = BankingScheme::kTwoDimensional)
+      : buffers_{BankedBuffer(scheme), BankedBuffer(scheme)} {}
+
+  /// The buffer the FFT unit currently reads from.
+  [[nodiscard]] BankedBuffer& compute() noexcept { return buffers_[active_]; }
+  [[nodiscard]] const BankedBuffer& compute() const noexcept { return buffers_[active_]; }
+
+  /// The buffer being filled (local write-back + neighbor traffic).
+  [[nodiscard]] BankedBuffer& fill() noexcept { return buffers_[active_ ^ 1]; }
+  [[nodiscard]] const BankedBuffer& fill() const noexcept { return buffers_[active_ ^ 1]; }
+
+  /// Swaps roles at a stage boundary.
+  void swap() noexcept {
+    active_ ^= 1;
+    ++swaps_;
+  }
+
+  [[nodiscard]] u64 swaps() const noexcept { return swaps_; }
+  [[nodiscard]] u64 m20k_blocks() const noexcept {
+    return buffers_[0].m20k_blocks() + buffers_[1].m20k_blocks();
+  }
+
+ private:
+  BankedBuffer buffers_[2];
+  unsigned active_ = 0;
+  u64 swaps_ = 0;
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,31 @@
+#include "hw/memory/sram_bank.hpp"
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+u64 SramBank::read(unsigned offset) {
+  HEMUL_CHECK_MSG(offset < kDepth, "SramBank: read offset out of range");
+  ++ports_used_;
+  ++total_accesses_;
+  return data_[offset];
+}
+
+void SramBank::write(unsigned offset, u64 value) {
+  HEMUL_CHECK_MSG(offset < kDepth, "SramBank: write offset out of range");
+  ++ports_used_;
+  ++total_accesses_;
+  data_[offset] = value;
+}
+
+u64 SramBank::peek(unsigned offset) const {
+  HEMUL_CHECK_MSG(offset < kDepth, "SramBank: peek offset out of range");
+  return data_[offset];
+}
+
+void SramBank::poke(unsigned offset, u64 value) {
+  HEMUL_CHECK_MSG(offset < kDepth, "SramBank: poke offset out of range");
+  data_[offset] = value;
+}
+
+}  // namespace hemul::hw

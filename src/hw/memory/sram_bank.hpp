@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "util/uint128.hpp"
+
+namespace hemul::hw {
+
+/// One dual-port SRAM bank of the banked buffer (paper Fig. 5): 256 words
+/// of 64 bits, realized on the FPGA as two Altera M20K hard blocks.
+///
+/// The model enforces the physical port limit: at most two accesses per
+/// clock cycle (one per port). Accesses beyond that raise the buffer's
+/// conflict counter (and, in strict mode, throw).
+class SramBank {
+ public:
+  static constexpr unsigned kDepth = 256;
+  static constexpr unsigned kWordBits = 64;
+  static constexpr unsigned kPorts = 2;
+  static constexpr unsigned kM20kBlocks = 2;  ///< per the paper
+
+  SramBank() : data_(kDepth, 0) {}
+
+  [[nodiscard]] u64 read(unsigned offset);
+  void write(unsigned offset, u64 value);
+
+  /// Debug/bulk accessors without port accounting (not part of the cycle
+  /// model; used for buffer fills and assertions).
+  [[nodiscard]] u64 peek(unsigned offset) const;
+  void poke(unsigned offset, u64 value);
+
+  /// Advances to the next clock cycle (resets port usage).
+  void tick() noexcept { ports_used_ = 0; }
+
+  /// Accesses issued in the current cycle.
+  [[nodiscard]] unsigned ports_used() const noexcept { return ports_used_; }
+
+  /// True if the last access exceeded the dual-port limit.
+  [[nodiscard]] bool overcommitted() const noexcept { return ports_used_ > kPorts; }
+
+  [[nodiscard]] u64 total_accesses() const noexcept { return total_accesses_; }
+
+ private:
+  std::vector<u64> data_;
+  unsigned ports_used_ = 0;
+  u64 total_accesses_ = 0;
+};
+
+}  // namespace hemul::hw

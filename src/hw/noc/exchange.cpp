@@ -1,0 +1,58 @@
+#include "hw/noc/exchange.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+void ExchangeLedger::record(unsigned stage, unsigned dim, unsigned src, unsigned dst,
+                            u64 words) {
+  HEMUL_CHECK_MSG(cube_->connected(src, dst), "exchange endpoints must be neighbors");
+  HEMUL_CHECK_MSG(cube_->neighbor(src, dim) == dst,
+                  "exchange must cross the declared dimension");
+  records_.push_back({stage, dim, src, dst, words});
+}
+
+u64 ExchangeLedger::total_words() const noexcept {
+  u64 total = 0;
+  for (const auto& r : records_) total += r.words;
+  return total;
+}
+
+u64 ExchangeLedger::words_sent_by(unsigned node) const noexcept {
+  u64 total = 0;
+  for (const auto& r : records_) {
+    if (r.src == node) total += r.words;
+  }
+  return total;
+}
+
+unsigned ExchangeLedger::stage_count() const noexcept {
+  std::set<unsigned> stages;
+  for (const auto& r : records_) stages.insert(r.stage);
+  return static_cast<unsigned>(stages.size());
+}
+
+bool ExchangeLedger::single_partner_per_stage() const noexcept {
+  std::map<unsigned, std::set<unsigned>> dims_per_stage;
+  std::map<std::pair<unsigned, unsigned>, std::set<unsigned>> partners;
+  for (const auto& r : records_) {
+    dims_per_stage[r.stage].insert(r.dim);
+    partners[{r.stage, r.src}].insert(r.dst);
+  }
+  const bool one_dim = std::all_of(dims_per_stage.begin(), dims_per_stage.end(),
+                                   [](const auto& kv) { return kv.second.size() == 1; });
+  const bool one_partner = std::all_of(partners.begin(), partners.end(),
+                                       [](const auto& kv) { return kv.second.size() == 1; });
+  return one_dim && one_partner;
+}
+
+u64 exchange_cycles(u64 words, u64 link_words_per_cycle) {
+  HEMUL_CHECK_MSG(link_words_per_cycle > 0, "link bandwidth must be positive");
+  return (words + link_words_per_cycle - 1) / link_words_per_cycle;
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "hw/noc/hypercube.hpp"
+
+namespace hemul::hw {
+
+/// One recorded point-to-point transfer during an exchange stage.
+struct ExchangeRecord {
+  unsigned stage = 0;  ///< exchange stage index (0-based)
+  unsigned dim = 0;    ///< hypercube dimension used
+  unsigned src = 0;
+  unsigned dst = 0;
+  u64 words = 0;
+};
+
+/// Ledger of all hypercube traffic in a run. The test suite uses it to
+/// verify the paper's communication claims: every transfer crosses exactly
+/// one dimension, each node talks to exactly one neighbor per stage, and
+/// volumes are balanced.
+class ExchangeLedger {
+ public:
+  explicit ExchangeLedger(const Hypercube& cube) : cube_(&cube) {}
+
+  /// Records a transfer; validates that src and dst are hypercube neighbors
+  /// across `dim` (throws std::logic_error otherwise).
+  void record(unsigned stage, unsigned dim, unsigned src, unsigned dst, u64 words);
+
+  [[nodiscard]] const std::vector<ExchangeRecord>& records() const noexcept {
+    return records_;
+  }
+
+  [[nodiscard]] u64 total_words() const noexcept;
+
+  /// Words sent by a given node across all stages.
+  [[nodiscard]] u64 words_sent_by(unsigned node) const noexcept;
+
+  /// Number of distinct exchange stages recorded.
+  [[nodiscard]] unsigned stage_count() const noexcept;
+
+  /// Checks the one-neighbor-per-stage discipline: within a stage, all
+  /// transfers use the same dimension and every node appears with at most
+  /// one partner.
+  [[nodiscard]] bool single_partner_per_stage() const noexcept;
+
+ private:
+  const Hypercube* cube_;
+  std::vector<ExchangeRecord> records_;
+};
+
+/// Timing model for one exchange stage: `words` transferred over a link of
+/// `link_words_per_cycle` yields the cycle count (both directions run in
+/// parallel on a full-duplex link).
+u64 exchange_cycles(u64 words, u64 link_words_per_cycle);
+
+}  // namespace hemul::hw

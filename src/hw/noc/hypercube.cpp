@@ -1,0 +1,35 @@
+#include "hw/noc/hypercube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+Hypercube::Hypercube(unsigned nodes) : nodes_(nodes) {
+  if (nodes == 0 || (nodes & (nodes - 1)) != 0) {
+    throw std::invalid_argument("Hypercube: node count must be a power of two");
+  }
+  dims_ = static_cast<unsigned>(std::countr_zero(nodes));
+}
+
+unsigned Hypercube::neighbor(unsigned node, unsigned dim) const {
+  HEMUL_CHECK_MSG(node < nodes_, "Hypercube: node out of range");
+  HEMUL_CHECK_MSG(dim < dims_, "Hypercube: dimension out of range");
+  return node ^ (1u << dim);
+}
+
+std::vector<unsigned> Hypercube::neighbors(unsigned node) const {
+  std::vector<unsigned> out;
+  out.reserve(dims_);
+  for (unsigned dim = 0; dim < dims_; ++dim) out.push_back(neighbor(node, dim));
+  return out;
+}
+
+bool Hypercube::connected(unsigned a, unsigned b) const {
+  HEMUL_CHECK(a < nodes_ && b < nodes_);
+  return std::popcount(a ^ b) == 1;
+}
+
+}  // namespace hemul::hw

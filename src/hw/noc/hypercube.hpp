@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "util/uint128.hpp"
+
+namespace hemul::hw {
+
+/// Hypercube interconnect topology (paper Section IV): P = 2^d processing
+/// elements; "the number of communication stages for FFT computation is the
+/// hypercube dimension d. In each stage, a node communicates only with one
+/// of its d neighbors, one for each stage."
+class Hypercube {
+ public:
+  /// nodes must be a power of two >= 1. Throws std::invalid_argument.
+  explicit Hypercube(unsigned nodes);
+
+  [[nodiscard]] unsigned nodes() const noexcept { return nodes_; }
+  [[nodiscard]] unsigned dimensions() const noexcept { return dims_; }
+
+  /// The neighbor across dimension dim (node with that address bit flipped).
+  [[nodiscard]] unsigned neighbor(unsigned node, unsigned dim) const;
+
+  /// All d neighbors of a node.
+  [[nodiscard]] std::vector<unsigned> neighbors(unsigned node) const;
+
+  /// True iff a and b are directly connected (Hamming distance 1).
+  [[nodiscard]] bool connected(unsigned a, unsigned b) const;
+
+  /// Number of bidirectional links: P * d / 2.
+  [[nodiscard]] unsigned links() const noexcept {
+    return nodes_ * dims_ / 2;
+  }
+
+ private:
+  unsigned nodes_;
+  unsigned dims_;
+};
+
+}  // namespace hemul::hw

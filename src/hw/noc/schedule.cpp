@@ -1,0 +1,54 @@
+#include "hw/noc/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+StageSchedule::StageSchedule(unsigned compute_stages, unsigned comm_dims)
+    : l_(compute_stages), d_(comm_dims) {
+  if (!legal(compute_stages, comm_dims)) {
+    throw std::invalid_argument(
+        "StageSchedule: need more computation stages than hypercube dimensions (l > d)");
+  }
+  for (unsigned s = 0; s < l_; ++s) {
+    events_.push_back({ScheduleEvent::Kind::kCompute, s});
+    if (s < d_) events_.push_back({ScheduleEvent::Kind::kExchange, s});
+  }
+}
+
+std::string StageSchedule::describe() const {
+  std::string out;
+  for (const auto& e : events_) {
+    if (!out.empty()) out += " ";
+    out += (e.kind == ScheduleEvent::Kind::kCompute ? "C" : "X") + std::to_string(e.index);
+  }
+  return out;
+}
+
+u64 StageSchedule::total_cycles(const std::vector<u64>& per_stage_compute,
+                                const std::vector<u64>& exchange_cycles,
+                                bool overlap_enabled) const {
+  HEMUL_CHECK_MSG(per_stage_compute.size() == l_, "per-stage compute size mismatch");
+  HEMUL_CHECK_MSG(exchange_cycles.size() == d_, "exchange cycles size mismatch");
+
+  u64 total = 0;
+  for (unsigned s = 0; s < l_; ++s) {
+    total += per_stage_compute[s];
+    if (s < d_) {
+      if (overlap_enabled) {
+        // Double buffering hides the exchange behind the next compute
+        // stage; only the excess stalls the pipeline.
+        const u64 next = per_stage_compute[s + 1];
+        total += exchange_cycles[s] > next ? exchange_cycles[s] - next : 0;
+      } else {
+        total += exchange_cycles[s];
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/uint128.hpp"
+
+namespace hemul::hw {
+
+/// An event in the interleaved compute/communication schedule.
+struct ScheduleEvent {
+  enum class Kind { kCompute, kExchange };
+  Kind kind = Kind::kCompute;
+  unsigned index = 0;  ///< compute stage number or exchange dimension
+};
+
+/// The paper's interleaving rule (Section IV): with l computation stages
+/// and a d-dimensional hypercube, "we must have l > d in order to correctly
+/// interleave computation and communication. If l > d + 1, communication
+/// takes place only after the first d computation stages while the
+/// subsequent stages are computation only."
+class StageSchedule {
+ public:
+  /// Throws std::invalid_argument unless l > d.
+  StageSchedule(unsigned compute_stages, unsigned comm_dims);
+
+  [[nodiscard]] static bool legal(unsigned compute_stages, unsigned comm_dims) noexcept {
+    return compute_stages > comm_dims;
+  }
+
+  /// C0 X0 C1 X1 ... Cd Xd-1 C(d+1) ... C(l-1): one exchange after each of
+  /// the first d compute stages.
+  [[nodiscard]] const std::vector<ScheduleEvent>& events() const noexcept { return events_; }
+
+  [[nodiscard]] unsigned compute_stages() const noexcept { return l_; }
+  [[nodiscard]] unsigned comm_stages() const noexcept { return d_; }
+
+  /// "C0 X0 C1 X1 C2" style description for reports.
+  [[nodiscard]] std::string describe() const;
+
+  /// Total cycles under the double-buffered overlap model: each exchange
+  /// overlaps the following compute stage and only its excess (if any)
+  /// shows up as stall cycles.
+  ///   per_stage_compute[s]: compute cycles of stage s,
+  ///   exchange_cycles[x]:   cycles of exchange x (after stage x).
+  [[nodiscard]] u64 total_cycles(const std::vector<u64>& per_stage_compute,
+                                 const std::vector<u64>& exchange_cycles,
+                                 bool overlap_enabled) const;
+
+ private:
+  unsigned l_;
+  unsigned d_;
+  std::vector<ScheduleEvent> events_;
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,52 @@
+#include "hw/pe/data_route.hpp"
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+std::array<unsigned, DataRoute::kWordsPerCycle> DataRoute::fft64_read_addresses(
+    unsigned base, unsigned cycle) {
+  HEMUL_CHECK_MSG(base % 64 == 0, "fft64 window must be 64-aligned");
+  HEMUL_CHECK_MSG(cycle < 8, "fft64 has 8 read cycles");
+  std::array<unsigned, kWordsPerCycle> out{};
+  for (unsigned i = 0; i < kWordsPerCycle; ++i) out[i] = base + 8 * i + cycle;
+  return out;
+}
+
+std::array<unsigned, DataRoute::kWordsPerCycle> DataRoute::fft64_write_addresses(
+    unsigned base, unsigned cycle) {
+  // Same stride-8 shape: component 8*k2 + t lands at base + 8*k2 + t.
+  return fft64_read_addresses(base, cycle);
+}
+
+std::array<unsigned, DataRoute::kWordsPerCycle> DataRoute::small_radix_addresses(
+    unsigned base, unsigned radix, unsigned cycle) {
+  HEMUL_CHECK_MSG(radix == 8 || radix == 16 || radix == 32,
+                  "small radix must be 8, 16 or 32");
+  HEMUL_CHECK_MSG(base % radix == 0, "window must be radix-aligned");
+  HEMUL_CHECK_MSG(cycle < radix / 8, "cycle out of range");
+  std::array<unsigned, kWordsPerCycle> out{};
+  for (unsigned i = 0; i < kWordsPerCycle; ++i) out[i] = base + 8 * cycle + i;
+  return out;
+}
+
+std::array<unsigned, DataRoute::kWordsPerCycle> DataRoute::fill_addresses(unsigned cycle) {
+  std::array<unsigned, kWordsPerCycle> out{};
+  for (unsigned i = 0; i < kWordsPerCycle; ++i) out[i] = 8 * cycle + i;
+  return out;
+}
+
+std::vector<std::array<unsigned, DataRoute::kWordsPerCycle>> DataRoute::read_trace(
+    unsigned base, unsigned radix) {
+  std::vector<std::array<unsigned, kWordsPerCycle>> trace;
+  if (radix == 64) {
+    for (unsigned j = 0; j < 8; ++j) trace.push_back(fft64_read_addresses(base, j));
+  } else {
+    const unsigned cycles = radix <= 8 ? 1 : radix / 8;
+    for (unsigned c = 0; c < cycles; ++c)
+      trace.push_back(small_radix_addresses(base, radix, c));
+  }
+  return trace;
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/uint128.hpp"
+
+namespace hemul::hw {
+
+/// The Data Route component (paper Section IV.e): "it is just a memory
+/// address generator" -- the FFT-64 unit already emits its eight outputs
+/// per cycle spaced out for conflict-free writing.
+///
+/// All addresses are logical offsets into a PE's 4096-word buffer.
+class DataRoute {
+ public:
+  static constexpr unsigned kWordsPerCycle = 8;
+
+  /// Read addresses for accumulation cycle j (0..7) of a radix-64 FFT whose
+  /// 64-word window starts at `base`: the strided column {base + 8i + j}.
+  static std::array<unsigned, kWordsPerCycle> fft64_read_addresses(unsigned base,
+                                                                   unsigned cycle);
+
+  /// Write addresses for drain cycle t of a radix-64 FFT: the unit emits
+  /// components {8*k2 + t}, i.e. the same stride-8 column shape.
+  static std::array<unsigned, kWordsPerCycle> fft64_write_addresses(unsigned base,
+                                                                    unsigned cycle);
+
+  /// Read addresses for cycle c (0..r/8-1) of a radix-r FFT (r in
+  /// {8,16,32}), reading consecutive 8-word rows.
+  static std::array<unsigned, kWordsPerCycle> small_radix_addresses(unsigned base,
+                                                                    unsigned radix,
+                                                                    unsigned cycle);
+
+  /// Consecutive fill addresses (buffer reload / neighbor traffic), cycle c.
+  static std::array<unsigned, kWordsPerCycle> fill_addresses(unsigned cycle);
+
+  /// The complete read trace of a radix-r FFT at `base` (r/8 cycles of 8).
+  static std::vector<std::array<unsigned, kWordsPerCycle>> read_trace(unsigned base,
+                                                                      unsigned radix);
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,120 @@
+#include "hw/pe/processing_element.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+ProcessingElement::ProcessingElement(unsigned id, const Config& config)
+    : id_(id),
+      config_(config),
+      memory_(config.banking),
+      radix16_(16),
+      radix32_(32),
+      radix8_(8) {}
+
+fp::FpVec ProcessingElement::run_fft(unsigned base, unsigned radix,
+                                     std::span<const fp::Fp> twiddles) {
+  HEMUL_CHECK_MSG(!twiddles.empty() ? twiddles.size() == radix : true,
+                  "twiddle vector must match the radix");
+
+  // Stream the inputs from the compute buffer through the data route.
+  fp::FpVec inputs(radix);
+  BankedBuffer& buf = memory_.compute();
+  const auto trace = DataRoute::read_trace(base, radix);
+  if (radix == 64) {
+    for (unsigned j = 0; j < 8; ++j) {
+      const auto words = buf.read8(trace[j]);
+      // Column read: words[i] is sample a[8i + j].
+      for (unsigned i = 0; i < 8; ++i) inputs[8 * i + j] = words[i];
+    }
+  } else {
+    for (unsigned c = 0; c < trace.size(); ++c) {
+      const auto words = buf.read8(trace[c]);
+      for (unsigned i = 0; i < 8; ++i) inputs[8 * c + i] = words[i];
+    }
+  }
+
+  fp::FpVec outputs;
+  u64 interval = 0;
+  switch (radix) {
+    case 64:
+      if (config_.unit == FftUnitKind::kOptimized) {
+        outputs = optimized_.transform(inputs);
+        interval = OptimizedFft64::cycles_per_transform();
+      } else {
+        outputs = baseline_.transform(inputs);
+        interval = BaselineFft64::cycles_per_transform();
+      }
+      break;
+    case 32:
+      outputs = radix32_.transform(inputs);
+      interval = radix32_.cycles_per_transform();
+      break;
+    case 16:
+      outputs = radix16_.transform(inputs);
+      interval = radix16_.cycles_per_transform();
+      break;
+    case 8:
+      outputs = radix8_.transform(inputs);
+      interval = radix8_.cycles_per_transform();
+      break;
+    default:
+      HEMUL_CHECK_MSG(false, "unsupported hardware radix");
+  }
+
+  // Inter-stage twiddles on the PE's eight modular multipliers, pipelined
+  // with the drain (8 outputs/cycle onto 8 multipliers: no extra cycles).
+  if (!twiddles.empty()) {
+    for (unsigned i = 0; i < radix; ++i) {
+      outputs[i] = twiddle_mults_[i % kTwiddleMultipliers].multiply(outputs[i], twiddles[i]);
+    }
+  }
+
+  compute_cycles_ += interval;
+  ++ffts_;
+  return outputs;
+}
+
+void ProcessingElement::write_back(unsigned base, std::span<const fp::Fp> values) {
+  BankedBuffer& buf = memory_.fill();
+  const unsigned radix = static_cast<unsigned>(values.size());
+  if (radix == 64) {
+    for (unsigned t = 0; t < 8; ++t) {
+      const auto addrs = DataRoute::fft64_write_addresses(base, t);
+      std::array<fp::Fp, 8> row{};
+      for (unsigned k2 = 0; k2 < 8; ++k2) row[k2] = values[8 * k2 + t];
+      buf.write8(addrs, row);
+    }
+  } else {
+    for (unsigned c = 0; c < radix / 8; ++c) {
+      const auto addrs = DataRoute::small_radix_addresses(base, radix, c);
+      std::array<fp::Fp, 8> row{};
+      for (unsigned i = 0; i < 8; ++i) row[i] = values[8 * c + i];
+      buf.write8(addrs, row);
+    }
+  }
+}
+
+void ProcessingElement::fill(unsigned offset, std::span<const fp::Fp> data) {
+  HEMUL_CHECK_MSG(offset % 8 == 0, "fill offset must be 8-aligned");
+  BankedBuffer& buf = memory_.fill();
+  std::array<unsigned, 8> addrs{};
+  std::array<fp::Fp, 8> row{};
+  for (std::size_t i = 0; i < data.size(); i += 8) {
+    for (unsigned k = 0; k < 8; ++k) {
+      addrs[k] = offset + static_cast<unsigned>(i) + k;
+      row[k] = i + k < data.size() ? data[i + k] : fp::kZero;
+    }
+    buf.write8(addrs, row);
+  }
+}
+
+u64 ProcessingElement::twiddle_products() const noexcept {
+  u64 total = 0;
+  for (const auto& m : twiddle_mults_) total += m.products_computed();
+  return total;
+}
+
+}  // namespace hemul::hw

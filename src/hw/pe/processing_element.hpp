@@ -1,0 +1,79 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+
+#include "fp/fp64.hpp"
+#include "hw/dsp/mod_mult.hpp"
+#include "hw/fft64/baseline_fft64.hpp"
+#include "hw/fft64/optimized_fft64.hpp"
+#include "hw/fft64/radix_unit.hpp"
+#include "hw/memory/double_buffer.hpp"
+#include "hw/pe/data_route.hpp"
+
+namespace hemul::hw {
+
+/// Which radix-64 engine a PE instantiates.
+enum class FftUnitKind {
+  kOptimized,  ///< the paper's unit (Section IV.b, Fig. 4)
+  kBaseline,   ///< the [28] unit (Fig. 3), for the comparison studies
+};
+
+/// One Processing Element of the distributed accelerator (paper Fig. 1):
+/// radix-64/16 FFT unit + double-buffered banked memory + a group of eight
+/// DSP modular multipliers for the inter-stage twiddles + data route.
+class ProcessingElement {
+ public:
+  static constexpr unsigned kTwiddleMultipliers = 8;
+
+  struct Config {
+    BankingScheme banking = BankingScheme::kTwoDimensional;
+    FftUnitKind unit = FftUnitKind::kOptimized;
+  };
+
+  ProcessingElement(unsigned id, const Config& config);
+
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+  [[nodiscard]] DoubleBuffer& memory() noexcept { return memory_; }
+  [[nodiscard]] const DoubleBuffer& memory() const noexcept { return memory_; }
+
+  /// Runs one radix-r FFT over the r-word window at `base` of the compute
+  /// buffer, then multiplies output i by twiddles[i] on the PE's modular
+  /// multipliers (pass an empty span to skip the twiddle stage).
+  /// Returns the r outputs and advances the PE cycle counters.
+  fp::FpVec run_fft(unsigned base, unsigned radix, std::span<const fp::Fp> twiddles);
+
+  /// Writes FFT results back into the fill buffer at the stride-8 pattern
+  /// of the given window (the drain-side traffic of the unit).
+  void write_back(unsigned base, std::span<const fp::Fp> values);
+
+  /// Streams `data` into the fill buffer starting at word `offset`
+  /// (consecutive row-wise traffic: buffer reload or neighbor data).
+  void fill(unsigned offset, std::span<const fp::Fp> data);
+
+  /// Swaps compute/fill buffers at a stage boundary.
+  void swap_buffers() noexcept { memory_.swap(); }
+
+  /// Cycles spent in FFT compute (initiation intervals; reads stream at
+  /// 8 words/cycle in lockstep with the unit).
+  [[nodiscard]] u64 compute_cycles() const noexcept { return compute_cycles_; }
+  [[nodiscard]] u64 twiddle_products() const noexcept;
+  [[nodiscard]] u64 ffts_executed() const noexcept { return ffts_; }
+  [[nodiscard]] FftUnitKind unit_kind() const noexcept { return config_.unit; }
+
+ private:
+  unsigned id_;
+  Config config_;
+  DoubleBuffer memory_;
+  OptimizedFft64 optimized_;
+  BaselineFft64 baseline_;
+  RadixUnit radix16_;
+  RadixUnit radix32_;
+  RadixUnit radix8_;
+  std::array<ModMult64, kTwiddleMultipliers> twiddle_mults_;
+  u64 compute_cycles_ = 0;
+  u64 ffts_ = 0;
+};
+
+}  // namespace hemul::hw

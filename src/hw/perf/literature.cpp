@@ -1,0 +1,17 @@
+#include "hw/perf/literature.hpp"
+
+namespace hemul::hw {
+
+const std::vector<LiteratureEntry>& literature_table() {
+  static const std::vector<LiteratureEntry> table{
+      {"[28]", "Altera Stratix V FPGA", 125.0, 405.0},
+      {"[30]", "90 nm ASIC", std::nullopt, 206.0},
+      {"[26]", "NVIDIA Tesla C2050 GPU", std::nullopt, 765.0},
+      {"[27]", "NVIDIA Tesla C2050 GPU", std::nullopt, 583.0},
+  };
+  return table;
+}
+
+PaperResults paper_results() { return PaperResults{}; }
+
+}  // namespace hemul::hw

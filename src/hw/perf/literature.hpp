@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hemul::hw {
+
+/// One comparison point of the paper's Table II, as published.
+struct LiteratureEntry {
+  std::string label;     ///< citation tag used by the paper
+  std::string platform;  ///< device / technology
+  std::optional<double> fft_us;   ///< 64K-point FFT time, if reported
+  std::optional<double> mult_us;  ///< full 786,432-bit multiplication time
+};
+
+/// The published numbers Table II compares against:
+///   [28] Wang & Huang, ISCAS'13 (Stratix V FPGA): FFT 125 us, mult 405 us
+///   [30] Wang et al., TVLSI'14 (90 nm ASIC): mult 206 us
+///   [26] Wang et al., HPEC'12 (NVIDIA C2050 GPU): mult 765 us
+///   [27] Wang et al., TC'15 (NVIDIA C2050 GPU): mult 583 us
+const std::vector<LiteratureEntry>& literature_table();
+
+/// The paper's own reported results (for regression-checking our model).
+struct PaperResults {
+  double fft_us = 30.7;
+  double mult_us = 122.0;
+  double dotprod_us = 10.2;
+  double carry_us = 20.0;
+};
+PaperResults paper_results();
+
+}  // namespace hemul::hw

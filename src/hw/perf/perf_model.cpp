@@ -1,0 +1,42 @@
+#include "hw/perf/perf_model.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hemul::hw {
+
+PerfParams PerfParams::paper() { return PerfParams{}; }
+
+PerfBreakdown evaluate_perf(const PerfParams& params) {
+  HEMUL_CHECK_MSG(params.num_pes >= 1, "need at least one PE");
+  PerfBreakdown b;
+  b.clock_ns = params.clock_ns;
+
+  const u64 n = params.plan.size;
+  for (std::size_t s = 0; s < params.plan.stage_count(); ++s) {
+    const u32 r = params.plan.radices[s];
+    const u64 interval = r <= 8 ? 1 : r / 8;  // unit initiation interval
+    const u64 sub_ffts = params.plan.sub_ffts_in_stage(s);
+    HEMUL_CHECK_MSG(sub_ffts % params.num_pes == 0, "stage does not divide over PEs");
+    b.stage_cycles.push_back(sub_ffts / params.num_pes * interval);
+    b.fft_cycles += b.stage_cycles.back();
+  }
+
+  b.dotprod_cycles = (n + params.pointwise_multipliers - 1) / params.pointwise_multipliers;
+  b.carry_cycles = (n + params.carry_lanes - 1) / params.carry_lanes;
+  b.mult_cycles = 3 * b.fft_cycles + b.dotprod_cycles + b.carry_cycles;
+  // Streaming: successive products pipeline across the three phase engines;
+  // the slowest stage sets the initiation interval. (The paper reuses the
+  // PE twiddle multipliers for the dot product, which would serialize it
+  // with the FFTs; charging it on top keeps this bound conservative.)
+  b.pipelined_interval_cycles =
+      std::max({3 * b.fft_cycles + b.dotprod_cycles, b.carry_cycles});
+  return b;
+}
+
+unsigned max_legal_pes(const ntt::NttPlan& plan) {
+  return 1u << (plan.stage_count() - 1);
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "ntt/plan.hpp"
+
+namespace hemul::hw {
+
+/// Closed-form performance model of Section V.
+///
+/// With clock period T_C, P processing elements and the 64*64*16 plan:
+///   T_FFT     = 2*(T_C*8*1024)/P + (T_C*2)*4096/P  ~ 30.7 us  (P=4, 5 ns)
+///   T_DOTPROD = T_C * 65536/32                     ~ 10.2 us
+///   T_CARRY   ~ 20 us
+///   T_MULT    = 3*T_FFT + T_DOTPROD + T_CARRY      ~ 122 us
+/// Generalized to any plan: each stage contributes
+/// (N / radix) / P sub-FFTs at max(1, radix/8) cycles apiece.
+struct PerfParams {
+  double clock_ns = 5.0;
+  unsigned num_pes = 4;
+  ntt::NttPlan plan = ntt::NttPlan::paper_64k();
+  unsigned pointwise_multipliers = 32;
+  unsigned carry_lanes = 16;
+
+  static PerfParams paper();
+};
+
+struct PerfBreakdown {
+  std::vector<u64> stage_cycles;  ///< per compute stage, per PE
+  u64 fft_cycles = 0;             ///< one transform
+  u64 dotprod_cycles = 0;
+  u64 carry_cycles = 0;
+  u64 mult_cycles = 0;  ///< 3 transforms + dot product + carry recovery
+
+  /// Steady-state initiation interval of a *stream* of multiplications
+  /// (extension beyond the paper's single-shot latency): the FFT engine is
+  /// the bottleneck resource (3 transforms per product), while the
+  /// dot-product multipliers and the carry-recovery adder pipeline with it.
+  u64 pipelined_interval_cycles = 0;
+
+  double clock_ns = 5.0;
+  [[nodiscard]] double fft_us() const noexcept { return cycles_to_us(fft_cycles); }
+  [[nodiscard]] double dotprod_us() const noexcept { return cycles_to_us(dotprod_cycles); }
+  [[nodiscard]] double carry_us() const noexcept { return cycles_to_us(carry_cycles); }
+  [[nodiscard]] double mult_us() const noexcept { return cycles_to_us(mult_cycles); }
+
+  /// Sustained products per second when multiplications are streamed.
+  [[nodiscard]] double mults_per_second() const noexcept {
+    return pipelined_interval_cycles == 0
+               ? 0.0
+               : 1e9 / (static_cast<double>(pipelined_interval_cycles) * clock_ns);
+  }
+
+ private:
+  [[nodiscard]] double cycles_to_us(u64 cycles) const noexcept {
+    return static_cast<double>(cycles) * clock_ns / 1000.0;
+  }
+};
+
+/// Evaluates the analytic model.
+PerfBreakdown evaluate_perf(const PerfParams& params);
+
+/// The schedule-legality bound on the PE count for a plan: P = 2^d needs
+/// l > d, so the largest legal P is 2^(stages-1).
+unsigned max_legal_pes(const ntt::NttPlan& plan);
+
+}  // namespace hemul::hw

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "hw/resources/resource_vec.hpp"
+
+namespace hemul::hw {
+
+/// Parametric bottom-up area model of the accelerator.
+///
+/// Leaf costs are calibration constants fitted so the two architecture
+/// configurations reproduce both columns of the paper's Table I (the
+/// proposed design and the Wang-Huang [28] baseline on the same device);
+/// the ablation benchmark then varies one structural feature at a time to
+/// decompose the ~60% saving the paper claims. The constants live in
+/// cost_model.cpp with the fit documented per component.
+
+/// Structural description of a radix-64 FFT unit.
+struct Fft64UnitParams {
+  unsigned stage1_trees = 4;        ///< physical first-stage components
+  bool dual_output_trees = true;    ///< sum + even-odd difference output
+  bool merged_carry_save = true;    ///< CPA right after the adder tree
+  bool full_barrel_shifters = false;///< any-of-64 shifts vs. fixed shift set
+  unsigned accumulators = 64;
+  unsigned reductors = 8;           ///< Normalize+AddMod instances
+
+  /// The paper's optimized unit (Section IV.b).
+  static Fft64UnitParams optimized();
+  /// The [28] baseline unit (Fig. 3): 64 chains, 64 reductors, unmerged CSA.
+  static Fft64UnitParams baseline();
+};
+
+/// Structural description of one processing element.
+struct PeParams {
+  Fft64UnitParams fft;
+  unsigned memory_port_words = 8;   ///< words per cycle each buffer sustains
+  unsigned twiddle_multipliers = 8; ///< ModMult64 instances
+  bool hypercube_link = true;       ///< neighbor FIFO + serializer
+};
+
+/// Full-accelerator structural description.
+struct AccelParams {
+  unsigned num_pes = 4;
+  PeParams pe;
+
+  /// The paper's 4-PE prototype.
+  static AccelParams paper();
+};
+
+/// Area of one radix-64 FFT unit.
+ResourceVec fft64_cost(const Fft64UnitParams& p);
+
+/// Area of one double-buffered banked memory (2 x 16 dual-port banks) with
+/// the given port width, including addressing and data route logic.
+ResourceVec memory_cost(unsigned port_words);
+
+/// Area of `count` DSP modular multipliers (8 DSP blocks each).
+ResourceVec modmult_cost(unsigned count);
+
+/// Per-PE M20K overhead beyond the data buffers: twiddle ROM, exchange
+/// FIFOs, staging.
+ResourceVec pe_storage_overhead();
+
+/// Area of one processing element.
+ResourceVec pe_cost(const PeParams& p);
+
+/// Area of the full P-PE accelerator (PEs + shared control, host interface
+/// and the carry-recovery adder).
+ResourceVec accelerator_cost(const AccelParams& p);
+
+/// Total of the [28] baseline design as published (their monolithic FFT
+/// multiplier with 90 DSP modular multipliers and 64-wide memory ports),
+/// reconstructed through the same leaf costs.
+ResourceVec baseline28_cost();
+
+}  // namespace hemul::hw

@@ -1,0 +1,39 @@
+#include "hw/resources/device.hpp"
+
+namespace hemul::hw {
+
+Device Device::stratix_v_5sgsmd8() {
+  Device d;
+  d.name = "Stratix V 5SGSMD8N3F45I4";
+  d.alms = 262'400;
+  d.registers = 1'049'600;  // 4 per ALM
+  d.dsp_blocks = 1'963;
+  d.m20k_blocks = 2'048;  // calibrated: 40 Mbit so "8 Mbit = 20%" (paper Table I)
+  return d;
+}
+
+Device Device::cyclone_v_5csema5() {
+  Device d;
+  d.name = "Cyclone V 5CSEMA5 (multi-board prototype, one PE per board)";
+  d.alms = 32'070;
+  d.registers = 128'280;  // 4 per ALM
+  d.dsp_blocks = 87;
+  d.m20k_blocks = 198;  // 397 M10K blocks = ~3.97 Mbit = 198 x 20Kbit units
+  return d;
+}
+
+Device::Utilization Device::utilization(const ResourceVec& used) const {
+  Utilization u;
+  u.alms = static_cast<double>(used.alms) / static_cast<double>(alms);
+  u.registers = static_cast<double>(used.registers) / static_cast<double>(registers);
+  u.dsp_blocks = static_cast<double>(used.dsp_blocks) / static_cast<double>(dsp_blocks);
+  u.m20k = static_cast<double>(used.m20k_blocks) / static_cast<double>(m20k_blocks);
+  return u;
+}
+
+bool Device::fits(const ResourceVec& used) const noexcept {
+  return used.alms <= alms && used.registers <= registers &&
+         used.dsp_blocks <= dsp_blocks && used.m20k_blocks <= m20k_blocks;
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,43 @@
+#include "hw/resources/report.hpp"
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace hemul::hw {
+
+ResourceComparison ResourceComparison::paper() {
+  ResourceComparison c;
+  c.proposed = accelerator_cost(AccelParams::paper());
+  c.baseline = baseline28_cost();
+  c.device = Device::stratix_v_5sgsmd8();
+  return c;
+}
+
+double ResourceComparison::alm_saving() const noexcept {
+  if (baseline.alms == 0) return 0.0;
+  return 1.0 - static_cast<double>(proposed.alms) / static_cast<double>(baseline.alms);
+}
+
+std::string ResourceComparison::render_table() const {
+  using util::format_percent;
+  using util::with_commas;
+
+  const auto up = device.utilization(proposed);
+  const auto ub = device.utilization(baseline);
+
+  util::Table t({"Resource", "Proposed here", "[28]"});
+  t.add_row({"ALMs", with_commas(proposed.alms) + " (" + format_percent(up.alms) + ")",
+             with_commas(baseline.alms) + " (" + format_percent(ub.alms) + ")"});
+  t.add_row({"Registers",
+             with_commas(proposed.registers) + " (" + format_percent(up.registers) + ")",
+             with_commas(baseline.registers) + " (" + format_percent(ub.registers) + ")"});
+  t.add_row({"DSP blocks",
+             with_commas(proposed.dsp_blocks) + " (" + format_percent(up.dsp_blocks) + ")",
+             with_commas(baseline.dsp_blocks) + " (" + format_percent(ub.dsp_blocks) + ")"});
+  t.add_row({"M20K SRAM",
+             util::format_bits(proposed.m20k_bits()) + " (" + format_percent(up.m20k) + ")",
+             "--"});
+  return t.render();
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "hw/resources/cost_model.hpp"
+#include "hw/resources/device.hpp"
+
+namespace hemul::hw {
+
+/// The data behind the paper's Table I: modeled resources of the proposed
+/// accelerator and of the [28] baseline, with device utilization.
+struct ResourceComparison {
+  ResourceVec proposed;
+  ResourceVec baseline;
+  Device device;
+
+  /// Builds the comparison for the paper configuration (4 PEs).
+  static ResourceComparison paper();
+
+  /// Fractional saving of the proposed design vs. the baseline for ALMs
+  /// (the paper's "around 60% saving in hardware costs").
+  [[nodiscard]] double alm_saving() const noexcept;
+
+  /// Renders Table I (absolute counts and % of the target device; the
+  /// baseline M20K entry prints as unreported, matching the paper).
+  [[nodiscard]] std::string render_table() const;
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,10 @@
+#include "hw/resources/resource_vec.hpp"
+
+namespace hemul::hw {
+
+std::string ResourceVec::describe() const {
+  return "alms=" + std::to_string(alms) + " regs=" + std::to_string(registers) +
+         " dsp=" + std::to_string(dsp_blocks) + " m20k=" + std::to_string(m20k_blocks);
+}
+
+}  // namespace hemul::hw

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "util/uint128.hpp"
+
+namespace hemul::hw {
+
+/// FPGA resource bundle in the units Table I reports: Stratix V ALMs,
+/// flip-flop registers, variable-precision DSP blocks, and M20K memory
+/// blocks.
+struct ResourceVec {
+  u64 alms = 0;
+  u64 registers = 0;
+  u64 dsp_blocks = 0;
+  u64 m20k_blocks = 0;
+
+  static constexpr u64 kM20kBitsPerBlock = 20480;  ///< 20 Kbit hard block
+
+  [[nodiscard]] u64 m20k_bits() const noexcept { return m20k_blocks * kM20kBitsPerBlock; }
+
+  ResourceVec& operator+=(const ResourceVec& o) noexcept {
+    alms += o.alms;
+    registers += o.registers;
+    dsp_blocks += o.dsp_blocks;
+    m20k_blocks += o.m20k_blocks;
+    return *this;
+  }
+  friend ResourceVec operator+(ResourceVec a, const ResourceVec& b) noexcept { return a += b; }
+
+  /// Replicates a component n times.
+  friend ResourceVec operator*(ResourceVec v, u64 n) noexcept {
+    v.alms *= n;
+    v.registers *= n;
+    v.dsp_blocks *= n;
+    v.m20k_blocks *= n;
+    return v;
+  }
+
+  friend bool operator==(const ResourceVec&, const ResourceVec&) noexcept = default;
+
+  /// "alms=... regs=... dsp=... m20k=..." debug string.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace hemul::hw

@@ -1,0 +1,26 @@
+#include "ntt/convolution.hpp"
+
+#include "ntt/mixed_radix.hpp"
+#include "ntt/radix2.hpp"
+#include "util/check.hpp"
+
+namespace hemul::ntt {
+
+using fp::FpVec;
+
+FpVec cyclic_convolve(const FpVec& a, const FpVec& b) {
+  HEMUL_CHECK(a.size() == b.size());
+  return shared_radix2(a.size()).convolve(a, b);
+}
+
+FpVec cyclic_convolve_plan(const FpVec& a, const FpVec& b, const NttPlan& plan) {
+  HEMUL_CHECK(a.size() == b.size());
+  HEMUL_CHECK(a.size() == plan.size);
+  const MixedRadixNtt engine(plan);
+  FpVec fa = engine.forward(a);
+  const FpVec fb = engine.forward(b);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  return engine.inverse(fa);
+}
+
+}  // namespace hemul::ntt

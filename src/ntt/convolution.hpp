@@ -1,0 +1,17 @@
+#pragma once
+
+#include "fp/fp64.hpp"
+#include "ntt/plan.hpp"
+
+namespace hemul::ntt {
+
+/// Cyclic convolution via the fast radix-2 NTT path (convolution theorem):
+/// c[k] = sum_{i+j = k mod N} a[i]*b[j]. Sizes must match and be a power of
+/// two >= 2.
+fp::FpVec cyclic_convolve(const fp::FpVec& a, const fp::FpVec& b);
+
+/// Cyclic convolution through the mixed-radix engine with an explicit plan
+/// (used to validate plan equivalence and by the accelerator tests).
+fp::FpVec cyclic_convolve_plan(const fp::FpVec& a, const fp::FpVec& b, const NttPlan& plan);
+
+}  // namespace hemul::ntt

@@ -1,0 +1,86 @@
+#include "ntt/negacyclic.hpp"
+
+#include "fp/roots.hpp"
+#include "ntt/radix2.hpp"
+#include "util/check.hpp"
+
+namespace hemul::ntt {
+
+using fp::Fp;
+using fp::FpVec;
+
+FpVec negacyclic_convolve(const FpVec& a, const FpVec& b) {
+  HEMUL_CHECK(a.size() == b.size());
+  const u64 n = a.size();
+  HEMUL_CHECK_MSG(n >= 2 && (n & (n - 1)) == 0, "negacyclic: size must be a power of two");
+
+  const Radix2Ntt& engine = shared_radix2(n);
+  // psi: a primitive 2N-th root with psi^2 = the engine's root, taken from
+  // the same aligned hierarchy (psi = aligned_root(2n)^1 works because
+  // aligned_root(2n)^2 is *a* primitive n-th root; we need exactly the
+  // engine's root, so derive psi as a square root of it).
+  const Fp w = engine.root();
+  // Search the 2n-torsion: psi = r^k with r = primitive 2n-th root such
+  // that psi^2 = w. Since both are primitive 2n-th / n-th roots of the
+  // cyclic 2n-torsion group, psi exists; solve by discrete log in the
+  // power-of-two subgroup: r^(2k) = w = r^(2m) => k = m or m + n/... pick
+  // the square root via exponent halving: w = r^e with e even.
+  const Fp r = n >= 32 ? fp::aligned_root(2 * n) : fp::primitive_root(2 * n);
+  // Find e with r^e = w by baby-step over the 2n possibilities is O(n);
+  // instead use: w = r^2s where s solves (r^2)^s = w in <r^2> of order n.
+  // r^2 is a primitive n-th root; both it and w generate the same cyclic
+  // group, and w = (r^2)^t for some odd... t is found by discrete log;
+  // for the power-of-two orders here Pohlig-Hellman is overkill -- the
+  // table is small enough to scan once and cache per size.
+  Fp probe = fp::kOne;
+  const Fp r2 = r * r;
+  u64 t = 0;
+  bool found = false;
+  for (u64 k = 0; k < n; ++k) {
+    if (probe == w) {
+      t = k;
+      found = true;
+      break;
+    }
+    probe *= r2;
+  }
+  HEMUL_CHECK_MSG(found, "root hierarchy mismatch");
+  const Fp psi = r.pow(t);  // psi^2 = w
+  HEMUL_CHECK(psi * psi == w);
+
+  // Weight, convolve cyclically, unweight.
+  const auto psi_pow = fp::power_table(psi, n);
+  FpVec wa(n);
+  FpVec wb(n);
+  for (u64 i = 0; i < n; ++i) {
+    wa[i] = a[i] * psi_pow[i];
+    wb[i] = b[i] * psi_pow[i];
+  }
+  FpVec c = engine.convolve(wa, wb);
+  const Fp psi_inv = psi.inv();
+  Fp unweight = fp::kOne;
+  for (u64 k = 0; k < n; ++k) {
+    c[k] *= unweight;
+    unweight *= psi_inv;
+  }
+  return c;
+}
+
+FpVec negacyclic_convolve_reference(const FpVec& a, const FpVec& b) {
+  HEMUL_CHECK(a.size() == b.size());
+  const std::size_t n = a.size();
+  FpVec out(n, fp::kZero);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t k = i + j;
+      if (k < n) {
+        out[k] += a[i] * b[j];
+      } else {
+        out[k - n] -= a[i] * b[j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hemul::ntt

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "fp/fp64.hpp"
+
+namespace hemul::ntt {
+
+/// Negacyclic (anti-periodic) convolution: c[k] = sum_{i+j=k} a_i b_j -
+/// sum_{i+j=k+N} a_i b_j, i.e. polynomial multiplication modulo x^N + 1.
+///
+/// This is the arithmetic kernel of the Ring-LWE family of homomorphic
+/// schemes the paper lists as alternative targets for the accelerator
+/// (Section III: lattice/LWE schemes "may thus be implemented on top of
+/// the accelerator"). Implemented by the standard 2N-th-root weighting:
+/// with psi a primitive 2N-th root of unity (psi^2 = w_N),
+///   c = psi^{-k} * IDFT( DFT(psi^i a_i) .* DFT(psi^j b_j) ).
+/// All roots come from the same aligned hierarchy as the cyclic path, so
+/// the weighted transforms remain shift-friendly on the hardware.
+/// Sizes must match, be a power of two >= 2, and satisfy 2N <= 2^32.
+fp::FpVec negacyclic_convolve(const fp::FpVec& a, const fp::FpVec& b);
+
+/// O(N^2) reference for the tests.
+fp::FpVec negacyclic_convolve_reference(const fp::FpVec& a, const fp::FpVec& b);
+
+}  // namespace hemul::ntt

@@ -1,0 +1,62 @@
+#include "ntt/plan.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace hemul::ntt {
+
+NttPlan NttPlan::from_radices(std::vector<u32> radices) {
+  if (radices.empty()) throw std::invalid_argument("NttPlan: at least one radix required");
+  u64 product = 1;
+  for (const u32 r : radices) {
+    if (r < 2 || (r & (r - 1)) != 0) {
+      throw std::invalid_argument("NttPlan: radices must be powers of two >= 2");
+    }
+    product *= r;
+    if (product > (1ULL << 32)) {
+      throw std::invalid_argument("NttPlan: size exceeds the 2^32 root-of-unity limit");
+    }
+  }
+  NttPlan plan;
+  plan.size = product;
+  plan.radices = std::move(radices);
+  return plan;
+}
+
+NttPlan NttPlan::paper_64k() { return from_radices({64, 64, 16}); }
+
+NttPlan NttPlan::pure_radix2(u64 n) {
+  if (n < 2 || (n & (n - 1)) != 0) throw std::invalid_argument("pure_radix2: n must be a power of two");
+  std::vector<u32> radices;
+  for (u64 m = n; m > 1; m /= 2) radices.push_back(2);
+  return from_radices(std::move(radices));
+}
+
+NttPlan NttPlan::uniform(u32 radix, u64 n) {
+  std::vector<u32> radices;
+  u64 m = n;
+  while (m > 1) {
+    if (m % radix != 0) throw std::invalid_argument("uniform: n must be a power of the radix");
+    radices.push_back(radix);
+    m /= radix;
+  }
+  if (radices.empty()) throw std::invalid_argument("uniform: n must be > 1");
+  return from_radices(std::move(radices));
+}
+
+u64 NttPlan::sub_ffts_in_stage(std::size_t stage) const {
+  HEMUL_CHECK(stage < radices.size());
+  return size / radices[stage];
+}
+
+std::string NttPlan::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < radices.size(); ++i) {
+    if (i != 0) out += "*";
+    out += std::to_string(radices[i]);
+  }
+  return out;
+}
+
+}  // namespace hemul::ntt

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/uint128.hpp"
+
+namespace hemul::ntt {
+
+/// A Cooley-Tukey factorization plan for an N-point NTT (paper Eq. 1/2).
+///
+/// `radices[0]` is the radix of the first *computed* stage (the innermost
+/// sub-transform, over index n3 in the paper's notation) and
+/// `radices.back()` the outermost. The paper's 64K-point plan is
+/// {64, 64, 16}: two radix-64 stages followed by one radix-16 stage.
+struct NttPlan {
+  u64 size = 0;
+  std::vector<u32> radices;
+
+  /// Builds a plan from explicit radices (size = product). Each radix must
+  /// be a power of two >= 2, and the product must not exceed 2^32.
+  /// Throws std::invalid_argument on violation.
+  static NttPlan from_radices(std::vector<u32> radices);
+
+  /// The paper's 64K-point decomposition: radix-64, radix-64, radix-16.
+  static NttPlan paper_64k();
+
+  /// n-point pure radix-2 plan (n a power of two).
+  static NttPlan pure_radix2(u64 n);
+
+  /// n-point plan with a uniform radix (n must be a power of the radix).
+  static NttPlan uniform(u32 radix, u64 n);
+
+  [[nodiscard]] std::size_t stage_count() const noexcept { return radices.size(); }
+
+  /// Number of independent sub-FFTs executed in the given stage
+  /// (= N / radices[stage]); e.g. 1024 radix-64 FFTs per stage for the
+  /// paper's plan.
+  [[nodiscard]] u64 sub_ffts_in_stage(std::size_t stage) const;
+
+  /// "64*64*16" style description.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace hemul::ntt

@@ -1,0 +1,119 @@
+#include "ntt/radix2.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "fp/roots.hpp"
+#include "util/check.hpp"
+
+namespace hemul::ntt {
+
+using fp::Fp;
+using fp::FpVec;
+
+Radix2Ntt::Radix2Ntt(u64 n) : n_(n) {
+  HEMUL_CHECK_MSG(n >= 2 && (n & (n - 1)) == 0, "Radix2Ntt: n must be a power of two >= 2");
+  root_ = n >= 64 ? fp::aligned_root(n) : fp::primitive_root(n);
+  const Fp inv_root = root_.inv();
+  for (u64 len = 2; len <= n_; len <<= 1) {
+    fwd_levels_.push_back(fp::power_table(root_.pow(n_ / len), len / 2));
+    inv_levels_.push_back(fp::power_table(inv_root.pow(n_ / len), len / 2));
+  }
+  n_inv_ = fp::inv_of_u64(n);
+}
+
+void Radix2Ntt::bit_reverse(FpVec& data) const {
+  for (u64 i = 1, j = 0; i < n_; ++i) {
+    u64 bit = n_ >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+void Radix2Ntt::dit_sweep(FpVec& data, const std::vector<std::vector<Fp>>& levels) const {
+  for (std::size_t level = 0; level < levels.size(); ++level) {
+    const u64 len = 2ULL << level;
+    const u64 half = len >> 1;
+    const Fp* tw = levels[level].data();
+    for (u64 start = 0; start < n_; start += len) {
+      Fp* lo = data.data() + start;
+      Fp* hi = lo + half;
+      for (u64 k = 0; k < half; ++k) {
+        const Fp t = hi[k] * tw[k];
+        const Fp u = lo[k];
+        lo[k] = u + t;
+        hi[k] = u - t;
+      }
+    }
+  }
+}
+
+void Radix2Ntt::dif_sweep(FpVec& data, const std::vector<std::vector<Fp>>& levels) const {
+  for (std::size_t level = levels.size(); level-- > 0;) {
+    const u64 len = 2ULL << level;
+    const u64 half = len >> 1;
+    const Fp* tw = levels[level].data();
+    for (u64 start = 0; start < n_; start += len) {
+      Fp* lo = data.data() + start;
+      Fp* hi = lo + half;
+      for (u64 k = 0; k < half; ++k) {
+        const Fp u = lo[k];
+        const Fp v = hi[k];
+        lo[k] = u + v;
+        hi[k] = (u - v) * tw[k];
+      }
+    }
+  }
+}
+
+void Radix2Ntt::forward(FpVec& data) const {
+  HEMUL_CHECK(data.size() == n_);
+  bit_reverse(data);
+  dit_sweep(data, fwd_levels_);
+}
+
+void Radix2Ntt::inverse(FpVec& data) const {
+  HEMUL_CHECK(data.size() == n_);
+  bit_reverse(data);
+  dit_sweep(data, inv_levels_);
+  for (auto& v : data) v *= n_inv_;
+}
+
+FpVec Radix2Ntt::convolve(const FpVec& a, const FpVec& b) const {
+  HEMUL_CHECK(a.size() == n_ && b.size() == n_);
+  FpVec fa = a;
+  FpVec fb = b;
+  // DIF leaves spectra in bit-reversed order; the pointwise product is
+  // order-agnostic, and the DIT inverse consumes bit-reversed input
+  // directly -- no permutation passes at all.
+  dif_sweep(fa, fwd_levels_);
+  dif_sweep(fb, fwd_levels_);
+  for (u64 i = 0; i < n_; ++i) fa[i] = fa[i] * fb[i] * n_inv_;
+  dit_sweep(fa, inv_levels_);
+  return fa;
+}
+
+FpVec Radix2Ntt::convolve_square(const FpVec& a) const {
+  HEMUL_CHECK(a.size() == n_);
+  FpVec fa = a;
+  dif_sweep(fa, fwd_levels_);
+  for (u64 i = 0; i < n_; ++i) fa[i] = fa[i] * fa[i] * n_inv_;
+  dit_sweep(fa, inv_levels_);
+  return fa;
+}
+
+const Radix2Ntt& shared_radix2(u64 n) {
+  static std::mutex mutex;
+  static std::map<u64, std::unique_ptr<Radix2Ntt>>& cache =
+      *new std::map<u64, std::unique_ptr<Radix2Ntt>>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_unique<Radix2Ntt>(n)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace hemul::ntt

@@ -1,0 +1,62 @@
+#pragma once
+
+#include "fp/fp64.hpp"
+
+namespace hemul::ntt {
+
+/// Fast in-place iterative radix-2 NTT (the conventional "binary recursive
+/// splitting" the paper contrasts its higher-radix decomposition with; also
+/// the library's fast software path for the SSA golden model).
+///
+/// The transform length is data.size(), a power of two <= 2^32. Roots are
+/// derived internally via fp::aligned_root for lengths >= 64 (so results are
+/// directly comparable with the mixed-radix engine) and fp::primitive_root
+/// otherwise. Twiddle factors are stored contiguously per butterfly level
+/// for cache-friendly streaming.
+class Radix2Ntt {
+ public:
+  /// Prepares twiddle tables for length n.
+  explicit Radix2Ntt(u64 n);
+
+  /// In-place forward transform (natural order in and out).
+  void forward(fp::FpVec& data) const;
+
+  /// In-place inverse transform (including the 1/N scaling).
+  void inverse(fp::FpVec& data) const;
+
+  /// Cyclic convolution of a and b (size n each) through the
+  /// decimation-in-frequency / decimation-in-time pair: no bit-reversal
+  /// passes, 1/N folded into the pointwise product. This is the fast path
+  /// the SSA multiplier uses.
+  [[nodiscard]] fp::FpVec convolve(const fp::FpVec& a, const fp::FpVec& b) const;
+
+  /// Cyclic self-convolution: one forward sweep instead of two.
+  [[nodiscard]] fp::FpVec convolve_square(const fp::FpVec& a) const;
+
+  [[nodiscard]] u64 size() const noexcept { return n_; }
+
+  /// The primitive root the tables were built from.
+  [[nodiscard]] fp::Fp root() const noexcept { return root_; }
+
+ private:
+  /// DIT butterfly sweep; expects bit-reversed input, yields natural order.
+  void dit_sweep(fp::FpVec& data, const std::vector<std::vector<fp::Fp>>& levels) const;
+  /// DIF butterfly sweep; expects natural input, yields bit-reversed order.
+  void dif_sweep(fp::FpVec& data, const std::vector<std::vector<fp::Fp>>& levels) const;
+  void bit_reverse(fp::FpVec& data) const;
+
+  u64 n_;
+  fp::Fp root_;
+  // levels[l] holds the len/2 twiddles of the level with len = 2^(l+1),
+  // contiguously: w^(j * n/len) for j in [0, len/2).
+  std::vector<std::vector<fp::Fp>> fwd_levels_;
+  std::vector<std::vector<fp::Fp>> inv_levels_;
+  fp::Fp n_inv_;
+};
+
+/// Process-wide engine cache: building twiddle tables costs ~n field
+/// multiplications, which matters when many same-size multiplications run
+/// back to back (e.g. FHE workloads). Thread-safe.
+const Radix2Ntt& shared_radix2(u64 n);
+
+}  // namespace hemul::ntt

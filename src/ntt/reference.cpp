@@ -1,0 +1,44 @@
+#include "ntt/reference.hpp"
+
+#include "fp/roots.hpp"
+#include "util/check.hpp"
+
+namespace hemul::ntt {
+
+using fp::Fp;
+using fp::FpVec;
+
+FpVec dft_reference(const FpVec& data, Fp w) {
+  const std::size_t n = data.size();
+  const auto powers = fp::power_table(w, n);
+  FpVec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Fp acc = fp::kZero;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += data[i] * powers[(i * k) % n];
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+FpVec idft_reference(const FpVec& data, Fp w) {
+  FpVec out = dft_reference(data, w.inv());
+  const Fp scale = fp::inv_of_u64(data.size());
+  for (auto& v : out) v *= scale;
+  return out;
+}
+
+FpVec cyclic_convolve_reference(const FpVec& a, const FpVec& b) {
+  HEMUL_CHECK(a.size() == b.size());
+  const std::size_t n = a.size();
+  FpVec out(n, fp::kZero);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out[(i + j) % n] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace hemul::ntt

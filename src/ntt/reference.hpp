@@ -1,0 +1,18 @@
+#pragma once
+
+#include "fp/fp64.hpp"
+
+namespace hemul::ntt {
+
+/// O(N^2) direct number-theoretic DFT, the correctness oracle for every
+/// fast transform in the library:  F[k] = sum_n f[n] * w^(n*k).
+/// `w` must be a primitive root of unity of order data.size().
+fp::FpVec dft_reference(const fp::FpVec& data, fp::Fp w);
+
+/// Direct inverse: f[n] = N^{-1} * sum_k F[k] * w^(-n*k).
+fp::FpVec idft_reference(const fp::FpVec& data, fp::Fp w);
+
+/// O(N^2) cyclic convolution (for validating the convolution theorem).
+fp::FpVec cyclic_convolve_reference(const fp::FpVec& a, const fp::FpVec& b);
+
+}  // namespace hemul::ntt

@@ -1,0 +1,67 @@
+#include "ssa/multiply.hpp"
+
+#include <algorithm>
+
+#include "ntt/radix2.hpp"
+#include "ssa/pack.hpp"
+#include "util/check.hpp"
+
+namespace hemul::ssa {
+
+using bigint::BigUInt;
+using fp::FpVec;
+
+BigUInt multiply(const BigUInt& a, const BigUInt& b, const SsaParams& params, SsaStats* stats) {
+  if (a.is_zero() || b.is_zero()) return BigUInt{};
+
+  FpVec pa = pack(a, params);
+  FpVec pb = pack(b, params);
+
+  if (params.engine == Engine::kMixedRadix) {
+    const ntt::MixedRadixNtt engine(params.plan);
+    ntt::NttOpCounts* counts = stats != nullptr ? &stats->transform_ops : nullptr;
+    FpVec fa = engine.forward(pa, counts);
+    const FpVec fb = engine.forward(pb, counts);
+    for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+    pa = engine.inverse(fa, counts);
+  } else {
+    // Shared engine (twiddle tables cached across calls) and the
+    // bit-reversal-free DIF/DIT convolution path.
+    pa = ntt::shared_radix2(params.transform_size).convolve(pa, pb);
+  }
+
+  if (stats != nullptr) {
+    stats->pointwise_muls += params.transform_size;
+    stats->transform_count += 3;
+  }
+  return carry_recover(pa, params.coeff_bits);
+}
+
+BigUInt mul_ssa(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigUInt{};
+  const std::size_t bits = std::max(a.bit_length(), b.bit_length());
+  return multiply(a, b, SsaParams::for_bits(bits));
+}
+
+BigUInt square(const BigUInt& a, const SsaParams& params, SsaStats* stats) {
+  if (a.is_zero()) return BigUInt{};
+
+  FpVec pa = pack(a, params);
+  if (params.engine == Engine::kMixedRadix) {
+    const ntt::MixedRadixNtt engine(params.plan);
+    ntt::NttOpCounts* counts = stats != nullptr ? &stats->transform_ops : nullptr;
+    FpVec fa = engine.forward(pa, counts);
+    for (auto& v : fa) v *= v;
+    pa = engine.inverse(fa, counts);
+  } else {
+    pa = ntt::shared_radix2(params.transform_size).convolve_square(pa);
+  }
+
+  if (stats != nullptr) {
+    stats->pointwise_muls += params.transform_size;
+    stats->transform_count += 2;  // one forward + one inverse
+  }
+  return carry_recover(pa, params.coeff_bits);
+}
+
+}  // namespace hemul::ssa

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "bigint/biguint.hpp"
+#include "ntt/mixed_radix.hpp"
+#include "ssa/params.hpp"
+
+namespace hemul::ssa {
+
+/// Operation statistics of one SSA multiplication (three transforms plus
+/// the component-wise product), mirroring the work the accelerator
+/// schedules on hardware.
+struct SsaStats {
+  ntt::NttOpCounts transform_ops;  ///< all three NTTs combined
+  u64 pointwise_muls = 0;          ///< component-wise products (paper: 65536)
+  u64 transform_count = 0;         ///< 3 for a full multiplication
+};
+
+/// Schonhage-Strassen multiplication (paper Section III):
+/// pack -> NTT(a), NTT(b) -> component-wise product -> inverse NTT ->
+/// carry recovery. Exact for operands up to params.max_operand_bits().
+bigint::BigUInt multiply(const bigint::BigUInt& a, const bigint::BigUInt& b,
+                         const SsaParams& params, SsaStats* stats = nullptr);
+
+/// Convenience wrapper choosing parameters from the operand sizes.
+bigint::BigUInt mul_ssa(const bigint::BigUInt& a, const bigint::BigUInt& b);
+
+/// Squaring fast path: a single forward transform (the two spectra
+/// coincide), so the cost drops from 3 to 2 transforms -- the same saving
+/// the accelerator realizes when both operands are the same ciphertext
+/// (e.g. the squarings of an exponentiation ladder).
+bigint::BigUInt square(const bigint::BigUInt& a, const SsaParams& params,
+                       SsaStats* stats = nullptr);
+
+}  // namespace hemul::ssa

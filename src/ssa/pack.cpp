@@ -1,0 +1,62 @@
+#include "ssa/pack.hpp"
+
+#include "util/check.hpp"
+
+namespace hemul::ssa {
+
+using bigint::BigUInt;
+using fp::Fp;
+using fp::FpVec;
+
+FpVec pack(const BigUInt& a, const SsaParams& params) {
+  HEMUL_CHECK_MSG(a.bit_length() <= params.max_operand_bits(),
+                  "operand too large for these SSA parameters");
+  const std::size_t m = params.coeff_bits;
+  const u64 mask = (1ULL << m) - 1;
+  FpVec out(params.transform_size, fp::kZero);
+
+  for (u64 i = 0; i < params.num_coeffs; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(i) * m;
+    const std::size_t word = bit / 64;
+    const std::size_t offset = bit % 64;
+    u64 group = a.limb(word) >> offset;
+    if (offset + m > 64) group |= a.limb(word + 1) << (64 - offset);
+    out[i] = Fp::from_canonical(group & mask);
+  }
+  return out;
+}
+
+BigUInt carry_recover(const FpVec& coeffs, std::size_t coeff_bits) {
+  const std::size_t m = coeff_bits;
+  const std::size_t total_bits = coeffs.size() * m + 64;
+  std::vector<u64> acc(total_bits / 64 + 2, 0);
+
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    const u64 value = coeffs[i].value();
+    if (value == 0) continue;
+    const std::size_t bit = i * m;
+    const std::size_t word = bit / 64;
+    const std::size_t offset = bit % 64;
+    const u64 lo = value << offset;
+    const u64 hi = offset == 0 ? 0 : value >> (64 - offset);
+
+    // Two-limb add with carry ripple.
+    u64 carry = 0;
+    u64 s = acc[word] + lo;
+    carry = s < lo ? 1u : 0u;
+    acc[word] = s;
+    s = acc[word + 1] + hi;
+    u64 c2 = s < hi ? 1u : 0u;
+    s += carry;
+    c2 |= s < carry ? 1u : 0u;
+    acc[word + 1] = s;
+    carry = c2;
+    for (std::size_t w = word + 2; carry != 0; ++w) {
+      acc[w] += carry;
+      carry = acc[w] == 0 ? 1u : 0u;
+    }
+  }
+  return BigUInt::from_limbs(std::move(acc));
+}
+
+}  // namespace hemul::ssa

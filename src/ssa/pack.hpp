@@ -1,0 +1,21 @@
+#pragma once
+
+#include "bigint/biguint.hpp"
+#include "fp/fp64.hpp"
+#include "ssa/params.hpp"
+
+namespace hemul::ssa {
+
+/// Operand decomposition (paper Section III, step 1): splits an integer
+/// into `params.num_coeffs` groups of `params.coeff_bits` bits, interpreted
+/// as polynomial coefficients, zero-padded to the transform length.
+/// Requires a.bit_length() <= params.max_operand_bits().
+fp::FpVec pack(const bigint::BigUInt& a, const SsaParams& params);
+
+/// Carry recovery (paper Section III, final step): evaluates the
+/// coefficient vector at x = 2^m via a shifted sum with carry propagation,
+/// i.e. result = sum_i c_i * 2^(m*i). Coefficient values must be canonical
+/// field elements representing exact convolution sums (< p).
+bigint::BigUInt carry_recover(const fp::FpVec& coeffs, std::size_t coeff_bits);
+
+}  // namespace hemul::ssa

@@ -1,0 +1,67 @@
+#include "ssa/params.hpp"
+
+#include <stdexcept>
+
+#include "fp/fp64.hpp"
+#include "util/check.hpp"
+
+namespace hemul::ssa {
+
+namespace {
+
+u64 next_pow2(u64 x) {
+  u64 n = 1;
+  while (n < x) n <<= 1;
+  return n;
+}
+
+/// Exactness bound: num_coeffs * (2^m - 1)^2 < p.
+/// (m <= 31 and num_coeffs <= 2^32 keep the product within 128 bits.)
+bool exact(std::size_t m, u64 num_coeffs) {
+  const u128 max_coeff = (u128{1} << m) - 1;
+  return static_cast<u128>(num_coeffs) * max_coeff * max_coeff < u128{fp::kModulus};
+}
+
+}  // namespace
+
+SsaParams SsaParams::paper() {
+  SsaParams params;
+  params.coeff_bits = 24;
+  params.num_coeffs = 32768;
+  params.transform_size = 65536;
+  params.plan = ntt::NttPlan::paper_64k();
+  params.validate();
+  return params;
+}
+
+SsaParams SsaParams::for_bits(std::size_t operand_bits) {
+  if (operand_bits == 0) throw std::invalid_argument("for_bits: operand_bits must be > 0");
+  // Largest m keeps the transform shortest; scan downward until exact.
+  for (std::size_t m = 26; m >= 4; --m) {
+    const u64 num_coeffs = (operand_bits + m - 1) / m;
+    if (!exact(m, num_coeffs)) continue;
+    SsaParams params;
+    params.coeff_bits = m;
+    params.num_coeffs = num_coeffs;
+    params.transform_size = next_pow2(2 * num_coeffs);
+    params.transform_size = std::max<u64>(params.transform_size, 2);
+    params.plan = ntt::NttPlan::pure_radix2(params.transform_size);
+    params.validate();
+    return params;
+  }
+  throw std::invalid_argument("for_bits: no exact parameterization found");
+}
+
+void SsaParams::validate() const {
+  HEMUL_CHECK_MSG(coeff_bits >= 1 && coeff_bits <= 31, "coefficient width out of range");
+  HEMUL_CHECK_MSG(num_coeffs >= 1, "at least one coefficient");
+  HEMUL_CHECK_MSG(transform_size >= 2 * num_coeffs,
+                  "transform must have 2x headroom for the acyclic product");
+  HEMUL_CHECK_MSG((transform_size & (transform_size - 1)) == 0,
+                  "transform size must be a power of two");
+  HEMUL_CHECK_MSG(plan.size == transform_size, "plan size must match transform size");
+  HEMUL_CHECK_MSG(exact(coeff_bits, num_coeffs),
+                  "coefficient width too large for exact convolution");
+}
+
+}  // namespace hemul::ssa

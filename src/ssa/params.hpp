@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+
+#include "ntt/plan.hpp"
+
+namespace hemul::ssa {
+
+/// Which NTT engine executes the transforms of an SSA multiplication.
+enum class Engine {
+  kRadix2Fast,  ///< iterative radix-2 software path (fast golden model)
+  kMixedRadix,  ///< Cooley-Tukey plan engine (paper Eq. 2 staging)
+};
+
+/// Parameters of one Schonhage-Strassen multiplication instance.
+///
+/// The paper's setting: 786,432-bit operands split into 32K coefficients of
+/// m = 24 bits, transformed with a 64K-point NTT (the extra 2x headroom
+/// holds the full acyclic product). Exactness requires every convolution
+/// coefficient to stay below p:
+///     num_coeffs * (2^m - 1)^2 < p,
+/// which holds with 2^15 * (2^24 - 1)^2 < 2^63 < p.
+struct SsaParams {
+  std::size_t coeff_bits = 0;  ///< m: bits per polynomial coefficient
+  u64 num_coeffs = 0;          ///< operand coefficients (before padding)
+  u64 transform_size = 0;      ///< N: NTT length, power of two >= 2*num_coeffs
+  ntt::NttPlan plan;           ///< stage decomposition for the mixed-radix engine
+  Engine engine = Engine::kRadix2Fast;
+
+  /// The paper's configuration: 786,432-bit operands, m = 24, N = 64K,
+  /// plan 64*64*16.
+  static SsaParams paper();
+
+  /// Chooses the largest exact coefficient width for the given operand size
+  /// and a matching power-of-two transform length.
+  /// Throws std::invalid_argument if operand_bits == 0.
+  static SsaParams for_bits(std::size_t operand_bits);
+
+  /// Maximum operand size this instance can multiply exactly.
+  [[nodiscard]] std::size_t max_operand_bits() const noexcept {
+    return coeff_bits * static_cast<std::size_t>(num_coeffs);
+  }
+
+  /// Verifies the exactness and padding conditions; throws std::logic_error
+  /// on violation.
+  void validate() const;
+};
+
+}  // namespace hemul::ssa

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+// HEMUL_CHECK: always-on invariant check (independent of NDEBUG).
+//
+// The hardware-model layers rely on these checks to enforce datapath
+// invariants the paper states (e.g. "no intermediate value can exceed
+// 192 bits", bank-conflict freedom). Violations indicate a modeling bug,
+// so they throw std::logic_error rather than abort, which lets the test
+// suite assert on them. Encapsulating the one macro here follows
+// C++ Core Guidelines P.11 (encapsulate messy constructs).
+
+namespace hemul::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::logic_error(std::string("HEMUL_CHECK failed: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : (" - " + msg)));
+}
+
+}  // namespace hemul::util
+
+#define HEMUL_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) ::hemul::util::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define HEMUL_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::hemul::util::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,52 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace hemul::util {
+
+std::string with_commas(u64 value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return buf.data();
+}
+
+std::string format_time_ns(double ns) {
+  if (ns < 1e3) return format_fixed(ns, 1) + " ns";
+  if (ns < 1e6) return format_fixed(ns / 1e3, 1) + " us";
+  if (ns < 1e9) return format_fixed(ns / 1e6, 1) + " ms";
+  return format_fixed(ns / 1e9, 2) + " s";
+}
+
+std::string format_percent(double fraction) {
+  return format_fixed(fraction * 100.0, 1) + "%";
+}
+
+std::string format_bits(u64 bits) {
+  if (bits >= 1024ULL * 1024 && bits % (1024ULL * 1024) == 0)
+    return std::to_string(bits / (1024ULL * 1024)) + " Mbit";
+  if (bits >= 1024ULL * 1024) return format_fixed(double(bits) / (1024.0 * 1024.0), 1) + " Mbit";
+  if (bits >= 1024) return format_fixed(double(bits) / 1024.0, 1) + " Kbit";
+  return std::to_string(bits) + " bit";
+}
+
+std::string hex64(u64 value) {
+  std::array<char, 17> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx", static_cast<unsigned long long>(value));
+  return buf.data();
+}
+
+}  // namespace hemul::util

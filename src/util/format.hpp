@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "util/uint128.hpp"
+
+namespace hemul::util {
+
+/// "12345678" -> "12,345,678" (thousands separators, for table output).
+std::string with_commas(u64 value);
+
+/// Fixed-point decimal string, e.g. format_fixed(30.72, 1) == "30.7".
+std::string format_fixed(double value, int decimals);
+
+/// Duration in nanoseconds rendered with an appropriate unit
+/// ("5 ns", "30.7 us", "1.2 ms", "3.1 s").
+std::string format_time_ns(double ns);
+
+/// Percentage with one decimal, e.g. "39.6%".
+std::string format_percent(double fraction);
+
+/// Bit count rendered as "8 Mbit" / "256 Kbit" / "512 bit".
+std::string format_bits(u64 bits);
+
+/// Lower-case hex (no 0x prefix) of a 64-bit value, zero padded to 16 chars.
+std::string hex64(u64 value);
+
+}  // namespace hemul::util

@@ -1,0 +1,69 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace hemul::util {
+
+namespace {
+
+constexpr u64 splitmix64(u64& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(u64 seed) noexcept {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+u64 Rng::next() noexcept {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::below(u64 bound) noexcept {
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  u128 m = mul_wide(next(), bound);
+  auto lo = static_cast<u64>(m);
+  if (lo < bound) {
+    const u64 threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = mul_wide(next(), bound);
+      lo = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+u64 Rng::range(u64 lo, u64 hi) noexcept {
+  const u64 span = hi - lo + 1;
+  return span == 0 ? next() : lo + below(span);
+}
+
+u64 Rng::bits(unsigned bits) noexcept {
+  if (bits >= 64) return next() | (1ULL << 63);
+  const u64 top = 1ULL << (bits - 1);
+  return top | (next() & (top - 1));
+}
+
+std::vector<u64> Rng::vec(std::size_t n) {
+  std::vector<u64> out(n);
+  for (auto& v : out) v = next();
+  return out;
+}
+
+}  // namespace hemul::util

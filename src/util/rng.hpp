@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/uint128.hpp"
+
+namespace hemul::util {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via splitmix64).
+///
+/// All tests and benchmarks use this generator so that every run of the
+/// suite exercises identical inputs; no global state is involved.
+class Rng {
+ public:
+  explicit Rng(u64 seed) noexcept;
+
+  /// Uniform 64-bit value.
+  u64 next() noexcept;
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  u64 below(u64 bound) noexcept;
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  u64 range(u64 lo, u64 hi) noexcept;
+
+  /// Uniform value with exactly `bits` significant bits (top bit set),
+  /// bits in [1,64].
+  u64 bits(unsigned bits) noexcept;
+
+  /// true with probability 1/2.
+  bool flip() noexcept { return (next() & 1u) != 0; }
+
+  ///
+
+  /// Vector of `n` uniform 64-bit values.
+  std::vector<u64> vec(std::size_t n);
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace hemul::util

@@ -1,0 +1,49 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hemul::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HEMUL_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  HEMUL_CHECK_MSG(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      width[c] = std::max(width[c], row.cells[c].size());
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (const auto w : width) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  }();
+
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule + emit(header_) + rule;
+  for (const auto& row : rows_) out += row.separator ? rule : emit(row.cells);
+  out += rule;
+  return out;
+}
+
+}  // namespace hemul::util

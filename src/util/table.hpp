@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hemul::util {
+
+/// Minimal ASCII table printer used by the benchmark harnesses to render
+/// the paper's tables (Table I, Table II, and the ablation/scaling tables).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one body row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line between body rows.
+  void add_separator();
+
+  /// Renders the table with column alignment and border rows.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hemul::util

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+// Thin encapsulation of the compiler's 128-bit integer extension
+// (C++ Core Guidelines P.11). All 128-bit arithmetic in the library goes
+// through this alias so a portable fallback could be swapped in behind a
+// single header.
+
+namespace hemul {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+#if defined(__SIZEOF_INT128__)
+__extension__ typedef unsigned __int128 u128;  // NOLINT: __extension__ silences -Wpedantic
+__extension__ typedef __int128 i128;
+#else
+#error "hemul requires a compiler with __int128 support (gcc/clang)"
+#endif
+
+/// Full 64x64 -> 128 bit product.
+constexpr u128 mul_wide(u64 a, u64 b) noexcept { return static_cast<u128>(a) * b; }
+
+/// High 64 bits of a 64x64 product.
+constexpr u64 mul_hi(u64 a, u64 b) noexcept {
+  return static_cast<u64>(mul_wide(a, b) >> 64);
+}
+
+}  // namespace hemul

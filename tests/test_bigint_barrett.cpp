@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "bigint/barrett.hpp"
+#include "bigint/mul.hpp"
+#include "ssa/multiply.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::bigint {
+namespace {
+
+TEST(Barrett, RejectsTinyModulus) {
+  EXPECT_THROW(BarrettReducer(BigUInt{0}), std::invalid_argument);
+  EXPECT_THROW(BarrettReducer(BigUInt{1}), std::invalid_argument);
+  EXPECT_NO_THROW(BarrettReducer(BigUInt{2}));
+}
+
+TEST(Barrett, SmallKnownValues) {
+  const BarrettReducer red(BigUInt{97});
+  EXPECT_EQ(red.reduce(BigUInt{0}), BigUInt{0});
+  EXPECT_EQ(red.reduce(BigUInt{96}), BigUInt{96});
+  EXPECT_EQ(red.reduce(BigUInt{97}), BigUInt{0});
+  EXPECT_EQ(red.reduce(BigUInt{98}), BigUInt{1});
+  EXPECT_EQ(red.reduce(BigUInt{96 * 96}), BigUInt{(96 * 96) % 97});
+}
+
+TEST(Barrett, InputBoundChecked) {
+  const BarrettReducer red(BigUInt{97});
+  EXPECT_THROW((void)red.reduce(BigUInt{97 * 97}), std::logic_error);
+}
+
+class BarrettSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BarrettSweep, ReduceMatchesDivision) {
+  const std::size_t bits = GetParam();
+  util::Rng rng(bits);
+  for (int rep = 0; rep < 5; ++rep) {
+    const BigUInt m = BigUInt::random_bits(rng, bits);
+    if (m < BigUInt{2}) continue;
+    const BarrettReducer red(m);
+    // x uniform below m^2.
+    const BigUInt x = BigUInt::random_below(rng, mul_auto(m, m));
+    EXPECT_EQ(red.reduce(x), x % m);
+  }
+}
+
+TEST_P(BarrettSweep, ModMulMatchesDivision) {
+  const std::size_t bits = GetParam();
+  util::Rng rng(bits ^ 0xB);
+  const BigUInt m = BigUInt::random_bits(rng, bits);
+  const BarrettReducer red(m);
+  for (int rep = 0; rep < 5; ++rep) {
+    const BigUInt a = BigUInt::random_below(rng, m);
+    const BigUInt b = BigUInt::random_below(rng, m);
+    EXPECT_EQ(red.mod_mul(a, b), mul_auto(a, b) % m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BarrettSweep,
+                         ::testing::Values(2, 63, 64, 65, 128, 1000, 4096, 10000));
+
+TEST(Barrett, EdgeResiduesNearCorrection) {
+  // Values just below m^2 exercise the final correction loop.
+  util::Rng rng(42);
+  const BigUInt m = BigUInt::random_bits(rng, 256);
+  const BarrettReducer red(m);
+  const BigUInt m2 = mul_auto(m, m);
+  for (u64 delta = 1; delta <= 5; ++delta) {
+    const BigUInt x = m2 - BigUInt{delta};
+    EXPECT_EQ(red.reduce(x), x % m);
+  }
+}
+
+TEST(Barrett, ModPow) {
+  const BarrettReducer red(BigUInt{1000000007});
+  // 2^10 = 1024; 3^0 = 1; 5^1 = 5.
+  EXPECT_EQ(red.mod_pow(BigUInt{2}, BigUInt{10}), BigUInt{1024});
+  EXPECT_EQ(red.mod_pow(BigUInt{3}, BigUInt{0}), BigUInt{1});
+  EXPECT_EQ(red.mod_pow(BigUInt{5}, BigUInt{1}), BigUInt{5});
+  // Fermat: a^(p-1) = 1 mod prime p.
+  EXPECT_EQ(red.mod_pow(BigUInt{123456}, BigUInt{1000000006}), BigUInt{1});
+}
+
+TEST(Barrett, ModPowLarge) {
+  util::Rng rng(7);
+  const BigUInt m = BigUInt::random_bits(rng, 512);
+  const BarrettReducer red(m);
+  const BigUInt a = BigUInt::random_below(rng, m);
+  // a^16 via mod_pow vs iterated squaring through plain division.
+  BigUInt expected = a;
+  for (int i = 0; i < 4; ++i) expected = mul_auto(expected, expected) % m;
+  EXPECT_EQ(red.mod_pow(a, BigUInt{16}), expected);
+}
+
+TEST(Barrett, PluggableMultiplierBackend) {
+  util::Rng rng(9);
+  const BigUInt m = BigUInt::random_bits(rng, 2000);
+  BarrettReducer red(m);
+  red.set_multiplier([](const BigUInt& a, const BigUInt& b) { return ssa::mul_ssa(a, b); });
+  const BigUInt a = BigUInt::random_below(rng, m);
+  const BigUInt b = BigUInt::random_below(rng, m);
+  EXPECT_EQ(red.mod_mul(a, b), mul_auto(a, b) % m);
+  // mod_mul = 1 product + 2 reduction multiplications.
+  EXPECT_EQ(red.multiplications_used(), 3u);
+}
+
+TEST(Barrett, MuIsPrecomputedDivision) {
+  const BigUInt m = BigUInt::from_dec("123456789123456789");
+  const BarrettReducer red(m);
+  EXPECT_EQ(red.mu(), BigUInt::pow2(128) / m);
+}
+
+}  // namespace
+}  // namespace hemul::bigint

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.hpp"
+#include "bigint/div.hpp"
+#include "bigint/mul.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::bigint {
+namespace {
+
+TEST(DivSmall, KnownValues) {
+  auto [q, r] = divmod_small(BigUInt{100}, 7);
+  EXPECT_EQ(q, BigUInt{14});
+  EXPECT_EQ(r, 2u);
+  EXPECT_THROW(divmod_small(BigUInt{1}, 0), std::domain_error);
+}
+
+TEST(DivKnuth, TrivialCases) {
+  const BigUInt a{100};
+  const BigUInt b{7};
+  EXPECT_EQ(a / b, BigUInt{14});
+  EXPECT_EQ(a % b, BigUInt{2});
+  EXPECT_EQ(b / a, BigUInt{});   // divisor larger than dividend
+  EXPECT_EQ(b % a, b);
+  EXPECT_EQ(a / a, BigUInt{1});  // equal operands
+  EXPECT_EQ(a % a, BigUInt{});
+  EXPECT_THROW(a / BigUInt{}, std::domain_error);
+}
+
+TEST(DivKnuth, PowerOfTwoDivisorsMatchShifts) {
+  util::Rng rng(11);
+  const BigUInt x = BigUInt::random_bits(rng, 2000);
+  for (const std::size_t s : {1u, 63u, 64u, 65u, 700u}) {
+    EXPECT_EQ(x / BigUInt::pow2(s), x >> s) << s;
+  }
+}
+
+// The fundamental invariant a = q*b + r with 0 <= r < b, over a wide
+// dividend/divisor size grid.
+struct DivCase {
+  std::size_t dividend_bits;
+  std::size_t divisor_bits;
+};
+
+class DivInvariant : public ::testing::TestWithParam<DivCase> {};
+
+TEST_P(DivInvariant, QuotientRemainderReconstruct) {
+  const auto [na, nb] = GetParam();
+  util::Rng rng(na * 1000 + nb);
+  for (int i = 0; i < 10; ++i) {
+    const BigUInt a = BigUInt::random_bits(rng, na);
+    const BigUInt b = BigUInt::random_bits(rng, nb);
+    const auto [q, r] = divmod_knuth(a, b);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(mul_auto(q, b) + r, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeGrid, DivInvariant,
+    ::testing::Values(DivCase{64, 64}, DivCase{128, 64}, DivCase{128, 65},
+                      DivCase{256, 128}, DivCase{1000, 100}, DivCase{1000, 999},
+                      DivCase{1000, 1000}, DivCase{1001, 1000}, DivCase{4096, 128},
+                      DivCase{4096, 4000}, DivCase{10000, 5000}, DivCase{20000, 19999}));
+
+TEST(DivKnuth, AddBackCornerCase) {
+  // Classic Algorithm D stress: dividend/divisor patterns engineered so the
+  // qhat estimate overshoots and step D6 (add back) must fire. The pattern
+  // u = [0, all-ones, high-half] over v = [all-ones, high-half] is the
+  // standard trigger (cf. Hacker's Delight 9-2 test vectors).
+  const u64 ones = ~0ULL;
+  const u64 high = 1ULL << 63;
+  const BigUInt u = BigUInt::from_limbs({0, ones, high - 1});
+  const BigUInt v = BigUInt::from_limbs({ones, high});
+  const auto [q, r] = divmod_knuth(u, v);
+  EXPECT_EQ(mul_auto(q, v) + r, u);
+  EXPECT_LT(r, v);
+}
+
+TEST(DivKnuth, QhatSaturationCase) {
+  // Top dividend digit equal to the top divisor digit drives qhat to the
+  // 2^64-1 saturation path.
+  const u64 top = 0x8000000000000000ULL;
+  const BigUInt u = BigUInt::from_limbs({123, 456, top});
+  const BigUInt v = BigUInt::from_limbs({789, top});
+  const auto [q, r] = divmod_knuth(u, v);
+  EXPECT_EQ(mul_auto(q, v) + r, u);
+  EXPECT_LT(r, v);
+}
+
+TEST(DivKnuth, ExactDivision) {
+  util::Rng rng(13);
+  const BigUInt b = BigUInt::random_bits(rng, 777);
+  const BigUInt q0 = BigUInt::random_bits(rng, 500);
+  const BigUInt a = mul_auto(b, q0);
+  const auto [q, r] = divmod_knuth(a, b);
+  EXPECT_EQ(q, q0);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(ModCentered, SmallValues) {
+  const BigUInt m{10};
+  // 3 mod 10 -> +3 ; 7 mod 10 -> -3 ; 5 mod 10 -> +5 (boundary inclusive).
+  auto r3 = mod_centered(BigUInt{3}, m);
+  EXPECT_EQ(r3.magnitude, BigUInt{3});
+  EXPECT_FALSE(r3.negative);
+  auto r7 = mod_centered(BigUInt{7}, m);
+  EXPECT_EQ(r7.magnitude, BigUInt{3});
+  EXPECT_TRUE(r7.negative);
+  auto r5 = mod_centered(BigUInt{5}, m);
+  EXPECT_EQ(r5.magnitude, BigUInt{5});
+  EXPECT_FALSE(r5.negative);
+}
+
+TEST(ModCentered, ReconstructsResidue) {
+  util::Rng rng(15);
+  const BigUInt m = BigUInt::random_bits(rng, 300);
+  for (int i = 0; i < 20; ++i) {
+    const BigUInt a = BigUInt::random_bits(rng, 900);
+    const auto c = mod_centered(a, m);
+    const BigUInt plain = a % m;
+    if (c.negative) {
+      EXPECT_EQ(m - c.magnitude, plain);
+    } else {
+      EXPECT_EQ(c.magnitude, plain);
+    }
+    // Centered magnitude never exceeds m/2 (2*mag <= m).
+    BigUInt twice = c.magnitude;
+    twice <<= 1;
+    EXPECT_LE(twice, m);
+  }
+}
+
+TEST(DivDecimal, LargeRoundTrip) {
+  // End-to-end decimal conversion uses division internally.
+  util::Rng rng(19);
+  const BigUInt x = BigUInt::random_bits(rng, 4000);
+  EXPECT_EQ(BigUInt::from_dec(x.to_dec()), x);
+}
+
+}  // namespace
+}  // namespace hemul::bigint

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.hpp"
+#include "bigint/mul.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::bigint {
+namespace {
+
+TEST(MulSchoolbook, KnownValues) {
+  EXPECT_EQ(mul_schoolbook(BigUInt{6}, BigUInt{7}), BigUInt{42});
+  EXPECT_EQ(mul_schoolbook(BigUInt{}, BigUInt{7}), BigUInt{});
+  EXPECT_EQ(mul_schoolbook(BigUInt{7}, BigUInt{}), BigUInt{});
+  EXPECT_EQ(mul_schoolbook(BigUInt{1}, BigUInt{7}), BigUInt{7});
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const BigUInt max64 = BigUInt::from_hex("ffffffffffffffff");
+  EXPECT_EQ(mul_schoolbook(max64, max64),
+            BigUInt::pow2(128) - BigUInt::pow2(65) + BigUInt{1});
+}
+
+TEST(MulSchoolbook, PowersOfTwo) {
+  for (std::size_t i : {0u, 1u, 63u, 64u, 100u}) {
+    for (std::size_t j : {0u, 1u, 63u, 64u, 100u}) {
+      EXPECT_EQ(mul_schoolbook(BigUInt::pow2(i), BigUInt::pow2(j)), BigUInt::pow2(i + j));
+    }
+  }
+}
+
+TEST(MulSchoolbook, DecimalCrossCheck) {
+  const BigUInt a = BigUInt::from_dec("123456789012345678901234567890");
+  const BigUInt b = BigUInt::from_dec("987654321098765432109876543210");
+  EXPECT_EQ(mul_schoolbook(a, b).to_dec(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+// Karatsuba and Toom-3 must agree with schoolbook across a size sweep that
+// straddles their recursion thresholds.
+class MulAlgorithms : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MulAlgorithms, KaratsubaMatchesSchoolbook) {
+  const std::size_t bits = GetParam();
+  util::Rng rng(bits * 31 + 1);
+  for (int i = 0; i < 3; ++i) {
+    const BigUInt a = BigUInt::random_bits(rng, bits);
+    const BigUInt b = BigUInt::random_bits(rng, bits);
+    EXPECT_EQ(mul_karatsuba(a, b), mul_schoolbook(a, b));
+  }
+}
+
+TEST_P(MulAlgorithms, Toom3MatchesSchoolbook) {
+  const std::size_t bits = GetParam();
+  util::Rng rng(bits * 37 + 2);
+  for (int i = 0; i < 3; ++i) {
+    const BigUInt a = BigUInt::random_bits(rng, bits);
+    const BigUInt b = BigUInt::random_bits(rng, bits);
+    EXPECT_EQ(mul_toom3(a, b), mul_schoolbook(a, b));
+  }
+}
+
+TEST_P(MulAlgorithms, UnbalancedOperands) {
+  const std::size_t bits = GetParam();
+  util::Rng rng(bits * 41 + 3);
+  const BigUInt a = BigUInt::random_bits(rng, bits);
+  const BigUInt b = BigUInt::random_bits(rng, bits / 3 + 1);
+  const BigUInt expected = mul_schoolbook(a, b);
+  EXPECT_EQ(mul_karatsuba(a, b), expected);
+  EXPECT_EQ(mul_toom3(a, b), expected);
+  EXPECT_EQ(mul_auto(a, b), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSizes, MulAlgorithms,
+                         ::testing::Values(64, 128, 1000, 1536, 2048, 4096, 8192, 16384,
+                                           20000, 40000));
+
+TEST(MulAlgorithms, ThresholdBoundaries) {
+  // Exercise operand sizes right at the dispatcher thresholds.
+  util::Rng rng(17);
+  for (const std::size_t limbs :
+       {kKaratsubaThresholdLimbs - 1, kKaratsubaThresholdLimbs, kKaratsubaThresholdLimbs + 1,
+        kToom3ThresholdLimbs - 1, kToom3ThresholdLimbs, kToom3ThresholdLimbs + 1}) {
+    const BigUInt a = BigUInt::random_bits(rng, limbs * 64);
+    const BigUInt b = BigUInt::random_bits(rng, limbs * 64);
+    EXPECT_EQ(mul_auto(a, b), mul_schoolbook(a, b)) << limbs << " limbs";
+  }
+}
+
+TEST(MulProperties, SquareOfSumIdentity) {
+  // (a+b)^2 = a^2 + 2ab + b^2 exercises add/mul interplay.
+  util::Rng rng(23);
+  const BigUInt a = BigUInt::random_bits(rng, 5000);
+  const BigUInt b = BigUInt::random_bits(rng, 5000);
+  const BigUInt lhs = mul_auto(a + b, a + b);
+  const BigUInt ab = mul_auto(a, b);
+  EXPECT_EQ(lhs, mul_auto(a, a) + (ab << 1) + mul_auto(b, b));
+}
+
+TEST(MulProperties, Distributivity) {
+  util::Rng rng(29);
+  const BigUInt a = BigUInt::random_bits(rng, 3000);
+  const BigUInt b = BigUInt::random_bits(rng, 2500);
+  const BigUInt c = BigUInt::random_bits(rng, 2000);
+  EXPECT_EQ(mul_auto(a, b + c), mul_auto(a, b) + mul_auto(a, c));
+}
+
+TEST(MulProperties, Associativity) {
+  util::Rng rng(31);
+  const BigUInt a = BigUInt::random_bits(rng, 1200);
+  const BigUInt b = BigUInt::random_bits(rng, 1100);
+  const BigUInt c = BigUInt::random_bits(rng, 1000);
+  EXPECT_EQ(mul_auto(mul_auto(a, b), c), mul_auto(a, mul_auto(b, c)));
+}
+
+TEST(MulEdgeCases, AllOnesPatterns) {
+  // Operands of all-ones maximize internal carries in every algorithm.
+  for (const std::size_t bits : {64u, 127u, 1536u, 4096u, 12000u}) {
+    const BigUInt ones = BigUInt::pow2(bits) - BigUInt{1};
+    const BigUInt expected = mul_schoolbook(ones, ones);
+    EXPECT_EQ(mul_karatsuba(ones, ones), expected);
+    EXPECT_EQ(mul_toom3(ones, ones), expected);
+    // (2^n - 1)^2 = 2^(2n) - 2^(n+1) + 1
+    EXPECT_EQ(expected, BigUInt::pow2(2 * bits) - BigUInt::pow2(bits + 1) + BigUInt{1});
+  }
+}
+
+TEST(MulEdgeCases, SparseOperands) {
+  // Mostly-zero limbs stress the Toom-3 signed interpolation.
+  BigUInt a = BigUInt::pow2(40000) + BigUInt{1};
+  BigUInt b = BigUInt::pow2(35000) + BigUInt::pow2(17);
+  const BigUInt expected =
+      BigUInt::pow2(75000) + BigUInt::pow2(40017) + BigUInt::pow2(35000) + BigUInt::pow2(17);
+  EXPECT_EQ(mul_toom3(a, b), expected);
+  EXPECT_EQ(mul_karatsuba(a, b), expected);
+}
+
+}  // namespace
+}  // namespace hemul::bigint

@@ -1,0 +1,115 @@
+// Systematic misuse tests: every public API that declares a precondition
+// must reject its violation loudly (std::logic_error from HEMUL_CHECK,
+// std::invalid_argument / std::domain_error from constructors), never
+// corrupt state or return garbage.
+
+#include <gtest/gtest.h>
+
+#include "bigint/barrett.hpp"
+#include "bigint/mul.hpp"
+#include "core/accelerator.hpp"
+#include "fhe/dghv.hpp"
+#include "hw/accel/accelerator.hpp"
+#include "hw/memory/banked_buffer.hpp"
+#include "hw/pe/processing_element.hpp"
+#include "ssa/pack.hpp"
+#include "util/rng.hpp"
+
+namespace hemul {
+namespace {
+
+TEST(FailureInjection, BankedBufferBounds) {
+  hw::BankedBuffer buf;
+  EXPECT_THROW((void)buf.map(4096), std::logic_error);
+  EXPECT_THROW((void)buf.peek(99999), std::logic_error);
+  EXPECT_THROW(buf.poke(4096, fp::kOne), std::logic_error);
+  const fp::FpVec too_big(4097, fp::kZero);
+  EXPECT_THROW(buf.load(too_big), std::logic_error);
+  EXPECT_THROW((void)buf.dump(4097), std::logic_error);
+}
+
+TEST(FailureInjection, BankedBufferBatchArity) {
+  hw::BankedBuffer buf;
+  const std::vector<unsigned> seven(7, 0);
+  EXPECT_THROW((void)buf.read8(seven), std::logic_error);
+  const std::vector<unsigned> eight(8, 0);
+  const std::vector<fp::Fp> four(4, fp::kZero);
+  EXPECT_THROW(buf.write8(eight, four), std::logic_error);
+}
+
+TEST(FailureInjection, ProcessingElementAlignment) {
+  hw::ProcessingElement pe(0, hw::ProcessingElement::Config{});
+  const fp::FpVec data(64, fp::kZero);
+  EXPECT_THROW(pe.fill(3, data), std::logic_error);           // unaligned offset
+  EXPECT_THROW((void)pe.run_fft(13, 64, {}), std::logic_error);  // unaligned window
+  const fp::FpVec twiddles(5, fp::kOne);
+  EXPECT_THROW((void)pe.run_fft(0, 64, twiddles), std::logic_error);  // arity
+}
+
+TEST(FailureInjection, SsaPackOversizeAndParamAbuse) {
+  const ssa::SsaParams params = ssa::SsaParams::for_bits(128);
+  util::Rng rng(1);
+  EXPECT_THROW((void)ssa::pack(bigint::BigUInt::random_bits(rng, 10000), params),
+               std::logic_error);
+
+  ssa::SsaParams broken = params;
+  broken.transform_size = 3;  // not a power of two
+  EXPECT_THROW(broken.validate(), std::logic_error);
+  broken = params;
+  broken.coeff_bits = 0;
+  EXPECT_THROW(broken.validate(), std::logic_error);
+}
+
+TEST(FailureInjection, DistributedNttConfigRejection) {
+  // PE count not a power of two.
+  hw::DistributedNttConfig config;
+  config.num_pes = 3;
+  EXPECT_THROW(hw::DistributedNtt{config}, std::invalid_argument);
+  // Input size mismatch at run time.
+  hw::DistributedNtt engine{hw::DistributedNttConfig{}};
+  const fp::FpVec wrong(100, fp::kZero);
+  EXPECT_THROW((void)engine.forward(wrong), std::logic_error);
+}
+
+TEST(FailureInjection, AcceleratorOperandTooLarge) {
+  hw::HwAccelerator accel(hw::AcceleratorConfig::paper());
+  util::Rng rng(2);
+  const auto oversized = bigint::BigUInt::random_bits(rng, 786433);
+  const auto ok = bigint::BigUInt::random_bits(rng, 1000);
+  EXPECT_THROW((void)accel.multiply(oversized, ok), std::logic_error);
+  EXPECT_THROW((void)accel.square(oversized), std::logic_error);
+}
+
+TEST(FailureInjection, BigIntArithmeticGuards) {
+  EXPECT_THROW(bigint::BigUInt{3} - bigint::BigUInt{5}, std::underflow_error);
+  EXPECT_THROW(bigint::BigUInt{3} / bigint::BigUInt{}, std::domain_error);
+  EXPECT_THROW(bigint::BigUInt{3} % bigint::BigUInt{}, std::domain_error);
+  EXPECT_THROW(bigint::BarrettReducer{bigint::BigUInt{1}}, std::invalid_argument);
+}
+
+TEST(FailureInjection, DghvParameterAbuse) {
+  fhe::DghvParams p = fhe::DghvParams::toy();
+  p.gamma = p.eta;  // no room for q0
+  EXPECT_THROW(fhe::Dghv(p, 1), std::invalid_argument);
+}
+
+TEST(FailureInjection, CoreConfigValidation) {
+  core::Config config = core::Config::paper();
+  config.hardware.ntt.num_pes = 8;  // illegal for the 3-stage plan
+  EXPECT_THROW(core::Accelerator{config}, std::invalid_argument);
+}
+
+TEST(FailureInjection, StateSurvivesRejectedCalls) {
+  // A rejected call must not corrupt the accelerator: the next valid call
+  // still produces bit-exact results.
+  hw::HwAccelerator accel(hw::AcceleratorConfig::paper());
+  util::Rng rng(3);
+  const auto oversized = bigint::BigUInt::random_bits(rng, 900000);
+  const auto a = bigint::BigUInt::random_bits(rng, 5000);
+  const auto b = bigint::BigUInt::random_bits(rng, 5000);
+  EXPECT_THROW((void)accel.multiply(oversized, b), std::logic_error);
+  EXPECT_EQ(accel.multiply(a, b), bigint::mul_schoolbook(a, b));
+}
+
+}  // namespace
+}  // namespace hemul

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "bigint/mul.hpp"
+#include "fhe/dghv.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::fhe {
+namespace {
+
+TEST(DghvParams, PresetsValidate) {
+  EXPECT_NO_THROW(DghvParams::toy().validate());
+  EXPECT_NO_THROW(DghvParams::medium().validate());
+  EXPECT_NO_THROW(DghvParams::small_paper().validate());
+}
+
+TEST(DghvParams, PaperSettingUsesAcceleratorOperandSize) {
+  // The whole point of the workload: ciphertexts are 786,432-bit integers.
+  EXPECT_EQ(DghvParams::small_paper().gamma, 786432u);
+}
+
+TEST(DghvParams, ValidationCatchesBadConfigs) {
+  DghvParams p = DghvParams::toy();
+  p.tau = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DghvParams::toy();
+  p.eta = p.gamma;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DghvParams::toy();
+  p.rho = p.eta;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Dghv, KeyGenerationStructure) {
+  const Dghv scheme(DghvParams::toy(), 1);
+  const auto& pk = scheme.public_key();
+  EXPECT_EQ(pk.x.size(), DghvParams::toy().tau);
+  EXPECT_TRUE(pk.x0.is_odd());
+  EXPECT_EQ(pk.x0.bit_length(), DghvParams::toy().gamma);
+  EXPECT_TRUE(scheme.secret_key().is_odd());
+  EXPECT_EQ(scheme.secret_key().bit_length(), DghvParams::toy().eta);
+  // x0 is an exact multiple of p (CMNT variant).
+  EXPECT_TRUE((pk.x0 % scheme.secret_key()).is_zero());
+}
+
+class DghvRoundTrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DghvRoundTrip, EncryptDecrypt) {
+  Dghv scheme(DghvParams::toy(), GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const bool m = (i % 2) == 0;
+    const Ciphertext c = scheme.encrypt(m);
+    EXPECT_EQ(scheme.decrypt(c), m);
+    EXPECT_LT(c.value, scheme.public_key().x0);
+  }
+}
+
+TEST_P(DghvRoundTrip, CiphertextsAreRandomized) {
+  Dghv scheme(DghvParams::toy(), GetParam() ^ 0xAA);
+  const Ciphertext c1 = scheme.encrypt(true);
+  const Ciphertext c2 = scheme.encrypt(true);
+  EXPECT_NE(c1.value, c2.value);  // fresh randomness per encryption
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DghvRoundTrip, ::testing::Values(1, 2, 3, 99));
+
+TEST(Dghv, HomomorphicXor) {
+  Dghv scheme(DghvParams::toy(), 7);
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      const Ciphertext ca = scheme.encrypt(a);
+      const Ciphertext cb = scheme.encrypt(b);
+      EXPECT_EQ(scheme.decrypt(scheme.add(ca, cb)), a != b) << a << " " << b;
+    }
+  }
+}
+
+TEST(Dghv, HomomorphicAnd) {
+  Dghv scheme(DghvParams::toy(), 8);
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      const Ciphertext ca = scheme.encrypt(a);
+      const Ciphertext cb = scheme.encrypt(b);
+      EXPECT_EQ(scheme.decrypt(scheme.multiply(ca, cb)), a && b) << a << " " << b;
+    }
+  }
+}
+
+TEST(Dghv, CompositeCircuit) {
+  // Majority-of-three: maj(a,b,c) = ab ^ bc ^ ca.
+  Dghv scheme(DghvParams::toy(), 9);
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool a = bits & 1;
+    const bool b = bits & 2;
+    const bool c = bits & 4;
+    const Ciphertext ca = scheme.encrypt(a);
+    const Ciphertext cb = scheme.encrypt(b);
+    const Ciphertext cc = scheme.encrypt(c);
+    const Ciphertext result = scheme.add(
+        scheme.add(scheme.multiply(ca, cb), scheme.multiply(cb, cc)),
+        scheme.multiply(cc, ca));
+    const bool expected = (a && b) != ((b && c) != (c && a));
+    EXPECT_EQ(scheme.decrypt(result), expected) << bits;
+  }
+}
+
+TEST(Dghv, NoiseGrowthTrackedAndBounded) {
+  Dghv scheme(DghvParams::toy(), 10);
+  Ciphertext c = scheme.encrypt(true);
+  const double fresh = c.noise_bits;
+  EXPECT_GE(static_cast<double>(scheme.measured_noise_bits(c)), 1.0);
+  EXPECT_LE(static_cast<double>(scheme.measured_noise_bits(c)), fresh + 1);
+
+  // Multiply until the model says stop; decryption must stay correct.
+  const unsigned depth = NoiseModel::max_mult_depth(scheme.params());
+  EXPECT_GE(depth, 2u);
+  for (unsigned level = 0; level < depth; ++level) {
+    c = scheme.multiply(c, c);  // squaring: plaintext stays 1
+    EXPECT_TRUE(NoiseModel::decryptable(scheme.params(), c.noise_bits));
+    EXPECT_TRUE(scheme.decrypt(c)) << "level " << level;
+    EXPECT_LE(static_cast<double>(scheme.measured_noise_bits(c)), c.noise_bits + 1);
+  }
+}
+
+TEST(Dghv, NoiseModelAlgebra) {
+  EXPECT_DOUBLE_EQ(NoiseModel::after_add(10, 12), 13.0);
+  EXPECT_DOUBLE_EQ(NoiseModel::after_mult(10, 12), 23.0);
+  EXPECT_TRUE(NoiseModel::decryptable(DghvParams::toy(), 100.0));
+  EXPECT_FALSE(NoiseModel::decryptable(DghvParams::toy(), 126.5));
+}
+
+TEST(Dghv, CustomMultiplierBackend) {
+  Dghv scheme(DghvParams::toy(), 11);
+  unsigned calls = 0;
+  scheme.set_multiplier([&calls](const bigint::BigUInt& a, const bigint::BigUInt& b) {
+    ++calls;
+    return bigint::mul_schoolbook(a, b);
+  });
+  const Ciphertext ca = scheme.encrypt(true);
+  const Ciphertext cb = scheme.encrypt(true);
+  EXPECT_TRUE(scheme.decrypt(scheme.multiply(ca, cb)));
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(Dghv, MediumParametersWork) {
+  Dghv scheme(DghvParams::medium(), 12);
+  const Ciphertext ca = scheme.encrypt(true);
+  const Ciphertext cb = scheme.encrypt(false);
+  EXPECT_TRUE(scheme.decrypt(ca));
+  EXPECT_FALSE(scheme.decrypt(cb));
+  EXPECT_FALSE(scheme.decrypt(scheme.multiply(ca, cb)));
+  EXPECT_TRUE(scheme.decrypt(scheme.add(ca, cb)));
+}
+
+TEST(Dghv, DeterministicForSeed) {
+  Dghv s1(DghvParams::toy(), 42);
+  Dghv s2(DghvParams::toy(), 42);
+  EXPECT_EQ(s1.public_key().x0, s2.public_key().x0);
+  EXPECT_EQ(s1.encrypt(true).value, s2.encrypt(true).value);
+}
+
+}  // namespace
+}  // namespace hemul::fhe

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "fhe/circuits.hpp"
+
+namespace hemul::fhe {
+namespace {
+
+class CircuitsTest : public ::testing::Test {
+ protected:
+  CircuitsTest() : scheme_(DghvParams::toy(), 77), circuits_(scheme_) {}
+
+  Dghv scheme_;
+  Circuits circuits_;
+};
+
+TEST_F(CircuitsTest, AllTwoInputGates) {
+  const Ciphertext one = scheme_.encrypt(true);
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      const Ciphertext ca = scheme_.encrypt(a);
+      const Ciphertext cb = scheme_.encrypt(b);
+      EXPECT_EQ(scheme_.decrypt(circuits_.gate_xor(ca, cb)), a != b);
+      EXPECT_EQ(scheme_.decrypt(circuits_.gate_and(ca, cb)), a && b);
+      EXPECT_EQ(scheme_.decrypt(circuits_.gate_or(ca, cb)), a || b);
+      EXPECT_EQ(scheme_.decrypt(circuits_.gate_not(ca, one)), !a);
+    }
+  }
+}
+
+TEST_F(CircuitsTest, MajorityGate) {
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool a = bits & 1;
+    const bool b = bits & 2;
+    const bool c = bits & 4;
+    const Ciphertext r = circuits_.gate_maj(scheme_.encrypt(a), scheme_.encrypt(b),
+                                            scheme_.encrypt(c));
+    EXPECT_EQ(scheme_.decrypt(r), (a + b + c) >= 2) << bits;
+  }
+}
+
+TEST_F(CircuitsTest, EncryptDecryptIntRoundTrip) {
+  for (const u64 v : {0ULL, 1ULL, 5ULL, 10ULL, 15ULL}) {
+    EXPECT_EQ(decrypt_int(scheme_, encrypt_int(scheme_, v, 4)), v);
+  }
+  // Width truncates.
+  EXPECT_EQ(decrypt_int(scheme_, encrypt_int(scheme_, 0xFF, 4)), 0xFu);
+}
+
+TEST_F(CircuitsTest, RippleCarryAdder) {
+  const Ciphertext zero = scheme_.encrypt(false);
+  for (auto [x, y] : {std::pair{3u, 2u}, {7u, 9u}, {15u, 15u}, {0u, 0u}, {8u, 8u}}) {
+    const EncryptedInt cx = encrypt_int(scheme_, x, 4);
+    const EncryptedInt cy = encrypt_int(scheme_, y, 4);
+    const auto r = circuits_.add(cx, cy, zero);
+    const u64 sum = decrypt_int(scheme_, r.sum) | (scheme_.decrypt(r.carry_out) ? 16u : 0u);
+    EXPECT_EQ(sum, x + y) << x << "+" << y;
+  }
+}
+
+TEST_F(CircuitsTest, AdderUsesTwoMultsPerBit) {
+  const Ciphertext zero = scheme_.encrypt(false);
+  const EncryptedInt a = encrypt_int(scheme_, 5, 4);
+  const EncryptedInt b = encrypt_int(scheme_, 6, 4);
+  const u64 before = circuits_.and_gates_used();
+  (void)circuits_.add(a, b, zero);
+  EXPECT_EQ(circuits_.and_gates_used() - before, 8u);  // 2 per bit x 4 bits
+}
+
+TEST_F(CircuitsTest, EqualityComparator) {
+  const Ciphertext one = scheme_.encrypt(true);
+  const EncryptedInt a = encrypt_int(scheme_, 11, 4);
+  const EncryptedInt same = encrypt_int(scheme_, 11, 4);
+  const EncryptedInt differs = encrypt_int(scheme_, 10, 4);
+  EXPECT_TRUE(scheme_.decrypt(circuits_.equals(a, same, one)));
+  EXPECT_FALSE(scheme_.decrypt(circuits_.equals(a, differs, one)));
+}
+
+TEST(CircuitsDeep, EncryptedMultiplier) {
+  // The word-level multiplier stacks ripple-carry adders, so its
+  // multiplicative depth (~9 levels for 2x2 bits) exceeds the toy noise
+  // budget; the deep() preset provides eta = 8192 bits of headroom.
+  Dghv scheme(DghvParams::deep(), 88);
+  Circuits circuits(scheme);
+  const Ciphertext zero = scheme.encrypt(false);
+  for (auto [x, y] : {std::pair{3u, 2u}, {3u, 3u}, {0u, 2u}, {1u, 3u}}) {
+    const EncryptedInt cx = encrypt_int(scheme, x, 2);
+    const EncryptedInt cy = encrypt_int(scheme, y, 2);
+    const EncryptedInt product = circuits.multiply(cx, cy, zero);
+    EXPECT_EQ(decrypt_int(scheme, product), x * y) << x << "*" << y;
+  }
+}
+
+TEST_F(CircuitsTest, WidthMismatchRejected) {
+  const Ciphertext zero = scheme_.encrypt(false);
+  const Ciphertext one = scheme_.encrypt(true);
+  const EncryptedInt a = encrypt_int(scheme_, 1, 4);
+  const EncryptedInt b = encrypt_int(scheme_, 1, 3);
+  EXPECT_THROW((void)circuits_.add(a, b, zero), std::logic_error);
+  EXPECT_THROW((void)circuits_.equals(a, b, one), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hemul::fhe

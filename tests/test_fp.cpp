@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "fp/fp64.hpp"
+#include "fp/normalize.hpp"
+#include "fp/roots.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::fp {
+namespace {
+
+/// Slow-but-obviously-correct reference: reduce via u128 modulo.
+u64 ref_mod(u128 x) { return static_cast<u64>(x % kModulus); }
+
+TEST(FpBasics, CanonicalConstruction) {
+  EXPECT_EQ(Fp{0}.value(), 0u);
+  EXPECT_EQ(Fp{kModulus}.value(), 0u);
+  EXPECT_EQ(Fp{kModulus + 1}.value(), 1u);
+  EXPECT_EQ(Fp{~0ULL}.value(), ~0ULL - kModulus);
+}
+
+TEST(FpBasics, Reduce128EdgeCases) {
+  EXPECT_EQ(reduce128(0), 0u);
+  EXPECT_EQ(reduce128(kModulus), 0u);
+  EXPECT_EQ(reduce128(u128{kModulus} * kModulus), 0u);
+  // 2^64 = 2^32 - 1 (mod p)
+  EXPECT_EQ(reduce128(u128{1} << 64), kEpsilon);
+  // 2^96 = -1 (mod p)
+  EXPECT_EQ(reduce128(u128{1} << 96), kModulus - 1);
+  // Largest 128-bit value.
+  const u128 all_ones = ~u128{0};
+  EXPECT_EQ(reduce128(all_ones), ref_mod(all_ones));
+}
+
+TEST(FpBasics, SolinasIdentities) {
+  // The two identities the whole datapath is built on.
+  EXPECT_EQ(kTwo.pow(96), Fp::from_canonical(kModulus - 1));  // 2^96 = -1
+  EXPECT_EQ(kTwo.pow(192), kOne);                             // 2^192 = 1
+  // 8 is a 64th root of unity: 8^64 = 2^192 = 1.
+  EXPECT_EQ(kOmega64.pow(64), kOne);
+  EXPECT_TRUE(has_order(kOmega64, 64));
+}
+
+TEST(FpBasics, AddSubEdges) {
+  const Fp pm1 = Fp::from_canonical(kModulus - 1);
+  EXPECT_EQ((pm1 + kOne).value(), 0u);
+  EXPECT_EQ((pm1 + pm1).value(), kModulus - 2);
+  EXPECT_EQ((kZero - kOne), pm1);
+  EXPECT_EQ(pm1.neg(), kOne);
+  EXPECT_EQ(kZero.neg(), kZero);
+}
+
+TEST(FpBasics, PowAndInverse) {
+  const Fp a = Fp::from_canonical(123456789);
+  EXPECT_EQ(a.pow(0), kOne);
+  EXPECT_EQ(a.pow(1), a);
+  EXPECT_EQ(a.pow(2), a * a);
+  EXPECT_EQ(a * a.inv(), kOne);
+  EXPECT_EQ(kOne.inv(), kOne);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps over random field values.
+// ---------------------------------------------------------------------------
+
+class FpAxioms : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FpAxioms, RingLaws) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Fp a{rng.next()};
+    const Fp b{rng.next()};
+    const Fp c{rng.next()};
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + kZero, a);
+    EXPECT_EQ(a * kOne, a);
+    EXPECT_EQ(a - a, kZero);
+    EXPECT_EQ(a + a.neg(), kZero);
+  }
+}
+
+TEST_P(FpAxioms, MulMatchesReference) {
+  util::Rng rng(GetParam() ^ 0xABCD);
+  for (int i = 0; i < 500; ++i) {
+    const u64 a = rng.next() % kModulus;
+    const u64 b = rng.next() % kModulus;
+    EXPECT_EQ((Fp::from_canonical(a) * Fp::from_canonical(b)).value(),
+              ref_mod(mul_wide(a, b)));
+  }
+}
+
+TEST_P(FpAxioms, InverseLaw) {
+  util::Rng rng(GetParam() ^ 0x1111);
+  for (int i = 0; i < 50; ++i) {
+    const Fp a{rng.next() | 1};  // nonzero
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a * a.inv(), kOne);
+  }
+}
+
+TEST_P(FpAxioms, MulPow2MatchesExplicitPower) {
+  util::Rng rng(GetParam() ^ 0x2222);
+  for (int i = 0; i < 100; ++i) {
+    const Fp a{rng.next()};
+    const u64 k = rng.below(600);  // deliberately beyond one period (192)
+    EXPECT_EQ(a.mul_pow2(k), a * kTwo.pow(k)) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpAxioms, ::testing::Values(1, 2, 3, 42, 1234567));
+
+// Every shift amount in [0, 192] against the explicit power.
+class FpShift : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FpShift, AllShiftAmounts) {
+  const u64 k = GetParam();
+  util::Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const Fp a{rng.next()};
+    EXPECT_EQ(a.mul_pow2(k), a * kTwo.pow(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exhaustive, FpShift, ::testing::Range<u64>(0, 193));
+
+// ---------------------------------------------------------------------------
+// Eq. 4 normalize + AddMod.
+// ---------------------------------------------------------------------------
+
+TEST(Normalize, MatchesReduce128OnEdges) {
+  const u128 cases[] = {
+      0,
+      1,
+      u128{kModulus},
+      u128{kModulus} - 1,
+      (u128{1} << 64),
+      (u128{1} << 96),
+      (u128{1} << 127),
+      ~u128{0},
+      u128{kModulus} * kModulus,
+  };
+  for (const u128 x : cases) {
+    EXPECT_EQ(normalize_full(x).value(), reduce128(x));
+  }
+}
+
+class NormalizeSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(NormalizeSweep, RandomAgreesWithReference) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const u128 x = (u128{rng.next()} << 64) | rng.next();
+    EXPECT_EQ(normalize_full(x).value(), ref_mod(x));
+  }
+}
+
+TEST_P(NormalizeSweep, SingleCorrectionRange) {
+  // The paper: "The result will require at most one extra addition or
+  // subtraction with the modulus p."
+  util::Rng rng(GetParam() ^ 0x77);
+  const auto p = static_cast<i128>(kModulus);
+  for (int i = 0; i < 1000; ++i) {
+    const u128 x = (u128{rng.next()} << 64) | rng.next();
+    const i128 v = normalize_eq4(x);
+    EXPECT_GT(v, -p);
+    EXPECT_LT(v, 2 * p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizeSweep, ::testing::Values(5, 6, 7));
+
+TEST(Normalize, AddModRejectsOutOfRange) {
+  const auto p = static_cast<i128>(kModulus);
+  EXPECT_THROW(addmod(2 * p), std::logic_error);
+  EXPECT_THROW(addmod(-p), std::logic_error);
+  EXPECT_EQ(addmod(2 * p - 1).value(), kModulus - 1);
+  EXPECT_EQ(addmod(-p + 1).value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Roots of unity.
+// ---------------------------------------------------------------------------
+
+TEST(Roots, GeneratorHasFullOrder) {
+  EXPECT_TRUE(has_order(group_generator(), kModulus - 1));
+}
+
+TEST(Roots, PrimitiveRootOrders) {
+  for (const u64 n : {2ULL, 4ULL, 8ULL, 64ULL, 1024ULL, 65536ULL, 1ULL << 20, 3ULL, 5ULL, 15ULL}) {
+    EXPECT_TRUE(has_order(primitive_root(n), n)) << n;
+  }
+}
+
+TEST(Roots, PrimitiveRootRejectsNonDivisors) {
+  EXPECT_THROW(primitive_root(7), std::invalid_argument);
+  EXPECT_THROW(primitive_root(0), std::invalid_argument);
+}
+
+class AlignedRoots : public ::testing::TestWithParam<u64> {};
+
+TEST_P(AlignedRoots, AlignsWithOmega64) {
+  const u64 n = GetParam();
+  const Fp w = aligned_root(n);
+  EXPECT_TRUE(has_order(w, n));
+  // The defining property: the induced 64-point sub-root is exactly 8, so
+  // every radix-64 twiddle is a shift (paper Eq. 3).
+  EXPECT_EQ(w.pow(n / 64), kOmega64);
+  // Induced 16- and 8-point roots are then powers of two as well.
+  EXPECT_EQ(w.pow(n / 16), kTwo.pow(12));
+  EXPECT_EQ(w.pow(n / 8), kTwo.pow(24));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AlignedRoots,
+                         ::testing::Values(64, 128, 256, 1024, 4096, 65536, 1ULL << 20,
+                                           1ULL << 26));
+
+TEST(Roots, AlignedRootRejectsBadSizes) {
+  EXPECT_THROW(aligned_root(32), std::invalid_argument);
+  EXPECT_THROW(aligned_root(96), std::invalid_argument);
+}
+
+TEST(Roots, PowerTable) {
+  const Fp w = primitive_root(16);
+  const auto table = power_table(w, 16);
+  ASSERT_EQ(table.size(), 16u);
+  EXPECT_EQ(table[0], kOne);
+  for (std::size_t i = 1; i < table.size(); ++i) EXPECT_EQ(table[i], table[i - 1] * w);
+}
+
+TEST(Roots, InvOfU64) {
+  EXPECT_EQ(Fp{65536} * inv_of_u64(65536), kOne);
+  EXPECT_THROW(inv_of_u64(kModulus), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hemul::fp

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "fp/roots.hpp"
+#include "hw/arith/adder_tree.hpp"
+#include "hw/arith/carry_save.hpp"
+#include "hw/arith/reduction.hpp"
+#include "hw/arith/rot192.hpp"
+#include "hw/arith/shifter_bank.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::hw {
+namespace {
+
+using fp::Fp;
+
+/// Reference value of a Rot192 modulo p, computed independently.
+Fp ref_fp(const Rot192& x) {
+  const auto& w = x.words();
+  return Fp{w[0]} + Fp{w[1]} * fp::kTwo.pow(64) + Fp{w[2]} * fp::kTwo.pow(128);
+}
+
+Rot192 random_rot(util::Rng& rng) {
+  return Rot192({rng.next(), rng.next(), rng.next()});
+}
+
+TEST(Rot192, ZeroAndFromFp) {
+  EXPECT_EQ(Rot192{}.to_fp(), fp::kZero);
+  EXPECT_EQ(Rot192{}.significant_bits(), 0u);
+  const Fp x{123456789};
+  EXPECT_EQ(Rot192::from_fp(x).to_fp(), x);
+}
+
+TEST(Rot192, AllOnesIsZero) {
+  // The ring's redundant encoding: 2^192 - 1 = 0.
+  const Rot192 ones({~0ULL, ~0ULL, ~0ULL});
+  EXPECT_EQ(ones.to_fp(), fp::kZero);
+}
+
+TEST(Rot192, NegateIsBitwiseNot) {
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Rot192 x = random_rot(rng);
+    EXPECT_EQ(x.add(x.negate()).to_fp(), fp::kZero);
+    EXPECT_EQ(x.negate().to_fp(), x.to_fp().neg());
+  }
+}
+
+class Rot192Props : public ::testing::TestWithParam<u64> {};
+
+TEST_P(Rot192Props, AdditionProjectsToField) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Rot192 a = random_rot(rng);
+    const Rot192 b = random_rot(rng);
+    EXPECT_EQ(a.add(b).to_fp(), a.to_fp() + b.to_fp());
+    EXPECT_EQ(a.add(b).to_fp(), b.add(a).to_fp());
+  }
+}
+
+TEST_P(Rot192Props, RotationIsMultiplicationByPowerOfTwo) {
+  util::Rng rng(GetParam() ^ 0xF00);
+  for (int i = 0; i < 100; ++i) {
+    const Rot192 x = random_rot(rng);
+    const u64 k = rng.below(400);
+    EXPECT_EQ(x.rotl(k).to_fp(), x.to_fp().mul_pow2(k)) << "k=" << k;
+  }
+}
+
+TEST_P(Rot192Props, ToFpMatchesIndependentReference) {
+  util::Rng rng(GetParam() ^ 0xBEEF);
+  for (int i = 0; i < 200; ++i) {
+    const Rot192 x = random_rot(rng);
+    EXPECT_EQ(x.to_fp(), ref_fp(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Rot192Props, ::testing::Values(11, 22, 33));
+
+TEST(Rot192, RotationExhaustiveShifts) {
+  util::Rng rng(5);
+  const Rot192 x = random_rot(rng);
+  for (u64 k = 0; k <= 192; ++k) {
+    EXPECT_EQ(x.rotl(k).to_fp(), x.to_fp().mul_pow2(k)) << k;
+  }
+  // Full rotation is the identity (2^192 = 1).
+  EXPECT_EQ(x.rotl(192), x);
+  EXPECT_EQ(x.rotl(64).rotl(128), x);
+}
+
+TEST(Rot192, WordBoundaryRotations) {
+  const Rot192 one({1, 0, 0});
+  EXPECT_EQ(one.rotl(64).words()[1], 1u);
+  EXPECT_EQ(one.rotl(128).words()[2], 1u);
+  EXPECT_EQ(one.rotl(191).words()[2], 1ULL << 63);
+  EXPECT_EQ(one.rotl(191).rotl(1), one);
+}
+
+TEST(Rot192, SignificantBits) {
+  EXPECT_EQ(Rot192({1, 0, 0}).significant_bits(), 1u);
+  EXPECT_EQ(Rot192({0, 1, 0}).significant_bits(), 65u);
+  EXPECT_EQ(Rot192({0, 0, 1ULL << 63}).significant_bits(), 192u);
+}
+
+// ---------------------------------------------------------------------------
+// Carry-save arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(CarrySave, CompressPreservesSum) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Rot192 a = random_rot(rng);
+    const Rot192 b = random_rot(rng);
+    const Rot192 c = random_rot(rng);
+    const CsaValue v = csa_compress(a, b, c);
+    EXPECT_EQ(v.to_fp(), a.to_fp() + b.to_fp() + c.to_fp());
+  }
+}
+
+TEST(CarrySave, AccumulateChain) {
+  util::Rng rng(8);
+  CsaValue acc{};
+  Fp expected = fp::kZero;
+  for (int i = 0; i < 64; ++i) {
+    const Rot192 term = random_rot(rng);
+    acc = csa_accumulate(acc, term);
+    expected += term.to_fp();
+    EXPECT_EQ(acc.to_fp(), expected);
+  }
+}
+
+class CsaTreeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CsaTreeSizes, TreePreservesSum) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  std::vector<Rot192> terms(n);
+  Fp expected = fp::kZero;
+  for (auto& t : terms) {
+    t = random_rot(rng);
+    expected += t.to_fp();
+  }
+  CsaTreeStats stats;
+  const CsaValue v = csa_tree(terms, &stats);
+  EXPECT_EQ(v.to_fp(), expected);
+  if (n > 2) {
+    EXPECT_GT(stats.compressors, 0u);
+    EXPECT_GT(stats.depth, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CsaTreeSizes, ::testing::Values(0, 1, 2, 3, 4, 7, 8, 9, 16, 64));
+
+TEST(CarrySave, TreeDepthIsLogarithmic) {
+  std::vector<Rot192> terms(8);
+  CsaTreeStats stats;
+  (void)csa_tree(terms, &stats);
+  // 8 -> 6 -> 4 -> 3 -> 2: depth 4 with 3:2 compressors.
+  EXPECT_LE(stats.depth, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Adder tree (dual output) and shifter bank.
+// ---------------------------------------------------------------------------
+
+TEST(AdderTree, SumMatchesDirectAddition) {
+  util::Rng rng(9);
+  AdderTree merged(AdderTree::Config{.inputs = 8, .merge_carry_save = true});
+  AdderTree unmerged(AdderTree::Config{.inputs = 8, .merge_carry_save = false});
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<Rot192> terms(8);
+    Fp expected = fp::kZero;
+    for (auto& t : terms) {
+      t = random_rot(rng);
+      expected += t.to_fp();
+    }
+    EXPECT_EQ(merged.reduce(terms).to_fp(), expected);
+    EXPECT_EQ(unmerged.reduce(terms).to_fp(), expected);
+    // The merged variant resolves to a single vector (carry == 0).
+    EXPECT_EQ(merged.reduce(terms).carry.to_fp(), fp::kZero);
+  }
+}
+
+TEST(AdderTree, SumAndDiffOutputs) {
+  util::Rng rng(10);
+  AdderTree tree(AdderTree::Config{.inputs = 8, .merge_carry_save = true});
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<Rot192> terms(8);
+    Fp sum = fp::kZero;
+    Fp diff = fp::kZero;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      terms[i] = random_rot(rng);
+      sum += terms[i].to_fp();
+      if (i % 2 == 0) {
+        diff += terms[i].to_fp();
+      } else {
+        diff -= terms[i].to_fp();
+      }
+    }
+    const SumAndDiff sd = tree.reduce_sum_diff(terms);
+    EXPECT_EQ(sd.sum.to_fp(), sum);
+    EXPECT_EQ(sd.diff.to_fp(), diff);
+  }
+}
+
+TEST(AdderTree, RejectsWrongArity) {
+  AdderTree tree(AdderTree::Config{.inputs = 8, .merge_carry_save = true});
+  std::vector<Rot192> terms(7);
+  EXPECT_THROW(tree.reduce(terms), std::logic_error);
+}
+
+TEST(ShifterBank, AppliesPerLaneRotations) {
+  util::Rng rng(11);
+  ShifterBank bank(8);
+  std::vector<Rot192> inputs(8);
+  std::vector<u64> shifts(8);
+  for (unsigned i = 0; i < 8; ++i) {
+    inputs[i] = random_rot(rng);
+    shifts[i] = rng.below(192);
+  }
+  const auto out = bank.apply(inputs, shifts);
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i].to_fp(), inputs[i].to_fp().mul_pow2(shifts[i]));
+  }
+  EXPECT_EQ(bank.rotations_performed(), 8u);
+}
+
+TEST(ShifterBank, RejectsLaneMismatch) {
+  ShifterBank bank(8);
+  std::vector<Rot192> inputs(4);
+  std::vector<u64> shifts(4);
+  EXPECT_THROW(bank.apply(inputs, shifts), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Reduction blocks.
+// ---------------------------------------------------------------------------
+
+TEST(Reduction, ReductorMatchesFieldValue) {
+  util::Rng rng(12);
+  ModularReductor reductor;
+  for (int i = 0; i < 200; ++i) {
+    const Rot192 x = random_rot(rng);
+    EXPECT_EQ(reductor.reduce(x), ref_fp(x));
+  }
+  EXPECT_EQ(reductor.reductions_performed(), 200u);
+}
+
+TEST(Reduction, ReductorHandlesCarrySaveInput) {
+  util::Rng rng(13);
+  ModularReductor reductor;
+  for (int i = 0; i < 50; ++i) {
+    const Rot192 a = random_rot(rng);
+    const Rot192 b = random_rot(rng);
+    const CsaValue v = csa_compress(a, b, Rot192{});
+    EXPECT_EQ(reductor.reduce(v), a.to_fp() + b.to_fp());
+  }
+}
+
+TEST(Reduction, PreNormalizeMatchesFieldReduction) {
+  util::Rng rng(14);
+  for (int i = 0; i < 200; ++i) {
+    const u64 raw = rng.next();
+    EXPECT_EQ(pre_normalize(raw), Fp{raw});
+  }
+  EXPECT_EQ(pre_normalize(fp::kModulus), fp::kZero);
+  EXPECT_EQ(pre_normalize(~0ULL), Fp{~0ULL});
+}
+
+// The paper's headline invariant: every datapath value fits in 192 bits by
+// construction, and rotations never change that.
+TEST(WidthInvariant, RotationsAndSumsStayWithin192Bits) {
+  util::Rng rng(15);
+  CsaValue acc{};
+  for (int i = 0; i < 1000; ++i) {
+    const Rot192 term = random_rot(rng).rotl(rng.below(192));
+    acc = csa_accumulate(acc, term);
+    EXPECT_LE(acc.sum.significant_bits(), 192u);
+    EXPECT_LE(acc.carry.significant_bits(), 192u);
+  }
+}
+
+}  // namespace
+}  // namespace hemul::hw

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "hw/dsp/mod_mult.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::hw {
+namespace {
+
+using fp::Fp;
+
+TEST(Dsp32x32, ExactProduct) {
+  Dsp32x32 dsp;
+  EXPECT_EQ(dsp.multiply(0xFFFFFFFFu, 0xFFFFFFFFu), 0xFFFFFFFE00000001ULL);
+  EXPECT_EQ(dsp.multiply(0, 12345), 0u);
+  EXPECT_EQ(dsp.operations(), 2u);
+}
+
+TEST(ModMult64, MatchesFieldMultiplication) {
+  ModMult64 unit;
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Fp a{rng.next()};
+    const Fp b{rng.next()};
+    EXPECT_EQ(unit.multiply(a, b), a * b);
+  }
+  EXPECT_EQ(unit.products_computed(), 500u);
+}
+
+TEST(ModMult64, EdgeOperands) {
+  ModMult64 unit;
+  const Fp pm1 = Fp::from_canonical(fp::kModulus - 1);
+  EXPECT_EQ(unit.multiply(fp::kZero, pm1), fp::kZero);
+  EXPECT_EQ(unit.multiply(fp::kOne, pm1), pm1);
+  EXPECT_EQ(unit.multiply(pm1, pm1), fp::kOne);  // (-1)^2 = 1
+  const Fp eps = Fp::from_canonical(fp::kEpsilon);
+  EXPECT_EQ(unit.multiply(eps, eps), eps * eps);
+}
+
+TEST(ModMult64, DspBlockBudget) {
+  // Paper Section IV.d: four 32x32 multipliers, two DSP blocks each.
+  EXPECT_EQ(ModMult64::kMultipliers, 4u);
+  EXPECT_EQ(ModMult64::kDspBlocks, 8u);
+  // 32 multipliers (the dot-product pool) = 256 DSP blocks = Table I.
+  EXPECT_EQ(32u * ModMult64::kDspBlocks, 256u);
+}
+
+TEST(ModMult64, PipelineContract) {
+  EXPECT_EQ(ModMult64::kThroughputPerCycle, 1u);
+  EXPECT_GE(ModMult64::kLatencyCycles, Dsp32x32::kLatencyCycles);
+}
+
+}  // namespace
+}  // namespace hemul::hw

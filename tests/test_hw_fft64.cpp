@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "fp/roots.hpp"
+#include "hw/fft64/baseline_fft64.hpp"
+#include "hw/fft64/optimized_fft64.hpp"
+#include "hw/fft64/radix_unit.hpp"
+#include "ntt/reference.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::hw {
+namespace {
+
+using fp::Fp;
+using fp::FpVec;
+
+FpVec random_vec(util::Rng& rng, std::size_t n) {
+  FpVec v(n);
+  for (auto& x : v) x = Fp{rng.next()};
+  return v;
+}
+
+TEST(BaselineFft64, MatchesReferenceDft) {
+  BaselineFft64 unit;
+  util::Rng rng(1);
+  for (int rep = 0; rep < 10; ++rep) {
+    const FpVec in = random_vec(rng, 64);
+    EXPECT_EQ(unit.transform(in), ntt::dft_reference(in, fp::kOmega64));
+  }
+  EXPECT_EQ(unit.stats().transforms, 10u);
+}
+
+TEST(BaselineFft64, StructuralConstants) {
+  // The [28] design points the paper improves on.
+  EXPECT_EQ(BaselineFft64::kChains, 64u);
+  EXPECT_EQ(BaselineFft64::kReductors, 64u);
+  EXPECT_EQ(BaselineFft64::kOutputWordsPerCycle, 64u);
+  EXPECT_EQ(BaselineFft64::cycles_per_transform(), 8u);
+}
+
+TEST(OptimizedFft64, MatchesReferenceDft) {
+  OptimizedFft64 unit;
+  util::Rng rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    const FpVec in = random_vec(rng, 64);
+    EXPECT_EQ(unit.transform(in), ntt::dft_reference(in, fp::kOmega64));
+  }
+}
+
+TEST(OptimizedFft64, MatchesBaselineUnit) {
+  OptimizedFft64 optimized;
+  BaselineFft64 baseline;
+  util::Rng rng(3);
+  for (int rep = 0; rep < 20; ++rep) {
+    const FpVec in = random_vec(rng, 64);
+    EXPECT_EQ(optimized.transform(in), baseline.transform(in));
+  }
+}
+
+TEST(OptimizedFft64, StructuralConstants) {
+  // Section IV.b: 4 physical first-stage components, 8 reductors, 8-word
+  // ports, twiddle mux of four shifts {0,24,48,72}.
+  EXPECT_EQ(OptimizedFft64::kStage1Components, 4u);
+  EXPECT_EQ(OptimizedFft64::kReductors, 8u);
+  EXPECT_EQ(OptimizedFft64::kOutputWordsPerCycle, 8u);
+  EXPECT_EQ(OptimizedFft64::kTwiddleShifts, (std::array<unsigned, 4>{0, 24, 48, 72}));
+  EXPECT_EQ(OptimizedFft64::cycles_per_transform(), 8u);
+}
+
+TEST(OptimizedFft64, ReductorSharing) {
+  // 8 reductors service all 64 outputs: exactly 64 reductions per FFT.
+  OptimizedFft64 unit;
+  util::Rng rng(4);
+  (void)unit.transform(random_vec(rng, 64));
+  EXPECT_EQ(unit.stats().reductions, 64u);
+  (void)unit.transform(random_vec(rng, 64));
+  EXPECT_EQ(unit.stats().reductions, 128u);
+}
+
+TEST(OptimizedFft64, SubtractSignalActive) {
+  // Half of the twiddle exponents use the negative range (the paper's
+  // subtract signal): for each j, the set {j*k2 mod 8} is half >= 4 except
+  // when j = 0 or j = 4-multiples degenerate. Just check activity exists.
+  OptimizedFft64 unit;
+  util::Rng rng(5);
+  (void)unit.transform(random_vec(rng, 64));
+  EXPECT_GT(unit.stats().subtract_activations, 0u);
+}
+
+TEST(OptimizedFft64, KnownSpectra) {
+  OptimizedFft64 unit;
+  // Delta at 0 -> flat spectrum.
+  FpVec delta(64, fp::kZero);
+  delta[0] = Fp{7};
+  const FpVec flat = unit.transform(delta);
+  for (const auto& v : flat) EXPECT_EQ(v, Fp{7});
+  // Constant input -> concentration at DC.
+  const FpVec constant(64, Fp{3});
+  const FpVec spike = unit.transform(constant);
+  EXPECT_EQ(spike[0], Fp{3 * 64});
+  for (std::size_t k = 1; k < 64; ++k) EXPECT_EQ(spike[k], fp::kZero);
+  // Delta at 1 -> powers of the root 8.
+  FpVec shifted(64, fp::kZero);
+  shifted[1] = fp::kOne;
+  const FpVec powers = unit.transform(shifted);
+  for (std::size_t k = 0; k < 64; ++k) EXPECT_EQ(powers[k], fp::kOmega64.pow(k));
+}
+
+TEST(OptimizedFft64, RejectsWrongSize) {
+  OptimizedFft64 unit;
+  const FpVec wrong(32, fp::kZero);
+  EXPECT_THROW(unit.transform(wrong), std::logic_error);
+}
+
+class RadixUnitSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RadixUnitSizes, MatchesReferenceDft) {
+  const unsigned radix = GetParam();
+  RadixUnit unit(radix);
+  // Root 2^(192/r) has order r and matches the aligned hierarchy.
+  const Fp root = fp::kTwo.pow(192 / radix);
+  util::Rng rng(radix);
+  for (int rep = 0; rep < 5; ++rep) {
+    const FpVec in = random_vec(rng, radix);
+    EXPECT_EQ(unit.transform(in), ntt::dft_reference(in, root));
+  }
+}
+
+TEST_P(RadixUnitSizes, CycleContract) {
+  const unsigned radix = GetParam();
+  RadixUnit unit(radix);
+  EXPECT_EQ(unit.cycles_per_transform(), radix <= 8 ? 1u : radix / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, RadixUnitSizes, ::testing::Values(8, 16, 32, 64));
+
+TEST(RadixUnit, SixteenPointTakesTwoCycles) {
+  // Paper Section V: "an FFT-16 will take two clock cycles".
+  EXPECT_EQ(RadixUnit(16).cycles_per_transform(), 2u);
+}
+
+TEST(RadixUnit, RejectsUnsupportedRadix) {
+  EXPECT_THROW(RadixUnit(4), std::invalid_argument);
+  EXPECT_THROW(RadixUnit(128), std::invalid_argument);
+}
+
+TEST(RadixUnit, AgreesWithOptimized64) {
+  RadixUnit generic(64);
+  OptimizedFft64 optimized;
+  util::Rng rng(6);
+  const FpVec in = random_vec(rng, 64);
+  EXPECT_EQ(generic.transform(in), optimized.transform(in));
+}
+
+// Linearity survives the whole hardware datapath.
+TEST(FftUnits, Linearity) {
+  OptimizedFft64 unit;
+  util::Rng rng(7);
+  const FpVec a = random_vec(rng, 64);
+  const FpVec b = random_vec(rng, 64);
+  FpVec ab(64);
+  for (int i = 0; i < 64; ++i) ab[i] = a[i] + b[i];
+  const FpVec fa = unit.transform(a);
+  const FpVec fb = unit.transform(b);
+  const FpVec fab = unit.transform(ab);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(fab[k], fa[k] + fb[k]);
+}
+
+// Worst-case operand patterns (all maximal values) stay exact.
+TEST(FftUnits, MaximalInputs) {
+  OptimizedFft64 optimized;
+  BaselineFft64 baseline;
+  const FpVec maxed(64, Fp::from_canonical(fp::kModulus - 1));
+  EXPECT_EQ(optimized.transform(maxed), baseline.transform(maxed));
+  EXPECT_EQ(optimized.transform(maxed), ntt::dft_reference(maxed, fp::kOmega64));
+}
+
+}  // namespace
+}  // namespace hemul::hw

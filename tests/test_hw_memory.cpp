@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hw/memory/banked_buffer.hpp"
+#include "hw/memory/double_buffer.hpp"
+#include "hw/pe/data_route.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::hw {
+namespace {
+
+using fp::Fp;
+
+TEST(SramBank, ReadWriteRoundTrip) {
+  SramBank bank;
+  bank.write(17, 0xDEADBEEF);
+  EXPECT_EQ(bank.read(17), 0xDEADBEEFu);
+  EXPECT_EQ(bank.ports_used(), 2u);
+  bank.tick();
+  EXPECT_EQ(bank.ports_used(), 0u);
+}
+
+TEST(SramBank, OvercommitDetected) {
+  SramBank bank;
+  (void)bank.read(0);
+  (void)bank.read(1);
+  EXPECT_FALSE(bank.overcommitted());
+  (void)bank.read(2);
+  EXPECT_TRUE(bank.overcommitted());
+}
+
+TEST(SramBank, BoundsChecked) {
+  SramBank bank;
+  EXPECT_THROW((void)bank.read(256), std::logic_error);
+  EXPECT_THROW(bank.write(1000, 1), std::logic_error);
+}
+
+TEST(BankedBuffer, MappingIsBijective) {
+  for (const auto scheme : {BankingScheme::kLinear, BankingScheme::kTwoDimensional}) {
+    BankedBuffer buf(scheme);
+    std::set<std::tuple<unsigned, unsigned, unsigned>> seen;
+    for (unsigned addr = 0; addr < BankedBuffer::kCapacityWords; ++addr) {
+      const BankAddress loc = buf.map(addr);
+      EXPECT_LT(loc.row, BankedBuffer::kRows);
+      EXPECT_LT(loc.col, BankedBuffer::kCols);
+      EXPECT_LT(loc.offset, SramBank::kDepth);
+      EXPECT_TRUE(seen.insert({loc.row, loc.col, loc.offset}).second)
+          << "collision at address " << addr;
+    }
+    EXPECT_EQ(seen.size(), 4096u);
+  }
+}
+
+TEST(BankedBuffer, PeekPokeRoundTrip) {
+  BankedBuffer buf;
+  util::Rng rng(1);
+  std::vector<Fp> values(4096);
+  for (unsigned i = 0; i < 4096; ++i) {
+    values[i] = Fp{rng.next()};
+    buf.poke(i, values[i]);
+  }
+  for (unsigned i = 0; i < 4096; ++i) EXPECT_EQ(buf.peek(i), values[i]);
+}
+
+TEST(BankedBuffer, TwoDimensionalSchemeIsConflictFreeOnFftTraffic) {
+  // The paper's Fig. 5 claim: 8 words per cycle for both the stride-8
+  // column reads/writes of the FFT unit and the consecutive fill rows.
+  BankedBuffer buf(BankingScheme::kTwoDimensional);
+  for (unsigned base = 0; base < 4096; base += 64) {
+    for (unsigned cycle = 0; cycle < 8; ++cycle) {
+      (void)buf.read8(DataRoute::fft64_read_addresses(base, cycle));
+    }
+  }
+  for (unsigned cycle = 0; cycle < 4096 / 8; ++cycle) {
+    std::array<Fp, 8> row{};
+    buf.write8(DataRoute::fill_addresses(cycle), row);
+  }
+  EXPECT_EQ(buf.conflict_cycles(), 0u);
+  EXPECT_EQ(buf.access_cycles(), 4096u / 8 * 2);
+}
+
+TEST(BankedBuffer, TwoDimensionalHandlesSmallRadixTraffic) {
+  BankedBuffer buf(BankingScheme::kTwoDimensional);
+  for (unsigned base = 0; base < 4096; base += 16) {
+    for (unsigned cycle = 0; cycle < 2; ++cycle) {
+      (void)buf.read8(DataRoute::small_radix_addresses(base, 16, cycle));
+    }
+  }
+  EXPECT_EQ(buf.conflict_cycles(), 0u);
+}
+
+TEST(BankedBuffer, LinearSchemeCollidesOnStridedReads) {
+  // The motivating failure: linear interleave serializes the stride-8
+  // column access ("write accesses collide on the same bank" -- here the
+  // strided FFT pattern).
+  BankedBuffer linear(BankingScheme::kLinear);
+  for (unsigned cycle = 0; cycle < 8; ++cycle) {
+    (void)linear.read8(DataRoute::fft64_read_addresses(0, cycle));
+  }
+  EXPECT_GT(linear.conflict_cycles(), 0u);
+}
+
+TEST(BankedBuffer, LinearSchemeFineOnConsecutive) {
+  BankedBuffer linear(BankingScheme::kLinear);
+  std::array<Fp, 8> row{};
+  for (unsigned cycle = 0; cycle < 16; ++cycle) {
+    linear.write8(DataRoute::fill_addresses(cycle), row);
+  }
+  EXPECT_EQ(linear.conflict_cycles(), 0u);
+}
+
+TEST(BankedBuffer, ReadsReturnWrittenValues) {
+  BankedBuffer buf;
+  util::Rng rng(2);
+  // Write through the cycle interface, read back through it.
+  std::vector<Fp> values(64);
+  for (auto& v : values) v = Fp{rng.next()};
+  for (unsigned t = 0; t < 8; ++t) {
+    const auto addrs = DataRoute::fft64_write_addresses(0, t);
+    std::array<Fp, 8> row{};
+    for (unsigned k2 = 0; k2 < 8; ++k2) row[k2] = values[8 * k2 + t];
+    buf.write8(addrs, row);
+  }
+  for (unsigned j = 0; j < 8; ++j) {
+    const auto addrs = DataRoute::fft64_read_addresses(0, j);
+    const auto words = buf.read8(addrs);
+    for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(words[i], values[8 * i + j]);
+  }
+}
+
+TEST(BankedBuffer, CapacityAndM20kAccounting) {
+  BankedBuffer buf;
+  EXPECT_EQ(BankedBuffer::kCapacityWords, 4096u);
+  // 16 banks x 2 M20K = 32 blocks = 256 Kbit (paper Fig. 5).
+  EXPECT_EQ(buf.m20k_blocks(), 32u);
+  EXPECT_EQ(buf.m20k_blocks() * 20480 / 1024, 640u);  // 640 Kbit raw M20K
+}
+
+TEST(BankedBuffer, LoadDumpRoundTrip) {
+  BankedBuffer buf;
+  util::Rng rng(3);
+  std::vector<Fp> data(1000);
+  for (auto& v : data) v = Fp{rng.next()};
+  buf.load(data);
+  EXPECT_EQ(buf.dump(1000), data);
+}
+
+TEST(DoubleBuffer, SwapExchangesRoles) {
+  DoubleBuffer db;
+  db.compute().poke(0, Fp{111});
+  db.fill().poke(0, Fp{222});
+  EXPECT_EQ(db.compute().peek(0), Fp{111});
+  db.swap();
+  EXPECT_EQ(db.compute().peek(0), Fp{222});
+  EXPECT_EQ(db.fill().peek(0), Fp{111});
+  EXPECT_EQ(db.swaps(), 1u);
+}
+
+TEST(DoubleBuffer, M20kTotal) {
+  DoubleBuffer db;
+  EXPECT_EQ(db.m20k_blocks(), 64u);  // two 32-block buffers
+}
+
+TEST(DataRoute, TracesArePermutationsOfWindow) {
+  for (const unsigned radix : {16u, 64u}) {
+    const auto trace = DataRoute::read_trace(128, radix);
+    std::set<unsigned> seen;
+    for (const auto& cycle : trace) {
+      for (const unsigned addr : cycle) seen.insert(addr);
+    }
+    EXPECT_EQ(seen.size(), radix);
+    EXPECT_EQ(*seen.begin(), 128u);
+    EXPECT_EQ(*seen.rbegin(), 128u + radix - 1);
+  }
+}
+
+TEST(DataRoute, AlignmentEnforced) {
+  EXPECT_THROW(DataRoute::fft64_read_addresses(13, 0), std::logic_error);
+  EXPECT_THROW(DataRoute::small_radix_addresses(8, 16, 0), std::logic_error);
+  EXPECT_THROW(DataRoute::fft64_read_addresses(0, 8), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hemul::hw

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "hw/noc/exchange.hpp"
+#include "hw/noc/hypercube.hpp"
+#include "hw/noc/schedule.hpp"
+
+namespace hemul::hw {
+namespace {
+
+TEST(Hypercube, DimensionsFromNodeCount) {
+  EXPECT_EQ(Hypercube(1).dimensions(), 0u);
+  EXPECT_EQ(Hypercube(2).dimensions(), 1u);
+  EXPECT_EQ(Hypercube(4).dimensions(), 2u);
+  EXPECT_EQ(Hypercube(16).dimensions(), 4u);
+  EXPECT_THROW(Hypercube(0), std::invalid_argument);
+  EXPECT_THROW(Hypercube(6), std::invalid_argument);
+}
+
+TEST(Hypercube, NeighborsDifferInOneBit) {
+  const Hypercube cube(8);
+  for (unsigned node = 0; node < 8; ++node) {
+    const auto neighbors = cube.neighbors(node);
+    EXPECT_EQ(neighbors.size(), 3u);
+    for (const unsigned nb : neighbors) {
+      EXPECT_EQ(std::popcount(node ^ nb), 1);
+      EXPECT_TRUE(cube.connected(node, nb));
+    }
+  }
+}
+
+TEST(Hypercube, NeighborIsInvolution) {
+  const Hypercube cube(16);
+  for (unsigned node = 0; node < 16; ++node) {
+    for (unsigned dim = 0; dim < 4; ++dim) {
+      EXPECT_EQ(cube.neighbor(cube.neighbor(node, dim), dim), node);
+    }
+  }
+}
+
+TEST(Hypercube, LinkCount) {
+  EXPECT_EQ(Hypercube(4).links(), 4u);   // the 4-cycle
+  EXPECT_EQ(Hypercube(8).links(), 12u);  // cube edges
+}
+
+TEST(Hypercube, BoundsChecked) {
+  const Hypercube cube(4);
+  EXPECT_THROW((void)cube.neighbor(4, 0), std::logic_error);
+  EXPECT_THROW((void)cube.neighbor(0, 2), std::logic_error);
+}
+
+TEST(ExchangeLedger, RecordsValidTransfers) {
+  const Hypercube cube(4);
+  ExchangeLedger ledger(cube);
+  ledger.record(0, 1, 0, 2, 100);
+  ledger.record(0, 1, 2, 0, 100);
+  ledger.record(1, 0, 0, 1, 50);
+  EXPECT_EQ(ledger.total_words(), 250u);
+  EXPECT_EQ(ledger.words_sent_by(0), 150u);
+  EXPECT_EQ(ledger.stage_count(), 2u);
+  EXPECT_TRUE(ledger.single_partner_per_stage());
+}
+
+TEST(ExchangeLedger, RejectsNonNeighborTransfers) {
+  const Hypercube cube(4);
+  ExchangeLedger ledger(cube);
+  EXPECT_THROW(ledger.record(0, 0, 0, 3, 1), std::logic_error);  // distance 2
+  EXPECT_THROW(ledger.record(0, 0, 0, 2, 1), std::logic_error);  // wrong dim
+}
+
+TEST(ExchangeLedger, DetectsMultiplePartners) {
+  const Hypercube cube(4);
+  ExchangeLedger ledger(cube);
+  ledger.record(0, 0, 0, 1, 10);
+  ledger.record(0, 1, 0, 2, 10);  // same stage, second partner + second dim
+  EXPECT_FALSE(ledger.single_partner_per_stage());
+}
+
+TEST(ExchangeCycles, BandwidthModel) {
+  EXPECT_EQ(exchange_cycles(8192, 8), 1024u);
+  EXPECT_EQ(exchange_cycles(8191, 8), 1024u);
+  EXPECT_EQ(exchange_cycles(0, 8), 0u);
+  EXPECT_THROW(exchange_cycles(1, 0), std::logic_error);
+}
+
+TEST(StageSchedule, LegalityRule) {
+  // Paper: "We must have l > d in order to correctly interleave
+  // computation and communication."
+  EXPECT_TRUE(StageSchedule::legal(3, 2));
+  EXPECT_FALSE(StageSchedule::legal(3, 3));
+  EXPECT_FALSE(StageSchedule::legal(2, 3));
+  EXPECT_THROW(StageSchedule(3, 3), std::invalid_argument);
+  EXPECT_NO_THROW(StageSchedule(3, 2));
+  EXPECT_NO_THROW(StageSchedule(1, 0));
+}
+
+TEST(StageSchedule, PaperInterleaving) {
+  // l=3, d=2: C0 X0 C1 X1 C2.
+  const StageSchedule schedule(3, 2);
+  EXPECT_EQ(schedule.describe(), "C0 X0 C1 X1 C2");
+  EXPECT_EQ(schedule.events().size(), 5u);
+}
+
+TEST(StageSchedule, CommOnlyAfterFirstDStages) {
+  // l > d + 1: "communication takes place only after the first d
+  // computation stages while the subsequent stages are computation only."
+  const StageSchedule schedule(5, 2);
+  EXPECT_EQ(schedule.describe(), "C0 X0 C1 X1 C2 C3 C4");
+}
+
+TEST(StageSchedule, OverlapHidesCommunication) {
+  const StageSchedule schedule(3, 2);
+  const std::vector<u64> compute{2048, 2048, 2048};
+  const std::vector<u64> comm{1024, 1024};
+  // Fully hidden: 3 x 2048.
+  EXPECT_EQ(schedule.total_cycles(compute, comm, true), 6144u);
+  // Unhidden: + 2 x 1024.
+  EXPECT_EQ(schedule.total_cycles(compute, comm, false), 8192u);
+}
+
+TEST(StageSchedule, PartialOverlapChargesExcess) {
+  const StageSchedule schedule(2, 1);
+  const std::vector<u64> compute{100, 100};
+  const std::vector<u64> comm{150};
+  // Exchange longer than the next stage: 100 + (150-100) + 100.
+  EXPECT_EQ(schedule.total_cycles(compute, comm, true), 250u);
+}
+
+}  // namespace
+}  // namespace hemul::hw

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "fp/roots.hpp"
+#include "hw/pe/processing_element.hpp"
+#include "ntt/reference.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::hw {
+namespace {
+
+using fp::Fp;
+using fp::FpVec;
+
+FpVec random_vec(util::Rng& rng, std::size_t n) {
+  FpVec v(n);
+  for (auto& x : v) x = Fp{rng.next()};
+  return v;
+}
+
+ProcessingElement make_pe(FftUnitKind kind = FftUnitKind::kOptimized) {
+  return ProcessingElement(0, ProcessingElement::Config{
+                                  .banking = BankingScheme::kTwoDimensional,
+                                  .unit = kind,
+                              });
+}
+
+TEST(ProcessingElement, Fft64ThroughMemoryMatchesReference) {
+  auto pe = make_pe();
+  util::Rng rng(1);
+  const FpVec data = random_vec(rng, 64);
+
+  pe.fill(0, data);
+  pe.swap_buffers();
+  const FpVec out = pe.run_fft(0, 64, {});
+  EXPECT_EQ(out, ntt::dft_reference(data, fp::kOmega64));
+  EXPECT_EQ(pe.compute_cycles(), 8u);
+  EXPECT_EQ(pe.ffts_executed(), 1u);
+}
+
+TEST(ProcessingElement, Fft16ThroughMemoryMatchesReference) {
+  auto pe = make_pe();
+  util::Rng rng(2);
+  const FpVec data = random_vec(rng, 16);
+  pe.fill(0, data);
+  pe.swap_buffers();
+  const FpVec out = pe.run_fft(0, 16, {});
+  EXPECT_EQ(out, ntt::dft_reference(data, fp::kTwo.pow(12)));
+  EXPECT_EQ(pe.compute_cycles(), 2u);
+}
+
+TEST(ProcessingElement, BaselineUnitVariant) {
+  auto opt = make_pe(FftUnitKind::kOptimized);
+  auto base = make_pe(FftUnitKind::kBaseline);
+  util::Rng rng(3);
+  const FpVec data = random_vec(rng, 64);
+  opt.fill(0, data);
+  opt.swap_buffers();
+  base.fill(0, data);
+  base.swap_buffers();
+  EXPECT_EQ(opt.run_fft(0, 64, {}), base.run_fft(0, 64, {}));
+}
+
+TEST(ProcessingElement, TwiddleStageUsesModularMultipliers) {
+  auto pe = make_pe();
+  util::Rng rng(4);
+  const FpVec data = random_vec(rng, 64);
+  const FpVec twiddles = random_vec(rng, 64);
+  pe.fill(0, data);
+  pe.swap_buffers();
+  const FpVec out = pe.run_fft(0, 64, twiddles);
+
+  const FpVec plain = ntt::dft_reference(data, fp::kOmega64);
+  for (unsigned k = 0; k < 64; ++k) EXPECT_EQ(out[k], plain[k] * twiddles[k]);
+  EXPECT_EQ(pe.twiddle_products(), 64u);
+}
+
+TEST(ProcessingElement, MultipleWindowsInOneBuffer) {
+  auto pe = make_pe();
+  util::Rng rng(5);
+  const FpVec data = random_vec(rng, 4096);  // 64 windows
+  pe.fill(0, data);
+  pe.swap_buffers();
+  for (unsigned w = 0; w < 64; ++w) {
+    const FpVec expected = ntt::dft_reference(
+        FpVec(data.begin() + w * 64, data.begin() + (w + 1) * 64), fp::kOmega64);
+    EXPECT_EQ(pe.run_fft(w * 64, 64, {}), expected);
+  }
+  EXPECT_EQ(pe.compute_cycles(), 64u * 8);
+  // Conflict-free: 2-D banking on FFT traffic.
+  EXPECT_EQ(pe.memory().compute().conflict_cycles(), 0u);
+}
+
+TEST(ProcessingElement, WriteBackReadBackRoundTrip) {
+  auto pe = make_pe();
+  util::Rng rng(6);
+  const FpVec values = random_vec(rng, 64);
+  pe.write_back(128, values);
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(pe.memory().fill().peek(128 + i), values[i]);
+  }
+}
+
+TEST(ProcessingElement, SmallRadixWriteBack) {
+  auto pe = make_pe();
+  util::Rng rng(7);
+  const FpVec values = random_vec(rng, 16);
+  pe.write_back(32, values);
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_EQ(pe.memory().fill().peek(32 + i), values[i]);
+  }
+}
+
+TEST(ProcessingElement, EightTwiddleMultipliers) {
+  EXPECT_EQ(ProcessingElement::kTwiddleMultipliers, 8u);
+}
+
+}  // namespace
+}  // namespace hemul::hw

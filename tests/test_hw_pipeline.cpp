@@ -1,0 +1,196 @@
+// Cycle-stepped streaming behavior: the paper's pipelining claims
+// (Section IV.b / V) verified against an explicit clock model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bigint/mul.hpp"
+#include "hw/accel/accelerator.hpp"
+#include "hw/fft64/pipelined_fft64.hpp"
+#include "hw/perf/perf_model.hpp"
+#include "ntt/reference.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::hw {
+namespace {
+
+using bigint::BigUInt;
+using fp::Fp;
+using fp::FpVec;
+
+FpVec random_vec(util::Rng& rng, std::size_t n) {
+  FpVec v(n);
+  for (auto& x : v) x = Fp{rng.next()};
+  return v;
+}
+
+/// Runs the pipeline until idle, appending all drained rows.
+void run_to_completion(PipelinedFft64& pipe, std::vector<PipelinedFft64::DrainedRow>& rows,
+                       u64 max_cycles = 100000) {
+  while (!pipe.idle()) {
+    pipe.tick();
+    for (auto& r : pipe.take_drained()) rows.push_back(r);
+    ASSERT_LT(pipe.current_cycle(), max_cycles) << "pipeline wedged";
+  }
+}
+
+void run_to_completion(PipelinedFft64& pipe, u64 max_cycles = 100000) {
+  std::vector<PipelinedFft64::DrainedRow> rows;
+  run_to_completion(pipe, rows, max_cycles);
+}
+
+/// Reassembles a job's 64 outputs from its drained rows.
+FpVec reassemble(const std::vector<PipelinedFft64::DrainedRow>& rows, u64 job) {
+  FpVec out(64, fp::kZero);
+  for (const auto& r : rows) {
+    if (r.job_id != job) continue;
+    for (unsigned k2 = 0; k2 < 8; ++k2) out[8 * k2 + r.drain_cycle] = r.words[k2];
+  }
+  return out;
+}
+
+TEST(PipelinedFft64, SingleJobFunctionalAndDrainShape) {
+  PipelinedFft64 pipe;
+  util::Rng rng(1);
+  const FpVec in = random_vec(rng, 64);
+  const u64 id = pipe.push_job(in);
+
+  std::vector<PipelinedFft64::DrainedRow> rows;
+  run_to_completion(pipe, rows, 1000);
+
+  ASSERT_EQ(rows.size(), 8u);  // 8 rows of 8 components
+  EXPECT_EQ(reassemble(rows, id), ntt::dft_reference(in, fp::kOmega64));
+  // Rows drain in cycle order 0..7.
+  for (unsigned t = 0; t < 8; ++t) EXPECT_EQ(rows[t].drain_cycle, t);
+}
+
+TEST(PipelinedFft64, SteadyStateThroughputIsEightCycles) {
+  // Paper Section V: "The FFT-64 unit is able to output an FFT every eight
+  // clock cycles."
+  PipelinedFft64 pipe;
+  util::Rng rng(2);
+  constexpr unsigned kJobs = 32;
+  for (unsigned j = 0; j < kJobs; ++j) pipe.push_job(random_vec(rng, 64));
+  run_to_completion(pipe);
+
+  EXPECT_EQ(pipe.jobs_completed(), kJobs);
+  // Total = issue + fill + 8 cycles per job + drain tail: 8*N + 9.
+  EXPECT_EQ(pipe.current_cycle(), 8u * kJobs + 9);
+}
+
+TEST(PipelinedFft64, DrainOverlapsNextAccumulation) {
+  PipelinedFft64 pipe;
+  util::Rng rng(3);
+  for (int j = 0; j < 4; ++j) pipe.push_job(random_vec(rng, 64));
+  run_to_completion(pipe);
+  // Steady state keeps exactly two jobs in flight (one accumulating, one
+  // draining) -- the overlap that shares 8 reductors across 64 outputs.
+  EXPECT_EQ(pipe.max_in_flight(), 2u);
+}
+
+TEST(PipelinedFft64, BackToBackJobsDrainContiguously) {
+  PipelinedFft64 pipe;
+  util::Rng rng(4);
+  const u64 a = pipe.push_job(random_vec(rng, 64));
+  const u64 b = pipe.push_job(random_vec(rng, 64));
+  run_to_completion(pipe);
+  const auto ca = pipe.first_output_cycle(a);
+  const auto cb = pipe.first_output_cycle(b);
+  ASSERT_TRUE(ca.has_value());
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(*cb - *ca, 8u);  // initiation interval
+}
+
+TEST(PipelinedFft64, ManyJobsAllBitExact) {
+  PipelinedFft64 pipe;
+  util::Rng rng(5);
+  std::map<u64, FpVec> inputs;
+  for (int j = 0; j < 10; ++j) {
+    FpVec in = random_vec(rng, 64);
+    inputs[pipe.push_job(in)] = std::move(in);
+  }
+  std::vector<PipelinedFft64::DrainedRow> rows;
+  run_to_completion(pipe, rows);
+  for (const auto& [id, in] : inputs) {
+    EXPECT_EQ(reassemble(rows, id), ntt::dft_reference(in, fp::kOmega64)) << id;
+  }
+}
+
+TEST(PipelinedFft64, LateArrivalsRestartPipeline) {
+  PipelinedFft64 pipe;
+  util::Rng rng(6);
+  const FpVec in1 = random_vec(rng, 64);
+  pipe.push_job(in1);
+  run_to_completion(pipe);
+  const u64 after_first = pipe.current_cycle();
+
+  const FpVec in2 = random_vec(rng, 64);
+  const u64 id2 = pipe.push_job(in2);
+  std::vector<PipelinedFft64::DrainedRow> rows;
+  run_to_completion(pipe, rows);
+  EXPECT_EQ(reassemble(rows, id2), ntt::dft_reference(in2, fp::kOmega64));
+  EXPECT_GT(pipe.current_cycle(), after_first);
+}
+
+TEST(PipelinedFft64, RejectsWrongJobSize) {
+  PipelinedFft64 pipe;
+  EXPECT_THROW((void)pipe.push_job(FpVec(32, fp::kZero)), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Batch multiplication streaming on the full accelerator.
+// ---------------------------------------------------------------------------
+
+TEST(MultiplyBatch, ProductsBitExactAndTimingPipelined) {
+  HwAccelerator accel(AcceleratorConfig::paper());
+  util::Rng rng(7);
+  std::vector<std::pair<BigUInt, BigUInt>> ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.emplace_back(BigUInt::random_bits(rng, 50000), BigUInt::random_bits(rng, 50000));
+  }
+  HwAccelerator::BatchReport report;
+  const auto products = accel.multiply_batch(ops, &report);
+
+  ASSERT_EQ(products.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(products[i], bigint::mul_karatsuba(ops[i].first, ops[i].second));
+  }
+  EXPECT_EQ(report.operations, 4u);
+  EXPECT_EQ(report.first_latency_cycles, 24576u);
+  EXPECT_EQ(report.interval_cycles, 3u * 6144 + 2048);  // FFT engine + dot product
+  EXPECT_EQ(report.total_cycles, 24576u + 3u * 20480);
+  // Streaming 4 products is cheaper than 4 single-shot latencies.
+  EXPECT_LT(report.total_cycles, 4u * 24576);
+  EXPECT_NEAR(report.throughput_per_second(), 9765.6, 0.1);
+}
+
+TEST(MultiplyBatch, EmptyAndSingle) {
+  HwAccelerator accel(AcceleratorConfig::paper());
+  HwAccelerator::BatchReport report;
+  EXPECT_TRUE(accel.multiply_batch({}, &report).empty());
+  EXPECT_EQ(report.total_cycles, 0u);
+
+  util::Rng rng(8);
+  std::vector<std::pair<BigUInt, BigUInt>> one;
+  one.emplace_back(BigUInt::random_bits(rng, 1000), BigUInt::random_bits(rng, 1000));
+  (void)accel.multiply_batch(one, &report);
+  EXPECT_EQ(report.total_cycles, report.first_latency_cycles);
+}
+
+TEST(MultiplyBatch, MatchesPerfModelThroughput) {
+  HwAccelerator accel(AcceleratorConfig::paper());
+  PerfParams params = PerfParams::paper();
+  const PerfBreakdown perf = evaluate_perf(params);
+
+  util::Rng rng(9);
+  std::vector<std::pair<BigUInt, BigUInt>> ops;
+  ops.emplace_back(BigUInt::random_bits(rng, 1000), BigUInt::random_bits(rng, 1000));
+  ops.emplace_back(BigUInt::random_bits(rng, 1000), BigUInt::random_bits(rng, 1000));
+  HwAccelerator::BatchReport report;
+  (void)accel.multiply_batch(ops, &report);
+  EXPECT_EQ(report.interval_cycles, perf.pipelined_interval_cycles);
+}
+
+}  // namespace
+}  // namespace hemul::hw

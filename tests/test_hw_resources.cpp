@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "hw/resources/report.hpp"
+
+namespace hemul::hw {
+namespace {
+
+TEST(ResourceVec, Algebra) {
+  const ResourceVec a{100, 200, 8, 2};
+  const ResourceVec b{50, 100, 4, 1};
+  const ResourceVec sum = a + b;
+  EXPECT_EQ(sum.alms, 150u);
+  EXPECT_EQ(sum.registers, 300u);
+  EXPECT_EQ(sum.dsp_blocks, 12u);
+  EXPECT_EQ(sum.m20k_blocks, 3u);
+  const ResourceVec four = b * 4;
+  EXPECT_EQ(four.alms, 200u);
+  EXPECT_EQ(four.m20k_bits(), 4u * 20480);
+}
+
+TEST(Device, StratixVCapacities) {
+  const Device d = Device::stratix_v_5sgsmd8();
+  EXPECT_EQ(d.alms, 262400u);
+  EXPECT_EQ(d.registers, 1049600u);  // 4 per ALM
+  EXPECT_EQ(d.dsp_blocks, 1963u);
+  EXPECT_EQ(d.m20k_blocks, 2048u);   // calibrated: 40 Mbit (see header)
+}
+
+TEST(Device, UtilizationAndFit) {
+  const Device d = Device::stratix_v_5sgsmd8();
+  const ResourceVec half{d.alms / 2, d.registers / 2, d.dsp_blocks / 2, d.m20k_blocks / 2};
+  const auto u = d.utilization(half);
+  EXPECT_NEAR(u.alms, 0.5, 1e-9);
+  EXPECT_TRUE(d.fits(half));
+  const ResourceVec too_big{d.alms + 1, 0, 0, 0};
+  EXPECT_FALSE(d.fits(too_big));
+}
+
+// ---------------------------------------------------------------------------
+// Table I regression: the model must land on the published numbers.
+// ---------------------------------------------------------------------------
+
+TEST(TableOne, ProposedColumnMatchesPaper) {
+  const ResourceVec proposed = accelerator_cost(AccelParams::paper());
+  EXPECT_EQ(proposed.alms, 104000u);
+  EXPECT_EQ(proposed.registers, 116000u);
+  EXPECT_EQ(proposed.dsp_blocks, 256u);
+  // "8 Mbit": 408 blocks = 7.97 Mbit (within 1% of 8 Mbit).
+  EXPECT_NEAR(static_cast<double>(proposed.m20k_bits()) / (1024.0 * 1024.0), 8.0, 0.1);
+}
+
+TEST(TableOne, BaselineColumnMatchesPaper) {
+  const ResourceVec baseline = baseline28_cost();
+  EXPECT_EQ(baseline.alms, 231000u);
+  EXPECT_EQ(baseline.registers, 336377u);
+  EXPECT_EQ(baseline.dsp_blocks, 720u);
+}
+
+TEST(TableOne, UtilizationPercentages) {
+  const ResourceComparison c = ResourceComparison::paper();
+  const auto up = c.device.utilization(c.proposed);
+  const auto ub = c.device.utilization(c.baseline);
+  // Paper Table I: 40% / 88% ALMs, 11% / 31% registers, 13% / 37% DSP,
+  // 20% M20K. Registers for [28] model at 32.0% vs the published 31%
+  // (the paper's own absolute and percentage figures are mutually
+  // inconsistent at the ~1pp level; see EXPERIMENTS.md).
+  EXPECT_NEAR(up.alms, 0.40, 0.01);
+  EXPECT_NEAR(ub.alms, 0.88, 0.01);
+  EXPECT_NEAR(up.registers, 0.11, 0.005);
+  EXPECT_NEAR(ub.registers, 0.31, 0.015);
+  EXPECT_NEAR(up.dsp_blocks, 0.13, 0.005);
+  EXPECT_NEAR(ub.dsp_blocks, 0.37, 0.005);
+  EXPECT_NEAR(up.m20k, 0.20, 0.005);
+}
+
+TEST(TableOne, SixtyPercentSavingClaim) {
+  // "the combination of the optimizations presented above results in
+  // around 60% saving in hardware costs."
+  const ResourceComparison c = ResourceComparison::paper();
+  EXPECT_NEAR(c.alm_saving(), 0.55, 0.06);  // 104k vs 231k = 55%
+  EXPECT_LT(c.proposed.dsp_blocks, c.baseline.dsp_blocks);
+  EXPECT_LT(c.proposed.registers, c.baseline.registers);
+  // Register saving is the largest: 116k vs 336k = 65%.
+  const double reg_saving =
+      1.0 - static_cast<double>(c.proposed.registers) / c.baseline.registers;
+  EXPECT_NEAR(reg_saving, 0.65, 0.05);
+}
+
+TEST(TableOne, RenderedTableContainsPaperNumbers) {
+  const std::string table = ResourceComparison::paper().render_table();
+  EXPECT_NE(table.find("104,000"), std::string::npos);
+  EXPECT_NE(table.find("231,000"), std::string::npos);
+  EXPECT_NE(table.find("336,377"), std::string::npos);
+  EXPECT_NE(table.find("256"), std::string::npos);
+  EXPECT_NE(table.find("720"), std::string::npos);
+  EXPECT_NE(table.find("--"), std::string::npos);  // unreported baseline M20K
+}
+
+// ---------------------------------------------------------------------------
+// Structural sensitivity: each optimization individually reduces area.
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, EachOptimizationSavesArea) {
+  const ResourceVec optimized = fft64_cost(Fft64UnitParams::optimized());
+
+  Fft64UnitParams more_reductors = Fft64UnitParams::optimized();
+  more_reductors.reductors = 64;
+  EXPECT_GT(fft64_cost(more_reductors).alms, optimized.alms);
+
+  Fft64UnitParams unmerged = Fft64UnitParams::optimized();
+  unmerged.merged_carry_save = false;
+  EXPECT_GT(fft64_cost(unmerged).registers, optimized.registers);
+
+  Fft64UnitParams no_symmetry = Fft64UnitParams::optimized();
+  no_symmetry.stage1_trees = 8;
+  no_symmetry.dual_output_trees = false;
+  EXPECT_GT(fft64_cost(no_symmetry).alms, optimized.alms);
+
+  Fft64UnitParams full_shifters = Fft64UnitParams::optimized();
+  full_shifters.full_barrel_shifters = true;
+  EXPECT_GT(fft64_cost(full_shifters).alms, optimized.alms);
+}
+
+TEST(CostModel, BaselineUnitDominatesOptimized) {
+  const ResourceVec opt = fft64_cost(Fft64UnitParams::optimized());
+  const ResourceVec base = fft64_cost(Fft64UnitParams::baseline());
+  EXPECT_GT(base.alms, 5 * opt.alms);  // 64 chains vs 4 trees
+  EXPECT_GT(base.registers, 10 * opt.registers);
+}
+
+TEST(CostModel, MemoryPortWidthScalesAddressing) {
+  // [28] needs 64-word ports; the optimized unit needs 8.
+  EXPECT_GT(memory_cost(64).alms, memory_cost(8).alms * 7);
+  EXPECT_EQ(memory_cost(8).m20k_blocks, 64u);  // double-buffered 32+32
+}
+
+TEST(CostModel, ProposedFitsDeviceBaselineBarely) {
+  const Device d = Device::stratix_v_5sgsmd8();
+  EXPECT_TRUE(d.fits(accelerator_cost(AccelParams::paper())));
+  EXPECT_TRUE(d.fits(baseline28_cost()));  // 88% full but fits
+}
+
+TEST(CostModel, OnePeFitsCycloneVPrototypeBoard) {
+  // The paper's first prototype: a multi-board Cyclone V rig, one PE per
+  // low-end device, hypercube links off-chip.
+  const Device board = Device::cyclone_v_5csema5();
+  const ResourceVec one_pe = pe_cost(AccelParams::paper().pe);
+  EXPECT_TRUE(board.fits(one_pe));
+  // But the full 4-PE accelerator cannot fit a single Cyclone V.
+  EXPECT_FALSE(board.fits(accelerator_cost(AccelParams::paper())));
+  // It is a tight fit: the PE uses most of the board's logic.
+  EXPECT_GT(board.utilization(one_pe).alms, 0.5);
+}
+
+TEST(CostModel, PeCountScalesLinearly) {
+  AccelParams two = AccelParams::paper();
+  two.num_pes = 2;
+  AccelParams four = AccelParams::paper();
+  const ResourceVec r2 = accelerator_cost(two);
+  const ResourceVec r4 = accelerator_cost(four);
+  EXPECT_EQ(r4.dsp_blocks, 2 * r2.dsp_blocks);
+  EXPECT_GT(r4.alms, r2.alms);
+  EXPECT_LT(r4.alms, 2 * r2.alms);  // shared overhead amortizes
+}
+
+}  // namespace
+}  // namespace hemul::hw

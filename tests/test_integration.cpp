@@ -1,0 +1,103 @@
+// End-to-end integration tests: the golden chain (schoolbook -> Karatsuba ->
+// SSA -> simulated accelerator) and the full HE-on-accelerator scenario the
+// paper motivates.
+
+#include <gtest/gtest.h>
+
+#include "bigint/mul.hpp"
+#include "core/accelerator.hpp"
+#include "fhe/dghv.hpp"
+#include "ssa/multiply.hpp"
+#include "util/rng.hpp"
+
+namespace hemul {
+namespace {
+
+using bigint::BigUInt;
+
+TEST(GoldenChain, AllMultipliersAgreeAtPaperScale) {
+  util::Rng rng(1);
+  const BigUInt a = BigUInt::random_bits(rng, 786432);
+  const BigUInt b = BigUInt::random_bits(rng, 786432);
+
+  const BigUInt karatsuba = bigint::mul_karatsuba(a, b);
+  const BigUInt toom = bigint::mul_toom3(a, b);
+  const BigUInt ssa_result = ssa::multiply(a, b, ssa::SsaParams::paper());
+
+  core::Accelerator accel;
+  const BigUInt hw_result = accel.multiply(a, b).product;
+
+  EXPECT_EQ(karatsuba, toom);
+  EXPECT_EQ(karatsuba, ssa_result);
+  EXPECT_EQ(karatsuba, hw_result);
+}
+
+TEST(GoldenChain, RandomSizeSweep) {
+  util::Rng rng(2);
+  for (const std::size_t bits : {1000u, 12345u, 99991u}) {
+    const BigUInt a = BigUInt::random_bits(rng, bits);
+    const BigUInt b = BigUInt::random_bits(rng, bits / 2 + 1);
+    const BigUInt expected = bigint::mul_karatsuba(a, b);
+    EXPECT_EQ(ssa::mul_ssa(a, b), expected) << bits;
+  }
+}
+
+TEST(HeOnAccelerator, CiphertextMultiplicationThroughSimulatedHardware) {
+  // The paper's end-to-end story: DGHV homomorphic AND, with the gamma-bit
+  // ciphertext product executed by the simulated accelerator.
+  fhe::Dghv scheme(fhe::DghvParams::medium(), 3);
+
+  auto accel = std::make_shared<core::Accelerator>();
+  unsigned accelerated_products = 0;
+  scheme.set_multiplier([accel, &accelerated_products](const BigUInt& a, const BigUInt& b) {
+    ++accelerated_products;
+    return accel->multiply(a, b).product;
+  });
+
+  for (const bool x : {false, true}) {
+    for (const bool y : {false, true}) {
+      const auto cx = scheme.encrypt(x);
+      const auto cy = scheme.encrypt(y);
+      EXPECT_EQ(scheme.decrypt(scheme.multiply(cx, cy)), x && y);
+    }
+  }
+  EXPECT_EQ(accelerated_products, 4u);
+}
+
+TEST(HeOnAccelerator, TimingReportForCiphertextProduct) {
+  // One homomorphic multiplication = one accelerator run = ~122.88 us of
+  // modeled hardware time, regardless of how long the simulation takes.
+  fhe::Dghv scheme(fhe::DghvParams::medium(), 4);
+  core::Accelerator accel;
+
+  const auto c1 = scheme.encrypt(true);
+  const auto c2 = scheme.encrypt(true);
+  const auto result = accel.multiply(c1.value, c2.value);
+  ASSERT_TRUE(result.hw_report.has_value());
+  EXPECT_NEAR(result.hw_report->total_time_us(), 122.88, 0.01);
+
+  // And the product is usable as a ciphertext after reduction mod x0.
+  fhe::Ciphertext product{result.product % scheme.public_key().x0,
+                          fhe::NoiseModel::after_mult(c1.noise_bits, c2.noise_bits)};
+  EXPECT_TRUE(scheme.decrypt(product));
+}
+
+TEST(Consistency, SimulatedCyclesMatchAnalyticModelAcrossConfigs) {
+  // The cycle-accurate simulation and the closed-form Section V model must
+  // agree for every legal PE count of the paper plan.
+  for (const unsigned pes : {1u, 2u, 4u}) {
+    core::Config config = core::Config::paper();
+    config.hardware.ntt.num_pes = pes;
+    core::Accelerator accel(config);
+
+    util::Rng rng(pes);
+    fp::FpVec data(65536);
+    for (auto& x : data) x = fp::Fp{rng.next()};
+    hw::NttRunReport report;
+    (void)accel.ntt_forward(data, &report);
+    EXPECT_EQ(report.total_cycles, accel.performance().fft_cycles) << pes;
+  }
+}
+
+}  // namespace
+}  // namespace hemul

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "fp/roots.hpp"
+#include "ntt/convolution.hpp"
+#include "ntt/mixed_radix.hpp"
+#include "ntt/radix2.hpp"
+#include "ntt/reference.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::ntt {
+namespace {
+
+using fp::Fp;
+using fp::FpVec;
+
+FpVec random_vec(util::Rng& rng, std::size_t n) {
+  FpVec v(n);
+  for (auto& x : v) x = Fp{rng.next()};
+  return v;
+}
+
+TEST(NttPlan, FactoryValidation) {
+  EXPECT_EQ(NttPlan::paper_64k().size, 65536u);
+  EXPECT_EQ(NttPlan::paper_64k().describe(), "64*64*16");
+  EXPECT_EQ(NttPlan::pure_radix2(8).stage_count(), 3u);
+  EXPECT_EQ(NttPlan::uniform(16, 4096).stage_count(), 3u);
+  EXPECT_THROW(NttPlan::from_radices({}), std::invalid_argument);
+  EXPECT_THROW(NttPlan::from_radices({3}), std::invalid_argument);
+  EXPECT_THROW(NttPlan::from_radices({1}), std::invalid_argument);
+  EXPECT_THROW(NttPlan::uniform(16, 100), std::invalid_argument);
+}
+
+TEST(NttPlan, SubFftCounts) {
+  const NttPlan plan = NttPlan::paper_64k();
+  // Paper Section V: 1024 radix-64 FFTs in each of the first two stages,
+  // 4096 radix-16 FFTs in the third.
+  EXPECT_EQ(plan.sub_ffts_in_stage(0), 1024u);
+  EXPECT_EQ(plan.sub_ffts_in_stage(1), 1024u);
+  EXPECT_EQ(plan.sub_ffts_in_stage(2), 4096u);
+}
+
+struct PlanCase {
+  std::vector<u32> radices;
+  u64 seed;
+};
+
+class MixedRadixVsReference : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(MixedRadixVsReference, MatchesDirectDft) {
+  const auto& param = GetParam();
+  const MixedRadixNtt engine(NttPlan::from_radices(param.radices));
+  const u64 n = engine.plan().size;
+  util::Rng rng(param.seed);
+  const FpVec data = random_vec(rng, n);
+  EXPECT_EQ(engine.forward(data), dft_reference(data, engine.root()));
+}
+
+TEST_P(MixedRadixVsReference, RoundTrip) {
+  const auto& param = GetParam();
+  const MixedRadixNtt engine(NttPlan::from_radices(param.radices));
+  util::Rng rng(param.seed + 1);
+  const FpVec data = random_vec(rng, engine.plan().size);
+  EXPECT_EQ(engine.inverse(engine.forward(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, MixedRadixVsReference,
+    ::testing::Values(PlanCase{{4}, 1}, PlanCase{{2, 2}, 2}, PlanCase{{4, 4}, 3},
+                      PlanCase{{8, 8}, 4}, PlanCase{{16, 16}, 5}, PlanCase{{64}, 6},
+                      PlanCase{{64, 4}, 7}, PlanCase{{4, 64}, 8}, PlanCase{{8, 16, 2}, 9},
+                      PlanCase{{64, 16}, 10}, PlanCase{{16, 8, 8}, 11}));
+
+TEST(MixedRadix, Paper64kPlanMatchesRadix2) {
+  // The full 64K-point paper plan against the independent radix-2 engine;
+  // identical roots guarantee identical spectra.
+  const MixedRadixNtt mixed(NttPlan::paper_64k());
+  const Radix2Ntt radix2(65536);
+  util::Rng rng(2024);
+  const FpVec data = random_vec(rng, 65536);
+  FpVec viaRadix2 = data;
+  radix2.forward(viaRadix2);
+  EXPECT_EQ(mixed.forward(data), viaRadix2);
+}
+
+TEST(MixedRadix, Paper64kRoundTrip) {
+  const MixedRadixNtt engine(NttPlan::paper_64k());
+  util::Rng rng(2025);
+  const FpVec data = random_vec(rng, 65536);
+  EXPECT_EQ(engine.inverse(engine.forward(data)), data);
+}
+
+TEST(MixedRadix, EquivalentPlansGiveIdenticalSpectra) {
+  util::Rng rng(77);
+  const FpVec data = random_vec(rng, 4096);
+  const FpVec a = MixedRadixNtt(NttPlan::pure_radix2(4096)).forward(data);
+  const FpVec b = MixedRadixNtt(NttPlan::uniform(16, 4096)).forward(data);
+  const FpVec c = MixedRadixNtt(NttPlan::from_radices({64, 64})).forward(data);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(MixedRadix, ShiftOnlyButterfliesInPaperPlan) {
+  // Architectural core of the paper: with the aligned root hierarchy, every
+  // radix-64/16 butterfly multiplication is a shift; only inter-stage
+  // twiddles need generic (DSP) multipliers.
+  const MixedRadixNtt engine(NttPlan::paper_64k());
+  util::Rng rng(31);
+  const FpVec data = random_vec(rng, 65536);
+  NttOpCounts counts;
+  (void)engine.forward(data, &counts);
+  // Butterfly muls: N/64*64^2 twice + N/16*16^2 once = 2*64N + 16N.
+  EXPECT_EQ(counts.shift_muls, 2u * 64 * 65536 + 16u * 65536);
+  // Generic muls: (r-1)*M per decomposition level:
+  // top level (r=16, M=4096) + 16 x (r=64, M=64).
+  EXPECT_EQ(counts.generic_muls, 15u * 4096 + 16u * 63 * 64);
+}
+
+TEST(MixedRadix, Log2OfDetectsPowersOfTwo) {
+  EXPECT_EQ(MixedRadixNtt::log2_of(fp::kOne), 0);
+  EXPECT_EQ(MixedRadixNtt::log2_of(fp::kTwo), 1);
+  EXPECT_EQ(MixedRadixNtt::log2_of(fp::kOmega64), 3);
+  EXPECT_EQ(MixedRadixNtt::log2_of(fp::kTwo.pow(191)), 191);
+  EXPECT_EQ(MixedRadixNtt::log2_of(Fp{12345}), -1);
+}
+
+TEST(MixedRadix, InverseRootIsStillPowerOfTwo) {
+  // 8^{-1} = 2^189, so inverse-transform butterflies stay shift-only.
+  EXPECT_EQ(MixedRadixNtt::log2_of(fp::kOmega64.inv()), 189);
+}
+
+TEST(Convolution, FastMatchesReference) {
+  util::Rng rng(55);
+  for (const std::size_t n : {2u, 8u, 64u, 256u}) {
+    const FpVec a = random_vec(rng, n);
+    const FpVec b = random_vec(rng, n);
+    EXPECT_EQ(cyclic_convolve(a, b), cyclic_convolve_reference(a, b)) << n;
+  }
+}
+
+TEST(Convolution, PlanEngineMatchesFastPath) {
+  util::Rng rng(56);
+  const FpVec a = random_vec(rng, 1024);
+  const FpVec b = random_vec(rng, 1024);
+  EXPECT_EQ(cyclic_convolve_plan(a, b, NttPlan::from_radices({64, 16})),
+            cyclic_convolve(a, b));
+}
+
+TEST(Convolution, SizeMismatchChecked) {
+  const FpVec a(4, fp::kZero);
+  const FpVec b(8, fp::kZero);
+  EXPECT_THROW(cyclic_convolve(a, b), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hemul::ntt

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "ntt/negacyclic.hpp"
+#include "ntt/radix2.hpp"
+#include "ntt/reference.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::ntt {
+namespace {
+
+using fp::Fp;
+using fp::FpVec;
+
+FpVec random_vec(util::Rng& rng, std::size_t n) {
+  FpVec v(n);
+  for (auto& x : v) x = Fp{rng.next()};
+  return v;
+}
+
+TEST(Negacyclic, HandComputedSizeTwo) {
+  // (a0 + a1 x)(b0 + b1 x) mod (x^2 + 1):
+  //   c0 = a0 b0 - a1 b1, c1 = a0 b1 + a1 b0.
+  const FpVec a{Fp{2}, Fp{3}};
+  const FpVec b{Fp{5}, Fp{7}};
+  const FpVec c = negacyclic_convolve(a, b);
+  EXPECT_EQ(c[0], Fp{10} - Fp{21});
+  EXPECT_EQ(c[1], Fp{14 + 15});
+}
+
+TEST(Negacyclic, XTimesXIsMinusOne) {
+  // x * x = x^2 = -1 mod (x^2 + 1).
+  const FpVec x{fp::kZero, fp::kOne};
+  const FpVec c = negacyclic_convolve(x, x);
+  EXPECT_EQ(c[0], fp::kOne.neg());
+  EXPECT_EQ(c[1], fp::kZero);
+}
+
+class NegacyclicSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NegacyclicSizes, MatchesReference) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  const FpVec a = random_vec(rng, n);
+  const FpVec b = random_vec(rng, n);
+  EXPECT_EQ(negacyclic_convolve(a, b), negacyclic_convolve_reference(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NegacyclicSizes,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 1024));
+
+TEST(Negacyclic, DiffersFromCyclic) {
+  // The wraparound term changes sign; with nonzero high-degree overlap the
+  // two convolutions must differ.
+  util::Rng rng(7);
+  const FpVec a = random_vec(rng, 16);
+  const FpVec b = random_vec(rng, 16);
+  EXPECT_NE(negacyclic_convolve(a, b), cyclic_convolve_reference(a, b));
+}
+
+TEST(Negacyclic, AgreesWithCyclicWhenNoWraparound) {
+  // Products of low-degree polynomials never wrap: both convolutions match.
+  util::Rng rng(8);
+  FpVec a(32, fp::kZero);
+  FpVec b(32, fp::kZero);
+  for (int i = 0; i < 8; ++i) {
+    a[i] = Fp{rng.next()};
+    b[i] = Fp{rng.next()};
+  }
+  EXPECT_EQ(negacyclic_convolve(a, b), cyclic_convolve_reference(a, b));
+}
+
+TEST(Negacyclic, Linearity) {
+  util::Rng rng(9);
+  const FpVec a = random_vec(rng, 64);
+  const FpVec b = random_vec(rng, 64);
+  const FpVec c = random_vec(rng, 64);
+  FpVec bc(64);
+  for (int i = 0; i < 64; ++i) bc[i] = b[i] + c[i];
+  const FpVec lhs = negacyclic_convolve(a, bc);
+  const FpVec ab = negacyclic_convolve(a, b);
+  const FpVec ac = negacyclic_convolve(a, c);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(lhs[i], ab[i] + ac[i]);
+}
+
+TEST(Negacyclic, RejectsBadSizes) {
+  const FpVec a(3, fp::kZero);
+  const FpVec b(3, fp::kZero);
+  EXPECT_THROW(negacyclic_convolve(a, b), std::logic_error);
+  const FpVec c(4, fp::kZero);
+  EXPECT_THROW(negacyclic_convolve(a, c), std::logic_error);
+}
+
+TEST(Radix2Convolve, MatchesForwardPointwiseInverse) {
+  // The DIF/DIT fast path must equal the plain three-pass route.
+  util::Rng rng(10);
+  for (const std::size_t n : {4u, 64u, 512u}) {
+    const Radix2Ntt engine(n);
+    const FpVec a = random_vec(rng, n);
+    const FpVec b = random_vec(rng, n);
+    FpVec fa = a;
+    FpVec fb = b;
+    engine.forward(fa);
+    engine.forward(fb);
+    for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+    engine.inverse(fa);
+    EXPECT_EQ(engine.convolve(a, b), fa) << n;
+  }
+}
+
+TEST(Radix2Convolve, SquareFastPath) {
+  util::Rng rng(11);
+  const FpVec a = random_vec(rng, 256);
+  const Radix2Ntt engine(256);
+  EXPECT_EQ(engine.convolve_square(a), engine.convolve(a, a));
+}
+
+TEST(SharedRadix2, CachesEngines) {
+  const Radix2Ntt& a = shared_radix2(1024);
+  const Radix2Ntt& b = shared_radix2(1024);
+  EXPECT_EQ(&a, &b);  // same instance
+  EXPECT_NE(&a, &shared_radix2(2048));
+  EXPECT_EQ(a.size(), 1024u);
+}
+
+}  // namespace
+}  // namespace hemul::ntt

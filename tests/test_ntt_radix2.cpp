@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "fp/roots.hpp"
+#include "ntt/radix2.hpp"
+#include "ntt/reference.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::ntt {
+namespace {
+
+using fp::Fp;
+using fp::FpVec;
+
+FpVec random_vec(util::Rng& rng, std::size_t n) {
+  FpVec v(n);
+  for (auto& x : v) x = Fp{rng.next()};
+  return v;
+}
+
+class Radix2VsReference : public ::testing::TestWithParam<u64> {};
+
+TEST_P(Radix2VsReference, ForwardMatchesDirectDft) {
+  const u64 n = GetParam();
+  const Radix2Ntt engine(n);
+  util::Rng rng(n);
+  FpVec data = random_vec(rng, n);
+  const FpVec expected = dft_reference(data, engine.root());
+  engine.forward(data);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(Radix2VsReference, RoundTrip) {
+  const u64 n = GetParam();
+  const Radix2Ntt engine(n);
+  util::Rng rng(n + 7);
+  const FpVec orig = random_vec(rng, n);
+  FpVec data = orig;
+  engine.forward(data);
+  EXPECT_NE(data, orig);  // astronomically unlikely to be a fixed point
+  engine.inverse(data);
+  EXPECT_EQ(data, orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Radix2VsReference,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024));
+
+TEST(Radix2, LargeRoundTrip64K) {
+  const Radix2Ntt engine(65536);
+  util::Rng rng(99);
+  const FpVec orig = random_vec(rng, 65536);
+  FpVec data = orig;
+  engine.forward(data);
+  engine.inverse(data);
+  EXPECT_EQ(data, orig);
+}
+
+TEST(Radix2, UsesAlignedRootFor64Plus) {
+  // The radix-2 engine and the mixed-radix engine must share the same root
+  // hierarchy so their outputs are directly comparable.
+  const Radix2Ntt engine(65536);
+  EXPECT_EQ(engine.root().pow(65536 / 64), fp::kOmega64);
+}
+
+TEST(Radix2, RejectsBadSizes) {
+  EXPECT_THROW(Radix2Ntt(0), std::logic_error);
+  EXPECT_THROW(Radix2Ntt(1), std::logic_error);
+  EXPECT_THROW(Radix2Ntt(48), std::logic_error);
+}
+
+TEST(Radix2, SizeMismatchChecked) {
+  const Radix2Ntt engine(16);
+  FpVec wrong(8, fp::kZero);
+  EXPECT_THROW(engine.forward(wrong), std::logic_error);
+}
+
+TEST(Radix2, LinearityHolds) {
+  const u64 n = 256;
+  const Radix2Ntt engine(n);
+  util::Rng rng(42);
+  const FpVec f = random_vec(rng, n);
+  const FpVec g = random_vec(rng, n);
+  FpVec fg(n);
+  for (u64 i = 0; i < n; ++i) fg[i] = f[i] + g[i];
+  FpVec a = f;
+  FpVec b = g;
+  FpVec c = fg;
+  engine.forward(a);
+  engine.forward(b);
+  engine.forward(c);
+  for (u64 i = 0; i < n; ++i) EXPECT_EQ(c[i], a[i] + b[i]);
+}
+
+TEST(Radix2, ParsevalLikeDcComponent) {
+  // F[0] equals the plain sum of inputs.
+  const u64 n = 128;
+  const Radix2Ntt engine(n);
+  util::Rng rng(43);
+  FpVec f = random_vec(rng, n);
+  Fp sum = fp::kZero;
+  for (const auto& v : f) sum += v;
+  engine.forward(f);
+  EXPECT_EQ(f[0], sum);
+}
+
+}  // namespace
+}  // namespace hemul::ntt

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "fp/roots.hpp"
+#include "ntt/reference.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::ntt {
+namespace {
+
+using fp::Fp;
+using fp::FpVec;
+
+FpVec random_vec(util::Rng& rng, std::size_t n) {
+  FpVec v(n);
+  for (auto& x : v) x = Fp{rng.next()};
+  return v;
+}
+
+TEST(DftReference, SizeTwoByHand) {
+  // N=2: w = -1, F = [a+b, a-b].
+  const Fp w = fp::primitive_root(2);
+  EXPECT_EQ(w, Fp::from_canonical(fp::kModulus - 1));
+  const FpVec f{Fp{3}, Fp{5}};
+  const FpVec F = dft_reference(f, w);
+  EXPECT_EQ(F[0], Fp{8});
+  EXPECT_EQ(F[1], Fp{3} - Fp{5});
+}
+
+TEST(DftReference, ConstantInputConcentratesAtDc) {
+  const Fp w = fp::primitive_root(8);
+  const FpVec f(8, Fp{7});
+  const FpVec F = dft_reference(f, w);
+  EXPECT_EQ(F[0], Fp{56});
+  for (std::size_t k = 1; k < 8; ++k) EXPECT_EQ(F[k], fp::kZero);
+}
+
+TEST(DftReference, DeltaInputIsFlat) {
+  const Fp w = fp::primitive_root(16);
+  FpVec f(16, fp::kZero);
+  f[0] = Fp{9};
+  const FpVec F = dft_reference(f, w);
+  for (const auto& v : F) EXPECT_EQ(v, Fp{9});
+}
+
+TEST(DftReference, ShiftedDeltaGivesRootPowers) {
+  const Fp w = fp::primitive_root(8);
+  FpVec f(8, fp::kZero);
+  f[1] = fp::kOne;
+  const FpVec F = dft_reference(f, w);
+  for (std::size_t k = 0; k < 8; ++k) EXPECT_EQ(F[k], w.pow(k));
+}
+
+class DftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  const Fp w = fp::primitive_root(n);
+  util::Rng rng(n);
+  const FpVec f = random_vec(rng, n);
+  EXPECT_EQ(idft_reference(dft_reference(f, w), w), f);
+}
+
+TEST_P(DftRoundTrip, Linearity) {
+  const std::size_t n = GetParam();
+  const Fp w = fp::primitive_root(n);
+  util::Rng rng(n + 1);
+  const FpVec f = random_vec(rng, n);
+  const FpVec g = random_vec(rng, n);
+  const Fp c{rng.next()};
+  FpVec combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = f[i] * c + g[i];
+  const FpVec lhs = dft_reference(combo, w);
+  const FpVec Ff = dft_reference(f, w);
+  const FpVec Fg = dft_reference(g, w);
+  for (std::size_t k = 0; k < n; ++k) EXPECT_EQ(lhs[k], Ff[k] * c + Fg[k]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DftRoundTrip, ::testing::Values(2, 3, 4, 5, 8, 15, 16, 17, 64));
+
+TEST(DftReference, ConvolutionTheorem) {
+  const std::size_t n = 16;
+  const Fp w = fp::primitive_root(n);
+  util::Rng rng(123);
+  const FpVec a = random_vec(rng, n);
+  const FpVec b = random_vec(rng, n);
+  FpVec prod(n);
+  const FpVec Fa = dft_reference(a, w);
+  const FpVec Fb = dft_reference(b, w);
+  for (std::size_t i = 0; i < n; ++i) prod[i] = Fa[i] * Fb[i];
+  EXPECT_EQ(idft_reference(prod, w), cyclic_convolve_reference(a, b));
+}
+
+TEST(CyclicConvolveReference, HandComputed) {
+  // [1,2] (*) [3,4] cyclically: c0 = 1*3 + 2*4 = 11, c1 = 1*4 + 2*3 = 10.
+  const FpVec a{Fp{1}, Fp{2}};
+  const FpVec b{Fp{3}, Fp{4}};
+  const FpVec c = cyclic_convolve_reference(a, b);
+  EXPECT_EQ(c[0], Fp{11});
+  EXPECT_EQ(c[1], Fp{10});
+}
+
+}  // namespace
+}  // namespace hemul::ntt

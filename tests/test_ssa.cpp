@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "bigint/mul.hpp"
+#include "ssa/multiply.hpp"
+#include "ssa/pack.hpp"
+#include "ssa/params.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::ssa {
+namespace {
+
+using bigint::BigUInt;
+using fp::Fp;
+using fp::FpVec;
+
+TEST(SsaParams, PaperConfiguration) {
+  const SsaParams p = SsaParams::paper();
+  EXPECT_EQ(p.coeff_bits, 24u);
+  EXPECT_EQ(p.num_coeffs, 32768u);
+  EXPECT_EQ(p.transform_size, 65536u);
+  EXPECT_EQ(p.plan.describe(), "64*64*16");
+  EXPECT_EQ(p.max_operand_bits(), 786432u);
+}
+
+TEST(SsaParams, ForBitsPicksExactConfigurations) {
+  for (const std::size_t bits : {1u, 64u, 1000u, 10000u, 100000u, 786432u, 1000000u}) {
+    const SsaParams p = SsaParams::for_bits(bits);
+    EXPECT_GE(p.max_operand_bits(), bits);
+    EXPECT_NO_THROW(p.validate());
+  }
+  EXPECT_THROW(SsaParams::for_bits(0), std::invalid_argument);
+}
+
+TEST(SsaParams, ValidateCatchesInexactness) {
+  SsaParams p = SsaParams::paper();
+  p.coeff_bits = 31;  // 2^15 * (2^31-1)^2 >> p: convolution would overflow
+  EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+TEST(SsaParams, ValidateCatchesMissingHeadroom) {
+  SsaParams p = SsaParams::paper();
+  p.num_coeffs = 65536;  // no 2x padding: cyclic wraparound would corrupt
+  EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+TEST(Pack, DecomposesKnownPattern) {
+  // 24-bit groups of 0x[c2][c1][c0] with c_i = i+1.
+  const SsaParams p = SsaParams::paper();
+  const BigUInt x = BigUInt::from_hex("000003" "000002" "000001");
+  const FpVec v = pack(x, p);
+  EXPECT_EQ(v[0], Fp{1});
+  EXPECT_EQ(v[1], Fp{2});
+  EXPECT_EQ(v[2], Fp{3});
+  for (std::size_t i = 3; i < 64; ++i) EXPECT_EQ(v[i], fp::kZero);
+  EXPECT_EQ(v.size(), 65536u);
+}
+
+TEST(Pack, RejectsOversizedOperand) {
+  const SsaParams p = SsaParams::for_bits(100);
+  util::Rng rng(1);
+  EXPECT_THROW(pack(BigUInt::random_bits(rng, p.max_operand_bits() + 1), p),
+               std::logic_error);
+}
+
+TEST(Pack, CarryRecoverInvertsPackForInRangeCoeffs) {
+  const SsaParams p = SsaParams::for_bits(3000);
+  util::Rng rng(2);
+  const BigUInt x = BigUInt::random_bits(rng, 3000);
+  EXPECT_EQ(carry_recover(pack(x, p), p.coeff_bits), x);
+}
+
+TEST(CarryRecover, PropagatesLongCarryChains) {
+  // Coefficients of 2^m - 1 everywhere force carries through every group.
+  const std::size_t m = 24;
+  const std::size_t n = 100;
+  FpVec coeffs(n, Fp::from_canonical((1ULL << m) - 1));
+  // sum_i (2^m - 1) 2^(m i) = 2^(m n) - 1.
+  EXPECT_EQ(carry_recover(coeffs, m), BigUInt::pow2(m * n) - BigUInt{1});
+}
+
+TEST(CarryRecover, HandlesLargeOverlappingCoefficients) {
+  // Convolution coefficients can be up to ~2^63; neighbours overlap by 40
+  // bits for m = 24.
+  FpVec coeffs(3, Fp::from_canonical(0x7FFF'FFFF'FFFF'FFFFULL));
+  const BigUInt expected = (BigUInt::from_hex("7fffffffffffffff")) +
+                           (BigUInt::from_hex("7fffffffffffffff") << 24) +
+                           (BigUInt::from_hex("7fffffffffffffff") << 48);
+  EXPECT_EQ(carry_recover(coeffs, 24), expected);
+}
+
+// Multiplication correctness across sizes and engines.
+struct SsaCase {
+  std::size_t bits;
+  Engine engine;
+};
+
+class SsaMultiply : public ::testing::TestWithParam<SsaCase> {};
+
+TEST_P(SsaMultiply, MatchesSchoolbook) {
+  const auto [bits, engine] = GetParam();
+  util::Rng rng(bits);
+  SsaParams params = SsaParams::for_bits(bits);
+  params.engine = engine;
+  for (int i = 0; i < 3; ++i) {
+    const BigUInt a = BigUInt::random_bits(rng, bits);
+    const BigUInt b = BigUInt::random_bits(rng, bits);
+    EXPECT_EQ(multiply(a, b, params), bigint::mul_schoolbook(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SsaMultiply,
+    ::testing::Values(SsaCase{100, Engine::kRadix2Fast}, SsaCase{100, Engine::kMixedRadix},
+                      SsaCase{1000, Engine::kRadix2Fast}, SsaCase{1000, Engine::kMixedRadix},
+                      SsaCase{4096, Engine::kRadix2Fast}, SsaCase{4096, Engine::kMixedRadix},
+                      SsaCase{10000, Engine::kRadix2Fast},
+                      SsaCase{30000, Engine::kRadix2Fast}));
+
+TEST(SsaMultiply, EdgeValues) {
+  const SsaParams p = SsaParams::for_bits(1000);
+  const BigUInt one{1};
+  const BigUInt big = BigUInt::pow2(1000) - BigUInt{1};
+  EXPECT_EQ(multiply(BigUInt{}, big, p), BigUInt{});
+  EXPECT_EQ(multiply(big, BigUInt{}, p), BigUInt{});
+  EXPECT_EQ(multiply(one, big, p), big);
+  EXPECT_EQ(multiply(big, big, p),
+            BigUInt::pow2(2000) - BigUInt::pow2(1001) + BigUInt{1});
+}
+
+TEST(SsaMultiply, PaperSizeFullMultiplication) {
+  // The headline workload: two 786,432-bit operands through the paper's
+  // exact parameterization (m=24, 64K-point transform, plan 64*64*16 on the
+  // fast engine), validated against Karatsuba.
+  SsaParams params = SsaParams::paper();
+  params.engine = Engine::kRadix2Fast;
+  util::Rng rng(786432);
+  const BigUInt a = BigUInt::random_bits(rng, 786432);
+  const BigUInt b = BigUInt::random_bits(rng, 786432);
+  SsaStats stats;
+  const BigUInt product = multiply(a, b, params, &stats);
+  EXPECT_EQ(product, bigint::mul_karatsuba(a, b));
+  // A product of two n-bit numbers has 2n-1 or 2n bits.
+  EXPECT_GE(product.bit_length(), 2u * 786432 - 1);
+  EXPECT_LE(product.bit_length(), 2u * 786432);
+  EXPECT_EQ(stats.pointwise_muls, 65536u);  // paper: 65536-component dot product
+  EXPECT_EQ(stats.transform_count, 3u);     // two forward + one inverse
+}
+
+TEST(SsaMultiply, MixedRadixEngineAgreesWithFastEngine) {
+  util::Rng rng(60);
+  const BigUInt a = BigUInt::random_bits(rng, 5000);
+  const BigUInt b = BigUInt::random_bits(rng, 5000);
+  SsaParams fast = SsaParams::for_bits(5000);
+  SsaParams mixed = fast;
+  mixed.engine = Engine::kMixedRadix;
+  EXPECT_EQ(multiply(a, b, fast), multiply(a, b, mixed));
+}
+
+TEST(SsaMultiply, AutoWrapperPicksWorkingParams) {
+  util::Rng rng(61);
+  const BigUInt a = BigUInt::random_bits(rng, 2500);
+  const BigUInt b = BigUInt::random_bits(rng, 700);
+  EXPECT_EQ(mul_ssa(a, b), bigint::mul_schoolbook(a, b));
+  EXPECT_EQ(mul_ssa(BigUInt{}, a), BigUInt{});
+}
+
+TEST(SsaSquare, MatchesMultiplyBothEngines) {
+  util::Rng rng(70);
+  for (const std::size_t bits : {500u, 3000u, 20000u}) {
+    const BigUInt a = BigUInt::random_bits(rng, bits);
+    SsaParams fast = SsaParams::for_bits(bits);
+    SsaParams mixed = fast;
+    mixed.engine = Engine::kMixedRadix;
+    const BigUInt expected = bigint::mul_schoolbook(a, a);
+    EXPECT_EQ(square(a, fast), expected) << bits;
+    EXPECT_EQ(square(a, mixed), expected) << bits;
+  }
+}
+
+TEST(SsaSquare, TransformCountIsTwo) {
+  util::Rng rng(71);
+  const BigUInt a = BigUInt::random_bits(rng, 5000);
+  const SsaParams params = SsaParams::for_bits(5000);
+  SsaStats mul_stats;
+  SsaStats sq_stats;
+  (void)multiply(a, a, params, &mul_stats);
+  (void)square(a, params, &sq_stats);
+  EXPECT_EQ(mul_stats.transform_count, 3u);
+  EXPECT_EQ(sq_stats.transform_count, 2u);  // the saved forward transform
+}
+
+TEST(SsaSquare, ZeroAndEdges) {
+  const SsaParams params = SsaParams::for_bits(1000);
+  EXPECT_EQ(square(BigUInt{}, params), BigUInt{});
+  EXPECT_EQ(square(BigUInt{1}, params), BigUInt{1});
+  const BigUInt ones = BigUInt::pow2(1000) - BigUInt{1};
+  EXPECT_EQ(square(ones, params), BigUInt::pow2(2000) - BigUInt::pow2(1001) + BigUInt{1});
+}
+
+TEST(SsaMultiply, CommutesAndSquares) {
+  util::Rng rng(62);
+  const BigUInt a = BigUInt::random_bits(rng, 8000);
+  const BigUInt b = BigUInt::random_bits(rng, 8000);
+  EXPECT_EQ(mul_ssa(a, b), mul_ssa(b, a));
+  EXPECT_EQ(mul_ssa(a, a), bigint::mul_karatsuba(a, a));
+}
+
+}  // namespace
+}  // namespace hemul::ssa

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace hemul::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (u64 bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  std::set<u64> seen;
+  for (int i = 0; i < 500; ++i) {
+    const u64 v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values should appear in 500 draws
+}
+
+TEST(Rng, BitsSetsTopBit) {
+  Rng rng(13);
+  for (unsigned bits = 1; bits <= 64; ++bits) {
+    const u64 v = rng.bits(bits);
+    EXPECT_GE(v, bits == 64 ? (1ULL << 63) : (1ULL << (bits - 1)));
+    if (bits < 64) {
+      EXPECT_LT(v, 1ULL << bits);
+    }
+  }
+}
+
+TEST(Rng, VecHasRequestedLength) {
+  Rng rng(17);
+  EXPECT_EQ(rng.vec(10).size(), 10u);
+  EXPECT_TRUE(rng.vec(0).empty());
+}
+
+TEST(Check, ThrowsLogicErrorWithContext) {
+  EXPECT_THROW(HEMUL_CHECK(1 == 2), std::logic_error);
+  try {
+    HEMUL_CHECK_MSG(false, "extra context");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("extra context"), std::string::npos);
+  }
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(104000), "104,000");
+  EXPECT_EQ(with_commas(336377), "336,377");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+TEST(Format, FixedDecimals) {
+  EXPECT_EQ(format_fixed(30.72, 1), "30.7");
+  EXPECT_EQ(format_fixed(122.88, 2), "122.88");
+  EXPECT_EQ(format_fixed(3.0, 0), "3");
+}
+
+TEST(Format, TimeUnits) {
+  EXPECT_EQ(format_time_ns(5), "5.0 ns");
+  EXPECT_EQ(format_time_ns(30720), "30.7 us");
+  EXPECT_EQ(format_time_ns(122880), "122.9 us");
+  EXPECT_EQ(format_time_ns(4.05e8), "405.0 ms");
+  EXPECT_EQ(format_time_ns(2e9), "2.00 s");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.396), "39.6%");
+  EXPECT_EQ(format_percent(0.88), "88.0%");
+}
+
+TEST(Format, Bits) {
+  EXPECT_EQ(format_bits(8ULL * 1024 * 1024), "8 Mbit");
+  EXPECT_EQ(format_bits(256ULL * 1024), "256.0 Kbit");
+  EXPECT_EQ(format_bits(512), "512 bit");
+}
+
+TEST(Format, Hex64) {
+  EXPECT_EQ(hex64(0xFFFFFFFF00000001ULL), "ffffffff00000001");
+  EXPECT_EQ(hex64(0), "0000000000000000");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Resource", "Proposed", "Baseline"});
+  t.add_row({"ALMs", "104,000", "231,000"});
+  t.add_row({"DSP", "256", "720"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Resource"), std::string::npos);
+  EXPECT_NE(out.find("104,000"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::logic_error);
+}
+
+TEST(Table, SeparatorRows) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Header rule + separator + bottom = at least 4 '+--' rules.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+--", pos)) != std::string::npos; ++pos) ++rules;
+  EXPECT_GE(rules, 4);
+}
+
+}  // namespace
+}  // namespace hemul::util
