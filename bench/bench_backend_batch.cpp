@@ -1,0 +1,98 @@
+// Experiment B1: amortization of forward transforms in batched execution.
+//
+// A DGHV ciphertext multiplied against N others (a partial-product row, the
+// shared operand of a key-switching sweep) repeats one operand N times.
+// Per-call SSA runs 3 transforms per product (3N total); the backend
+// layer's spectrum-caching multiply_batch runs N+1 forwards + N inverses
+// (2N+1 total), i.e. a 3N/(2N+1) -> 1.5x transform saving for large N.
+//
+// This bench measures both the wall-clock win of the software "ssa" backend
+// and the modeled cycle win of the simulated-hardware "hw" backend.
+//
+//   bench_backend_batch [jobs] [bits]     (default: 16 jobs, 196608 bits)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "backend/registry.hpp"
+#include "backend/ssa_backend.hpp"
+#include "hw/accel/accelerator.hpp"
+#include "ssa/multiply.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hemul;
+  using Clock = std::chrono::steady_clock;
+
+  const std::size_t jobs_n = argc >= 2 ? std::strtoull(argv[1], nullptr, 10) : 16;
+  const std::size_t bits = argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 196608;
+
+  util::Rng rng(0xBB01);
+  const auto a = bigint::BigUInt::random_bits(rng, bits);
+  std::vector<backend::MulJob> jobs;
+  jobs.reserve(jobs_n);
+  for (std::size_t i = 0; i < jobs_n; ++i) {
+    jobs.emplace_back(a, bigint::BigUInt::random_bits(rng, bits));
+  }
+
+  std::printf("== batched spectrum caching: %zu products of one %zu-bit operand ==\n\n",
+              jobs_n, bits);
+
+  // Baseline: N independent SSA multiplications (3 transforms each).
+  const ssa::SsaParams params = ssa::SsaParams::for_bits(bits);
+  const auto t0 = Clock::now();
+  std::vector<bigint::BigUInt> independent;
+  independent.reserve(jobs_n);
+  for (const auto& [x, y] : jobs) independent.push_back(ssa::multiply(x, y, params));
+  const auto t1 = Clock::now();
+
+  // Batched: spectrum-caching backend (N+1 forwards, N inverses).
+  backend::SsaBackend ssa_backend(params);
+  backend::BatchStats stats;
+  const auto t2 = Clock::now();
+  const std::vector<bigint::BigUInt> batched = ssa_backend.multiply_batch(jobs, &stats);
+  const auto t3 = Clock::now();
+
+  bool exact = independent.size() == batched.size();
+  for (std::size_t i = 0; exact && i < batched.size(); ++i) {
+    exact = independent[i] == batched[i];
+  }
+
+  const double independent_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double batched_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
+  std::printf("software \"ssa\" backend (N = %zu, transform size %llu):\n", jobs_n,
+              static_cast<unsigned long long>(params.transform_size));
+  std::printf("  per-call multiply : %8.1f ms  (%llu transforms)\n", independent_ms,
+              static_cast<unsigned long long>(3 * jobs_n));
+  std::printf("  cached batch      : %8.1f ms  (%llu forwards + %llu inverses, %llu hits)\n",
+              batched_ms, static_cast<unsigned long long>(stats.forward_transforms),
+              static_cast<unsigned long long>(stats.inverse_transforms),
+              static_cast<unsigned long long>(stats.spectrum_cache_hits));
+  std::printf("  speedup           : %8.2fx\n", independent_ms / batched_ms);
+  std::printf("  bit-exact         : %s\n\n", exact ? "yes" : "NO");
+
+  // Modeled hardware: cycle counts of streamed vs cached execution at the
+  // paper's operating point (independent of host speed).
+  hw::HwAccelerator accel(hw::AcceleratorConfig::paper());
+  hw::HwAccelerator::BatchReport uncached;
+  (void)accel.multiply_batch(jobs, &uncached);
+  hw::HwAccelerator::BatchReport cached;
+  (void)accel.multiply_batch_cached(jobs, &cached);
+
+  std::printf("simulated \"hw\" backend (paper configuration, %zu-bit operands):\n",
+              accel.config().ssa.max_operand_bits());
+  std::printf("  streamed batch    : %10llu cycles = %8.1f us\n",
+              static_cast<unsigned long long>(uncached.total_cycles),
+              uncached.total_time_us());
+  std::printf("  cached batch      : %10llu cycles = %8.1f us  (%llu fwd, %llu hits)\n",
+              static_cast<unsigned long long>(cached.total_cycles), cached.total_time_us(),
+              static_cast<unsigned long long>(cached.forward_transforms),
+              static_cast<unsigned long long>(cached.spectrum_cache_hits));
+  std::printf("  modeled speedup   : %10.2fx\n",
+              static_cast<double>(uncached.total_cycles) /
+                  static_cast<double>(cached.total_cycles));
+
+  return exact ? 0 : 1;
+}

@@ -8,8 +8,8 @@
 #include <functional>
 #include <vector>
 
+#include "backend/registry.hpp"
 #include "bigint/mul.hpp"
-#include "ssa/multiply.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -47,6 +47,13 @@ int main() {
   util::Rng rng(4);
   util::Table t({"bits", "schoolbook", "Karatsuba", "Toom-3", "SSA (NTT)", "fastest"});
 
+  // Every contestant is pulled from the backend registry: the bench is a
+  // head-to-head of the same engines the FHE stack dispatches through.
+  const auto school_be = backend::make_backend("schoolbook");
+  const auto karat_be = backend::make_backend("karatsuba");
+  const auto toom_be = backend::make_backend("toom3");
+  const auto ssa_be = backend::make_backend("ssa");
+
   std::size_t ssa_crossover = 0;
   for (const std::size_t bits :
        {1024u, 4096u, 16384u, 65536u, 131072u, 262144u, 524288u, 786432u, 1048576u}) {
@@ -54,10 +61,10 @@ int main() {
     const BigUInt b = BigUInt::random_bits(rng, bits);
 
     const double school =
-        bits <= 131072 ? time_one([&] { return bigint::mul_schoolbook(a, b); }) : -1.0;
-    const double karat = time_one([&] { return bigint::mul_karatsuba(a, b); });
-    const double toom = time_one([&] { return bigint::mul_toom3(a, b); });
-    const double ssa_ms = time_one([&] { return ssa::mul_ssa(a, b); });
+        bits <= 131072 ? time_one([&] { return school_be->multiply(a, b); }) : -1.0;
+    const double karat = time_one([&] { return karat_be->multiply(a, b); });
+    const double toom = time_one([&] { return toom_be->multiply(a, b); });
+    const double ssa_ms = time_one([&] { return ssa_be->multiply(a, b); });
 
     const char* fastest = "SSA";
     double best = ssa_ms;

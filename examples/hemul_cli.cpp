@@ -1,17 +1,24 @@
 // hemul_cli: command-line front end to the accelerator model.
 //
-//   hemul_cli mul <hexA> <hexB>     multiply two hex integers (simulated HW)
-//   hemul_cli random <bits>         multiply two random <bits>-bit operands
-//   hemul_cli batch <n> <bits>      stream n random products, report throughput
-//   hemul_cli table1                print the Table I resource comparison
-//   hemul_cli perf [P]              print the Section V performance model
+//   hemul_cli [--backend <name>] mul <hexA> <hexB>   multiply two hex integers
+//   hemul_cli [--backend <name>] random <bits>       multiply two random operands
+//   hemul_cli [--backend <name>] batch <n> <bits>    stream n products of one
+//                                                    shared operand, report the
+//                                                    spectrum-cache amortization
+//   hemul_cli backends                               list registered backends
+//   hemul_cli table1                                 print the Table I comparison
+//   hemul_cli perf [P]                               Section V performance model
 //
+// --backend selects any engine registered in backend::Registry ("hw", "ssa",
+// "classical", "karatsuba", ...; default "hw", the simulated accelerator).
 // Exit code 0 on success; 2 on usage errors.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "backend/registry.hpp"
 #include "bigint/mul.hpp"
 #include "core/accelerator.hpp"
 #include "util/format.hpp"
@@ -23,9 +30,15 @@ using namespace hemul;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hemul_cli mul <hexA> <hexB> | random <bits> | batch <n> <bits> |\n"
-               "                 table1 | perf [P]\n");
+               "usage: hemul_cli [--backend <name>] mul <hexA> <hexB> | random <bits> |\n"
+               "                 batch <n> <bits> | backends | table1 | perf [P]\n");
   return 2;
+}
+
+core::Accelerator make_accelerator(const std::string& backend_name) {
+  core::Config config;
+  config.backend_name = backend_name;
+  return core::Accelerator(config);
 }
 
 void print_report(const core::MultiplyResult& result) {
@@ -38,47 +51,80 @@ void print_report(const core::MultiplyResult& result) {
   }
 }
 
-int cmd_mul(const std::string& a_hex, const std::string& b_hex) {
+int cmd_backends() {
+  std::printf("%-12s %-14s %s\n", "name", "max operand", "capabilities");
+  for (const std::string& name : backend::Registry::instance().names()) {
+    const auto b = backend::make_backend(name);
+    const backend::BackendLimits limits = b->limits();
+    std::string caps;
+    if (limits.caches_spectra) caps += "spectrum-cache ";
+    if (limits.reports_hw_cycles) caps += "cycle-reports";
+    std::printf("%-12s %-14s %s\n", name.c_str(),
+                limits.max_operand_bits == 0
+                    ? "unlimited"
+                    : (std::to_string(limits.max_operand_bits) + " bits").c_str(),
+                caps.c_str());
+  }
+  return 0;
+}
+
+int cmd_mul(const std::string& backend_name, const std::string& a_hex,
+            const std::string& b_hex) {
   const auto a = bigint::BigUInt::from_hex(a_hex);
   const auto b = bigint::BigUInt::from_hex(b_hex);
-  core::Accelerator accel;
+  core::Accelerator accel = make_accelerator(backend_name);
   const auto result = accel.multiply(a, b);
+  std::printf("backend      : %s\n", accel.backend().name().c_str());
   std::printf("%s\n", result.product.to_hex().c_str());
   print_report(result);
-  const bool ok = result.product == bigint::mul_auto(a, b);
+  const bool ok = result.product == bigint::mul_schoolbook(a, b);
   std::printf("verified     : %s\n", ok ? "yes" : "NO");
   return ok ? 0 : 1;
 }
 
-int cmd_random(std::size_t bits) {
+int cmd_random(const std::string& backend_name, std::size_t bits) {
   util::Rng rng(0xC11);
   const auto a = bigint::BigUInt::random_bits(rng, bits);
   const auto b = bigint::BigUInt::random_bits(rng, bits);
-  core::Accelerator accel;
+  core::Accelerator accel = make_accelerator(backend_name);
   const auto result = accel.multiply(a, b);
+  std::printf("backend      : %s\n", accel.backend().name().c_str());
   print_report(result);
-  const bool ok = result.product == bigint::mul_auto(a, b);
+  const bool ok = result.product == bigint::mul_auto_classical(a, b);
   std::printf("verified     : %s\n", ok ? "yes" : "NO");
   return ok ? 0 : 1;
 }
 
-int cmd_batch(std::size_t n, std::size_t bits) {
+int cmd_batch(const std::string& backend_name, std::size_t n, std::size_t bits) {
+  // One shared operand against n others: the repeated-operand pattern whose
+  // forward spectrum the caching backends compute once instead of n times.
   util::Rng rng(0xBA7C);
-  std::vector<std::pair<bigint::BigUInt, bigint::BigUInt>> ops;
-  ops.reserve(n);
+  const auto a = bigint::BigUInt::random_bits(rng, bits);
+  std::vector<backend::MulJob> jobs;
+  jobs.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    ops.emplace_back(bigint::BigUInt::random_bits(rng, bits),
-                     bigint::BigUInt::random_bits(rng, bits));
+    jobs.emplace_back(a, bigint::BigUInt::random_bits(rng, bits));
   }
-  hw::HwAccelerator accel(hw::AcceleratorConfig::paper());
-  hw::HwAccelerator::BatchReport report;
-  const auto products = accel.multiply_batch(ops, &report);
-  std::printf("products     : %zu\n", products.size());
-  std::printf("total cycles : %llu (%s)\n",
-              static_cast<unsigned long long>(report.total_cycles),
-              util::format_time_ns(report.total_time_us() * 1000.0).c_str());
-  std::printf("throughput   : %.1f products/s (modeled, streamed)\n",
-              report.throughput_per_second());
+
+  core::Accelerator accel = make_accelerator(backend_name);
+  const core::BatchResult result = accel.multiply_batch(jobs);
+  std::printf("backend      : %s\n", accel.backend().name().c_str());
+  std::printf("products     : %zu\n", result.products.size());
+  std::printf("fwd NTTs     : %llu (%llu cache hits)\n",
+              static_cast<unsigned long long>(result.stats.forward_transforms),
+              static_cast<unsigned long long>(result.stats.spectrum_cache_hits));
+  if (result.stats.total_cycles > 0) {
+    std::printf("total cycles : %llu (%s)\n",
+                static_cast<unsigned long long>(result.stats.total_cycles),
+                util::format_time_ns(result.stats.total_time_us() * 1000.0).c_str());
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (result.products[i] != bigint::mul_auto_classical(jobs[i].first, jobs[i].second)) {
+      std::printf("verified     : NO (job %zu)\n", i);
+      return 1;
+    }
+  }
+  std::printf("verified     : yes\n");
   return 0;
 }
 
@@ -104,17 +150,35 @@ int cmd_perf(unsigned pes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  try {
-    if (cmd == "mul" && argc == 4) return cmd_mul(argv[2], argv[3]);
-    if (cmd == "random" && argc == 3) return cmd_random(std::strtoull(argv[2], nullptr, 10));
-    if (cmd == "batch" && argc == 4) {
-      return cmd_batch(std::strtoull(argv[2], nullptr, 10),
-                       std::strtoull(argv[3], nullptr, 10));
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  std::string backend_name;  // empty = config default ("hw")
+  for (std::size_t i = 0; i + 1 < args.size();) {
+    if (args[i] == "--backend") {
+      backend_name = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
     }
-    if (cmd == "table1" && argc == 2) return cmd_table1();
-    if (cmd == "perf") return cmd_perf(argc >= 3 ? static_cast<unsigned>(std::atoi(argv[2])) : 4);
+  }
+  if (args.empty()) return usage();
+
+  const std::string cmd = args[0];
+  try {
+    if (cmd == "backends" && args.size() == 1) return cmd_backends();
+    if (cmd == "mul" && args.size() == 3) return cmd_mul(backend_name, args[1], args[2]);
+    if (cmd == "random" && args.size() == 2) {
+      return cmd_random(backend_name, std::strtoull(args[1].c_str(), nullptr, 10));
+    }
+    if (cmd == "batch" && args.size() == 3) {
+      return cmd_batch(backend_name, std::strtoull(args[1].c_str(), nullptr, 10),
+                       std::strtoull(args[2].c_str(), nullptr, 10));
+    }
+    if (cmd == "table1" && args.size() == 1) return cmd_table1();
+    if (cmd == "perf") {
+      return cmd_perf(args.size() >= 2 ? static_cast<unsigned>(std::atoi(args[1].c_str())) : 4);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,19 @@
+#include "backend/backend.hpp"
+
+namespace hemul::backend {
+
+std::vector<bigint::BigUInt> MultiplierBackend::multiply_batch(std::span<const MulJob> jobs,
+                                                               BatchStats* stats) {
+  std::vector<bigint::BigUInt> products;
+  products.reserve(jobs.size());
+  for (const MulJob& job : jobs) {
+    products.push_back(multiply(job.first, job.second));
+  }
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->jobs = jobs.size();
+  }
+  return products;
+}
+
+}  // namespace hemul::backend

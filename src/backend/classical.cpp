@@ -1,0 +1,27 @@
+#include "backend/classical.hpp"
+
+namespace hemul::backend {
+
+std::string ClassicalBackend::name() const {
+  switch (algorithm_) {
+    case Algorithm::kSchoolbook: return "schoolbook";
+    case Algorithm::kKaratsuba: return "karatsuba";
+    case Algorithm::kToom3: return "toom3";
+    case Algorithm::kAuto: return "classical";
+  }
+  return "classical";
+}
+
+bigint::BigUInt ClassicalBackend::multiply(const bigint::BigUInt& a, const bigint::BigUInt& b) {
+  switch (algorithm_) {
+    case Algorithm::kSchoolbook: return bigint::mul_schoolbook(a, b);
+    case Algorithm::kKaratsuba: return bigint::mul_karatsuba(a, b);
+    case Algorithm::kToom3: return bigint::mul_toom3(a, b);
+    case Algorithm::kAuto: break;
+  }
+  // mul_auto_classical, not mul_auto: the latter re-enters the installed
+  // dispatch hook, which routes back into this backend.
+  return bigint::mul_auto_classical(a, b);
+}
+
+}  // namespace hemul::backend

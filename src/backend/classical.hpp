@@ -1,0 +1,28 @@
+#pragma once
+
+#include "backend/backend.hpp"
+#include "bigint/mul.hpp"
+
+namespace hemul::backend {
+
+/// Adapter over the classical bigint multipliers (src/bigint/mul.hpp): the
+/// O(n^2)..O(n^1.465) baselines the paper's Section III argues against for
+/// million-bit operands. Registered as "schoolbook", "karatsuba", "toom3"
+/// and (for the size-adaptive dispatcher) "classical".
+class ClassicalBackend final : public MultiplierBackend {
+ public:
+  enum class Algorithm { kSchoolbook, kKaratsuba, kToom3, kAuto };
+
+  explicit ClassicalBackend(Algorithm algorithm = Algorithm::kAuto)
+      : algorithm_(algorithm) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] BackendLimits limits() const override { return {}; }
+  [[nodiscard]] bigint::BigUInt multiply(const bigint::BigUInt& a,
+                                         const bigint::BigUInt& b) override;
+
+ private:
+  Algorithm algorithm_;
+};
+
+}  // namespace hemul::backend

@@ -1,0 +1,46 @@
+#include "backend/hw_backend.hpp"
+
+namespace hemul::backend {
+
+using bigint::BigUInt;
+
+BackendLimits HwBackend::limits() const {
+  BackendLimits limits;
+  limits.max_operand_bits = hw_.config().ssa.max_operand_bits();
+  limits.caches_spectra = true;
+  limits.reports_hw_cycles = true;
+  return limits;
+}
+
+BigUInt HwBackend::multiply(const BigUInt& a, const BigUInt& b) {
+  hw::MultiplyReport report;
+  BigUInt product = hw_.multiply(a, b, &report);
+  last_report_ = std::move(report);
+  return product;
+}
+
+BigUInt HwBackend::square(const BigUInt& a) {
+  hw::MultiplyReport report;
+  BigUInt product = hw_.square(a, &report);
+  last_report_ = std::move(report);
+  return product;
+}
+
+std::vector<BigUInt> HwBackend::multiply_batch(std::span<const MulJob> jobs,
+                                               BatchStats* stats) {
+  hw::HwAccelerator::BatchReport report;
+  std::vector<BigUInt> products = hw_.multiply_batch_cached(jobs, &report);
+  last_batch_report_ = report;
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->jobs = report.operations;
+    stats->forward_transforms = report.forward_transforms;
+    stats->inverse_transforms = report.operations;
+    stats->spectrum_cache_hits = report.spectrum_cache_hits;
+    stats->total_cycles = report.total_cycles;
+    stats->clock_ns = report.clock_ns;
+  }
+  return products;
+}
+
+}  // namespace hemul::backend

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+
+#include "backend/backend.hpp"
+#include "hw/accel/accelerator.hpp"
+
+namespace hemul::backend {
+
+/// The simulated FPGA accelerator (paper Sections IV-V) behind the backend
+/// interface, registered as "hw". Every call carries a cycle-accurate
+/// report; multiply_batch streams jobs through the phase engines with
+/// double buffering and forward-spectrum caching.
+class HwBackend final : public MultiplierBackend {
+ public:
+  explicit HwBackend(hw::AcceleratorConfig config = hw::AcceleratorConfig::paper())
+      : hw_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "hw"; }
+  [[nodiscard]] BackendLimits limits() const override;
+  [[nodiscard]] bigint::BigUInt multiply(const bigint::BigUInt& a,
+                                         const bigint::BigUInt& b) override;
+  [[nodiscard]] bigint::BigUInt square(const bigint::BigUInt& a) override;
+  std::vector<bigint::BigUInt> multiply_batch(std::span<const MulJob> jobs,
+                                              BatchStats* stats = nullptr) override;
+
+  /// Cycle report of the most recent multiply()/square() call.
+  [[nodiscard]] const std::optional<hw::MultiplyReport>& last_report() const noexcept {
+    return last_report_;
+  }
+
+  /// Batch report of the most recent multiply_batch() call.
+  [[nodiscard]] const std::optional<hw::HwAccelerator::BatchReport>& last_batch_report()
+      const noexcept {
+    return last_batch_report_;
+  }
+
+  [[nodiscard]] hw::HwAccelerator& accelerator() noexcept { return hw_; }
+
+ private:
+  hw::HwAccelerator hw_;
+  std::optional<hw::MultiplyReport> last_report_;
+  std::optional<hw::HwAccelerator::BatchReport> last_batch_report_;
+};
+
+}  // namespace hemul::backend

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "backend/backend.hpp"
+
+namespace hemul::backend {
+
+/// Operand size (bits) at which the auto policy switches from the classical
+/// dispatcher to the SSA/NTT path (the crossover bench E4 locates it around
+/// 10^5 bits).
+inline constexpr std::size_t kSsaDispatchBits = 100'000;
+
+/// String-keyed factory registry of multiplier backends.
+///
+/// Built-ins registered at construction: "schoolbook", "karatsuba",
+/// "toom3", "classical" (size-adaptive classical), "ssa" (software
+/// SSA/NTT, adaptive parameters), "hw" (simulated accelerator, paper
+/// configuration) and "auto" (classical below kSsaDispatchBits, SSA
+/// above). Constructing the registry also installs the auto policy as
+/// bigint's multiplication dispatch hook, so BigUInt::operator* routes
+/// through the backend layer from then on. Thread-safe.
+class Registry {
+ public:
+  using Factory = std::function<std::shared_ptr<MultiplierBackend>()>;
+
+  static Registry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// A fresh instance; throws std::invalid_argument for unknown names
+  /// (the message lists the registered ones).
+  [[nodiscard]] std::shared_ptr<MultiplierBackend> create(std::string_view name) const;
+
+  /// A process-wide shared instance (created on first request).
+  [[nodiscard]] std::shared_ptr<MultiplierBackend> shared(std::string_view name);
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  Registry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory, std::less<>> factories_;
+  std::map<std::string, std::shared_ptr<MultiplierBackend>, std::less<>> shared_;
+};
+
+/// Convenience: Registry::instance().create(name).
+[[nodiscard]] std::shared_ptr<MultiplierBackend> make_backend(std::string_view name);
+
+/// The shared size-adaptive policy backend ("auto"): classical algorithms
+/// below kSsaDispatchBits, SSA/NTT above, spectrum-caching batches.
+[[nodiscard]] std::shared_ptr<MultiplierBackend> auto_backend();
+
+}  // namespace hemul::backend

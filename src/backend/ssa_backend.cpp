@@ -1,0 +1,54 @@
+#include "backend/ssa_backend.hpp"
+
+#include <algorithm>
+
+#include "ssa/batch.hpp"
+#include "ssa/multiply.hpp"
+
+namespace hemul::backend {
+
+using bigint::BigUInt;
+
+BackendLimits SsaBackend::limits() const {
+  BackendLimits limits;
+  limits.max_operand_bits = fixed_params_.has_value() ? fixed_params_->max_operand_bits() : 0;
+  limits.caches_spectra = true;
+  return limits;
+}
+
+ssa::SsaParams SsaBackend::params_for(std::size_t bits) const {
+  if (fixed_params_.has_value()) return *fixed_params_;
+  return ssa::SsaParams::for_bits(std::max<std::size_t>(bits, 1));
+}
+
+BigUInt SsaBackend::multiply(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigUInt{};
+  return ssa::multiply(a, b, params_for(std::max(a.bit_length(), b.bit_length())));
+}
+
+BigUInt SsaBackend::square(const BigUInt& a) {
+  if (a.is_zero()) return BigUInt{};
+  return ssa::square(a, params_for(a.bit_length()));
+}
+
+std::vector<BigUInt> SsaBackend::multiply_batch(std::span<const MulJob> jobs,
+                                                BatchStats* stats) {
+  // One parameter set for the whole batch (sized to the largest operand) so
+  // spectra are interchangeable across jobs.
+  std::size_t max_bits = 0;
+  for (const MulJob& job : jobs) {
+    max_bits = std::max({max_bits, job.first.bit_length(), job.second.bit_length()});
+  }
+  ssa::BatchStats ssa_stats;
+  std::vector<BigUInt> products = ssa::multiply_batch(jobs, params_for(max_bits), &ssa_stats);
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->jobs = ssa_stats.jobs;
+    stats->forward_transforms = ssa_stats.forward_transforms;
+    stats->inverse_transforms = ssa_stats.inverse_transforms;
+    stats->spectrum_cache_hits = ssa_stats.spectrum_cache_hits;
+  }
+  return products;
+}
+
+}  // namespace hemul::backend

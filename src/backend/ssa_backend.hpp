@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+
+#include "backend/backend.hpp"
+#include "ssa/params.hpp"
+
+namespace hemul::backend {
+
+/// Software Schonhage-Strassen/NTT backend (src/ssa), registered as "ssa".
+///
+/// Default-constructed it adapts its parameters to each call (any operand
+/// size); constructed with fixed SsaParams it becomes one accelerator
+/// instance with a hard operand limit, matching the hardware's behavior.
+/// multiply_batch runs the spectrum-caching batch executor (ssa/batch.hpp).
+class SsaBackend final : public MultiplierBackend {
+ public:
+  SsaBackend() = default;
+  explicit SsaBackend(ssa::SsaParams params) : fixed_params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "ssa"; }
+  [[nodiscard]] BackendLimits limits() const override;
+  [[nodiscard]] bigint::BigUInt multiply(const bigint::BigUInt& a,
+                                         const bigint::BigUInt& b) override;
+  [[nodiscard]] bigint::BigUInt square(const bigint::BigUInt& a) override;
+  std::vector<bigint::BigUInt> multiply_batch(std::span<const MulJob> jobs,
+                                              BatchStats* stats = nullptr) override;
+
+ private:
+  /// Fixed parameters, or parameters sized for `bits`-bit operands.
+  [[nodiscard]] ssa::SsaParams params_for(std::size_t bits) const;
+
+  std::optional<ssa::SsaParams> fixed_params_;
+};
+
+}  // namespace hemul::backend

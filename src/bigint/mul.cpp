@@ -1,6 +1,7 @@
 #include "bigint/mul.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.hpp"
 
@@ -210,11 +211,30 @@ BigUInt mul_toom3(const BigUInt& a, const BigUInt& b) {
   return BigUInt::from_limbs(std::move(acc));
 }
 
-BigUInt mul_auto(const BigUInt& a, const BigUInt& b) {
+namespace {
+std::atomic<MulDispatchFn> g_mul_dispatch{nullptr};
+}  // namespace
+
+BigUInt mul_auto_classical(const BigUInt& a, const BigUInt& b) {
   const std::size_t n = std::max(a.limb_count(), b.limb_count());
   if (n <= kKaratsubaThresholdLimbs) return mul_schoolbook(a, b);
   if (n <= kToom3ThresholdLimbs) return mul_karatsuba(a, b);
   return mul_toom3(a, b);
+}
+
+BigUInt mul_auto(const BigUInt& a, const BigUInt& b) {
+  if (const MulDispatchFn hook = g_mul_dispatch.load(std::memory_order_acquire)) {
+    return hook(a, b);
+  }
+  return mul_auto_classical(a, b);
+}
+
+void set_mul_dispatch(MulDispatchFn hook) noexcept {
+  g_mul_dispatch.store(hook, std::memory_order_release);
+}
+
+MulDispatchFn mul_dispatch() noexcept {
+  return g_mul_dispatch.load(std::memory_order_acquire);
 }
 
 BigUInt operator*(const BigUInt& a, const BigUInt& b) { return mul_auto(a, b); }

@@ -23,8 +23,27 @@ BigUInt mul_karatsuba(const BigUInt& a, const BigUInt& b);
 /// threshold.
 BigUInt mul_toom3(const BigUInt& a, const BigUInt& b);
 
-/// Size-adaptive dispatcher used by BigUInt::operator*.
+/// The classical size-adaptive dispatcher (schoolbook / Karatsuba / Toom-3
+/// by limb count). Never consults the installed dispatch hook, so backend
+/// implementations can call it without re-entering themselves.
+BigUInt mul_auto_classical(const BigUInt& a, const BigUInt& b);
+
+/// Size-adaptive dispatcher used by BigUInt::operator*. Routes through the
+/// dispatch hook when one is installed (see set_mul_dispatch), otherwise
+/// through mul_auto_classical.
 BigUInt mul_auto(const BigUInt& a, const BigUInt& b);
+
+/// Inversion-of-control seam for the backend layer (src/backend): the
+/// registry installs its auto policy here so every BigUInt product --
+/// including operator* inside fhe/core -- dispatches through the registered
+/// backends (classical below the SSA advantage point, NTT above). bigint
+/// itself stays independent of the layers above it. Passing nullptr
+/// restores the classical dispatcher. Thread-safe.
+using MulDispatchFn = BigUInt (*)(const BigUInt&, const BigUInt&);
+void set_mul_dispatch(MulDispatchFn hook) noexcept;
+
+/// The currently installed hook (nullptr when dispatch is classical).
+[[nodiscard]] MulDispatchFn mul_dispatch() noexcept;
 
 /// Limb-count thresholds of the dispatcher (exposed for the benchmarks).
 inline constexpr std::size_t kKaratsubaThresholdLimbs = 24;

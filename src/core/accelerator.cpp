@@ -1,14 +1,25 @@
 #include "core/accelerator.hpp"
 
-#include "ssa/multiply.hpp"
+#include "backend/hw_backend.hpp"
+#include "backend/registry.hpp"
+#include "backend/ssa_backend.hpp"
 #include "util/check.hpp"
 
 namespace hemul::core {
 
 Accelerator::Accelerator(Config config) : config_(std::move(config)) {
   config_.validate();
-  if (config_.backend == Backend::kSimulatedHardware) {
-    hw_.emplace(config_.hardware);
+  const std::string name = config_.resolved_backend_name();
+  if (name == "hw") {
+    // Instantiated directly (not via the registry) so it runs with this
+    // facade's hardware configuration rather than the paper default.
+    auto hw = std::make_shared<backend::HwBackend>(config_.hardware);
+    hw_backend_ = hw.get();
+    backend_ = std::move(hw);
+  } else if (name == "ssa") {
+    backend_ = std::make_shared<backend::SsaBackend>(config_.hardware.ssa);
+  } else {
+    backend_ = backend::make_backend(name);
   }
 }
 
@@ -18,24 +29,25 @@ MultiplyResult Accelerator::multiply(const bigint::BigUInt& a, const bigint::Big
   const hw::PerfBreakdown perf = performance();
   result.modeled_time_us = perf.mult_us();
 
-  if (hw_.has_value()) {
-    hw::MultiplyReport report;
-    result.product = hw_->multiply(a, b, &report);
-    result.hw_report = std::move(report);
-  } else {
-    result.product = ssa::multiply(a, b, config_.hardware.ssa);
-  }
+  result.product = backend_->multiply(a, b);
+  if (hw_backend_ != nullptr) result.hw_report = hw_backend_->last_report();
+  return result;
+}
+
+BatchResult Accelerator::multiply_batch(std::span<const backend::MulJob> jobs) {
+  BatchResult result;
+  result.products = backend_->multiply_batch(jobs, &result.stats);
   return result;
 }
 
 fp::FpVec Accelerator::ntt_forward(const fp::FpVec& data, hw::NttRunReport* report) {
-  HEMUL_CHECK_MSG(hw_.has_value(), "NTT access requires the simulated-hardware backend");
-  return hw_->ntt_forward(data, report);
+  HEMUL_CHECK_MSG(hw_backend_ != nullptr, "NTT access requires the simulated-hardware backend");
+  return hw_backend_->accelerator().ntt_forward(data, report);
 }
 
 fp::FpVec Accelerator::ntt_inverse(const fp::FpVec& data, hw::NttRunReport* report) {
-  HEMUL_CHECK_MSG(hw_.has_value(), "NTT access requires the simulated-hardware backend");
-  return hw_->ntt_inverse(data, report);
+  HEMUL_CHECK_MSG(hw_backend_ != nullptr, "NTT access requires the simulated-hardware backend");
+  return hw_backend_->accelerator().ntt_inverse(data, report);
 }
 
 hw::ResourceComparison Accelerator::resources() const {

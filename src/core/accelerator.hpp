@@ -1,10 +1,16 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 
+#include "backend/backend.hpp"
 #include "core/config.hpp"
 #include "hw/perf/perf_model.hpp"
 #include "hw/resources/report.hpp"
+
+namespace hemul::backend {
+class HwBackend;
+}
 
 namespace hemul::core {
 
@@ -17,19 +23,38 @@ struct MultiplyResult {
   double modeled_time_us = 0.0;
 };
 
-/// The library's public entry point: an ultralong-integer multiplier with
-/// the paper's accelerator behind it.
+/// Result of one batched multiplication through the facade.
+struct BatchResult {
+  std::vector<bigint::BigUInt> products;
+  /// Transform/cache accounting (cycle fields filled by "hw").
+  backend::BatchStats stats;
+};
+
+/// The library's public entry point: a thin facade over a pluggable
+/// multiplier backend (see backend::Registry), with the paper's simulated
+/// accelerator as the default engine.
 ///
 /// Typical use:
 ///   core::Accelerator accel;                       // paper configuration
 ///   auto r = accel.multiply(a, b);                 // 786,432-bit operands
 ///   r.product, r.hw_report->total_time_us()
+///
+/// Any registered engine can be selected by name:
+///   core::Config config;
+///   config.backend_name = "ssa";                   // or "classical", ...
+///   core::Accelerator sw(config);
 class Accelerator {
  public:
   explicit Accelerator(Config config = Config::paper());
 
   /// Multiplies two operands of up to config().hardware.ssa operand bits.
   MultiplyResult multiply(const bigint::BigUInt& a, const bigint::BigUInt& b);
+
+  /// Multiplies a batch of jobs with double-buffered streaming; engines
+  /// that cache forward spectra (hw, ssa) charge a repeated operand's
+  /// transform once per batch, so N products against one ciphertext cost
+  /// N+1 transforms instead of 3N.
+  BatchResult multiply_batch(std::span<const backend::MulJob> jobs);
 
   /// Forward / inverse 64K-point NTT on the simulated hardware.
   fp::FpVec ntt_forward(const fp::FpVec& data, hw::NttRunReport* report = nullptr);
@@ -43,9 +68,14 @@ class Accelerator {
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+  /// The engine multiplications dispatch through.
+  [[nodiscard]] backend::MultiplierBackend& backend() noexcept { return *backend_; }
+
  private:
   Config config_;
-  std::optional<hw::HwAccelerator> hw_;
+  std::shared_ptr<backend::MultiplierBackend> backend_;
+  /// Set when backend_ is the simulated hardware (cycle reports, NTT access).
+  backend::HwBackend* hw_backend_ = nullptr;
 };
 
 }  // namespace hemul::core

@@ -4,6 +4,11 @@ namespace hemul::core {
 
 Config Config::paper() { return Config{}; }
 
+std::string Config::resolved_backend_name() const {
+  if (!backend_name.empty()) return backend_name;
+  return backend == Backend::kSimulatedHardware ? "hw" : "ssa";
+}
+
 void Config::validate() const {
   hardware.ssa.validate();
   if (hardware.ssa.transform_size != hardware.ntt.plan.size) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+
 #include "hw/accel/accelerator.hpp"
 #include "ssa/params.hpp"
 
@@ -14,11 +16,20 @@ enum class Backend {
 /// Top-level configuration of the public accelerator API.
 struct Config {
   Backend backend = Backend::kSimulatedHardware;
+  /// Registry key of the multiplier engine ("hw", "ssa", "classical",
+  /// "auto", ...). Empty selects from `backend` for compatibility:
+  /// kSimulatedHardware -> "hw", kSoftware -> "ssa". The "hw" and "ssa"
+  /// engines are instantiated with this config's `hardware` parameters;
+  /// other names come from the backend::Registry as-is.
+  std::string backend_name;
   hw::AcceleratorConfig hardware = hw::AcceleratorConfig::paper();
 
   /// The paper's prototype: 4 PEs, 200 MHz, 64*64*16 plan, 786,432-bit
   /// operands.
   static Config paper();
+
+  /// backend_name, or the name derived from `backend` when empty.
+  [[nodiscard]] std::string resolved_backend_name() const;
 
   /// Checks internal consistency (delegates to the hardware/SSA layers).
   void validate() const;

@@ -10,7 +10,30 @@ Ciphertext Circuits::gate_xor(const Ciphertext& a, const Ciphertext& b) const {
 
 Ciphertext Circuits::gate_and(const Ciphertext& a, const Ciphertext& b) const {
   ++and_gates_;
+  if (engine_ != nullptr) {
+    return {engine_->multiply(a.value, b.value) % scheme_->public_key().x0,
+            NoiseModel::after_mult(a.noise_bits, b.noise_bits)};
+  }
   return scheme_->multiply(a, b);
+}
+
+std::vector<Ciphertext> Circuits::gate_and_batch(
+    std::span<const std::pair<Ciphertext, Ciphertext>> jobs) const {
+  and_gates_ += jobs.size();
+  if (engine_ == nullptr) return scheme_->multiply_batch(jobs);
+
+  std::vector<backend::MulJob> raw;
+  raw.reserve(jobs.size());
+  for (const auto& [a, b] : jobs) raw.emplace_back(a.value, b.value);
+  const std::vector<bigint::BigUInt> products = engine_->multiply_batch(raw);
+
+  std::vector<Ciphertext> out;
+  out.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out.push_back({products[i] % scheme_->public_key().x0,
+                   NoiseModel::after_mult(jobs[i].first.noise_bits, jobs[i].second.noise_bits)});
+  }
+  return out;
 }
 
 Ciphertext Circuits::gate_or(const Ciphertext& a, const Ciphertext& b) const {
@@ -65,10 +88,15 @@ EncryptedInt Circuits::multiply(const EncryptedInt& a, const EncryptedInt& b,
   EncryptedInt acc(out_width, zero);
   for (std::size_t j = 0; j < b.size(); ++j) {
     // Partial product row j: (a AND b[j]) shifted by j, ripple-added in.
+    // The row shares b[j] across all gates, so it goes out as one batch
+    // and the engine's spectrum cache amortizes b[j]'s forward transform.
+    std::vector<std::pair<Ciphertext, Ciphertext>> jobs;
+    jobs.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) jobs.emplace_back(a[i], b[j]);
+    const std::vector<Ciphertext> row_bits = gate_and_batch(jobs);
+
     EncryptedInt row(out_width, zero);
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      row[i + j] = gate_and(a[i], b[j]);
-    }
+    for (std::size_t i = 0; i < a.size(); ++i) row[i + j] = row_bits[i];
     const AdderResult added = add(acc, row, zero);
     acc = added.sum;  // no overflow: out_width accommodates the product
   }

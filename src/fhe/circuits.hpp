@@ -16,7 +16,13 @@ using EncryptedInt = std::vector<Ciphertext>;
 /// accelerator; the circuit classes below track exactly how many.
 class Circuits {
  public:
+  /// Evaluates gates on the scheme's own multiplication engine.
   explicit Circuits(const Dghv& scheme) : scheme_(&scheme) {}
+
+  /// Evaluates AND gates on an explicit engine instead (any registered
+  /// backend), overriding the scheme's. XOR gates stay additions.
+  Circuits(const Dghv& scheme, std::shared_ptr<backend::MultiplierBackend> engine)
+      : scheme_(&scheme), engine_(std::move(engine)) {}
 
   // --- gates -------------------------------------------------------------
 
@@ -49,14 +55,22 @@ class Circuits {
                                   const Ciphertext& one) const;
 
   /// Schoolbook product of two encrypted w-bit integers (2w-bit result).
+  /// Each partial-product row ANDs every bit of `a` against the same b[j],
+  /// so rows are issued as one batch: spectrum-caching engines compute
+  /// b[j]'s forward transform once per row instead of once per gate.
   [[nodiscard]] EncryptedInt multiply(const EncryptedInt& a, const EncryptedInt& b,
                                       const Ciphertext& zero) const;
+
+  /// Batched AND: all pairs through the active engine's multiply_batch.
+  [[nodiscard]] std::vector<Ciphertext> gate_and_batch(
+      std::span<const std::pair<Ciphertext, Ciphertext>> jobs) const;
 
   /// Multiplications (accelerator invocations) issued so far.
   [[nodiscard]] u64 and_gates_used() const noexcept { return and_gates_; }
 
  private:
   const Dghv* scheme_;
+  std::shared_ptr<backend::MultiplierBackend> engine_;  ///< optional override
   mutable u64 and_gates_ = 0;
 };
 

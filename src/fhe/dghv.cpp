@@ -1,26 +1,20 @@
 #include "fhe/dghv.hpp"
 
+#include "backend/registry.hpp"
 #include "bigint/div.hpp"
 #include "bigint/mul.hpp"
-#include "ssa/multiply.hpp"
 #include "util/check.hpp"
 
 namespace hemul::fhe {
 
 using bigint::BigUInt;
 
-namespace {
+Dghv::Dghv(const DghvParams& params, u64 seed) : Dghv(params, seed, backend::auto_backend()) {}
 
-/// Default multiplication backend: SSA for accelerator-scale operands,
-/// the classical dispatcher below its advantage point.
-BigUInt default_mul(const BigUInt& a, const BigUInt& b) {
-  const std::size_t bits = std::max(a.bit_length(), b.bit_length());
-  return bits >= 100'000 ? ssa::mul_ssa(a, b) : bigint::mul_auto(a, b);
-}
-
-}  // namespace
-
-Dghv::Dghv(const DghvParams& params, u64 seed) : rng_(seed), mul_(default_mul) {
+Dghv::Dghv(const DghvParams& params, u64 seed,
+           std::shared_ptr<backend::MultiplierBackend> engine)
+    : rng_(seed), engine_(std::move(engine)) {
+  HEMUL_CHECK_MSG(engine_ != nullptr, "Dghv requires a multiplication engine");
   params.validate();
   pk_.params = params;
 
@@ -64,8 +58,33 @@ Ciphertext Dghv::add(const Ciphertext& a, const Ciphertext& b) const {
 }
 
 Ciphertext Dghv::multiply(const Ciphertext& a, const Ciphertext& b) const {
-  return {mul_(a.value, b.value) % pk_.x0,
+  return {engine_->multiply(a.value, b.value) % pk_.x0,
           NoiseModel::after_mult(a.noise_bits, b.noise_bits)};
+}
+
+std::vector<Ciphertext> Dghv::multiply_batch(
+    std::span<const std::pair<Ciphertext, Ciphertext>> jobs) const {
+  std::vector<backend::MulJob> raw;
+  raw.reserve(jobs.size());
+  for (const auto& [a, b] : jobs) raw.emplace_back(a.value, b.value);
+
+  const std::vector<BigUInt> products = engine_->multiply_batch(raw);
+  std::vector<Ciphertext> out;
+  out.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out.push_back({products[i] % pk_.x0,
+                   NoiseModel::after_mult(jobs[i].first.noise_bits, jobs[i].second.noise_bits)});
+  }
+  return out;
+}
+
+void Dghv::set_backend(std::shared_ptr<backend::MultiplierBackend> engine) {
+  HEMUL_CHECK_MSG(engine != nullptr, "Dghv requires a multiplication engine");
+  engine_ = std::move(engine);
+}
+
+void Dghv::set_multiplier(MulFn mul) {
+  engine_ = std::make_shared<backend::FunctionBackend>(std::move(mul));
 }
 
 std::size_t Dghv::measured_noise_bits(const Ciphertext& c) const {

@@ -1,8 +1,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "bigint/biguint.hpp"
 #include "fhe/noise.hpp"
 #include "fhe/params.hpp"
@@ -42,8 +46,15 @@ class Dghv {
   using MulFn =
       std::function<bigint::BigUInt(const bigint::BigUInt&, const bigint::BigUInt&)>;
 
-  /// Generates a key pair with the given deterministic seed.
+  /// Generates a key pair with the given deterministic seed. The default
+  /// multiplication engine is the registry's auto policy (classical below
+  /// the SSA advantage point, NTT above).
   Dghv(const DghvParams& params, u64 seed);
+
+  /// Generates a key pair and runs all homomorphic multiplications on the
+  /// given engine (any registered backend: "ssa", "hw", ...).
+  Dghv(const DghvParams& params, u64 seed,
+       std::shared_ptr<backend::MultiplierBackend> engine);
 
   /// Encrypts one bit: c = (m + 2r + 2 * sum_{i in S} x_i) mod x0.
   [[nodiscard]] Ciphertext encrypt(bool message);
@@ -57,8 +68,21 @@ class Dghv {
   /// Homomorphic AND: c1 * c2 (mod x0) -- the accelerator workload.
   [[nodiscard]] Ciphertext multiply(const Ciphertext& a, const Ciphertext& b) const;
 
-  /// Replaces the big-integer multiplication backend (default: SSA).
-  void set_multiplier(MulFn mul) { mul_ = std::move(mul); }
+  /// Batched homomorphic AND through the backend's spectrum-caching batch
+  /// executor: N products against one repeated ciphertext cost N+1 forward
+  /// transforms instead of 3N on NTT engines.
+  [[nodiscard]] std::vector<Ciphertext> multiply_batch(
+      std::span<const std::pair<Ciphertext, Ciphertext>> jobs) const;
+
+  /// Replaces the multiplication engine.
+  void set_backend(std::shared_ptr<backend::MultiplierBackend> engine);
+
+  /// Backward-compatible function hook (wrapped in a FunctionBackend).
+  void set_multiplier(MulFn mul);
+
+  [[nodiscard]] const std::shared_ptr<backend::MultiplierBackend>& engine() const noexcept {
+    return engine_;
+  }
 
   [[nodiscard]] const PublicKey& public_key() const noexcept { return pk_; }
   [[nodiscard]] const DghvParams& params() const noexcept { return pk_.params; }
@@ -73,7 +97,7 @@ class Dghv {
   bigint::BigUInt p_;  ///< secret key: odd eta-bit integer
   PublicKey pk_;
   util::Rng rng_;
-  MulFn mul_;
+  std::shared_ptr<backend::MultiplierBackend> engine_;
 };
 
 }  // namespace hemul::fhe

@@ -77,6 +77,8 @@ class HwAccelerator {
     u64 first_latency_cycles = 0;     ///< latency of the first product
     u64 interval_cycles = 0;          ///< steady-state initiation interval
     u64 total_cycles = 0;             ///< first latency + (n-1) intervals
+    u64 forward_transforms = 0;       ///< forward NTTs run (cached batch)
+    u64 spectrum_cache_hits = 0;      ///< forward NTTs skipped (cached batch)
     double clock_ns = 5.0;
     [[nodiscard]] double total_time_us() const noexcept {
       return static_cast<double>(total_cycles) * clock_ns / 1000.0;
@@ -92,6 +94,17 @@ class HwAccelerator {
   /// the FFT engine runs back to back while dot-product and carry recovery
   /// overlap. Products are bit-exact as in multiply().
   std::vector<bigint::BigUInt> multiply_batch(
+      std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> operands,
+      BatchReport* report = nullptr);
+
+  /// Batched multiplication with forward-spectrum caching: operands whose
+  /// spectrum was already computed earlier in the batch skip their forward
+  /// transform, so N products against one repeated ciphertext cost N+1
+  /// transforms instead of 3N. Jobs are double-buffered through the phase
+  /// engines: the banked operand buffers ping-pong so the FFT unit streams
+  /// back to back, and only the final carry recovery is exposed in the
+  /// total. Products are bit-exact as in multiply().
+  std::vector<bigint::BigUInt> multiply_batch_cached(
       std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> operands,
       BatchReport* report = nullptr);
 

@@ -1,0 +1,81 @@
+#include "ssa/batch.hpp"
+
+#include <optional>
+
+#include "ntt/mixed_radix.hpp"
+#include "ntt/radix2.hpp"
+#include "ssa/pack.hpp"
+
+namespace hemul::ssa {
+
+using bigint::BigUInt;
+using fp::FpVec;
+
+namespace {
+
+/// Uniform forward/inverse access over the two software engines.
+struct EngineView {
+  const ntt::Radix2Ntt* radix2 = nullptr;
+  const ntt::MixedRadixNtt* mixed = nullptr;
+
+  [[nodiscard]] FpVec forward(FpVec data) const {
+    if (mixed != nullptr) return mixed->forward(data);
+    radix2->forward(data);
+    return data;
+  }
+  [[nodiscard]] FpVec inverse(FpVec data) const {
+    if (mixed != nullptr) return mixed->inverse(data);
+    radix2->inverse(data);
+    return data;
+  }
+};
+
+}  // namespace
+
+std::vector<BigUInt> multiply_batch(
+    std::span<const std::pair<BigUInt, BigUInt>> jobs, const SsaParams& params,
+    BatchStats* stats) {
+  BatchStats local;
+  local.jobs = jobs.size();
+
+  std::vector<BigUInt> products;
+  products.reserve(jobs.size());
+  if (jobs.empty()) {
+    if (stats != nullptr) *stats = local;
+    return products;
+  }
+
+  EngineView engine;
+  std::optional<ntt::MixedRadixNtt> mixed;
+  if (params.engine == Engine::kMixedRadix) {
+    mixed.emplace(params.plan);
+    engine.mixed = &*mixed;
+  } else {
+    engine.radix2 = &ntt::shared_radix2(params.transform_size);
+  }
+
+  BatchSpectrumProvider spectra(
+      jobs, [&](const BigUInt& operand) { return engine.forward(pack(operand, params)); });
+
+  for (const auto& [a, b] : jobs) {
+    if (a.is_zero() || b.is_zero()) {
+      products.emplace_back();
+      continue;
+    }
+    FpVec scratch_a;
+    FpVec scratch_b;
+    const FpVec& fa = spectra.get(a, scratch_a);
+    const FpVec& fb = spectra.get(b, scratch_b);
+    FpVec fc(fa.size());
+    for (std::size_t i = 0; i < fc.size(); ++i) fc[i] = fa[i] * fb[i];
+    ++local.inverse_transforms;
+    products.push_back(carry_recover(engine.inverse(std::move(fc)), params.coeff_bits));
+  }
+
+  local.forward_transforms = spectra.forward_transforms();
+  local.spectrum_cache_hits = spectra.cache_hits();
+  if (stats != nullptr) *stats = local;
+  return products;
+}
+
+}  // namespace hemul::ssa

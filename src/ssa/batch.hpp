@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ssa/multiply.hpp"
+#include "ssa/spectrum_cache.hpp"
+
+namespace hemul::ssa {
+
+/// Transform accounting of one batched multiplication run.
+struct BatchStats {
+  u64 jobs = 0;
+  u64 forward_transforms = 0;   ///< forward NTTs actually executed
+  u64 inverse_transforms = 0;   ///< one per nonzero product
+  u64 spectrum_cache_hits = 0;  ///< forward NTTs avoided by the cache
+};
+
+/// Multiplies a batch of operand pairs under one SsaParams instance,
+/// caching forward spectra of repeated operands: a batch that multiplies
+/// one integer against N others costs N+1 forward transforms instead of
+/// 2N. Products are bit-exact against per-call ssa::multiply.
+///
+/// Every operand must fit params.max_operand_bits().
+std::vector<bigint::BigUInt> multiply_batch(
+    std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> jobs,
+    const SsaParams& params, BatchStats* stats = nullptr);
+
+}  // namespace hemul::ssa

@@ -1,0 +1,67 @@
+#include "ssa/spectrum_cache.hpp"
+
+namespace hemul::ssa {
+
+u64 SpectrumCache::hash(const bigint::BigUInt& operand) noexcept {
+  u64 h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const u64 limb : operand.limbs()) {
+    h ^= limb;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+const fp::FpVec* SpectrumCache::find(const bigint::BigUInt& operand) const {
+  const auto it = buckets_.find(hash(operand));
+  if (it == buckets_.end()) return nullptr;
+  for (const std::unique_ptr<Entry>& entry : it->second) {
+    if (entry->operand == operand) return &entry->spectrum;
+  }
+  return nullptr;
+}
+
+void SpectrumCache::insert(const bigint::BigUInt& operand, fp::FpVec spectrum) {
+  std::vector<std::unique_ptr<Entry>>& bucket = buckets_[hash(operand)];
+  for (std::unique_ptr<Entry>& entry : bucket) {
+    if (entry->operand == operand) {
+      entry->spectrum = std::move(spectrum);
+      return;
+    }
+  }
+  bucket.push_back(std::make_unique<Entry>(Entry{operand, std::move(spectrum)}));
+  ++entries_;
+}
+
+void SpectrumCache::clear() {
+  buckets_.clear();
+  entries_ = 0;
+}
+
+BatchSpectrumProvider::BatchSpectrumProvider(
+    std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> jobs, TransformFn forward)
+    : forward_(std::move(forward)) {
+  for (const auto& [a, b] : jobs) {
+    ++occurrences_[SpectrumCache::hash(a)];
+    ++occurrences_[SpectrumCache::hash(b)];
+  }
+}
+
+const fp::FpVec& BatchSpectrumProvider::get(const bigint::BigUInt& operand,
+                                            fp::FpVec& scratch) {
+  const auto it = occurrences_.find(SpectrumCache::hash(operand));
+  const bool reused = it != occurrences_.end() && it->second > 1;
+  if (!reused) {
+    ++forward_transforms_;
+    scratch = forward_(operand);
+    return scratch;
+  }
+  if (const fp::FpVec* hit = cache_.find(operand)) {
+    ++cache_hits_;
+    return *hit;
+  }
+  ++forward_transforms_;
+  cache_.insert(operand, forward_(operand));
+  return *cache_.find(operand);
+}
+
+}  // namespace hemul::ssa

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+#include "fp/fp64.hpp"
+
+namespace hemul::ssa {
+
+/// Cache of forward NTT spectra keyed by operand value.
+///
+/// The SSA pipeline spends 2 of its 3 transforms on the forward NTTs of the
+/// operands. When a batch multiplies one integer against many others (a
+/// DGHV ciphertext AND-ed with a whole partial-product row, the shared
+/// operand of an exponentiation ladder), the repeated operand's spectrum is
+/// identical every time -- caching it drops the batch cost from 3N to N+1
+/// transforms, generalizing the ssa::square saving (2 instead of 3).
+///
+/// Keys are FNV-1a hashes of the limb vector; entries store the operand for
+/// exact comparison, so hash collisions cost a probe, never correctness.
+/// Entries are heap-allocated individually: references returned by find()
+/// stay valid across subsequent insert()s of other operands.
+class SpectrumCache {
+ public:
+  /// The cached spectrum of `operand`, or nullptr on a miss. The pointer
+  /// remains valid until the same operand is insert()ed again or clear().
+  [[nodiscard]] const fp::FpVec* find(const bigint::BigUInt& operand) const;
+
+  /// Stores the spectrum of `operand` (overwrites an equal-key entry,
+  /// invalidating references to that entry's previous spectrum).
+  void insert(const bigint::BigUInt& operand, fp::FpVec spectrum);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_; }
+  void clear();
+
+  static u64 hash(const bigint::BigUInt& operand) noexcept;
+
+ private:
+  struct Entry {
+    bigint::BigUInt operand;
+    fp::FpVec spectrum;
+  };
+
+  std::unordered_map<u64, std::vector<std::unique_ptr<Entry>>> buckets_;
+  std::size_t entries_ = 0;
+};
+
+/// Batch-scoped spectrum provider shared by the software and the
+/// simulated-hardware batch executors: it pre-counts operand occurrences
+/// across the whole batch and caches only spectra that are actually reused,
+/// so a stream of unique operands costs no extra memory while a repeated
+/// operand is transformed exactly once.
+class BatchSpectrumProvider {
+ public:
+  using TransformFn = std::function<fp::FpVec(const bigint::BigUInt&)>;
+
+  BatchSpectrumProvider(std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> jobs,
+                        TransformFn forward);
+
+  /// The forward spectrum of `operand`. Single-use operands are computed
+  /// into `scratch`, which must outlive the use of the returned reference;
+  /// reused operands live in the cache (stable for the provider's
+  /// lifetime).
+  const fp::FpVec& get(const bigint::BigUInt& operand, fp::FpVec& scratch);
+
+  [[nodiscard]] u64 forward_transforms() const noexcept { return forward_transforms_; }
+  [[nodiscard]] u64 cache_hits() const noexcept { return cache_hits_; }
+
+ private:
+  TransformFn forward_;
+  /// Occurrences per operand hash. Counting by hash may conflate distinct
+  /// operands, which only means an extra spectrum gets cached -- the
+  /// operand equality check in SpectrumCache keeps results exact.
+  std::unordered_map<u64, unsigned> occurrences_;
+  SpectrumCache cache_;
+  u64 forward_transforms_ = 0;
+  u64 cache_hits_ = 0;
+};
+
+}  // namespace hemul::ssa
