@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backend_batch.dir/bench/bench_backend_batch.cpp.o"
+  "CMakeFiles/bench_backend_batch.dir/bench/bench_backend_batch.cpp.o.d"
+  "bench_backend_batch"
+  "bench_backend_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backend_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dotprod_carry.dir/bench/bench_dotprod_carry.cpp.o"
+  "CMakeFiles/bench_dotprod_carry.dir/bench/bench_dotprod_carry.cpp.o.d"
+  "bench_dotprod_carry"
+  "bench_dotprod_carry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dotprod_carry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fft64_ablation.dir/bench/bench_fft64_ablation.cpp.o"
+  "CMakeFiles/bench_fft64_ablation.dir/bench/bench_fft64_ablation.cpp.o.d"
+  "bench_fft64_ablation"
+  "bench_fft64_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fft64_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

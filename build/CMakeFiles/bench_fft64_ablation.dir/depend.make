@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fft64_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fhe_dghv.dir/bench/bench_fhe_dghv.cpp.o"
+  "CMakeFiles/bench_fhe_dghv.dir/bench/bench_fhe_dghv.cpp.o.d"
+  "bench_fhe_dghv"
+  "bench_fhe_dghv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fhe_dghv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

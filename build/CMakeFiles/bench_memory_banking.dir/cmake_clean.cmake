@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_banking.dir/bench/bench_memory_banking.cpp.o"
+  "CMakeFiles/bench_memory_banking.dir/bench/bench_memory_banking.cpp.o.d"
+  "bench_memory_banking"
+  "bench_memory_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

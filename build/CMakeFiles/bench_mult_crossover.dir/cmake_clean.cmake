@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mult_crossover.dir/bench/bench_mult_crossover.cpp.o"
+  "CMakeFiles/bench_mult_crossover.dir/bench/bench_mult_crossover.cpp.o.d"
+  "bench_mult_crossover"
+  "bench_mult_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mult_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

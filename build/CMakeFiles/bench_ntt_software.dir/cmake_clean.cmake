@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ntt_software.dir/bench/bench_ntt_software.cpp.o"
+  "CMakeFiles/bench_ntt_software.dir/bench/bench_ntt_software.cpp.o.d"
+  "bench_ntt_software"
+  "bench_ntt_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntt_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

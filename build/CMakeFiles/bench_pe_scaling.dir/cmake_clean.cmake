@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pe_scaling.dir/bench/bench_pe_scaling.cpp.o"
+  "CMakeFiles/bench_pe_scaling.dir/bench/bench_pe_scaling.cpp.o.d"
+  "bench_pe_scaling"
+  "bench_pe_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pe_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

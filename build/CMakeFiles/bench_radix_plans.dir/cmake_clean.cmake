@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_radix_plans.dir/bench/bench_radix_plans.cpp.o"
+  "CMakeFiles/bench_radix_plans.dir/bench/bench_radix_plans.cpp.o.d"
+  "bench_radix_plans"
+  "bench_radix_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_radix_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

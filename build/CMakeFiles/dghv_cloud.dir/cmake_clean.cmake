@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dghv_cloud.dir/examples/dghv_cloud.cpp.o"
+  "CMakeFiles/dghv_cloud.dir/examples/dghv_cloud.cpp.o.d"
+  "dghv_cloud"
+  "dghv_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dghv_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

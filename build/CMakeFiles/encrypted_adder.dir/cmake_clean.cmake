@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_adder.dir/examples/encrypted_adder.cpp.o"
+  "CMakeFiles/encrypted_adder.dir/examples/encrypted_adder.cpp.o.d"
+  "encrypted_adder"
+  "encrypted_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

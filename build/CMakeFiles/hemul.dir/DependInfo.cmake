@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/backend.cpp" "CMakeFiles/hemul.dir/src/backend/backend.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/backend/backend.cpp.o.d"
+  "/root/repo/src/backend/classical.cpp" "CMakeFiles/hemul.dir/src/backend/classical.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/backend/classical.cpp.o.d"
+  "/root/repo/src/backend/hw_backend.cpp" "CMakeFiles/hemul.dir/src/backend/hw_backend.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/backend/hw_backend.cpp.o.d"
+  "/root/repo/src/backend/registry.cpp" "CMakeFiles/hemul.dir/src/backend/registry.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/backend/registry.cpp.o.d"
+  "/root/repo/src/backend/ssa_backend.cpp" "CMakeFiles/hemul.dir/src/backend/ssa_backend.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/backend/ssa_backend.cpp.o.d"
+  "/root/repo/src/bigint/barrett.cpp" "CMakeFiles/hemul.dir/src/bigint/barrett.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/bigint/barrett.cpp.o.d"
+  "/root/repo/src/bigint/biguint.cpp" "CMakeFiles/hemul.dir/src/bigint/biguint.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/bigint/biguint.cpp.o.d"
+  "/root/repo/src/bigint/div.cpp" "CMakeFiles/hemul.dir/src/bigint/div.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/bigint/div.cpp.o.d"
+  "/root/repo/src/bigint/io.cpp" "CMakeFiles/hemul.dir/src/bigint/io.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/bigint/io.cpp.o.d"
+  "/root/repo/src/bigint/mul.cpp" "CMakeFiles/hemul.dir/src/bigint/mul.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/bigint/mul.cpp.o.d"
+  "/root/repo/src/core/accelerator.cpp" "CMakeFiles/hemul.dir/src/core/accelerator.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/core/accelerator.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "CMakeFiles/hemul.dir/src/core/config.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/core/config.cpp.o.d"
+  "/root/repo/src/fhe/circuits.cpp" "CMakeFiles/hemul.dir/src/fhe/circuits.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/fhe/circuits.cpp.o.d"
+  "/root/repo/src/fhe/dghv.cpp" "CMakeFiles/hemul.dir/src/fhe/dghv.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/fhe/dghv.cpp.o.d"
+  "/root/repo/src/fhe/noise.cpp" "CMakeFiles/hemul.dir/src/fhe/noise.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/fhe/noise.cpp.o.d"
+  "/root/repo/src/fhe/params.cpp" "CMakeFiles/hemul.dir/src/fhe/params.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/fhe/params.cpp.o.d"
+  "/root/repo/src/fp/fp64.cpp" "CMakeFiles/hemul.dir/src/fp/fp64.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/fp/fp64.cpp.o.d"
+  "/root/repo/src/fp/normalize.cpp" "CMakeFiles/hemul.dir/src/fp/normalize.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/fp/normalize.cpp.o.d"
+  "/root/repo/src/fp/roots.cpp" "CMakeFiles/hemul.dir/src/fp/roots.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/fp/roots.cpp.o.d"
+  "/root/repo/src/hw/accel/accelerator.cpp" "CMakeFiles/hemul.dir/src/hw/accel/accelerator.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/accel/accelerator.cpp.o.d"
+  "/root/repo/src/hw/accel/carry_recovery.cpp" "CMakeFiles/hemul.dir/src/hw/accel/carry_recovery.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/accel/carry_recovery.cpp.o.d"
+  "/root/repo/src/hw/accel/distributed_ntt.cpp" "CMakeFiles/hemul.dir/src/hw/accel/distributed_ntt.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/accel/distributed_ntt.cpp.o.d"
+  "/root/repo/src/hw/accel/pointwise.cpp" "CMakeFiles/hemul.dir/src/hw/accel/pointwise.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/accel/pointwise.cpp.o.d"
+  "/root/repo/src/hw/arith/adder_tree.cpp" "CMakeFiles/hemul.dir/src/hw/arith/adder_tree.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/arith/adder_tree.cpp.o.d"
+  "/root/repo/src/hw/arith/carry_save.cpp" "CMakeFiles/hemul.dir/src/hw/arith/carry_save.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/arith/carry_save.cpp.o.d"
+  "/root/repo/src/hw/arith/reduction.cpp" "CMakeFiles/hemul.dir/src/hw/arith/reduction.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/arith/reduction.cpp.o.d"
+  "/root/repo/src/hw/arith/rot192.cpp" "CMakeFiles/hemul.dir/src/hw/arith/rot192.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/arith/rot192.cpp.o.d"
+  "/root/repo/src/hw/arith/shifter_bank.cpp" "CMakeFiles/hemul.dir/src/hw/arith/shifter_bank.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/arith/shifter_bank.cpp.o.d"
+  "/root/repo/src/hw/dsp/dsp_block.cpp" "CMakeFiles/hemul.dir/src/hw/dsp/dsp_block.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/dsp/dsp_block.cpp.o.d"
+  "/root/repo/src/hw/dsp/mod_mult.cpp" "CMakeFiles/hemul.dir/src/hw/dsp/mod_mult.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/dsp/mod_mult.cpp.o.d"
+  "/root/repo/src/hw/fft64/baseline_fft64.cpp" "CMakeFiles/hemul.dir/src/hw/fft64/baseline_fft64.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/fft64/baseline_fft64.cpp.o.d"
+  "/root/repo/src/hw/fft64/optimized_fft64.cpp" "CMakeFiles/hemul.dir/src/hw/fft64/optimized_fft64.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/fft64/optimized_fft64.cpp.o.d"
+  "/root/repo/src/hw/fft64/pipelined_fft64.cpp" "CMakeFiles/hemul.dir/src/hw/fft64/pipelined_fft64.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/fft64/pipelined_fft64.cpp.o.d"
+  "/root/repo/src/hw/fft64/radix_unit.cpp" "CMakeFiles/hemul.dir/src/hw/fft64/radix_unit.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/fft64/radix_unit.cpp.o.d"
+  "/root/repo/src/hw/memory/banked_buffer.cpp" "CMakeFiles/hemul.dir/src/hw/memory/banked_buffer.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/memory/banked_buffer.cpp.o.d"
+  "/root/repo/src/hw/memory/double_buffer.cpp" "CMakeFiles/hemul.dir/src/hw/memory/double_buffer.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/memory/double_buffer.cpp.o.d"
+  "/root/repo/src/hw/memory/sram_bank.cpp" "CMakeFiles/hemul.dir/src/hw/memory/sram_bank.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/memory/sram_bank.cpp.o.d"
+  "/root/repo/src/hw/noc/exchange.cpp" "CMakeFiles/hemul.dir/src/hw/noc/exchange.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/noc/exchange.cpp.o.d"
+  "/root/repo/src/hw/noc/hypercube.cpp" "CMakeFiles/hemul.dir/src/hw/noc/hypercube.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/noc/hypercube.cpp.o.d"
+  "/root/repo/src/hw/noc/schedule.cpp" "CMakeFiles/hemul.dir/src/hw/noc/schedule.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/noc/schedule.cpp.o.d"
+  "/root/repo/src/hw/pe/data_route.cpp" "CMakeFiles/hemul.dir/src/hw/pe/data_route.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/pe/data_route.cpp.o.d"
+  "/root/repo/src/hw/pe/processing_element.cpp" "CMakeFiles/hemul.dir/src/hw/pe/processing_element.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/pe/processing_element.cpp.o.d"
+  "/root/repo/src/hw/perf/literature.cpp" "CMakeFiles/hemul.dir/src/hw/perf/literature.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/perf/literature.cpp.o.d"
+  "/root/repo/src/hw/perf/perf_model.cpp" "CMakeFiles/hemul.dir/src/hw/perf/perf_model.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/perf/perf_model.cpp.o.d"
+  "/root/repo/src/hw/resources/cost_model.cpp" "CMakeFiles/hemul.dir/src/hw/resources/cost_model.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/resources/cost_model.cpp.o.d"
+  "/root/repo/src/hw/resources/device.cpp" "CMakeFiles/hemul.dir/src/hw/resources/device.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/resources/device.cpp.o.d"
+  "/root/repo/src/hw/resources/report.cpp" "CMakeFiles/hemul.dir/src/hw/resources/report.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/resources/report.cpp.o.d"
+  "/root/repo/src/hw/resources/resource_vec.cpp" "CMakeFiles/hemul.dir/src/hw/resources/resource_vec.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/hw/resources/resource_vec.cpp.o.d"
+  "/root/repo/src/ntt/convolution.cpp" "CMakeFiles/hemul.dir/src/ntt/convolution.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ntt/convolution.cpp.o.d"
+  "/root/repo/src/ntt/mixed_radix.cpp" "CMakeFiles/hemul.dir/src/ntt/mixed_radix.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ntt/mixed_radix.cpp.o.d"
+  "/root/repo/src/ntt/negacyclic.cpp" "CMakeFiles/hemul.dir/src/ntt/negacyclic.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ntt/negacyclic.cpp.o.d"
+  "/root/repo/src/ntt/plan.cpp" "CMakeFiles/hemul.dir/src/ntt/plan.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ntt/plan.cpp.o.d"
+  "/root/repo/src/ntt/radix2.cpp" "CMakeFiles/hemul.dir/src/ntt/radix2.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ntt/radix2.cpp.o.d"
+  "/root/repo/src/ntt/reference.cpp" "CMakeFiles/hemul.dir/src/ntt/reference.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ntt/reference.cpp.o.d"
+  "/root/repo/src/ssa/batch.cpp" "CMakeFiles/hemul.dir/src/ssa/batch.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ssa/batch.cpp.o.d"
+  "/root/repo/src/ssa/multiply.cpp" "CMakeFiles/hemul.dir/src/ssa/multiply.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ssa/multiply.cpp.o.d"
+  "/root/repo/src/ssa/pack.cpp" "CMakeFiles/hemul.dir/src/ssa/pack.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ssa/pack.cpp.o.d"
+  "/root/repo/src/ssa/params.cpp" "CMakeFiles/hemul.dir/src/ssa/params.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ssa/params.cpp.o.d"
+  "/root/repo/src/ssa/spectrum_cache.cpp" "CMakeFiles/hemul.dir/src/ssa/spectrum_cache.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/ssa/spectrum_cache.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "CMakeFiles/hemul.dir/src/util/format.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/util/format.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/hemul.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/hemul.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/hemul.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

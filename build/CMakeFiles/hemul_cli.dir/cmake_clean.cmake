@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemul_cli.dir/examples/hemul_cli.cpp.o"
+  "CMakeFiles/hemul_cli.dir/examples/hemul_cli.cpp.o.d"
+  "hemul_cli"
+  "hemul_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemul_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_fpga_scaling.dir/examples/multi_fpga_scaling.cpp.o"
+  "CMakeFiles/multi_fpga_scaling.dir/examples/multi_fpga_scaling.cpp.o.d"
+  "multi_fpga_scaling"
+  "multi_fpga_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_fpga_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

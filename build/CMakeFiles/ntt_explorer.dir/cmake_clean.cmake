@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntt_explorer.dir/examples/ntt_explorer.cpp.o"
+  "CMakeFiles/ntt_explorer.dir/examples/ntt_explorer.cpp.o.d"
+  "ntt_explorer"
+  "ntt_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntt_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigint_barrett.dir/tests/test_bigint_barrett.cpp.o"
+  "CMakeFiles/test_bigint_barrett.dir/tests/test_bigint_barrett.cpp.o.d"
+  "test_bigint_barrett"
+  "test_bigint_barrett.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigint_barrett.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigint_basic.dir/tests/test_bigint_basic.cpp.o"
+  "CMakeFiles/test_bigint_basic.dir/tests/test_bigint_basic.cpp.o.d"
+  "test_bigint_basic"
+  "test_bigint_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigint_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

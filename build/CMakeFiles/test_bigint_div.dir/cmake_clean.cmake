@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigint_div.dir/tests/test_bigint_div.cpp.o"
+  "CMakeFiles/test_bigint_div.dir/tests/test_bigint_div.cpp.o.d"
+  "test_bigint_div"
+  "test_bigint_div.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigint_div.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigint_mul.dir/tests/test_bigint_mul.cpp.o"
+  "CMakeFiles/test_bigint_mul.dir/tests/test_bigint_mul.cpp.o.d"
+  "test_bigint_mul"
+  "test_bigint_mul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigint_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

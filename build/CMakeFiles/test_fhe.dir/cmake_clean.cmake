@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fhe.dir/tests/test_fhe.cpp.o"
+  "CMakeFiles/test_fhe.dir/tests/test_fhe.cpp.o.d"
+  "test_fhe"
+  "test_fhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

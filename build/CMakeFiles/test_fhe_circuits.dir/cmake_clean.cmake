@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fhe_circuits.dir/tests/test_fhe_circuits.cpp.o"
+  "CMakeFiles/test_fhe_circuits.dir/tests/test_fhe_circuits.cpp.o.d"
+  "test_fhe_circuits"
+  "test_fhe_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fhe_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

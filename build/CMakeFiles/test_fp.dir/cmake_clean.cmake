@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp.dir/tests/test_fp.cpp.o"
+  "CMakeFiles/test_fp.dir/tests/test_fp.cpp.o.d"
+  "test_fp"
+  "test_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

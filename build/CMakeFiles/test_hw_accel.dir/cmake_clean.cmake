@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_accel.dir/tests/test_hw_accel.cpp.o"
+  "CMakeFiles/test_hw_accel.dir/tests/test_hw_accel.cpp.o.d"
+  "test_hw_accel"
+  "test_hw_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

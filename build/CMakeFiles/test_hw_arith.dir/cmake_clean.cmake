@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_arith.dir/tests/test_hw_arith.cpp.o"
+  "CMakeFiles/test_hw_arith.dir/tests/test_hw_arith.cpp.o.d"
+  "test_hw_arith"
+  "test_hw_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_dsp.dir/tests/test_hw_dsp.cpp.o"
+  "CMakeFiles/test_hw_dsp.dir/tests/test_hw_dsp.cpp.o.d"
+  "test_hw_dsp"
+  "test_hw_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_fft64.dir/tests/test_hw_fft64.cpp.o"
+  "CMakeFiles/test_hw_fft64.dir/tests/test_hw_fft64.cpp.o.d"
+  "test_hw_fft64"
+  "test_hw_fft64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_fft64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

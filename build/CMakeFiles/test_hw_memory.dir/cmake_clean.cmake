@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_memory.dir/tests/test_hw_memory.cpp.o"
+  "CMakeFiles/test_hw_memory.dir/tests/test_hw_memory.cpp.o.d"
+  "test_hw_memory"
+  "test_hw_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

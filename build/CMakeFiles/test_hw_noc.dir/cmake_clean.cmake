@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_noc.dir/tests/test_hw_noc.cpp.o"
+  "CMakeFiles/test_hw_noc.dir/tests/test_hw_noc.cpp.o.d"
+  "test_hw_noc"
+  "test_hw_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_pe.dir/tests/test_hw_pe.cpp.o"
+  "CMakeFiles/test_hw_pe.dir/tests/test_hw_pe.cpp.o.d"
+  "test_hw_pe"
+  "test_hw_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_perf.dir/tests/test_hw_perf.cpp.o"
+  "CMakeFiles/test_hw_perf.dir/tests/test_hw_perf.cpp.o.d"
+  "test_hw_perf"
+  "test_hw_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

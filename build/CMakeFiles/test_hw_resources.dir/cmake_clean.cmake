@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_resources.dir/tests/test_hw_resources.cpp.o"
+  "CMakeFiles/test_hw_resources.dir/tests/test_hw_resources.cpp.o.d"
+  "test_hw_resources"
+  "test_hw_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntt_mixed_radix.dir/tests/test_ntt_mixed_radix.cpp.o"
+  "CMakeFiles/test_ntt_mixed_radix.dir/tests/test_ntt_mixed_radix.cpp.o.d"
+  "test_ntt_mixed_radix"
+  "test_ntt_mixed_radix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntt_mixed_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

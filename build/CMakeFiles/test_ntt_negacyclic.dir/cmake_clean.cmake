@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntt_negacyclic.dir/tests/test_ntt_negacyclic.cpp.o"
+  "CMakeFiles/test_ntt_negacyclic.dir/tests/test_ntt_negacyclic.cpp.o.d"
+  "test_ntt_negacyclic"
+  "test_ntt_negacyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntt_negacyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntt_radix2.dir/tests/test_ntt_radix2.cpp.o"
+  "CMakeFiles/test_ntt_radix2.dir/tests/test_ntt_radix2.cpp.o.d"
+  "test_ntt_radix2"
+  "test_ntt_radix2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntt_radix2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntt_reference.dir/tests/test_ntt_reference.cpp.o"
+  "CMakeFiles/test_ntt_reference.dir/tests/test_ntt_reference.cpp.o.d"
+  "test_ntt_reference"
+  "test_ntt_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntt_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

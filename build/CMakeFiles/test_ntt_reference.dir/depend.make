@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ntt_reference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssa.dir/tests/test_ssa.cpp.o"
+  "CMakeFiles/test_ssa.dir/tests/test_ssa.cpp.o.d"
+  "test_ssa"
+  "test_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
