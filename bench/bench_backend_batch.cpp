@@ -9,11 +9,14 @@
 // This bench measures both the wall-clock win of the software "ssa" backend
 // and the modeled cycle win of the simulated-hardware "hw" backend.
 //
-//   bench_backend_batch [jobs] [bits]     (default: 16 jobs, 196608 bits)
+//   bench_backend_batch [jobs] [bits] [--json FILE]
+//                                         (default: 16 jobs, 196608 bits)
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "backend/registry.hpp"
@@ -26,8 +29,32 @@ int main(int argc, char** argv) {
   using namespace hemul;
   using Clock = std::chrono::steady_clock;
 
-  const std::size_t jobs_n = argc >= 2 ? std::strtoull(argv[1], nullptr, 10) : 16;
-  const std::size_t bits = argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 196608;
+  std::size_t jobs_n = 16;
+  std::size_t bits = 196608;
+  std::string json_path;
+  std::size_t positional = 0;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 < argc) {
+        json_path = argv[++i];
+      } else {
+        usage_error = true;
+      }
+    } else if (positional == 0) {
+      jobs_n = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else if (positional == 1) {
+      bits = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else {
+      usage_error = true;
+    }
+  }
+  if (usage_error || jobs_n == 0 || bits == 0) {
+    std::fprintf(stderr, "usage: bench_backend_batch [jobs] [bits] [--json FILE]\n");
+    return 2;
+  }
 
   util::Rng rng(0xBB01);
   const auto a = bigint::BigUInt::random_bits(rng, bits);
@@ -93,6 +120,34 @@ int main(int argc, char** argv) {
   std::printf("  modeled speedup   : %10.2fx\n",
               static_cast<double>(uncached.total_cycles) /
                   static_cast<double>(cached.total_cycles));
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n  \"bench\": \"backend_batch\",\n  \"jobs\": %zu,\n  \"bits\": %zu,\n"
+        "  \"bit_exact\": %s,\n"
+        "  \"ssa\": {\"per_call_ms\": %.3f, \"batched_ms\": %.3f, \"speedup\": %.3f,\n"
+        "          \"forward_transforms\": %llu, \"cache_hits\": %llu},\n"
+        "  \"hw\": {\"streamed_cycles\": %llu, \"cached_cycles\": %llu, "
+        "\"modeled_speedup\": %.3f}\n}\n",
+        jobs_n, bits, exact ? "true" : "false", independent_ms, batched_ms,
+        batched_ms > 0.0 ? independent_ms / batched_ms : 0.0,
+        static_cast<unsigned long long>(stats.forward_transforms),
+        static_cast<unsigned long long>(stats.spectrum_cache_hits),
+        static_cast<unsigned long long>(uncached.total_cycles),
+        static_cast<unsigned long long>(cached.total_cycles),
+        cached.total_cycles > 0
+            ? static_cast<double>(uncached.total_cycles) /
+                  static_cast<double>(cached.total_cycles)
+            : 0.0);
+    std::fclose(out);
+    std::printf("  json              : %s\n", json_path.c_str());
+  }
 
   return exact ? 0 : 1;
 }

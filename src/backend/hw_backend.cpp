@@ -15,6 +15,7 @@ BackendLimits HwBackend::limits() const {
 BigUInt HwBackend::multiply(const BigUInt& a, const BigUInt& b) {
   hw::MultiplyReport report;
   BigUInt product = hw_.multiply(a, b, &report);
+  accumulated_cycles_ += report.total_cycles;
   last_report_ = std::move(report);
   return product;
 }
@@ -22,6 +23,7 @@ BigUInt HwBackend::multiply(const BigUInt& a, const BigUInt& b) {
 BigUInt HwBackend::square(const BigUInt& a) {
   hw::MultiplyReport report;
   BigUInt product = hw_.square(a, &report);
+  accumulated_cycles_ += report.total_cycles;
   last_report_ = std::move(report);
   return product;
 }
@@ -30,6 +32,7 @@ std::vector<BigUInt> HwBackend::multiply_batch(std::span<const MulJob> jobs,
                                                BatchStats* stats) {
   hw::HwAccelerator::BatchReport report;
   std::vector<BigUInt> products = hw_.multiply_batch_cached(jobs, &report);
+  accumulated_cycles_ += report.total_cycles;
   last_batch_report_ = report;
   if (stats != nullptr) {
     *stats = BatchStats{};

@@ -29,6 +29,11 @@ class HwBackend final : public MultiplierBackend {
     return last_report_;
   }
 
+  /// Modeled cycles accumulated across every multiply/square/batch call on
+  /// this instance (the scheduler reads deltas of this for per-lane
+  /// accounting, so jobs that never touch the backend contribute zero).
+  [[nodiscard]] u64 accumulated_cycles() const noexcept { return accumulated_cycles_; }
+
   /// Batch report of the most recent multiply_batch() call.
   [[nodiscard]] const std::optional<hw::HwAccelerator::BatchReport>& last_batch_report()
       const noexcept {
@@ -41,6 +46,7 @@ class HwBackend final : public MultiplierBackend {
   hw::HwAccelerator hw_;
   std::optional<hw::MultiplyReport> last_report_;
   std::optional<hw::HwAccelerator::BatchReport> last_batch_report_;
+  u64 accumulated_cycles_ = 0;
 };
 
 }  // namespace hemul::backend

@@ -23,12 +23,16 @@ ssa::SsaParams SsaBackend::params_for(std::size_t bits) const {
 
 BigUInt SsaBackend::multiply(const BigUInt& a, const BigUInt& b) {
   if (a.is_zero() || b.is_zero()) return BigUInt{};
-  return ssa::multiply(a, b, params_for(std::max(a.bit_length(), b.bit_length())));
+  const ssa::SsaParams params = params_for(std::max(a.bit_length(), b.bit_length()));
+  if (shared_cache_ != nullptr) return ssa::multiply_cached(a, b, params, *shared_cache_);
+  return ssa::multiply(a, b, params);
 }
 
 BigUInt SsaBackend::square(const BigUInt& a) {
   if (a.is_zero()) return BigUInt{};
-  return ssa::square(a, params_for(a.bit_length()));
+  const ssa::SsaParams params = params_for(a.bit_length());
+  if (shared_cache_ != nullptr) return ssa::multiply_cached(a, a, params, *shared_cache_);
+  return ssa::square(a, params);
 }
 
 std::vector<BigUInt> SsaBackend::multiply_batch(std::span<const MulJob> jobs,

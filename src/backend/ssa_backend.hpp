@@ -1,9 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "backend/backend.hpp"
 #include "ssa/params.hpp"
+#include "ssa/spectrum_cache.hpp"
 
 namespace hemul::backend {
 
@@ -26,11 +28,20 @@ class SsaBackend final : public MultiplierBackend {
   std::vector<bigint::BigUInt> multiply_batch(std::span<const MulJob> jobs,
                                               BatchStats* stats = nullptr) override;
 
+  /// Routes the forward transforms of multiply()/square() through a shared
+  /// thread-safe spectrum cache, so instances on different scheduler lanes
+  /// transform a repeated operand once process-wide. multiply_batch keeps
+  /// its batch-scoped provider (its stats stay per-batch exact).
+  void set_shared_cache(std::shared_ptr<ssa::ConcurrentSpectrumCache> cache) {
+    shared_cache_ = std::move(cache);
+  }
+
  private:
   /// Fixed parameters, or parameters sized for `bits`-bit operands.
   [[nodiscard]] ssa::SsaParams params_for(std::size_t bits) const;
 
   std::optional<ssa::SsaParams> fixed_params_;
+  std::shared_ptr<ssa::ConcurrentSpectrumCache> shared_cache_;
 };
 
 }  // namespace hemul::backend

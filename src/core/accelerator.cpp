@@ -3,6 +3,7 @@
 #include "backend/hw_backend.hpp"
 #include "backend/registry.hpp"
 #include "backend/ssa_backend.hpp"
+#include "core/scheduler.hpp"
 #include "util/check.hpp"
 
 namespace hemul::core {
@@ -21,6 +22,25 @@ Accelerator::Accelerator(Config config) : config_(std::move(config)) {
   } else {
     backend_ = backend::make_backend(name);
   }
+}
+
+Accelerator::Accelerator(Accelerator&&) noexcept = default;
+Accelerator& Accelerator::operator=(Accelerator&&) noexcept = default;
+Accelerator::~Accelerator() = default;
+
+Scheduler& Accelerator::scheduler() {
+  if (scheduler_ == nullptr) scheduler_ = std::make_unique<Scheduler>(config_);
+  return *scheduler_;
+}
+
+std::future<bigint::BigUInt> Accelerator::submit_multiply(bigint::BigUInt a,
+                                                          bigint::BigUInt b) {
+  return scheduler().submit_multiply(std::move(a), std::move(b));
+}
+
+std::vector<std::future<bigint::BigUInt>> Accelerator::submit_batch(
+    std::span<const backend::MulJob> jobs) {
+  return scheduler().submit_batch(jobs);
 }
 
 MultiplyResult Accelerator::multiply(const bigint::BigUInt& a, const bigint::BigUInt& b) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <future>
 #include <memory>
 #include <optional>
 
@@ -10,6 +11,10 @@
 
 namespace hemul::backend {
 class HwBackend;
+}
+
+namespace hemul::core {
+class Scheduler;
 }
 
 namespace hemul::core {
@@ -46,6 +51,9 @@ struct BatchResult {
 class Accelerator {
  public:
   explicit Accelerator(Config config = Config::paper());
+  Accelerator(Accelerator&&) noexcept;
+  Accelerator& operator=(Accelerator&&) noexcept;
+  ~Accelerator();
 
   /// Multiplies two operands of up to config().hardware.ssa operand bits.
   MultiplyResult multiply(const bigint::BigUInt& a, const bigint::BigUInt& b);
@@ -55,6 +63,19 @@ class Accelerator {
   /// transform once per batch, so N products against one ciphertext cost
   /// N+1 transforms instead of 3N.
   BatchResult multiply_batch(std::span<const backend::MulJob> jobs);
+
+  /// Enqueues one product on the concurrent scheduler (config().num_workers
+  /// PE lanes, created on first use); the future yields the exact product.
+  std::future<bigint::BigUInt> submit_multiply(bigint::BigUInt a, bigint::BigUInt b);
+
+  /// Enqueues a whole batch on the scheduler; futures are in job order.
+  std::vector<std::future<bigint::BigUInt>> submit_batch(
+      std::span<const backend::MulJob> jobs);
+
+  /// The lazily-created multi-PE scheduler behind submit_multiply /
+  /// submit_batch (lane creation is not thread-safe; first call from one
+  /// thread, then submit from anywhere).
+  Scheduler& scheduler();
 
   /// Forward / inverse 64K-point NTT on the simulated hardware.
   fp::FpVec ntt_forward(const fp::FpVec& data, hw::NttRunReport* report = nullptr);
@@ -76,6 +97,8 @@ class Accelerator {
   std::shared_ptr<backend::MultiplierBackend> backend_;
   /// Set when backend_ is the simulated hardware (cycle reports, NTT access).
   backend::HwBackend* hw_backend_ = nullptr;
+  /// Created by the first submit_multiply/submit_batch/scheduler() call.
+  std::unique_ptr<Scheduler> scheduler_;
 };
 
 }  // namespace hemul::core

@@ -1,5 +1,7 @@
 #include "core/config.hpp"
 
+#include <thread>
+
 namespace hemul::core {
 
 Config Config::paper() { return Config{}; }
@@ -7,6 +9,12 @@ Config Config::paper() { return Config{}; }
 std::string Config::resolved_backend_name() const {
   if (!backend_name.empty()) return backend_name;
   return backend == Backend::kSimulatedHardware ? "hw" : "ssa";
+}
+
+unsigned Config::resolved_num_workers() const noexcept {
+  if (num_workers > 0) return num_workers;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
 }
 
 void Config::validate() const {

@@ -23,6 +23,10 @@ struct Config {
   /// other names come from the backend::Registry as-is.
   std::string backend_name;
   hw::AcceleratorConfig hardware = hw::AcceleratorConfig::paper();
+  /// PE lanes of the core::Scheduler: worker threads, one backend instance
+  /// each, mirroring the paper's array of processing elements. 0 selects
+  /// one lane per hardware thread.
+  unsigned num_workers = 0;
 
   /// The paper's prototype: 4 PEs, 200 MHz, 64*64*16 plan, 786,432-bit
   /// operands.
@@ -30,6 +34,9 @@ struct Config {
 
   /// backend_name, or the name derived from `backend` when empty.
   [[nodiscard]] std::string resolved_backend_name() const;
+
+  /// num_workers, or the hardware thread count when 0 (at least 1).
+  [[nodiscard]] unsigned resolved_num_workers() const noexcept;
 
   /// Checks internal consistency (delegates to the hardware/SSA layers).
   void validate() const;

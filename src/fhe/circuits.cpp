@@ -1,8 +1,17 @@
 #include "fhe/circuits.hpp"
 
+#include <future>
+
+#include "core/scheduler.hpp"
 #include "util/check.hpp"
 
 namespace hemul::fhe {
+
+Ciphertext Circuits::from_product(bigint::BigUInt product, const Ciphertext& a,
+                                  const Ciphertext& b) const {
+  return {std::move(product) % scheme_->public_key().x0,
+          NoiseModel::after_mult(a.noise_bits, b.noise_bits)};
+}
 
 Ciphertext Circuits::gate_xor(const Ciphertext& a, const Ciphertext& b) const {
   return scheme_->add(a, b);
@@ -20,18 +29,25 @@ Ciphertext Circuits::gate_and(const Ciphertext& a, const Ciphertext& b) const {
 std::vector<Ciphertext> Circuits::gate_and_batch(
     std::span<const std::pair<Ciphertext, Ciphertext>> jobs) const {
   and_gates_ += jobs.size();
-  if (engine_ == nullptr) return scheme_->multiply_batch(jobs);
+  if (scheduler_ == nullptr && engine_ == nullptr) return scheme_->multiply_batch(jobs);
 
   std::vector<backend::MulJob> raw;
   raw.reserve(jobs.size());
   for (const auto& [a, b] : jobs) raw.emplace_back(a.value, b.value);
-  const std::vector<bigint::BigUInt> products = engine_->multiply_batch(raw);
 
   std::vector<Ciphertext> out;
   out.reserve(jobs.size());
+  if (scheduler_ != nullptr) {
+    std::vector<std::future<bigint::BigUInt>> futures = scheduler_->submit_batch(raw);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      out.push_back(from_product(futures[i].get(), jobs[i].first, jobs[i].second));
+    }
+    return out;
+  }
+
+  std::vector<bigint::BigUInt> products = engine_->multiply_batch(raw);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    out.push_back({products[i] % scheme_->public_key().x0,
-                   NoiseModel::after_mult(jobs[i].first.noise_bits, jobs[i].second.noise_bits)});
+    out.push_back(from_product(std::move(products[i]), jobs[i].first, jobs[i].second));
   }
   return out;
 }
@@ -85,18 +101,49 @@ EncryptedInt Circuits::multiply(const EncryptedInt& a, const EncryptedInt& b,
                                 const Ciphertext& zero) const {
   HEMUL_CHECK_MSG(!a.empty() && !b.empty(), "multiplier needs nonempty inputs");
   const std::size_t out_width = a.size() + b.size();
+
+  // All a.size()*b.size() partial-product AND gates are mutually
+  // independent; only the ripple additions below are ordered. With a
+  // scheduler installed, every row fans out across the PE lanes at once
+  // (the shared spectrum cache still transforms each repeated a[i]/b[j]
+  // once); otherwise each row goes out as one serial batch and the
+  // engine's batch cache amortizes b[j]'s forward transform.
+  std::vector<std::vector<Ciphertext>> rows(b.size());
+  if (scheduler_ != nullptr) {
+    // Submit directly (no intermediate MulJob vector): each queued job
+    // holds one copy of its operand pair, so peak queue memory is one
+    // ciphertext pair per in-flight gate. That is O(w^2) ciphertexts for
+    // the full fan-out -- acceptable at circuit word widths; fall back to
+    // the serial per-row path for very wide words on large parameters.
+    std::vector<std::future<bigint::BigUInt>> futures;
+    futures.reserve(a.size() * b.size());
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        futures.push_back(scheduler_->submit_multiply(a[i].value, b[j].value));
+      }
+    }
+    and_gates_ += futures.size();
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      rows[j].reserve(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        rows[j].push_back(from_product(futures[k++].get(), a[i], b[j]));
+      }
+    }
+  } else {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::vector<std::pair<Ciphertext, Ciphertext>> jobs;
+      jobs.reserve(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) jobs.emplace_back(a[i], b[j]);
+      rows[j] = gate_and_batch(jobs);
+    }
+  }
+
   EncryptedInt acc(out_width, zero);
   for (std::size_t j = 0; j < b.size(); ++j) {
-    // Partial product row j: (a AND b[j]) shifted by j, ripple-added in.
-    // The row shares b[j] across all gates, so it goes out as one batch
-    // and the engine's spectrum cache amortizes b[j]'s forward transform.
-    std::vector<std::pair<Ciphertext, Ciphertext>> jobs;
-    jobs.reserve(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i) jobs.emplace_back(a[i], b[j]);
-    const std::vector<Ciphertext> row_bits = gate_and_batch(jobs);
-
+    // Row j: (a AND b[j]) shifted by j, ripple-added into the accumulator.
     EncryptedInt row(out_width, zero);
-    for (std::size_t i = 0; i < a.size(); ++i) row[i + j] = row_bits[i];
+    for (std::size_t i = 0; i < a.size(); ++i) row[i + j] = rows[j][i];
     const AdderResult added = add(acc, row, zero);
     acc = added.sum;  // no overflow: out_width accommodates the product
   }

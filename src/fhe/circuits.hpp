@@ -4,6 +4,10 @@
 
 #include "fhe/dghv.hpp"
 
+namespace hemul::core {
+class Scheduler;
+}
+
 namespace hemul::fhe {
 
 /// An encrypted little-endian integer: bit i of the plaintext in word[i].
@@ -23,6 +27,17 @@ class Circuits {
   /// backend), overriding the scheme's. XOR gates stay additions.
   Circuits(const Dghv& scheme, std::shared_ptr<backend::MultiplierBackend> engine)
       : scheme_(&scheme), engine_(std::move(engine)) {}
+
+  /// Evaluates independent AND gates concurrently on a multi-PE scheduler:
+  /// gate_and_batch submits every pair, and multiply() fans *all* its
+  /// partial-product rows out at once instead of issuing one serial batch
+  /// per row. Serially-dependent gates (the ripple-carry chain) stay on the
+  /// scheme's engine. Non-owning; the scheduler must outlive the circuits.
+  Circuits(const Dghv& scheme, core::Scheduler& scheduler)
+      : scheme_(&scheme), scheduler_(&scheduler) {}
+
+  /// Installs (or, with nullptr, removes) a scheduler for batched gates.
+  void set_scheduler(core::Scheduler* scheduler) noexcept { scheduler_ = scheduler; }
 
   // --- gates -------------------------------------------------------------
 
@@ -69,8 +84,13 @@ class Circuits {
   [[nodiscard]] u64 and_gates_used() const noexcept { return and_gates_; }
 
  private:
+  /// Ciphertext from a raw product: reduce mod x0, track the noise growth.
+  [[nodiscard]] Ciphertext from_product(bigint::BigUInt product, const Ciphertext& a,
+                                        const Ciphertext& b) const;
+
   const Dghv* scheme_;
   std::shared_ptr<backend::MultiplierBackend> engine_;  ///< optional override
+  core::Scheduler* scheduler_ = nullptr;  ///< optional concurrent fan-out
   mutable u64 and_gates_ = 0;
 };
 

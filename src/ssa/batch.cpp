@@ -78,4 +78,29 @@ std::vector<BigUInt> multiply_batch(
   return products;
 }
 
+BigUInt multiply_cached(const BigUInt& a, const BigUInt& b, const SsaParams& params,
+                        ConcurrentSpectrumCache& cache) {
+  if (a.is_zero() || b.is_zero()) return BigUInt{};
+
+  EngineView engine;
+  std::optional<ntt::MixedRadixNtt> mixed;
+  if (params.engine == Engine::kMixedRadix) {
+    mixed.emplace(params.plan);
+    engine.mixed = &*mixed;
+  } else {
+    engine.radix2 = &ntt::shared_radix2(params.transform_size);
+  }
+
+  const auto forward = [&](const BigUInt& operand) {
+    return engine.forward(pack(operand, params));
+  };
+  const std::shared_ptr<const FpVec> fa = cache.get_or_compute(a, params, forward);
+  const std::shared_ptr<const FpVec> fb =
+      a == b ? fa : cache.get_or_compute(b, params, forward);
+
+  FpVec fc(fa->size());
+  for (std::size_t i = 0; i < fc.size(); ++i) fc[i] = (*fa)[i] * (*fb)[i];
+  return carry_recover(engine.inverse(std::move(fc)), params.coeff_bits);
+}
+
 }  // namespace hemul::ssa

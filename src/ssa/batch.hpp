@@ -27,4 +27,12 @@ std::vector<bigint::BigUInt> multiply_batch(
     std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> jobs,
     const SsaParams& params, BatchStats* stats = nullptr);
 
+/// One SSA multiplication whose forward spectra go through a shared
+/// thread-safe cache: the per-job entry point of the scheduler's PE lanes,
+/// where repeated operands are transformed once *across* lanes rather than
+/// once per batch. Squarings (a == b) fetch a single spectrum. Bit-exact
+/// against ssa::multiply.
+bigint::BigUInt multiply_cached(const bigint::BigUInt& a, const bigint::BigUInt& b,
+                                const SsaParams& params, ConcurrentSpectrumCache& cache);
+
 }  // namespace hemul::ssa

@@ -1,5 +1,7 @@
 #include "ssa/spectrum_cache.hpp"
 
+#include <mutex>
+
 namespace hemul::ssa {
 
 u64 SpectrumCache::hash(const bigint::BigUInt& operand) noexcept {
@@ -62,6 +64,75 @@ const fp::FpVec& BatchSpectrumProvider::get(const bigint::BigUInt& operand,
   ++forward_transforms_;
   cache_.insert(operand, forward_(operand));
   return *cache_.find(operand);
+}
+
+u64 ConcurrentSpectrumCache::key_hash(const bigint::BigUInt& operand,
+                                      const SsaParams& params) noexcept {
+  u64 h = SpectrumCache::hash(operand);
+  // Fold the packing geometry in so equal operands under different
+  // parameterizations land in different buckets.
+  h ^= static_cast<u64>(params.coeff_bits) * 0x9E3779B97F4A7C15ULL;
+  h ^= params.transform_size * 0xC2B2AE3D27D4EB4FULL;
+  return h;
+}
+
+bool ConcurrentSpectrumCache::matches(const Entry& entry, const bigint::BigUInt& operand,
+                                      const SsaParams& params) noexcept {
+  return entry.coeff_bits == params.coeff_bits &&
+         entry.transform_size == params.transform_size && entry.operand == operand;
+}
+
+std::shared_ptr<const fp::FpVec> ConcurrentSpectrumCache::get_or_compute(
+    const bigint::BigUInt& operand, const SsaParams& params, const TransformFn& forward) {
+  const u64 key = key_hash(operand, params);
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = buckets_.find(key);
+    if (it != buckets_.end()) {
+      for (const std::shared_ptr<const Entry>& entry : it->second) {
+        if (matches(*entry, operand, params)) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return {entry, &entry->spectrum};
+        }
+      }
+    }
+  }
+
+  // Cold operand: transform outside the lock (the NTT dominates; a racing
+  // lane may duplicate the work, never the published entry).
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto entry = std::make_shared<const Entry>(
+      Entry{params.coeff_bits, params.transform_size, operand, forward(operand)});
+
+  std::unique_lock lock(mutex_);
+  const auto it = buckets_.find(key);
+  if (it != buckets_.end()) {
+    for (const std::shared_ptr<const Entry>& existing : it->second) {
+      if (matches(*existing, operand, params)) return {existing, &existing->spectrum};
+    }
+  }
+  if (entries_ < capacity_) {
+    (it != buckets_.end() ? it->second : buckets_[key]).push_back(entry);
+    ++entries_;
+  }
+  return {entry, &entry->spectrum};
+}
+
+ConcurrentSpectrumCache::Stats ConcurrentSpectrumCache::stats() const noexcept {
+  return {hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed)};
+}
+
+std::size_t ConcurrentSpectrumCache::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_;
+}
+
+void ConcurrentSpectrumCache::clear() {
+  std::unique_lock lock(mutex_);
+  buckets_.clear();
+  entries_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hemul::ssa

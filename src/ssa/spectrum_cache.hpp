@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -9,6 +11,7 @@
 
 #include "bigint/biguint.hpp"
 #include "fp/fp64.hpp"
+#include "ssa/params.hpp"
 
 namespace hemul::ssa {
 
@@ -80,6 +83,73 @@ class BatchSpectrumProvider {
   SpectrumCache cache_;
   u64 forward_transforms_ = 0;
   u64 cache_hits_ = 0;
+};
+
+/// Thread-safe spectrum cache shared by the scheduler's PE lanes: many
+/// worker threads multiplying against the same operand transform it once,
+/// process-wide, instead of once per lane -- the cross-lane generalization
+/// of BatchSpectrumProvider's within-batch amortization.
+///
+/// Keys pair the operand value with the packing geometry (coeff_bits,
+/// transform_size), so lanes running different SSA parameterizations never
+/// mix incompatible spectra. Entries are immutable once published and held
+/// by shared_ptr, so readers keep their spectrum alive without holding the
+/// lock. On a miss the forward transform runs outside the lock; two lanes
+/// racing on the same cold operand may both compute it (both count as
+/// misses), but exactly one result is published.
+///
+/// Memory is bounded: at most `capacity` spectra are retained (a spectrum
+/// is transform_size field elements, i.e. ~0.5 MB at the paper's 64K
+/// point). Once full, further cold operands are computed but not published
+/// -- early repeated operands keep their amortization, a long stream of
+/// distinct operands stops growing the cache instead of exhausting memory.
+class ConcurrentSpectrumCache {
+ public:
+  using TransformFn = std::function<fp::FpVec(const bigint::BigUInt&)>;
+
+  /// Default retention bound (512 paper-sized spectra ~ 256 MB worst case).
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  explicit ConcurrentSpectrumCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// The forward spectrum of `operand` under `params`, computing and
+  /// caching it via `forward` on a miss.
+  [[nodiscard]] std::shared_ptr<const fp::FpVec> get_or_compute(const bigint::BigUInt& operand,
+                                                                const SsaParams& params,
+                                                                const TransformFn& forward);
+
+  struct Stats {
+    u64 hits = 0;    ///< lookups served from the cache
+    u64 misses = 0;  ///< lookups that ran a forward transform
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  /// Cached spectra (distinct operand/geometry pairs).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops all entries (spectra still referenced by lanes stay alive) and
+  /// resets the hit/miss counters.
+  void clear();
+
+ private:
+  struct Entry {
+    std::size_t coeff_bits;
+    u64 transform_size;
+    bigint::BigUInt operand;
+    fp::FpVec spectrum;
+  };
+
+  static u64 key_hash(const bigint::BigUInt& operand, const SsaParams& params) noexcept;
+  static bool matches(const Entry& entry, const bigint::BigUInt& operand,
+                      const SsaParams& params) noexcept;
+
+  mutable std::shared_mutex mutex_;
+  std::size_t capacity_;
+  std::unordered_map<u64, std::vector<std::shared_ptr<const Entry>>> buckets_;
+  std::size_t entries_ = 0;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
 };
 
 }  // namespace hemul::ssa
