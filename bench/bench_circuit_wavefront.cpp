@@ -1,0 +1,263 @@
+// Experiment C1: eager gate-at-a-time vs lazy wavefront circuit evaluation.
+//
+// fhe::Circuits evaluates a homomorphic circuit eagerly: every AND gate is
+// one engine invocation issued the moment the circuit code reaches it, so
+// the ripple-carry chain serializes the whole computation. The circuit-graph
+// IR (fhe::Graph + fhe::Evaluator) records the same circuit first, levels it
+// by multiplicative depth, and issues each level -- a wavefront of mutually
+// independent AND gates -- as ONE batch across the scheduler's PE lanes,
+// with the shared spectrum cache amortizing repeated operands (every a[i]
+// and b[j] of a partial-product matrix is transformed once, not w times).
+//
+// Measured circuits (the acceptance workload): the 8-bit ripple-carry adder
+// and the 4-bit schoolbook multiplier. Both are checked bit-for-bit: the
+// wavefront evaluation must reproduce the eager ciphertexts exactly, and
+// the wavefront count must be strictly below the AND-gate count (real
+// cross-gate batching, not one batch per gate).
+//
+//   bench_circuit_wavefront [--workers N] [--json FILE]
+//     defaults: 2 PE lanes
+//
+// Exit code 0 iff every circuit matches bit-for-bit and batches gates.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "backend/registry.hpp"
+#include "core/scheduler.hpp"
+#include "fhe/circuits.hpp"
+#include "fhe/evaluator.hpp"
+#include "fhe/graph.hpp"
+
+namespace {
+
+using namespace hemul;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Mid-size noise budget: deep enough that the 8-bit adder stays
+/// decryptable (the toy budget is marginal at 8 bits), small enough that
+/// every AND is a fast 8192-bit product.
+fhe::DghvParams bench_params() {
+  fhe::DghvParams p;
+  p.lambda = 8;
+  p.rho = 8;
+  p.eta = 512;
+  p.gamma = 8192;
+  p.tau = 16;
+  return p;
+}
+
+struct CircuitResult {
+  std::string name;
+  u64 and_gates = 0;       ///< executed by the wavefront evaluator
+  u64 eager_and_gates = 0; ///< executed by the eager facade
+  std::size_t wavefronts = 0;
+  std::size_t dead_nodes = 0;
+  double eager_ms = 0.0;
+  double wavefront_ms = 0.0;
+  bool match = false;       ///< wavefront ciphertexts == eager ciphertexts
+  bool decrypt_ok = false;  ///< wavefront decryption == eager decryption
+  fhe::EvalReport report;
+
+  [[nodiscard]] double speedup() const {
+    return wavefront_ms > 0.0 ? eager_ms / wavefront_ms : 0.0;
+  }
+  [[nodiscard]] bool batched() const { return wavefronts < and_gates; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned workers = 2;
+  std::string json_path;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      usage_error = true;
+    }
+  }
+  if (usage_error || workers == 0) {
+    std::fprintf(stderr, "usage: bench_circuit_wavefront [--workers N] [--json FILE]\n");
+    return 2;
+  }
+
+  const fhe::DghvParams params = bench_params();
+  fhe::Dghv scheme(params, 0xBE9C);
+
+  core::Config config;
+  config.backend_name = "ssa";
+  config.num_workers = workers;
+  core::Scheduler scheduler(config);
+
+  std::printf("== circuit wavefront evaluation: eager vs graph IR ==\n");
+  std::printf("   params: eta=%zu gamma=%zu, engine \"ssa\", %u PE lane(s)\n\n",
+              params.eta, params.gamma, scheduler.num_workers());
+
+  const fhe::Ciphertext enc_zero = scheme.encrypt(false);
+  std::vector<CircuitResult> results;
+
+  // --- circuit 1: 8-bit ripple-carry adder --------------------------------
+  {
+    CircuitResult r;
+    r.name = "adder8";
+    const u64 x = 0xB5, y = 0x6E;
+    fhe::EncryptedInt cx = fhe::encrypt_int(scheme, x, 8);
+    fhe::EncryptedInt cy = fhe::encrypt_int(scheme, y, 8);
+
+    // Eager arm: gate-at-a-time through the facade.
+    fhe::Circuits eager(scheme, backend::make_backend("ssa"));
+    const auto t0 = Clock::now();
+    const fhe::Circuits::AdderResult eager_sum = eager.add(cx, cy, enc_zero);
+    r.eager_ms = ms_since(t0);
+    r.eager_and_gates = eager.and_gates_used();
+
+    // Wavefront arm: record, level, batch.
+    fhe::Graph graph(scheme);
+    const std::vector<fhe::Wire> wx = graph.inputs(cx);
+    const std::vector<fhe::Wire> wy = graph.inputs(cy);
+    fhe::Graph::AddResult g_sum = graph.add(wx, wy, graph.input(enc_zero));
+    std::vector<fhe::Wire> outputs = std::move(g_sum.sum);
+    outputs.push_back(g_sum.carry_out);
+
+    fhe::Evaluator evaluator(scheduler);
+    const auto t1 = Clock::now();
+    const std::vector<fhe::Ciphertext> wave =
+        evaluator.evaluate(graph, outputs, &r.report);
+    r.wavefront_ms = ms_since(t1);
+    r.and_gates = r.report.and_gates;
+    r.wavefronts = r.report.wavefront_count();
+    r.dead_nodes = r.report.dead_nodes;
+
+    std::vector<fhe::Ciphertext> eager_out = eager_sum.sum;
+    eager_out.push_back(eager_sum.carry_out);
+    r.match = wave.size() == eager_out.size();
+    for (std::size_t i = 0; r.match && i < wave.size(); ++i) {
+      r.match = wave[i].value == eager_out[i].value;
+    }
+    r.decrypt_ok = r.match;
+    for (std::size_t i = 0; r.decrypt_ok && i < wave.size(); ++i) {
+      r.decrypt_ok = scheme.decrypt(wave[i]) == scheme.decrypt(eager_out[i]);
+    }
+    results.push_back(std::move(r));
+  }
+
+  // --- circuit 2: 4-bit schoolbook multiplier -----------------------------
+  {
+    CircuitResult r;
+    r.name = "mul4";
+    const u64 x = 0xB, y = 0x6;
+    fhe::EncryptedInt cx = fhe::encrypt_int(scheme, x, 4);
+    fhe::EncryptedInt cy = fhe::encrypt_int(scheme, y, 4);
+
+    fhe::Circuits eager(scheme, backend::make_backend("ssa"));
+    const auto t0 = Clock::now();
+    const fhe::EncryptedInt eager_prod = eager.multiply(cx, cy, enc_zero);
+    r.eager_ms = ms_since(t0);
+    r.eager_and_gates = eager.and_gates_used();
+
+    fhe::Graph graph(scheme);
+    const std::vector<fhe::Wire> wx = graph.inputs(cx);
+    const std::vector<fhe::Wire> wy = graph.inputs(cy);
+    const std::vector<fhe::Wire> outputs =
+        graph.multiply(wx, wy, graph.input(enc_zero));
+
+    fhe::Evaluator evaluator(scheduler);
+    fhe::EvalOptions options;
+    // The stacked adders of the 4x4 product exceed any practical noise
+    // budget; this bench checks bit-for-bit parity, so run past the veto
+    // the way the eager facade does.
+    options.check_noise = false;
+    const auto t1 = Clock::now();
+    const std::vector<fhe::Ciphertext> wave =
+        evaluator.evaluate(graph, outputs, &r.report, options);
+    r.wavefront_ms = ms_since(t1);
+    r.and_gates = r.report.and_gates;
+    r.wavefronts = r.report.wavefront_count();
+    r.dead_nodes = r.report.dead_nodes;
+
+    r.match = wave.size() == eager_prod.size();
+    for (std::size_t i = 0; r.match && i < wave.size(); ++i) {
+      r.match = wave[i].value == eager_prod[i].value;
+    }
+    r.decrypt_ok = r.match;
+    for (std::size_t i = 0; r.decrypt_ok && i < wave.size(); ++i) {
+      r.decrypt_ok = scheme.decrypt(wave[i]) == scheme.decrypt(eager_prod[i]);
+    }
+    results.push_back(std::move(r));
+  }
+
+  bool ok = true;
+  for (const CircuitResult& r : results) {
+    std::printf("-- %s --\n", r.name.c_str());
+    std::printf("  AND gates    : %llu wavefront (%llu eager, %zu dead nodes eliminated)\n",
+                static_cast<unsigned long long>(r.and_gates),
+                static_cast<unsigned long long>(r.eager_and_gates), r.dead_nodes);
+    std::printf("  wavefronts   : %zu (%s: %zu < %llu gates)\n", r.wavefronts,
+                r.batched() ? "cross-gate batching" : "NO BATCHING", r.wavefronts,
+                static_cast<unsigned long long>(r.and_gates));
+    std::printf("  eager        : %8.1f ms\n", r.eager_ms);
+    std::printf("  wavefront    : %8.1f ms  (%.2fx)\n", r.wavefront_ms, r.speedup());
+    std::printf("  bit-exact    : %s (decryptions %s)\n", r.match ? "yes" : "NO",
+                r.decrypt_ok ? "match" : "DIFFER");
+    for (const fhe::WavefrontStats& wf : r.report.wavefronts) {
+      std::printf("    wave %-4u : %3llu gates, cache %llu hit / %llu miss, %u lane(s), %.1f ms\n",
+                  wf.level, static_cast<unsigned long long>(wf.and_gates),
+                  static_cast<unsigned long long>(wf.cache_hits),
+                  static_cast<unsigned long long>(wf.cache_misses), wf.lanes_used,
+                  wf.wall_ms);
+    }
+    ok = ok && r.match && r.decrypt_ok && r.batched();
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"circuit_wavefront\",\n  \"backend\": \"ssa\",\n"
+                 "  \"workers\": %u,\n  \"eta\": %zu,\n  \"gamma\": %zu,\n"
+                 "  \"circuits\": [\n",
+                 scheduler.num_workers(), params.eta, params.gamma);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CircuitResult& r = results[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"and_gates\": %llu, \"wavefronts\": %zu,\n"
+                   "     \"dead_nodes\": %zu, \"eager_ms\": %.3f, \"wavefront_ms\": %.3f,\n"
+                   "     \"speedup\": %.3f, \"bit_exact\": %s, \"batched\": %s,\n"
+                   "     \"levels\": [\n",
+                   r.name.c_str(), static_cast<unsigned long long>(r.and_gates),
+                   r.wavefronts, r.dead_nodes, r.eager_ms, r.wavefront_ms, r.speedup(),
+                   r.match ? "true" : "false", r.batched() ? "true" : "false");
+      for (std::size_t w = 0; w < r.report.wavefronts.size(); ++w) {
+        const fhe::WavefrontStats& wf = r.report.wavefronts[w];
+        std::fprintf(out,
+                     "       {\"level\": %u, \"gates\": %llu, \"cache_hits\": %llu, "
+                     "\"cache_misses\": %llu, \"lanes_used\": %u, \"wall_ms\": %.3f}%s\n",
+                     wf.level, static_cast<unsigned long long>(wf.and_gates),
+                     static_cast<unsigned long long>(wf.cache_hits),
+                     static_cast<unsigned long long>(wf.cache_misses), wf.lanes_used,
+                     wf.wall_ms, w + 1 < r.report.wavefronts.size() ? "," : "");
+      }
+      std::fprintf(out, "     ]}%s\n", i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\n  json         : %s\n", json_path.c_str());
+  }
+
+  return ok ? 0 : 1;
+}

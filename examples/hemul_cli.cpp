@@ -8,20 +8,29 @@
 //   hemul_cli [--workers N] throughput <n> <bits>    drive n products through the
 //                                                    multi-PE scheduler, report
 //                                                    jobs/sec and per-lane stats
+//   hemul_cli [--workers N] circuit <kind> [width]   record a homomorphic circuit
+//                                                    as an fhe::Graph and wavefront-
+//                                                    evaluate it: levels, gate
+//                                                    counts, predicted noise, lane
+//                                                    utilization (kind: adder,
+//                                                    equals, mul, mux, lt)
 //   hemul_cli backends                               list registered backends
 //   hemul_cli table1                                 print the Table I comparison
 //   hemul_cli perf [P]                               Section V performance model
 //
 // --backend selects any engine registered in backend::Registry ("hw", "ssa",
-// "classical", "karatsuba", ...; default "hw" — except for `throughput`,
-// which defaults to the software "ssa" engine). --workers sets the
+// "classical", "karatsuba", ...; default "hw" — except for `throughput` and
+// `circuit`, which default to the software "ssa" engine). --workers sets the
 // scheduler's PE-lane count (default: one lane per hardware thread).
-// Exit code 0 on success; 2 on usage errors.
+// Exit code 0 on success; 2 on usage errors; 3 when `circuit` finds the
+// recorded circuit undecryptable at every built-in parameter set (the
+// result cannot be verified).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +38,9 @@
 #include "bigint/mul.hpp"
 #include "core/accelerator.hpp"
 #include "core/scheduler.hpp"
+#include "fhe/circuits.hpp"
+#include "fhe/evaluator.hpp"
+#include "fhe/graph.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +52,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: hemul_cli [--backend <name>] [--workers N] mul <hexA> <hexB> |\n"
                "                 random <bits> | batch <n> <bits> | throughput <n> <bits> |\n"
+               "                 circuit <adder|equals|mul|mux|lt> [width] |\n"
                "                 backends | table1 | perf [P]\n");
   return 2;
 }
@@ -197,6 +210,146 @@ int cmd_throughput(const std::string& backend_name, unsigned workers, std::size_
   return 0;
 }
 
+int cmd_circuit(const std::string& backend_name, unsigned workers, const std::string& kind,
+                unsigned width) {
+  if (width == 0 || width > 16) {
+    std::fprintf(stderr, "error: circuit width must be in [1, 16]\n");
+    return 2;
+  }
+
+  // Deterministic operands derived from the width.
+  const u64 mask = width >= 64 ? ~0ULL : (1ULL << width) - 1;
+  const u64 x = 0xB5A3C96Du & mask;
+  const u64 y = 0x6D2E84B7u & mask;
+
+  u64 expected = 0;
+  if (kind == "adder") {
+    expected = (x + y) & ((mask << 1) | 1);
+  } else if (kind == "equals") {
+    expected = x == y ? 1 : 0;
+  } else if (kind == "mul") {
+    expected = (x * y) & ((width * 2 >= 64) ? ~0ULL : (1ULL << (width * 2)) - 1);
+  } else if (kind == "mux") {
+    expected = x;
+  } else if (kind == "lt") {
+    expected = x < y ? 1 : 0;
+  } else {
+    return usage();
+  }
+
+  // Record the circuit lazily against a scheme: nothing is multiplied yet.
+  const auto record = [&](fhe::Dghv& scheme, fhe::Graph& graph) {
+    fhe::EncryptedInt cx = fhe::encrypt_int(scheme, x, width);
+    fhe::EncryptedInt cy = fhe::encrypt_int(scheme, y, width);
+    const std::vector<fhe::Wire> wa = graph.inputs(cx);
+    const std::vector<fhe::Wire> wb = graph.inputs(cy);
+    const fhe::Wire zero = graph.input(scheme.encrypt(false));
+    const fhe::Wire one = graph.input(scheme.encrypt(true));
+
+    std::vector<fhe::Wire> outputs;
+    if (kind == "adder") {
+      fhe::Graph::AddResult r = graph.add(wa, wb, zero);
+      outputs = std::move(r.sum);
+      outputs.push_back(r.carry_out);
+    } else if (kind == "equals") {
+      outputs.push_back(graph.equals(wa, wb, one));
+    } else if (kind == "mul") {
+      outputs = graph.multiply(wa, wb, zero);
+    } else if (kind == "mux") {
+      outputs = graph.mux(one, wa, wb);  // select = Enc(1) -> x
+    } else {
+      outputs.push_back(graph.less_than(wa, wb, zero, one));
+    }
+    return outputs;
+  };
+
+  // The pre-execution noise audit picks the parameter set: record against
+  // the fast toy scheme first, and if the analytic model says the result
+  // would not decrypt, escalate to the deep noise budget *before* any
+  // multiplication is spent (the word multiplier goes deep immediately --
+  // its stacked adders never fit the toy budget).
+  fhe::DghvParams params = kind == "mul" ? fhe::DghvParams::deep() : fhe::DghvParams::toy();
+  auto scheme = std::make_unique<fhe::Dghv>(params, 0xC14C);
+  auto graph = std::make_unique<fhe::Graph>(*scheme);
+  std::vector<fhe::Wire> outputs = record(*scheme, *graph);
+  const auto fits = [&] {
+    for (const fhe::Wire w : outputs) {
+      if (!graph->predicted_decryptable(w)) return false;
+    }
+    return true;
+  };
+  if (!fits() && kind != "mul") {
+    std::printf("note         : predicted noise exceeds the toy budget; "
+                "escalating to deep parameters\n");
+    params = fhe::DghvParams::deep();
+    scheme = std::make_unique<fhe::Dghv>(params, 0xC14C);
+    graph = std::make_unique<fhe::Graph>(*scheme);
+    outputs = record(*scheme, *graph);
+  }
+
+  // Execute wavefront by wavefront across the scheduler's PE lanes.
+  core::Config config;
+  config.backend_name = backend_name.empty() ? "ssa" : backend_name;
+  config.num_workers = workers;
+  core::Scheduler scheduler(config);
+  fhe::Evaluator evaluator(scheduler);
+  fhe::EvalReport report;
+  fhe::EvalOptions options;
+  options.check_noise = false;  // report the verdict instead of refusing
+  const std::vector<fhe::Ciphertext> results =
+      evaluator.evaluate(*graph, outputs, &report, options);
+
+  const double budget = fhe::NoiseModel::budget_bits(params);
+  std::printf("circuit      : %s, %u bit(s), params %s (eta=%zu, gamma=%zu)\n",
+              kind.c_str(), width, params.eta == fhe::DghvParams::deep().eta ? "deep" : "toy",
+              params.eta, params.gamma);
+  std::printf("backend      : %s, %u PE lane(s)\n", config.resolved_backend_name().c_str(),
+              scheduler.num_workers());
+  std::printf("nodes        : %zu recorded, %zu live, %zu dead (eliminated)\n",
+              report.nodes, report.live_nodes, report.dead_nodes);
+  std::printf("gates        : %llu AND (multiplications), %llu XOR (additions)\n",
+              static_cast<unsigned long long>(report.and_gates),
+              static_cast<unsigned long long>(report.xor_gates));
+  std::printf("levels       : %u wavefront(s) for %llu AND gates\n", report.levels,
+              static_cast<unsigned long long>(report.and_gates));
+  std::printf("pred. noise  : %.1f bits (budget %.1f) -> %s\n", report.max_noise_bits,
+              budget, report.decryptable ? "decryptable" : "NOT decryptable");
+  for (const fhe::WavefrontStats& wf : report.wavefronts) {
+    std::printf("  wave %-4u  : %3llu gates, cache %llu hit / %llu miss, %u lane(s), %.1f ms\n",
+                wf.level, static_cast<unsigned long long>(wf.and_gates),
+                static_cast<unsigned long long>(wf.cache_hits),
+                static_cast<unsigned long long>(wf.cache_misses), wf.lanes_used, wf.wall_ms);
+  }
+
+  scheduler.wait_idle();
+  const core::SchedulerStats stats = scheduler.stats();
+  double busy_ms = 0.0;
+  for (const core::LaneStats& lane : stats.lanes) busy_ms += lane.busy_ms;
+  for (const core::LaneStats& lane : stats.lanes) {
+    std::printf("  lane %-2u    : %llu jobs, %.1f ms busy (%.0f%% of lane-busy total)\n",
+                lane.lane, static_cast<unsigned long long>(lane.jobs), lane.busy_ms,
+                busy_ms > 0.0 ? 100.0 * lane.busy_ms / busy_ms : 0.0);
+  }
+  std::printf("cache        : %llu hits, %llu misses (shared across lanes)\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses));
+
+  fhe::EncryptedInt out_int(results.begin(), results.end());
+  const u64 decrypted = fhe::decrypt_int(*scheme, out_int);
+  if (!report.decryptable) {
+    // Nothing was verified, so don't report success: exit 3 keeps CI smoke
+    // steps honest if a circuit builder or the noise model regresses.
+    std::printf("result       : skipped (predicted noise exceeds even the deep budget;\n"
+                "               the pre-execution check would veto this circuit) -> exit 3\n");
+    return 3;
+  }
+  std::printf("result       : %llu (expect %llu) -> %s\n",
+              static_cast<unsigned long long>(decrypted),
+              static_cast<unsigned long long>(expected),
+              decrypted == expected ? "OK" : "WRONG");
+  return decrypted == expected ? 0 : 1;
+}
+
 int cmd_table1() {
   std::printf("%s", hw::ResourceComparison::paper().render_table().c_str());
   return 0;
@@ -253,6 +406,12 @@ int main(int argc, char** argv) {
       return cmd_throughput(backend_name, workers,
                             std::strtoull(args[1].c_str(), nullptr, 10),
                             std::strtoull(args[2].c_str(), nullptr, 10));
+    }
+    if (cmd == "circuit" && (args.size() == 2 || args.size() == 3)) {
+      const unsigned width = args.size() == 3
+                                 ? static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10))
+                                 : 4;
+      return cmd_circuit(backend_name, workers, args[1], width);
     }
     if (cmd == "table1" && args.size() == 1) return cmd_table1();
     if (cmd == "perf") {

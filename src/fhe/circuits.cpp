@@ -7,10 +7,26 @@
 
 namespace hemul::fhe {
 
-Ciphertext Circuits::from_product(bigint::BigUInt product, const Ciphertext& a,
-                                  const Ciphertext& b) const {
-  return {std::move(product) % scheme_->public_key().x0,
-          NoiseModel::after_mult(a.noise_bits, b.noise_bits)};
+Evaluator Circuits::make_evaluator() const {
+  if (scheduler_ != nullptr) return Evaluator(*scheduler_);
+  if (engine_ != nullptr) return Evaluator(engine_);
+  return Evaluator();
+}
+
+std::vector<Ciphertext> Circuits::run(const Graph& graph,
+                                      std::span<const Wire> outputs) const {
+  Evaluator evaluator = make_evaluator();
+  EvalOptions options;
+  options.check_noise = false;  // eager semantics: compute, fail at decryption
+  // No report: a report makes the scheduler path drain and snapshot the
+  // whole scheduler per wavefront, which would block on (and misattribute)
+  // unrelated work when the scheduler is shared. The facade's one-shot
+  // graphs execute every recorded AND (inputs are distinct nodes, so CSE
+  // cannot merge gates, and each gate feeds a requested output), so the
+  // recorded count is the executed count.
+  std::vector<Ciphertext> results = evaluator.evaluate(graph, outputs, nullptr, options);
+  and_gates_.fetch_add(graph.and_gates(), std::memory_order_relaxed);
+  return results;
 }
 
 Ciphertext Circuits::gate_xor(const Ciphertext& a, const Ciphertext& b) const {
@@ -18,7 +34,11 @@ Ciphertext Circuits::gate_xor(const Ciphertext& a, const Ciphertext& b) const {
 }
 
 Ciphertext Circuits::gate_and(const Ciphertext& a, const Ciphertext& b) const {
-  ++and_gates_;
+  // Hot path of the ripple-carry loops: one dependent gate gains nothing
+  // from graph recording, so skip the one-node graph and its operand
+  // copies and hit the engine directly (the batched entry points below are
+  // the ones that go through the IR).
+  and_gates_.fetch_add(1, std::memory_order_relaxed);
   if (engine_ != nullptr) {
     return {engine_->multiply(a.value, b.value) % scheme_->public_key().x0,
             NoiseModel::after_mult(a.noise_bits, b.noise_bits)};
@@ -28,31 +48,20 @@ Ciphertext Circuits::gate_and(const Ciphertext& a, const Ciphertext& b) const {
 
 std::vector<Ciphertext> Circuits::gate_and_batch(
     std::span<const std::pair<Ciphertext, Ciphertext>> jobs) const {
-  and_gates_ += jobs.size();
-  if (scheduler_ == nullptr && engine_ == nullptr) return scheme_->multiply_batch(jobs);
-
-  std::vector<backend::MulJob> raw;
-  raw.reserve(jobs.size());
-  for (const auto& [a, b] : jobs) raw.emplace_back(a.value, b.value);
-
-  std::vector<Ciphertext> out;
-  out.reserve(jobs.size());
-  if (scheduler_ != nullptr) {
-    std::vector<std::future<bigint::BigUInt>> futures = scheduler_->submit_batch(raw);
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      out.push_back(from_product(futures[i].get(), jobs[i].first, jobs[i].second));
-    }
-    return out;
+  // Every pair becomes its own pair of input nodes, so the whole batch is
+  // one depth-1 wavefront: the scheduler fans it across the PE lanes, the
+  // engine path issues it as one spectrum-caching multiply_batch.
+  Graph graph(*scheme_);
+  std::vector<Wire> wires;
+  wires.reserve(jobs.size());
+  for (const auto& [a, b] : jobs) {
+    wires.push_back(graph.gate_and(graph.input(a), graph.input(b)));
   }
-
-  std::vector<bigint::BigUInt> products = engine_->multiply_batch(raw);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    out.push_back(from_product(std::move(products[i]), jobs[i].first, jobs[i].second));
-  }
-  return out;
+  return run(graph, wires);
 }
 
 Ciphertext Circuits::gate_or(const Ciphertext& a, const Ciphertext& b) const {
+  // Only one AND inside: same hot-path reasoning as gate_and above.
   return gate_xor(gate_xor(a, b), gate_and(a, b));
 }
 
@@ -62,10 +71,11 @@ Ciphertext Circuits::gate_not(const Ciphertext& a, const Ciphertext& one) const 
 
 Ciphertext Circuits::gate_maj(const Ciphertext& a, const Ciphertext& b,
                               const Ciphertext& c) const {
-  const Ciphertext ab = gate_and(a, b);
-  const Ciphertext bc = gate_and(b, c);
-  const Ciphertext ca = gate_and(c, a);
-  return gate_xor(gate_xor(ab, bc), ca);
+  // One graph, one wavefront: ab, bc, ca are mutually independent and go
+  // out as a single batch of three.
+  Graph graph(*scheme_);
+  const Wire outputs[] = {graph.gate_maj(graph.input(a), graph.input(b), graph.input(c))};
+  return run(graph, outputs)[0];
 }
 
 Circuits::AdderResult Circuits::add(const EncryptedInt& a, const EncryptedInt& b,
@@ -104,7 +114,7 @@ EncryptedInt Circuits::multiply(const EncryptedInt& a, const EncryptedInt& b,
 
   // All a.size()*b.size() partial-product AND gates are mutually
   // independent; only the ripple additions below are ordered. With a
-  // scheduler installed, every row fans out across the PE lanes at once
+  // scheduler installed, every gate fans out across the PE lanes at once
   // (the shared spectrum cache still transforms each repeated a[i]/b[j]
   // once); otherwise each row goes out as one serial batch and the
   // engine's batch cache amortizes b[j]'s forward transform.
@@ -122,12 +132,13 @@ EncryptedInt Circuits::multiply(const EncryptedInt& a, const EncryptedInt& b,
         futures.push_back(scheduler_->submit_multiply(a[i].value, b[j].value));
       }
     }
-    and_gates_ += futures.size();
+    and_gates_.fetch_add(futures.size(), std::memory_order_relaxed);
     std::size_t k = 0;
     for (std::size_t j = 0; j < b.size(); ++j) {
       rows[j].reserve(a.size());
       for (std::size_t i = 0; i < a.size(); ++i) {
-        rows[j].push_back(from_product(futures[k++].get(), a[i], b[j]));
+        rows[j].push_back({futures[k++].get() % scheme_->public_key().x0,
+                           NoiseModel::after_mult(a[i].noise_bits, b[j].noise_bits)});
       }
     }
   } else {

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "fhe/dghv.hpp"
+#include "fhe/evaluator.hpp"
+#include "fhe/graph.hpp"
 
 namespace hemul::core {
 class Scheduler;
@@ -18,6 +21,15 @@ using EncryptedInt = std::vector<Ciphertext>;
 /// (multiparty computation, medical/financial computing, electronic
 /// voting). Every AND gate is one ultralong multiplication on the
 /// accelerator; the circuit classes below track exactly how many.
+///
+/// This class is the *eager* facade of the circuit layer: calls with
+/// independent gates (gate_or, gate_maj, gate_and_batch) record a one-shot
+/// fhe::Graph and evaluate it immediately through the wavefront Evaluator,
+/// issuing those gates as one batch while results stay call-by-call; a
+/// lone gate_and skips the IR and hits the engine directly. To record a
+/// whole circuit and execute it level-by-level across the PE lanes, build
+/// an fhe::Graph directly and run an fhe::Evaluator (or
+/// core::Accelerator::evaluate) on it.
 class Circuits {
  public:
   /// Evaluates gates on the scheme's own multiplication engine.
@@ -30,9 +42,9 @@ class Circuits {
 
   /// Evaluates independent AND gates concurrently on a multi-PE scheduler:
   /// gate_and_batch submits every pair, and multiply() fans *all* its
-  /// partial-product rows out at once instead of issuing one serial batch
-  /// per row. Serially-dependent gates (the ripple-carry chain) stay on the
-  /// scheme's engine. Non-owning; the scheduler must outlive the circuits.
+  /// partial-product gates out at once. Serially-dependent gates (the
+  /// ripple-carry chain) execute wavefront by wavefront. Non-owning; the
+  /// scheduler must outlive the circuits.
   Circuits(const Dghv& scheme, core::Scheduler& scheduler)
       : scheme_(&scheme), scheduler_(&scheduler) {}
 
@@ -47,7 +59,7 @@ class Circuits {
   [[nodiscard]] Ciphertext gate_or(const Ciphertext& a, const Ciphertext& b) const;
   /// NOT via XOR with an encryption of 1.
   [[nodiscard]] Ciphertext gate_not(const Ciphertext& a, const Ciphertext& one) const;
-  /// 2-of-3 majority: ab ^ bc ^ ca (three multiplications).
+  /// 2-of-3 majority: ab ^ bc ^ ca (three multiplications, one wavefront).
   [[nodiscard]] Ciphertext gate_maj(const Ciphertext& a, const Ciphertext& b,
                                     const Ciphertext& c) const;
 
@@ -76,22 +88,30 @@ class Circuits {
   [[nodiscard]] EncryptedInt multiply(const EncryptedInt& a, const EncryptedInt& b,
                                       const Ciphertext& zero) const;
 
-  /// Batched AND: all pairs through the active engine's multiply_batch.
+  /// Batched AND: all pairs through the active engine's multiply_batch (or
+  /// fanned out across the scheduler's PE lanes) as one wavefront.
   [[nodiscard]] std::vector<Ciphertext> gate_and_batch(
       std::span<const std::pair<Ciphertext, Ciphertext>> jobs) const;
 
-  /// Multiplications (accelerator invocations) issued so far.
-  [[nodiscard]] u64 and_gates_used() const noexcept { return and_gates_; }
+  /// Multiplications (accelerator invocations) issued so far. Thread-safe:
+  /// two threads sharing one Circuits instance never lose counts.
+  [[nodiscard]] u64 and_gates_used() const noexcept {
+    return and_gates_.load(std::memory_order_relaxed);
+  }
 
  private:
-  /// Ciphertext from a raw product: reduce mod x0, track the noise growth.
-  [[nodiscard]] Ciphertext from_product(bigint::BigUInt product, const Ciphertext& a,
-                                        const Ciphertext& b) const;
+  /// The evaluator matching this facade's execution configuration.
+  [[nodiscard]] Evaluator make_evaluator() const;
+
+  /// Evaluates a recorded one-call graph eagerly (no pre-execution noise
+  /// veto: the facade reproduces compute-then-fail-at-decryption
+  /// semantics) and books its executed AND gates into the counter.
+  std::vector<Ciphertext> run(const Graph& graph, std::span<const Wire> outputs) const;
 
   const Dghv* scheme_;
   std::shared_ptr<backend::MultiplierBackend> engine_;  ///< optional override
   core::Scheduler* scheduler_ = nullptr;  ///< optional concurrent fan-out
-  mutable u64 and_gates_ = 0;
+  mutable std::atomic<u64> and_gates_{0};
 };
 
 /// Encrypts an integer bit by bit (width bits, little-endian).

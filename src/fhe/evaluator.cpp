@@ -1,0 +1,192 @@
+#include "fhe/evaluator.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "core/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace hemul::fhe {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string format_bits(double bits) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", bits);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<Ciphertext> Evaluator::evaluate(const Graph& graph,
+                                            std::span<const Wire> outputs,
+                                            EvalReport* report,
+                                            const EvalOptions& options) {
+  const Dghv& scheme = graph.scheme();
+  const auto& nodes = graph.nodes_;
+  for (const Wire w : outputs) {
+    HEMUL_CHECK_MSG(w.valid() && w.id < nodes.size(),
+                    "Evaluator: output wire from another graph");
+  }
+
+  // --- dead-node elimination: backward reachability from the outputs -----
+  std::vector<char> live(nodes.size(), 0);
+  for (const Wire w : outputs) live[w.id] = 1;
+  for (std::size_t id = nodes.size(); id-- > 0;) {
+    if (!live[id] || nodes[id].op == GateOp::kInput) continue;
+    live[nodes[id].a] = 1;
+    live[nodes[id].b] = 1;
+  }
+
+  // --- leveling + pre-execution noise audit --------------------------------
+  std::size_t live_count = 0;
+  unsigned max_level = 0;
+  double max_noise = 0.0;
+  u64 live_xor = 0;
+  u32 worst_wire = Wire::kInvalid;
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (!live[id]) continue;
+    ++live_count;
+    max_level = std::max(max_level, nodes[id].level);
+    if (nodes[id].noise_bits > max_noise || worst_wire == Wire::kInvalid) {
+      max_noise = nodes[id].noise_bits;
+      worst_wire = static_cast<u32>(id);
+    }
+    if (nodes[id].op == GateOp::kXor) ++live_xor;
+  }
+
+  const double budget = NoiseModel::budget_bits(scheme.params());
+  const bool decryptable = NoiseModel::decryptable(scheme.params(), max_noise);
+  if (options.check_noise && !decryptable) {
+    throw NoiseBudgetError(
+        "Evaluator: predicted noise " + format_bits(max_noise) + " bits at depth " +
+            std::to_string(nodes[worst_wire].level) + " exceeds the decryptability budget " +
+            format_bits(budget) + " bits (eta - 2); refusing to execute",
+        Wire{worst_wire}, nodes[worst_wire].level, max_noise, budget);
+  }
+
+  // Wavefront w = all live AND gates at depth w. Every level 1..max_level
+  // is populated: a live node at depth d always has a live AND ancestor
+  // chain touching each depth below it.
+  std::vector<std::vector<u32>> wavefronts(max_level + 1);
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (live[id] && nodes[id].op == GateOp::kAnd) {
+      wavefronts[nodes[id].level].push_back(static_cast<u32>(id));
+    }
+  }
+
+  if (report != nullptr) {
+    *report = EvalReport{};
+    report->nodes = nodes.size();
+    report->live_nodes = live_count;
+    report->dead_nodes = nodes.size() - live_count;
+    report->xor_gates = live_xor;
+    report->levels = max_level;
+    report->max_noise_bits = max_noise;
+    report->decryptable = decryptable;
+    report->wavefronts.reserve(max_level);
+  }
+
+  std::shared_ptr<backend::MultiplierBackend> engine = engine_;
+  if (scheduler_ == nullptr && engine == nullptr) engine = scheme.engine();
+  const bigint::BigUInt& x0 = scheme.public_key().x0;
+
+  std::vector<Ciphertext> values(nodes.size());
+  // Evaluate a linear (non-AND) node; children are already materialized:
+  // XOR operands are earlier ids within the same depth, AND operands were
+  // produced by this or an earlier wavefront.
+  const auto eval_linear_sweep = [&](unsigned level) {
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+      const Graph::Node& n = nodes[id];
+      if (!live[id] || n.level != level || n.op == GateOp::kAnd) continue;
+      if (n.op == GateOp::kInput) {
+        values[id] = n.value;
+      } else {
+        values[id] = scheme.add(values[n.a], values[n.b]);
+      }
+    }
+  };
+
+  eval_linear_sweep(0);
+  for (unsigned level = 1; level <= max_level; ++level) {
+    const std::vector<u32>& gates = wavefronts[level];
+    WavefrontStats wf;
+    wf.level = level;
+    wf.and_gates = gates.size();
+
+    const auto t0 = Clock::now();
+    std::vector<bigint::BigUInt> products;
+    if (scheduler_ != nullptr) {
+      // Per-wavefront lane/cache numbers are before/after deltas of the
+      // scheduler-wide stats, and lane stats are booked only after each
+      // future is satisfied (so the delta needs a wait_idle). Both are
+      // observability-only: collect them just when a report was asked for,
+      // so reportless evaluation never blocks on (or misattributes) work
+      // other threads may be running on a shared scheduler. Per-wavefront
+      // stats are accurate only when the scheduler is not shared
+      // concurrently during the evaluation.
+      const bool collect_stats = report != nullptr;
+      core::SchedulerStats before;
+      if (collect_stats) before = scheduler_->stats();
+      // Submit per gate (no intermediate MulJob vector): each queued job
+      // holds the only extra copy of its operand pair.
+      std::vector<std::future<bigint::BigUInt>> futures;
+      futures.reserve(gates.size());
+      for (const u32 id : gates) {
+        futures.push_back(
+            scheduler_->submit_multiply(values[nodes[id].a].value, values[nodes[id].b].value));
+      }
+      products.reserve(futures.size());
+      for (auto& future : futures) products.push_back(future.get());
+      if (collect_stats) {
+        scheduler_->wait_idle();
+        const core::SchedulerStats after = scheduler_->stats();
+        wf.cache_hits = after.cache.hits - before.cache.hits;
+        wf.cache_misses = after.cache.misses - before.cache.misses;
+        wf.batch.jobs = gates.size();
+        wf.batch.spectrum_cache_hits = wf.cache_hits;
+        for (std::size_t lane = 0; lane < after.lanes.size(); ++lane) {
+          const u64 jobs_before = lane < before.lanes.size() ? before.lanes[lane].jobs : 0;
+          if (after.lanes[lane].jobs > jobs_before) ++wf.lanes_used;
+          wf.batch.total_cycles +=
+              after.lanes[lane].hw_cycles -
+              (lane < before.lanes.size() ? before.lanes[lane].hw_cycles : 0);
+        }
+      }
+    } else {
+      std::vector<backend::MulJob> jobs;
+      jobs.reserve(gates.size());
+      for (const u32 id : gates) {
+        jobs.emplace_back(values[nodes[id].a].value, values[nodes[id].b].value);
+      }
+      products = engine->multiply_batch(jobs, &wf.batch);
+      wf.cache_hits = wf.batch.spectrum_cache_hits;
+      wf.cache_misses = wf.batch.forward_transforms;
+      wf.lanes_used = gates.empty() ? 0 : 1;
+    }
+    wf.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    for (std::size_t k = 0; k < gates.size(); ++k) {
+      const u32 id = gates[k];
+      values[id] = {std::move(products[k]) % x0, nodes[id].noise_bits};
+    }
+    eval_linear_sweep(level);
+
+    if (report != nullptr) {
+      report->and_gates += wf.and_gates;
+      report->wavefronts.push_back(std::move(wf));
+    }
+  }
+
+  std::vector<Ciphertext> result;
+  result.reserve(outputs.size());
+  for (const Wire w : outputs) result.push_back(values[w.id]);
+  return result;
+}
+
+}  // namespace hemul::fhe

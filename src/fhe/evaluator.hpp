@@ -1,0 +1,115 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "fhe/graph.hpp"
+
+namespace hemul::core {
+class Scheduler;
+}
+
+namespace hemul::fhe {
+
+/// Execution statistics of one wavefront (all independent AND gates at one
+/// multiplicative depth, issued as a single batch). On the scheduler path
+/// these are before/after deltas of the scheduler-wide counters, so they
+/// are accurate only when the scheduler is not shared concurrently during
+/// the evaluation (pass no report to skip collecting them entirely).
+struct WavefrontStats {
+  unsigned level = 0;  ///< multiplicative depth of the wavefront
+  u64 and_gates = 0;   ///< gates batched at this depth
+  /// Engine-path transform accounting (multiply_batch): spectrum-cache
+  /// hits, forward/inverse transforms, modeled cycles for "hw".
+  backend::BatchStats batch;
+  /// Cache accounting unified across execution paths: the scheduler path
+  /// reads the shared ConcurrentSpectrumCache delta, the engine path
+  /// mirrors batch.spectrum_cache_hits / batch.forward_transforms.
+  u64 cache_hits = 0;
+  u64 cache_misses = 0;
+  unsigned lanes_used = 0;  ///< PE lanes that executed >= 1 gate (scheduler path)
+  double wall_ms = 0.0;     ///< wall-clock of the wavefront
+};
+
+/// End-to-end report of one Evaluator::evaluate call.
+struct EvalReport {
+  std::size_t nodes = 0;       ///< nodes recorded in the graph
+  std::size_t live_nodes = 0;  ///< reachable from the requested outputs
+  std::size_t dead_nodes = 0;  ///< eliminated before execution
+  u64 and_gates = 0;           ///< multiplications actually executed
+  u64 xor_gates = 0;           ///< ciphertext additions executed
+  unsigned levels = 0;         ///< multiplicative depth (= wavefront count)
+  double max_noise_bits = 0.0;  ///< worst predicted residue over live wires
+  bool decryptable = false;     ///< model verdict for every live wire
+  std::vector<WavefrontStats> wavefronts;
+
+  [[nodiscard]] std::size_t wavefront_count() const noexcept { return wavefronts.size(); }
+};
+
+/// Thrown by the pre-execution check when the analytic NoiseModel predicts
+/// that some live wire no longer decrypts -- *before* any multiplication
+/// is spent on a computation whose result would be garbage.
+class NoiseBudgetError : public std::runtime_error {
+ public:
+  NoiseBudgetError(const std::string& message, Wire wire, unsigned level,
+                   double noise_bits, double budget_bits)
+      : std::runtime_error(message),
+        wire(wire),
+        level(level),
+        noise_bits(noise_bits),
+        budget_bits(budget_bits) {}
+
+  Wire wire;          ///< first offending wire (deepest predicted noise)
+  unsigned level;     ///< its multiplicative depth
+  double noise_bits;  ///< predicted residue bits
+  double budget_bits; ///< decryptability bound (eta - 2)
+};
+
+struct EvalOptions {
+  /// Run the NoiseModel decryptability check over every live wire before
+  /// executing anything; throw NoiseBudgetError on the first violation.
+  /// Disable to reproduce eager semantics (compute first, fail at
+  /// decryption) -- e.g. for parity benchmarks past the noise budget.
+  bool check_noise = true;
+};
+
+/// Wavefront executor for a recorded Graph: dead nodes (not reachable from
+/// the requested outputs) are eliminated, live AND gates are grouped by
+/// multiplicative depth, and each depth is issued as ONE batch -- to the
+/// multi-PE core::Scheduler when one is installed (every gate of the
+/// wavefront in flight across all lanes at once) or to the engine's
+/// spectrum-caching multiply_batch otherwise. XOR nodes are plain
+/// ciphertext additions evaluated between wavefronts.
+///
+/// Results are bit-exact against eager fhe::Circuits evaluation: the same
+/// products are taken modulo the same x0, only their grouping differs.
+class Evaluator {
+ public:
+  /// Executes AND wavefronts on the graph's scheme engine.
+  Evaluator() = default;
+
+  /// Executes AND wavefronts on an explicit engine (any registered
+  /// backend), overriding the scheme's.
+  explicit Evaluator(std::shared_ptr<backend::MultiplierBackend> engine)
+      : engine_(std::move(engine)) {}
+
+  /// Executes each wavefront concurrently on a multi-PE scheduler
+  /// (non-owning; the scheduler must outlive the evaluator).
+  explicit Evaluator(core::Scheduler& scheduler) : scheduler_(&scheduler) {}
+
+  /// Evaluates `outputs` (and everything they depend on), returning one
+  /// ciphertext per requested wire, in order. Fills `report` when given.
+  std::vector<Ciphertext> evaluate(const Graph& graph, std::span<const Wire> outputs,
+                                   EvalReport* report = nullptr,
+                                   const EvalOptions& options = {});
+
+ private:
+  std::shared_ptr<backend::MultiplierBackend> engine_;
+  core::Scheduler* scheduler_ = nullptr;
+};
+
+}  // namespace hemul::fhe

@@ -1,0 +1,166 @@
+#include "fhe/graph.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace hemul::fhe {
+
+const Graph::Node& Graph::node(Wire w) const {
+  HEMUL_CHECK_MSG(w.valid() && w.id < nodes_.size(), "Graph: wire from another graph");
+  return nodes_[w.id];
+}
+
+Wire Graph::input(Ciphertext c) {
+  Node n;
+  n.op = GateOp::kInput;
+  n.noise_bits = c.noise_bits;
+  n.value = std::move(c);
+  nodes_.push_back(std::move(n));
+  return {static_cast<u32>(nodes_.size() - 1)};
+}
+
+std::vector<Wire> Graph::inputs(std::span<const Ciphertext> bits) {
+  std::vector<Wire> wires;
+  wires.reserve(bits.size());
+  for (const Ciphertext& bit : bits) wires.push_back(input(bit));
+  return wires;
+}
+
+Wire Graph::record(GateOp op, Wire a, Wire b) {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+
+  // AND and XOR are commutative: canonicalize the operand order so the
+  // hash-cons key is orientation-independent.
+  u32 lo = a.id;
+  u32 hi = b.id;
+  if (lo > hi) std::swap(lo, hi);
+  // Node ids stay below 2^31 in practice (a graph that large would not
+  // evaluate anyway); pack (op, lo, hi) into one 64-bit key.
+  const u64 key = (static_cast<u64>(op) << 62) | (static_cast<u64>(lo) << 31) | hi;
+  if (const auto it = cse_.find(key); it != cse_.end()) return {it->second};
+
+  Node n;
+  n.op = op;
+  n.a = lo;
+  n.b = hi;
+  if (op == GateOp::kAnd) {
+    n.level = std::max(na.level, nb.level) + 1;
+    n.noise_bits = NoiseModel::after_mult(na.noise_bits, nb.noise_bits);
+    ++and_gates_;
+  } else {
+    n.level = std::max(na.level, nb.level);
+    n.noise_bits = NoiseModel::after_add(na.noise_bits, nb.noise_bits);
+  }
+  nodes_.push_back(std::move(n));
+  const u32 id = static_cast<u32>(nodes_.size() - 1);
+  cse_.emplace(key, id);
+  return {id};
+}
+
+Wire Graph::gate_xor(Wire a, Wire b) { return record(GateOp::kXor, a, b); }
+
+Wire Graph::gate_and(Wire a, Wire b) { return record(GateOp::kAnd, a, b); }
+
+Wire Graph::gate_or(Wire a, Wire b) {
+  return gate_xor(gate_xor(a, b), gate_and(a, b));
+}
+
+Wire Graph::gate_not(Wire a, Wire one) { return gate_xor(a, one); }
+
+Wire Graph::gate_maj(Wire a, Wire b, Wire c) {
+  const Wire ab = gate_and(a, b);
+  const Wire bc = gate_and(b, c);
+  const Wire ca = gate_and(c, a);
+  return gate_xor(gate_xor(ab, bc), ca);
+}
+
+Graph::AddResult Graph::add(std::span<const Wire> a, std::span<const Wire> b, Wire zero) {
+  HEMUL_CHECK_MSG(a.size() == b.size(), "adder inputs must have equal width");
+  AddResult result;
+  result.sum.reserve(a.size());
+  Wire carry = zero;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // sum_i = a ^ b ^ c; carry' = (a^b)c ^ ab (two AND nodes) -- the same
+    // construction as the eager Circuits adder, so results are bit-exact.
+    const Wire axb = gate_xor(a[i], b[i]);
+    result.sum.push_back(gate_xor(axb, carry));
+    carry = gate_xor(gate_and(axb, carry), gate_and(a[i], b[i]));
+  }
+  result.carry_out = carry;
+  return result;
+}
+
+Wire Graph::equals(std::span<const Wire> a, std::span<const Wire> b, Wire one) {
+  HEMUL_CHECK_MSG(a.size() == b.size(), "comparator inputs must have equal width");
+  HEMUL_CHECK_MSG(!a.empty(), "comparator needs at least one bit");
+  Wire acc = one;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // XNOR = a ^ b ^ 1, then AND-accumulate.
+    const Wire same = gate_xor(gate_xor(a[i], b[i]), one);
+    acc = gate_and(acc, same);
+  }
+  return acc;
+}
+
+std::vector<Wire> Graph::multiply(std::span<const Wire> a, std::span<const Wire> b,
+                                  Wire zero) {
+  HEMUL_CHECK_MSG(!a.empty() && !b.empty(), "multiplier needs nonempty inputs");
+  const std::size_t out_width = a.size() + b.size();
+
+  // The partial-product matrix: every and(a[i], b[j]) is depth 1, so the
+  // whole matrix is one wavefront for the Evaluator regardless of how the
+  // rows are accumulated below.
+  std::vector<std::vector<Wire>> rows(b.size());
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    rows[j].reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) rows[j].push_back(gate_and(a[i], b[j]));
+  }
+
+  std::vector<Wire> acc(out_width, zero);
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    // Row j: (a AND b[j]) shifted by j, ripple-added into the accumulator.
+    std::vector<Wire> row(out_width, zero);
+    for (std::size_t i = 0; i < a.size(); ++i) row[i + j] = rows[j][i];
+    AddResult added = add(acc, row, zero);
+    acc = std::move(added.sum);  // carry_out is dead: out_width fits the product
+  }
+  return acc;
+}
+
+std::vector<Wire> Graph::mux(Wire select, std::span<const Wire> when_true,
+                             std::span<const Wire> when_false) {
+  HEMUL_CHECK_MSG(when_true.size() == when_false.size(),
+                  "mux inputs must have equal width");
+  std::vector<Wire> out;
+  out.reserve(when_true.size());
+  for (std::size_t i = 0; i < when_true.size(); ++i) {
+    out.push_back(gate_xor(when_false[i],
+                           gate_and(select, gate_xor(when_true[i], when_false[i]))));
+  }
+  return out;
+}
+
+Wire Graph::less_than(std::span<const Wire> a, std::span<const Wire> b, Wire zero,
+                      Wire one) {
+  HEMUL_CHECK_MSG(a.size() == b.size(), "comparator inputs must have equal width");
+  HEMUL_CHECK_MSG(!a.empty(), "comparator needs at least one bit");
+  // Ripple borrow of a - b, LSB first: borrow' = maj(not a_i, b_i, borrow).
+  Wire borrow = zero;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    borrow = gate_maj(gate_not(a[i], one), b[i], borrow);
+  }
+  return borrow;  // borrow out of the MSB <=> a < b
+}
+
+unsigned Graph::level(Wire w) const { return node(w).level; }
+
+double Graph::predicted_noise_bits(Wire w) const { return node(w).noise_bits; }
+
+bool Graph::predicted_decryptable(Wire w) const {
+  return NoiseModel::decryptable(scheme_->params(), node(w).noise_bits);
+}
+
+}  // namespace hemul::fhe

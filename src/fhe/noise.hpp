@@ -20,9 +20,15 @@ struct NoiseModel {
   /// c1 * c2: residues multiply (noises add in bits, plus one).
   static double after_mult(double a, double b) noexcept;
 
+  /// The decryptability budget in bits: correct decryption needs the
+  /// residue below p/2 with margin, i.e. noise < eta - 2.
+  static double budget_bits(const DghvParams& params) noexcept {
+    return static_cast<double>(params.eta) - 2.0;
+  }
+
   /// Correct decryption needs noise < eta - 2 bits (residue below p/2).
   static bool decryptable(const DghvParams& params, double noise_bits) noexcept {
-    return noise_bits < static_cast<double>(params.eta) - 2.0;
+    return noise_bits < budget_bits(params);
   }
 
   /// Multiplicative depth supported for fresh inputs under this model.

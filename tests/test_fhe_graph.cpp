@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "backend/hw_backend.hpp"
+#include "backend/registry.hpp"
+#include "core/accelerator.hpp"
+#include "core/scheduler.hpp"
+#include "fhe/circuits.hpp"
+#include "fhe/evaluator.hpp"
+#include "fhe/graph.hpp"
+#include "ntt/plan.hpp"
+
+namespace hemul::fhe {
+namespace {
+
+/// An engine that counts (and can forbid) multiplications -- used to prove
+/// dead-node elimination and the pre-execution noise veto really skip work.
+std::shared_ptr<backend::FunctionBackend> counting_engine(std::atomic<u64>& count) {
+  return std::make_shared<backend::FunctionBackend>(
+      [&count](const bigint::BigUInt& a, const bigint::BigUInt& b) {
+        count.fetch_add(1, std::memory_order_relaxed);
+        return a * b;
+      },
+      "counting");
+}
+
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() : scheme_(DghvParams::toy(), 77) {}
+
+  Dghv scheme_;
+};
+
+// --- graph structure -------------------------------------------------------
+
+TEST_F(GraphTest, RecordingIsLazy) {
+  std::atomic<u64> mults{0};
+  Dghv scheme(DghvParams::toy(), 7, counting_engine(mults));
+  Graph graph(scheme);
+  const Wire a = graph.input(scheme.encrypt(true));
+  const Wire b = graph.input(scheme.encrypt(false));
+  (void)graph.gate_and(graph.gate_or(a, b), graph.gate_xor(a, b));
+  EXPECT_EQ(mults.load(), 0u) << "recording a graph must not multiply";
+  EXPECT_EQ(graph.and_gates(), 2u);  // or + outer and
+}
+
+TEST_F(GraphTest, CommonSubexpressionsAreShared) {
+  Graph graph(scheme_);
+  const Wire a = graph.input(scheme_.encrypt(true));
+  const Wire b = graph.input(scheme_.encrypt(true));
+  const Wire c = graph.input(scheme_.encrypt(false));
+
+  const Wire first = graph.gate_maj(a, b, c);
+  const std::size_t nodes_after_first = graph.size();
+  const u64 ands_after_first = graph.and_gates();
+  EXPECT_EQ(ands_after_first, 3u);
+
+  // The same majority again: every subterm hash-conses to existing nodes.
+  const Wire second = graph.gate_maj(a, b, c);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(graph.size(), nodes_after_first);
+  EXPECT_EQ(graph.and_gates(), ands_after_first);
+
+  // Commutativity: and(b, a) is and(a, b).
+  const Wire ab = graph.gate_and(a, b);
+  const Wire ba = graph.gate_and(b, a);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST_F(GraphTest, LevelsFollowMultiplicativeDepth) {
+  Graph graph(scheme_);
+  const Wire a = graph.input(scheme_.encrypt(true));
+  const Wire b = graph.input(scheme_.encrypt(false));
+  EXPECT_EQ(graph.level(a), 0u);
+  const Wire x = graph.gate_xor(a, b);
+  EXPECT_EQ(graph.level(x), 0u);  // XOR does not deepen
+  const Wire p = graph.gate_and(a, b);
+  EXPECT_EQ(graph.level(p), 1u);
+  const Wire q = graph.gate_and(p, x);
+  EXPECT_EQ(graph.level(q), 2u);
+  EXPECT_EQ(graph.level(graph.gate_xor(q, p)), 2u);
+}
+
+TEST_F(GraphTest, NoisePredictionMatchesModel) {
+  Graph graph(scheme_);
+  const Ciphertext ca = scheme_.encrypt(true);
+  const Ciphertext cb = scheme_.encrypt(true);
+  const Wire a = graph.input(ca);
+  const Wire b = graph.input(cb);
+  EXPECT_DOUBLE_EQ(graph.predicted_noise_bits(a), ca.noise_bits);
+  const Wire p = graph.gate_and(a, b);
+  EXPECT_DOUBLE_EQ(graph.predicted_noise_bits(p),
+                   NoiseModel::after_mult(ca.noise_bits, cb.noise_bits));
+  const Wire x = graph.gate_xor(a, b);
+  EXPECT_DOUBLE_EQ(graph.predicted_noise_bits(x),
+                   NoiseModel::after_add(ca.noise_bits, cb.noise_bits));
+  EXPECT_TRUE(graph.predicted_decryptable(p));
+}
+
+// --- evaluator mechanics ---------------------------------------------------
+
+TEST_F(GraphTest, DeadNodesAreNotExecuted) {
+  std::atomic<u64> mults{0};
+  Dghv scheme(DghvParams::toy(), 9, counting_engine(mults));
+  Graph graph(scheme);
+  const Wire a = graph.input(scheme.encrypt(true));
+  const Wire b = graph.input(scheme.encrypt(false));
+  const Wire live = graph.gate_and(a, b);
+  (void)graph.gate_and(live, a);       // dead: never requested
+  (void)graph.gate_or(b, live);        // dead
+  const Wire outputs[] = {live};
+
+  Evaluator evaluator;
+  EvalReport report;
+  const std::vector<Ciphertext> results = evaluator.evaluate(graph, outputs, &report);
+  EXPECT_EQ(mults.load(), 1u) << "only the live AND gate may execute";
+  EXPECT_EQ(report.and_gates, 1u);
+  EXPECT_EQ(report.dead_nodes, 4u);  // dead and, dead or's and + two xors
+  EXPECT_TRUE(scheme.decrypt(results[0]) == false);
+}
+
+TEST_F(GraphTest, WavefrontsBatchIndependentGates) {
+  Dghv scheme(DghvParams::toy(), 11);
+  Graph graph(scheme);
+  EncryptedInt ca = encrypt_int(scheme, 11, 4);
+  EncryptedInt cb = encrypt_int(scheme, 7, 4);
+  const std::vector<Wire> a = graph.inputs(ca);
+  const std::vector<Wire> b = graph.inputs(cb);
+  Graph::AddResult sum = graph.add(a, b, graph.input(scheme.encrypt(false)));
+  std::vector<Wire> outputs = sum.sum;
+  outputs.push_back(sum.carry_out);
+
+  Evaluator evaluator;
+  EvalReport report;
+  const std::vector<Ciphertext> results = evaluator.evaluate(graph, outputs, &report);
+
+  // 4-bit ripple carry: 8 AND gates in 4 wavefronts -- all four and(a_i, b_i)
+  // products plus the first carry step land at depth 1.
+  EXPECT_EQ(report.and_gates, 8u);
+  EXPECT_EQ(report.wavefront_count(), 4u);
+  EXPECT_LT(report.wavefront_count(), report.and_gates);
+  EXPECT_EQ(report.wavefronts[0].and_gates, 5u);
+  EXPECT_EQ(report.wavefronts[1].and_gates, 1u);
+  EXPECT_EQ(report.levels, 4u);
+  for (std::size_t i = 1; i < report.wavefronts.size(); ++i) {
+    EXPECT_GT(report.wavefronts[i].level, report.wavefronts[i - 1].level);
+  }
+
+  EncryptedInt enc_sum(results.begin(), results.begin() + 4);
+  const u64 value =
+      decrypt_int(scheme, enc_sum) | (scheme.decrypt(results[4]) ? 16u : 0u);
+  EXPECT_EQ(value, 18u);
+}
+
+TEST_F(GraphTest, MuxSelectsAndLessThanCompares) {
+  Dghv scheme(DghvParams::toy(), 13, backend::make_backend("classical"));
+  const Ciphertext enc_zero = scheme.encrypt(false);
+  const Ciphertext enc_one = scheme.encrypt(true);
+  Evaluator evaluator;
+
+  for (const auto& [x, y] : {std::pair{3u, 9u}, {9u, 3u}, {7u, 7u}, {0u, 15u}, {15u, 0u}}) {
+    EncryptedInt cx = encrypt_int(scheme, x, 4);
+    EncryptedInt cy = encrypt_int(scheme, y, 4);
+    for (const bool sel : {false, true}) {
+      Graph graph(scheme);
+      const std::vector<Wire> a = graph.inputs(cx);
+      const std::vector<Wire> b = graph.inputs(cy);
+      const Wire select = graph.input(scheme.encrypt(sel));
+      const std::vector<Wire> out = graph.mux(select, a, b);
+      const std::vector<Ciphertext> bits = evaluator.evaluate(graph, out);
+      EXPECT_EQ(decrypt_int(scheme, EncryptedInt(bits.begin(), bits.end())),
+                sel ? x : y)
+          << x << "," << y << "," << sel;
+    }
+
+    Graph graph(scheme);
+    const std::vector<Wire> a = graph.inputs(cx);
+    const std::vector<Wire> b = graph.inputs(cy);
+    const Wire lt = graph.less_than(a, b, graph.input(enc_zero), graph.input(enc_one));
+    const Wire outputs[] = {lt};
+    const std::vector<Ciphertext> bit = evaluator.evaluate(graph, outputs);
+    EXPECT_EQ(scheme.decrypt(bit[0]), x < y) << x << " < " << y;
+  }
+}
+
+// --- parity: eager facade vs wavefront evaluator ---------------------------
+
+struct ParityOutputs {
+  std::vector<Ciphertext> values;
+};
+
+/// The eager reference: adder + equality + majority (and, for fast engines,
+/// the 2x2 word multiplier) through the Circuits facade.
+ParityOutputs eager_reference(Circuits& circuits, const EncryptedInt& cx,
+                              const EncryptedInt& cy, const Ciphertext& zero,
+                              const Ciphertext& one, bool include_multiply) {
+  ParityOutputs out;
+  const Circuits::AdderResult sum = circuits.add(cx, cy, zero);
+  out.values = sum.sum;
+  out.values.push_back(sum.carry_out);
+  out.values.push_back(circuits.equals(cx, cy, one));
+  out.values.push_back(circuits.gate_maj(cx[0], cy[0], cx[1]));
+  if (include_multiply) {
+    const EncryptedInt mx(cx.begin(), cx.begin() + 2);
+    const EncryptedInt my(cy.begin(), cy.begin() + 2);
+    const EncryptedInt prod = circuits.multiply(mx, my, zero);
+    out.values.insert(out.values.end(), prod.begin(), prod.end());
+  }
+  return out;
+}
+
+/// The same computation recorded as one graph.
+std::pair<Graph, std::vector<Wire>> graph_reference(const Dghv& scheme,
+                                                    const EncryptedInt& cx,
+                                                    const EncryptedInt& cy,
+                                                    const Ciphertext& zero,
+                                                    const Ciphertext& one,
+                                                    bool include_multiply) {
+  Graph graph(scheme);
+  const std::vector<Wire> a = graph.inputs(cx);
+  const std::vector<Wire> b = graph.inputs(cy);
+  const Wire wzero = graph.input(zero);
+  const Wire wone = graph.input(one);
+
+  Graph::AddResult sum = graph.add(a, b, wzero);
+  std::vector<Wire> outputs = std::move(sum.sum);
+  outputs.push_back(sum.carry_out);
+  outputs.push_back(graph.equals(a, b, wone));
+  outputs.push_back(graph.gate_maj(a[0], b[0], a[1]));
+  if (include_multiply) {
+    const std::vector<Wire> ma(a.begin(), a.begin() + 2);
+    const std::vector<Wire> mb(b.begin(), b.begin() + 2);
+    const std::vector<Wire> prod = graph.multiply(ma, mb, wzero);
+    outputs.insert(outputs.end(), prod.begin(), prod.end());
+  }
+  return {std::move(graph), std::move(outputs)};
+}
+
+void expect_bit_exact(const std::vector<Ciphertext>& got,
+                      const std::vector<Ciphertext>& want, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].value, want[i].value) << what << " output " << i;
+    EXPECT_DOUBLE_EQ(got[i].noise_bits, want[i].noise_bits) << what << " output " << i;
+  }
+}
+
+/// A downsized simulated accelerator (512-point pipeline, plan 8*8*8)
+/// that multiplies the toy scheme's 4096-bit ciphertexts exactly: the "hw"
+/// parity arms run the full circuit set in milliseconds instead of
+/// simulating the 64K-point paper machine per gate (which blows the CI
+/// per-test timeout under sanitizers).
+hw::AcceleratorConfig small_hw_config() {
+  hw::AcceleratorConfig config = hw::AcceleratorConfig::paper();
+  config.ssa = ssa::SsaParams::for_bits(4096);
+  config.ssa.plan = ntt::NttPlan::from_radices({8, 8, 8});  // N = 512
+  config.ntt.plan = config.ssa.plan;
+  return config;
+}
+
+TEST(GraphParity, EagerMatchesWavefrontAcrossBackendsAndWorkers) {
+  Dghv scheme(DghvParams::toy(), 4242);
+  const Ciphertext zero = scheme.encrypt(false);
+  const Ciphertext one = scheme.encrypt(true);
+  const EncryptedInt cx = encrypt_int(scheme, 11, 4);
+  const EncryptedInt cy = encrypt_int(scheme, 6, 4);
+
+  // The 2x2 multiplier exceeds the toy noise budget (eager semantics keep
+  // computing; results are still deterministic and comparable bit for bit).
+  const EvalOptions no_veto{.check_noise = false};
+
+  const auto make_engine = [](const std::string& name) {
+    return name == "hw"
+               ? std::make_shared<backend::HwBackend>(small_hw_config())
+               : backend::make_backend(name);
+  };
+
+  for (const std::string& name : backend::Registry::instance().names()) {
+    // Eager arm.
+    Circuits circuits(scheme, make_engine(name));
+    const ParityOutputs eager =
+        eager_reference(circuits, cx, cy, zero, one, /*include_multiply=*/true);
+
+    auto [graph, outputs] =
+        graph_reference(scheme, cx, cy, zero, one, /*include_multiply=*/true);
+
+    // Wavefront arm, engine path.
+    {
+      Evaluator evaluator(make_engine(name));
+      EvalReport report;
+      const std::vector<Ciphertext> wave =
+          evaluator.evaluate(graph, outputs, &report, no_veto);
+      expect_bit_exact(wave, eager.values, name + " engine path");
+      EXPECT_LT(report.wavefront_count(), report.and_gates) << name;
+    }
+
+    // Wavefront arm, scheduler path across PE-lane counts.
+    for (const unsigned workers : {1u, 4u}) {
+      core::Config config;
+      config.backend_name = name;
+      config.num_workers = workers;
+      if (name == "hw") config.hardware = small_hw_config();
+      core::Scheduler scheduler(config);
+      Evaluator evaluator(scheduler);
+      const std::vector<Ciphertext> wave =
+          evaluator.evaluate(graph, outputs, nullptr, no_veto);
+      expect_bit_exact(wave, eager.values,
+                       name + " scheduler x" + std::to_string(workers));
+    }
+  }
+}
+
+// --- noise model tightness -------------------------------------------------
+
+TEST(GraphNoise, MaxMultDepthIsTightAndVetoedBeforeExecution) {
+  const DghvParams params = DghvParams::toy();
+  Dghv scheme(params, 20260727);
+  const unsigned depth = NoiseModel::max_mult_depth(params);
+  ASSERT_GE(depth, 1u);
+
+  // 1) At the model's predicted depth, a chain of squarings still decrypts.
+  Ciphertext c = scheme.encrypt(true);
+  for (unsigned d = 1; d <= depth; ++d) {
+    c = scheme.multiply(c, c);
+    EXPECT_TRUE(NoiseModel::decryptable(params, c.noise_bits)) << "depth " << d;
+    EXPECT_TRUE(scheme.decrypt(c)) << "1^2 must stay 1 at depth " << d;
+  }
+
+  // 2) The model flags depth+1 as non-decryptable...
+  const double next = NoiseModel::after_mult(c.noise_bits, c.noise_bits);
+  EXPECT_FALSE(NoiseModel::decryptable(params, next));
+
+  // ...and the evaluator vetoes the over-deep circuit BEFORE spending any
+  // multiplication on it.
+  std::atomic<u64> mults{0};
+  Dghv counted(params, 20260727, counting_engine(mults));
+  Graph graph(counted);
+  Wire w = graph.input(counted.encrypt(true));
+  for (unsigned d = 0; d <= depth; ++d) w = graph.gate_and(w, w);
+  EXPECT_FALSE(graph.predicted_decryptable(w));
+  const Wire outputs[] = {w};
+  Evaluator evaluator;
+  EXPECT_THROW(
+      {
+        try {
+          (void)evaluator.evaluate(graph, outputs);
+        } catch (const NoiseBudgetError& e) {
+          EXPECT_EQ(e.level, depth + 1);
+          EXPECT_GT(e.noise_bits, e.budget_bits);
+          throw;
+        }
+      },
+      NoiseBudgetError);
+  EXPECT_EQ(mults.load(), 0u) << "the veto must fire before execution";
+
+  // 3) Cross-check against reality: keep squaring past the budget and the
+  // decryption does fail, at a depth the model predicted as unsafe (the
+  // model is conservative: it never flags a depth that was still safe).
+  unsigned failure_depth = depth;
+  Ciphertext probe = c;
+  for (unsigned d = depth + 1; d <= depth + 16; ++d) {
+    probe = scheme.multiply(probe, probe);
+    if (!scheme.decrypt(probe)) {
+      failure_depth = d;
+      break;
+    }
+  }
+  EXPECT_GT(failure_depth, depth) << "an actual failure must not precede the model's bound";
+  EXPECT_LE(failure_depth, depth + 16) << "squarings past the budget must eventually fail";
+}
+
+// --- integration with the facade and the core layer ------------------------
+
+TEST(GraphFacade, AcceleratorEvaluateRunsWavefronts) {
+  Dghv scheme(DghvParams::toy(), 5150);
+  Graph graph(scheme);
+  EncryptedInt ca = encrypt_int(scheme, 9, 4);
+  EncryptedInt cb = encrypt_int(scheme, 5, 4);
+  Graph::AddResult sum =
+      graph.add(graph.inputs(ca), graph.inputs(cb), graph.input(scheme.encrypt(false)));
+  std::vector<Wire> outputs = std::move(sum.sum);
+  outputs.push_back(sum.carry_out);
+
+  core::Config config;
+  config.backend_name = "ssa";
+  config.num_workers = 2;
+  core::Accelerator accel(config);
+  EvalReport report;
+  const std::vector<Ciphertext> results = accel.evaluate(graph, outputs, &report);
+
+  EXPECT_EQ(report.and_gates, 8u);
+  EXPECT_EQ(report.wavefront_count(), 4u);
+  EXPECT_TRUE(report.decryptable);
+  EncryptedInt enc_sum(results.begin(), results.begin() + 4);
+  EXPECT_EQ(decrypt_int(scheme, enc_sum) | (scheme.decrypt(results[4]) ? 16u : 0u), 14u);
+}
+
+TEST(GraphFacade, AndGateCounterIsThreadSafe) {
+  Dghv scheme(DghvParams::toy(), 31);
+  Circuits circuits(scheme, backend::make_backend("classical"));
+  const Ciphertext ca = scheme.encrypt(true);
+  const Ciphertext cb = scheme.encrypt(false);
+
+  constexpr unsigned kPerThread = 16;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (unsigned i = 0; i < kPerThread; ++i) (void)circuits.gate_and(ca, cb);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(circuits.and_gates_used(), 2 * kPerThread);
+}
+
+}  // namespace
+}  // namespace hemul::fhe
