@@ -14,6 +14,12 @@
 //                                                    counts, predicted noise, lane
 //                                                    utilization (kind: adder,
 //                                                    equals, mul, mux, lt)
+//   hemul_cli [--workers N] service <tenants> <reqs> drive the multi-tenant
+//                                                    core::Service: per-tenant
+//                                                    sessions, serialized
+//                                                    single-multiply requests,
+//                                                    cross-request coalescing
+//                                                    stats
 //   hemul_cli backends                               list registered backends
 //   hemul_cli table1                                 print the Table I comparison
 //   hemul_cli perf [P]                               Section V performance model
@@ -41,6 +47,8 @@
 #include "fhe/circuits.hpp"
 #include "fhe/evaluator.hpp"
 #include "fhe/graph.hpp"
+#include "fhe/serialize.hpp"
+#include "service/service.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 
@@ -53,6 +61,7 @@ int usage() {
                "usage: hemul_cli [--backend <name>] [--workers N] mul <hexA> <hexB> |\n"
                "                 random <bits> | batch <n> <bits> | throughput <n> <bits> |\n"
                "                 circuit <adder|equals|mul|mux|lt> [width] |\n"
+               "                 service <tenants> <requests-per-tenant> |\n"
                "                 backends | table1 | perf [P]\n");
   return 2;
 }
@@ -184,7 +193,8 @@ int cmd_throughput(const std::string& backend_name, unsigned workers, std::size_
   std::printf("workers      : %u\n", scheduler.num_workers());
   std::printf("jobs         : %zu x %zu bits\n", n, bits);
   std::printf("wall time    : %.1f ms\n", wall_ms);
-  std::printf("throughput   : %.1f jobs/s\n", wall_ms > 0.0 ? 1000.0 * static_cast<double>(n) / wall_ms : 0.0);
+  std::printf("throughput   : %.1f jobs/s\n",
+              wall_ms > 0.0 ? 1000.0 * static_cast<double>(n) / wall_ms : 0.0);
   double busy_ms = 0.0;
   for (const core::LaneStats& lane : stats.lanes) {
     busy_ms += lane.busy_ms;
@@ -350,6 +360,101 @@ int cmd_circuit(const std::string& backend_name, unsigned workers, const std::st
   return decrypted == expected ? 0 : 1;
 }
 
+int cmd_service(const std::string& backend_name, unsigned workers, unsigned tenants,
+                unsigned requests_per_tenant) {
+  using Clock = std::chrono::steady_clock;
+  if (tenants == 0 || requests_per_tenant == 0) {
+    std::fprintf(stderr, "error: tenants and requests-per-tenant must be >= 1\n");
+    return 2;
+  }
+
+  core::ServiceOptions options;
+  options.config.backend_name = backend_name.empty() ? "ssa" : backend_name;
+  options.config.num_workers = workers;
+  // Linger briefly at admission so this loop's requests coalesce the way
+  // concurrent remote tenants would.
+  options.admission_window_ms = 2.0;
+  core::Service service(options);
+
+  // One key context per tenant, then a synthetic single-multiply workload:
+  // every request is one AND gate, the accelerator's unit of work.
+  std::vector<core::SessionId> sessions;
+  sessions.reserve(tenants);
+  for (unsigned t = 0; t < tenants; ++t) {
+    sessions.push_back(service.create_session(fhe::DghvParams::toy(), 0x5E55 + t));
+  }
+
+  struct Issued {
+    unsigned tenant;
+    bool expected;
+    std::future<core::Response> future;
+  };
+  std::vector<Issued> issued;
+  issued.reserve(static_cast<std::size_t>(tenants) * requests_per_tenant);
+
+  const auto t0 = Clock::now();
+  for (unsigned r = 0; r < requests_per_tenant; ++r) {
+    for (unsigned t = 0; t < tenants; ++t) {
+      fhe::Dghv& scheme = service.scheme(sessions[t]);
+      const bool x = (t + r) % 2 == 0;
+      const bool y = (t * 3 + r) % 3 != 0;
+      core::Request request;
+      request.circuit = core::CircuitKind::kAnd;
+      request.inputs = fhe::encode_ciphertexts(
+          std::vector<fhe::Ciphertext>{scheme.encrypt(x), scheme.encrypt(y)});
+      issued.push_back({t, x && y, service.submit(sessions[t], std::move(request))});
+    }
+  }
+
+  bool verified = true;
+  for (Issued& item : issued) {
+    const core::Response response = item.future.get();
+    if (!response.ok()) {
+      std::fprintf(stderr, "request failed: %s\n", response.error.c_str());
+      verified = false;
+      continue;
+    }
+    const std::vector<fhe::Ciphertext> outputs = fhe::decode_ciphertexts(response.outputs);
+    verified = verified && outputs.size() == 1 &&
+               service.scheme(sessions[item.tenant]).decrypt(outputs[0]) == item.expected;
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  service.wait_idle();
+
+  const core::ServiceStats stats = service.stats();
+  const u64 requests = stats.submitted;
+  std::printf("backend      : %s, %u PE lane(s)\n", options.config.resolved_backend_name().c_str(),
+              service.scheduler().num_workers());
+  std::printf("tenants      : %u x %u single-multiply request(s)\n", tenants,
+              requests_per_tenant);
+  std::printf("wall time    : %.1f ms (%.1f requests/s)\n", wall_ms,
+              wall_ms > 0.0 ? 1000.0 * static_cast<double>(requests) / wall_ms : 0.0);
+  std::printf("batches      : %llu scheduler batch(es) for %llu requests -> %s\n",
+              static_cast<unsigned long long>(stats.batches_submitted),
+              static_cast<unsigned long long>(requests),
+              stats.batches_submitted < requests ? "coalesced across tenants"
+                                                 : "no cross-request sharing");
+  std::printf("coalescing   : %.2f requests/batch mean\n", stats.coalescing());
+  std::printf("cache        : %llu hits, %llu misses (shared across lanes)\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses));
+  for (const core::LaneStats& lane : stats.lanes) {
+    std::printf("  lane %-2u    : %llu jobs, %.1f ms busy\n", lane.lane,
+                static_cast<unsigned long long>(lane.jobs), lane.busy_ms);
+  }
+  for (const core::SessionId session : sessions) {
+    const core::TenantStats tenant = service.tenant_stats(session);
+    std::printf("  tenant %-4llu: %llu completed, %llu gates, %llu B in / %llu B out\n",
+                static_cast<unsigned long long>(tenant.session),
+                static_cast<unsigned long long>(tenant.completed),
+                static_cast<unsigned long long>(tenant.and_gates),
+                static_cast<unsigned long long>(tenant.bytes_in),
+                static_cast<unsigned long long>(tenant.bytes_out));
+  }
+  std::printf("verified     : %s\n", verified ? "yes" : "NO");
+  return verified ? 0 : 1;
+}
+
 int cmd_table1() {
   std::printf("%s", hw::ResourceComparison::paper().render_table().c_str());
   return 0;
@@ -412,6 +517,11 @@ int main(int argc, char** argv) {
                                  ? static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10))
                                  : 4;
       return cmd_circuit(backend_name, workers, args[1], width);
+    }
+    if (cmd == "service" && args.size() == 3) {
+      return cmd_service(backend_name, workers,
+                         static_cast<unsigned>(std::strtoul(args[1].c_str(), nullptr, 10)),
+                         static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10)));
     }
     if (cmd == "table1" && args.size() == 1) return cmd_table1();
     if (cmd == "perf") {

@@ -23,98 +23,137 @@ std::string format_bits(double bits) {
 
 }  // namespace
 
-std::vector<Ciphertext> Evaluator::evaluate(const Graph& graph,
-                                            std::span<const Wire> outputs,
-                                            EvalReport* report,
-                                            const EvalOptions& options) {
-  const Dghv& scheme = graph.scheme();
-  const auto& nodes = graph.nodes_;
-  for (const Wire w : outputs) {
-    HEMUL_CHECK_MSG(w.valid() && w.id < nodes.size(),
-                    "Evaluator: output wire from another graph");
+// --- EvalState -------------------------------------------------------------
+
+EvalState::EvalState(const Graph& graph, std::span<const Wire> outputs)
+    : graph_(&graph), output_wires_(outputs.begin(), outputs.end()) {
+  const std::size_t node_count = graph.size();
+  for (const Wire w : output_wires_) {
+    HEMUL_CHECK_MSG(w.valid() && w.id < node_count, "Evaluator: output wire from another graph");
   }
 
-  // --- dead-node elimination: backward reachability from the outputs -----
-  std::vector<char> live(nodes.size(), 0);
-  for (const Wire w : outputs) live[w.id] = 1;
-  for (std::size_t id = nodes.size(); id-- > 0;) {
-    if (!live[id] || nodes[id].op == GateOp::kInput) continue;
-    live[nodes[id].a] = 1;
-    live[nodes[id].b] = 1;
+  // Dead-node elimination: backward reachability from the outputs.
+  live_.assign(node_count, 0);
+  for (const Wire w : output_wires_) live_[w.id] = 1;
+  for (std::size_t id = node_count; id-- > 0;) {
+    const Wire w{static_cast<u32>(id)};
+    if (!live_[id] || graph.op(w) == GateOp::kInput) continue;
+    const auto [a, b] = graph.operands(w);
+    live_[a.id] = 1;
+    live_[b.id] = 1;
   }
 
-  // --- leveling + pre-execution noise audit --------------------------------
-  std::size_t live_count = 0;
-  unsigned max_level = 0;
-  double max_noise = 0.0;
-  u64 live_xor = 0;
-  u32 worst_wire = Wire::kInvalid;
-  for (std::size_t id = 0; id < nodes.size(); ++id) {
-    if (!live[id]) continue;
-    ++live_count;
-    max_level = std::max(max_level, nodes[id].level);
-    if (nodes[id].noise_bits > max_noise || worst_wire == Wire::kInvalid) {
-      max_noise = nodes[id].noise_bits;
-      worst_wire = static_cast<u32>(id);
+  // Leveling + the pre-execution noise audit over the live wires.
+  for (std::size_t id = 0; id < node_count; ++id) {
+    if (!live_[id]) continue;
+    const Wire w{static_cast<u32>(id)};
+    ++live_count_;
+    max_level_ = std::max(max_level_, graph.level(w));
+    const double noise = graph.predicted_noise_bits(w);
+    if (noise > max_noise_ || worst_wire_ == Wire::kInvalid) {
+      max_noise_ = noise;
+      worst_wire_ = static_cast<u32>(id);
     }
-    if (nodes[id].op == GateOp::kXor) ++live_xor;
-  }
-
-  const double budget = NoiseModel::budget_bits(scheme.params());
-  const bool decryptable = NoiseModel::decryptable(scheme.params(), max_noise);
-  if (options.check_noise && !decryptable) {
-    throw NoiseBudgetError(
-        "Evaluator: predicted noise " + format_bits(max_noise) + " bits at depth " +
-            std::to_string(nodes[worst_wire].level) + " exceeds the decryptability budget " +
-            format_bits(budget) + " bits (eta - 2); refusing to execute",
-        Wire{worst_wire}, nodes[worst_wire].level, max_noise, budget);
+    if (graph.op(w) == GateOp::kXor) ++live_xor_;
   }
 
   // Wavefront w = all live AND gates at depth w. Every level 1..max_level
   // is populated: a live node at depth d always has a live AND ancestor
   // chain touching each depth below it.
-  std::vector<std::vector<u32>> wavefronts(max_level + 1);
-  for (std::size_t id = 0; id < nodes.size(); ++id) {
-    if (live[id] && nodes[id].op == GateOp::kAnd) {
-      wavefronts[nodes[id].level].push_back(static_cast<u32>(id));
+  wavefronts_.assign(max_level_ + 1, {});
+  for (std::size_t id = 0; id < node_count; ++id) {
+    const Wire w{static_cast<u32>(id)};
+    if (live_[id] && graph.op(w) == GateOp::kAnd) {
+      wavefronts_[graph.level(w)].push_back(static_cast<u32>(id));
     }
+  }
+
+  values_.resize(node_count);
+  sweep_linear(0);
+}
+
+bool EvalState::decryptable() const {
+  return NoiseModel::decryptable(graph_->scheme().params(), max_noise_);
+}
+
+const std::vector<u32>& EvalState::wavefront(unsigned level) const {
+  HEMUL_CHECK_MSG(level < wavefronts_.size(), "EvalState: level out of range");
+  return wavefronts_[level];
+}
+
+backend::MulJob EvalState::gate_job(u32 id) const {
+  const auto [a, b] = graph_->operands(Wire{id});
+  return {values_[a.id].value, values_[b.id].value};
+}
+
+void EvalState::apply_product(u32 id, bigint::BigUInt product) {
+  values_[id] = {std::move(product) % graph_->scheme().public_key().x0,
+                 graph_->predicted_noise_bits(Wire{id})};
+}
+
+void EvalState::sweep_linear(unsigned level) {
+  // Children are already materialized: XOR operands are earlier ids within
+  // the same depth, AND operands were produced by this or an earlier
+  // wavefront.
+  const Dghv& scheme = graph_->scheme();
+  for (u32 id = 0; id < graph_->size(); ++id) {
+    const Wire w{id};
+    if (!live_[id] || graph_->level(w) != level) continue;
+    const GateOp op = graph_->op(w);
+    if (op == GateOp::kAnd) continue;
+    if (op == GateOp::kInput) {
+      values_[id] = graph_->input_value(w);
+    } else {
+      const auto [a, b] = graph_->operands(w);
+      values_[id] = scheme.add(values_[a.id], values_[b.id]);
+    }
+  }
+}
+
+std::vector<Ciphertext> EvalState::outputs() const {
+  std::vector<Ciphertext> result;
+  result.reserve(output_wires_.size());
+  for (const Wire w : output_wires_) result.push_back(values_[w.id]);
+  return result;
+}
+
+// --- Evaluator -------------------------------------------------------------
+
+std::vector<Ciphertext> Evaluator::evaluate(const Graph& graph,
+                                            std::span<const Wire> outputs,
+                                            EvalReport* report,
+                                            const EvalOptions& options) {
+  const Dghv& scheme = graph.scheme();
+  EvalState state(graph, outputs);
+
+  const double budget = NoiseModel::budget_bits(scheme.params());
+  const bool decryptable = state.decryptable();
+  if (options.check_noise && !decryptable) {
+    const Wire worst = state.worst_wire();
+    throw NoiseBudgetError(
+        "Evaluator: predicted noise " + format_bits(state.max_noise_bits()) + " bits at depth " +
+            std::to_string(graph.level(worst)) + " exceeds the decryptability budget " +
+            format_bits(budget) + " bits (eta - 2); refusing to execute",
+        worst, graph.level(worst), state.max_noise_bits(), budget);
   }
 
   if (report != nullptr) {
     *report = EvalReport{};
-    report->nodes = nodes.size();
-    report->live_nodes = live_count;
-    report->dead_nodes = nodes.size() - live_count;
-    report->xor_gates = live_xor;
-    report->levels = max_level;
-    report->max_noise_bits = max_noise;
+    report->nodes = graph.size();
+    report->live_nodes = state.live_nodes();
+    report->dead_nodes = graph.size() - state.live_nodes();
+    report->xor_gates = state.live_xor_gates();
+    report->levels = state.max_level();
+    report->max_noise_bits = state.max_noise_bits();
     report->decryptable = decryptable;
-    report->wavefronts.reserve(max_level);
+    report->wavefronts.reserve(state.max_level());
   }
 
   std::shared_ptr<backend::MultiplierBackend> engine = engine_;
   if (scheduler_ == nullptr && engine == nullptr) engine = scheme.engine();
-  const bigint::BigUInt& x0 = scheme.public_key().x0;
 
-  std::vector<Ciphertext> values(nodes.size());
-  // Evaluate a linear (non-AND) node; children are already materialized:
-  // XOR operands are earlier ids within the same depth, AND operands were
-  // produced by this or an earlier wavefront.
-  const auto eval_linear_sweep = [&](unsigned level) {
-    for (std::size_t id = 0; id < nodes.size(); ++id) {
-      const Graph::Node& n = nodes[id];
-      if (!live[id] || n.level != level || n.op == GateOp::kAnd) continue;
-      if (n.op == GateOp::kInput) {
-        values[id] = n.value;
-      } else {
-        values[id] = scheme.add(values[n.a], values[n.b]);
-      }
-    }
-  };
-
-  eval_linear_sweep(0);
-  for (unsigned level = 1; level <= max_level; ++level) {
-    const std::vector<u32>& gates = wavefronts[level];
+  for (unsigned level = 1; level <= state.max_level(); ++level) {
+    const std::vector<u32>& gates = state.wavefront(level);
     WavefrontStats wf;
     wf.level = level;
     wf.and_gates = gates.size();
@@ -138,8 +177,8 @@ std::vector<Ciphertext> Evaluator::evaluate(const Graph& graph,
       std::vector<std::future<bigint::BigUInt>> futures;
       futures.reserve(gates.size());
       for (const u32 id : gates) {
-        futures.push_back(
-            scheduler_->submit_multiply(values[nodes[id].a].value, values[nodes[id].b].value));
+        backend::MulJob job = state.gate_job(id);
+        futures.push_back(scheduler_->submit_multiply(std::move(job.first), std::move(job.second)));
       }
       products.reserve(futures.size());
       for (auto& future : futures) products.push_back(future.get());
@@ -161,9 +200,7 @@ std::vector<Ciphertext> Evaluator::evaluate(const Graph& graph,
     } else {
       std::vector<backend::MulJob> jobs;
       jobs.reserve(gates.size());
-      for (const u32 id : gates) {
-        jobs.emplace_back(values[nodes[id].a].value, values[nodes[id].b].value);
-      }
+      for (const u32 id : gates) jobs.push_back(state.gate_job(id));
       products = engine->multiply_batch(jobs, &wf.batch);
       wf.cache_hits = wf.batch.spectrum_cache_hits;
       wf.cache_misses = wf.batch.forward_transforms;
@@ -172,10 +209,9 @@ std::vector<Ciphertext> Evaluator::evaluate(const Graph& graph,
     wf.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 
     for (std::size_t k = 0; k < gates.size(); ++k) {
-      const u32 id = gates[k];
-      values[id] = {std::move(products[k]) % x0, nodes[id].noise_bits};
+      state.apply_product(gates[k], std::move(products[k]));
     }
-    eval_linear_sweep(level);
+    state.sweep_linear(level);
 
     if (report != nullptr) {
       report->and_gates += wf.and_gates;
@@ -183,10 +219,7 @@ std::vector<Ciphertext> Evaluator::evaluate(const Graph& graph,
     }
   }
 
-  std::vector<Ciphertext> result;
-  result.reserve(outputs.size());
-  for (const Wire w : outputs) result.push_back(values[w.id]);
-  return result;
+  return state.outputs();
 }
 
 }  // namespace hemul::fhe

@@ -77,6 +77,67 @@ struct EvalOptions {
   bool check_noise = true;
 };
 
+/// The stepping core of wavefront evaluation, shared by every executor of
+/// a recorded Graph: dead-node elimination from the requested outputs,
+/// per-depth wavefront grouping, the pre-execution noise audit, XOR/input
+/// sweeps and AND-product completion (reduction modulo x0 + noise
+/// annotation). fhe::Evaluator drives one instance to completion in a
+/// single call; core::Service interleaves many instances one level per
+/// coalesced round. Keeping the rules here is what guarantees served
+/// results stay bit-exact against in-process evaluation.
+///
+/// Protocol per level L = 1..max_level(): obtain the gates of
+/// wavefront(L), multiply each gate_job() on any engine, hand every raw
+/// product back through apply_product(), then sweep_linear(L). Level 0
+/// (inputs and depth-0 XORs) is swept in the constructor.
+class EvalState {
+ public:
+  /// Validates the output wires, eliminates dead nodes, levels the live
+  /// AND gates into wavefronts and sweeps level 0. No multiplication
+  /// happens here.
+  EvalState(const Graph& graph, std::span<const Wire> outputs);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  // --- audit results (available before any execution) ---------------------
+  [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
+  [[nodiscard]] std::size_t live_nodes() const noexcept { return live_count_; }
+  [[nodiscard]] u64 live_xor_gates() const noexcept { return live_xor_; }
+  [[nodiscard]] double max_noise_bits() const noexcept { return max_noise_; }
+  /// The live wire with the worst predicted residue.
+  [[nodiscard]] Wire worst_wire() const noexcept { return Wire{worst_wire_}; }
+  /// NoiseModel verdict over every live wire.
+  [[nodiscard]] bool decryptable() const;
+
+  // --- stepping ------------------------------------------------------------
+  /// Live AND gates at one multiplicative depth (node ids into graph()).
+  [[nodiscard]] const std::vector<u32>& wavefront(unsigned level) const;
+  /// The operand pair of a wavefront gate, materialized for an engine.
+  [[nodiscard]] backend::MulJob gate_job(u32 id) const;
+  /// Completes gate `id` with its raw product: reduces modulo the
+  /// scheme's x0 and annotates the analytic noise estimate.
+  void apply_product(u32 id, bigint::BigUInt product);
+  /// Evaluates the live inputs/XOR additions at one depth (call after the
+  /// level's AND products are applied; the constructor sweeps level 0).
+  void sweep_linear(unsigned level);
+
+  /// One ciphertext per requested output wire, in order. Valid once every
+  /// level has been stepped.
+  [[nodiscard]] std::vector<Ciphertext> outputs() const;
+
+ private:
+  const Graph* graph_;
+  std::vector<Wire> output_wires_;
+  std::vector<char> live_;
+  std::vector<std::vector<u32>> wavefronts_;
+  std::vector<Ciphertext> values_;
+  std::size_t live_count_ = 0;
+  u64 live_xor_ = 0;
+  unsigned max_level_ = 0;
+  double max_noise_ = 0.0;
+  u32 worst_wire_ = Wire::kInvalid;
+};
+
 /// Wavefront executor for a recorded Graph: dead nodes (not reachable from
 /// the requested outputs) are eliminated, live AND gates are grouped by
 /// multiplicative depth, and each depth is issued as ONE batch -- to the

@@ -157,6 +157,19 @@ Wire Graph::less_than(std::span<const Wire> a, std::span<const Wire> b, Wire zer
 
 unsigned Graph::level(Wire w) const { return node(w).level; }
 
+GateOp Graph::op(Wire w) const { return node(w).op; }
+
+std::pair<Wire, Wire> Graph::operands(Wire w) const {
+  const Node& n = node(w);
+  return {Wire{n.a}, Wire{n.b}};
+}
+
+const Ciphertext& Graph::input_value(Wire w) const {
+  const Node& n = node(w);
+  HEMUL_CHECK_MSG(n.op == GateOp::kInput, "Graph: input_value on a gate wire");
+  return n.value;
+}
+
 double Graph::predicted_noise_bits(Wire w) const { return node(w).noise_bits; }
 
 bool Graph::predicted_decryptable(Wire w) const {

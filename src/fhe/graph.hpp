@@ -111,6 +111,15 @@ class Graph {
   /// Whether the model predicts the wire still decrypts correctly.
   [[nodiscard]] bool predicted_decryptable(Wire w) const;
 
+  /// Node kind of a wire (serialization / tooling introspection).
+  [[nodiscard]] GateOp op(Wire w) const;
+
+  /// Operand wires of a gate node (invalid wires for inputs).
+  [[nodiscard]] std::pair<Wire, Wire> operands(Wire w) const;
+
+  /// The ciphertext held by an input wire (op(w) must be kInput).
+  [[nodiscard]] const Ciphertext& input_value(Wire w) const;
+
   [[nodiscard]] const Dghv& scheme() const noexcept { return *scheme_; }
 
  private:

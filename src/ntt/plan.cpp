@@ -27,7 +27,9 @@ NttPlan NttPlan::from_radices(std::vector<u32> radices) {
 NttPlan NttPlan::paper_64k() { return from_radices({64, 64, 16}); }
 
 NttPlan NttPlan::pure_radix2(u64 n) {
-  if (n < 2 || (n & (n - 1)) != 0) throw std::invalid_argument("pure_radix2: n must be a power of two");
+  if (n < 2 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("pure_radix2: n must be a power of two");
+  }
   std::vector<u32> radices;
   for (u64 m = n; m > 1; m /= 2) radices.push_back(2);
   return from_radices(std::move(radices));

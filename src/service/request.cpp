@@ -1,0 +1,42 @@
+#include "service/request.hpp"
+
+#include <stdexcept>
+
+namespace hemul::core {
+
+std::string_view circuit_kind_name(CircuitKind kind) noexcept {
+  switch (kind) {
+    case CircuitKind::kAnd: return "and";
+    case CircuitKind::kAdder: return "adder";
+    case CircuitKind::kEquals: return "equals";
+    case CircuitKind::kMul: return "mul";
+    case CircuitKind::kMux: return "mux";
+    case CircuitKind::kLessThan: return "lt";
+    case CircuitKind::kGraph: return "graph";
+  }
+  return "?";
+}
+
+CircuitKind circuit_kind_from_name(std::string_view name) {
+  for (const CircuitKind kind :
+       {CircuitKind::kAnd, CircuitKind::kAdder, CircuitKind::kEquals, CircuitKind::kMul,
+        CircuitKind::kMux, CircuitKind::kLessThan, CircuitKind::kGraph}) {
+    if (name == circuit_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown circuit kind: " + std::string(name));
+}
+
+std::size_t circuit_input_count(CircuitKind kind, unsigned width) noexcept {
+  switch (kind) {
+    case CircuitKind::kAnd: return 2;
+    case CircuitKind::kAdder:
+    case CircuitKind::kEquals:
+    case CircuitKind::kMul:
+    case CircuitKind::kLessThan: return 2u * width;
+    case CircuitKind::kMux: return 1u + 2u * width;
+    case CircuitKind::kGraph: return 0;
+  }
+  return 0;
+}
+
+}  // namespace hemul::core

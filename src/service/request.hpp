@@ -1,0 +1,141 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "fhe/serialize.hpp"
+
+namespace hemul::core {
+
+/// Handle to one tenant's key context inside a Service. Ids are never
+/// reused within a Service instance.
+using SessionId = u64;
+
+/// The circuits a Request can name. Builtin kinds mirror fhe::Graph's
+/// word-level builders; kGraph carries a caller-recorded topology instead.
+///
+/// Input-ciphertext conventions (little-endian bit order throughout):
+///   kAnd      : 2 ciphertexts (a, b)            -> 1 output
+///   kAdder    : 2w (a bits, then b bits)        -> w sum bits + carry
+///   kEquals   : 2w (a bits, then b bits)        -> 1 output
+///   kMul      : 2w (a bits, then b bits)        -> 2w product bits
+///   kMux      : 1 + 2w (select, when_true bits,
+///               then when_false bits)           -> w selected bits
+///   kLessThan : 2w (a bits, then b bits)        -> 1 output (a < b)
+///   kGraph    : one ciphertext per input
+///               placeholder, in recording order -> the topology's outputs
+/// Constant zero/one wires of the builtin circuits are encrypted
+/// server-side from the session's key context.
+enum class CircuitKind : u8 {
+  kAnd,
+  kAdder,
+  kEquals,
+  kMul,
+  kMux,
+  kLessThan,
+  kGraph,
+};
+
+/// Registry-style name of a builtin circuit ("and", "adder", "equals",
+/// "mul", "mux", "lt", "graph").
+[[nodiscard]] std::string_view circuit_kind_name(CircuitKind kind) noexcept;
+
+/// Inverse of circuit_kind_name; throws std::invalid_argument on an
+/// unknown name.
+[[nodiscard]] CircuitKind circuit_kind_from_name(std::string_view name);
+
+/// Ciphertexts a request of this shape must carry (kGraph: decided by the
+/// topology, returns 0 here).
+[[nodiscard]] std::size_t circuit_input_count(CircuitKind kind, unsigned width) noexcept;
+
+/// One unit of tenant work: serialized ciphertext inputs plus the circuit
+/// to run them through. Everything a transport would put on the wire.
+struct Request {
+  CircuitKind circuit = CircuitKind::kAnd;
+  unsigned width = 1;  ///< word width of the builtin circuits, in [1, 16]
+  /// Serialized fhe::GraphTopology (kGraph requests only).
+  fhe::Bytes graph;
+  /// Serialized ciphertext stream (fhe::encode_ciphertexts), one frame per
+  /// circuit input.
+  fhe::Bytes inputs;
+};
+
+enum class ResponseStatus : u8 {
+  kOk = 0,
+  /// The pre-execution NoiseModel audit predicts an undecryptable output;
+  /// no multiplication was spent.
+  kRejectedByNoise,
+  /// Malformed payload: serialization errors, width/input-count
+  /// mismatches, ciphertexts exceeding the session modulus.
+  kBadRequest,
+  /// A backend threw while executing this request (e.g. an operand past
+  /// an engine's limits). The service stays up; only this request fails.
+  kInternalError,
+};
+
+/// Completion of one Request, delivered through the submit() future.
+struct Response {
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string error;   ///< diagnostic (non-kOk only)
+  fhe::Bytes outputs;  ///< serialized ciphertext stream (kOk only)
+
+  u64 and_gates = 0;      ///< multiplications executed for this request
+  unsigned levels = 0;    ///< multiplicative depth (= wavefronts traversed)
+  u64 shared_batches = 0; ///< scheduler batches this request rode on (each
+                          ///< possibly shared with other tenants' gates)
+  double queue_ms = 0.0;  ///< submit -> admission
+  double exec_ms = 0.0;   ///< admission -> completion
+
+  [[nodiscard]] bool ok() const noexcept { return status == ResponseStatus::kOk; }
+};
+
+/// Per-tenant accounting (monotonic over the session's lifetime).
+struct TenantStats {
+  SessionId session = 0;
+  u64 submitted = 0;
+  u64 completed = 0;  ///< kOk responses
+  u64 rejected_by_noise = 0;
+  u64 bad_requests = 0;
+  u64 internal_errors = 0;
+  u64 and_gates = 0;
+  u64 wavefronts = 0;
+  u64 bytes_in = 0;   ///< serialized request payloads accepted
+  u64 bytes_out = 0;  ///< serialized response payloads produced
+};
+
+/// Service-wide snapshot.
+struct ServiceStats {
+  u64 submitted = 0;
+  u64 completed = 0;
+  u64 rejected_by_noise = 0;
+  u64 bad_requests = 0;
+  u64 internal_errors = 0;
+  u64 and_gates = 0;
+  u64 wavefronts = 0;  ///< per-request wavefronts, summed
+  /// Coalesced scheduler batches actually submitted. Cross-request batching
+  /// makes this less than the number of multiply-carrying requests when
+  /// tenants overlap: independent wavefronts ride one batch.
+  u64 batches_submitted = 0;
+  /// Sum over batches of the requests sharing each batch (see
+  /// coalescing()).
+  u64 coalesced_requests = 0;
+  std::size_t queue_depth = 0;      ///< submitted, not yet admitted
+  std::size_t active_requests = 0;  ///< admitted, still executing
+  std::size_t sessions = 0;
+  /// Shared spectrum-cache and PE-lane accounting of the owned scheduler.
+  u64 cache_hits = 0;
+  u64 cache_misses = 0;
+  std::vector<LaneStats> lanes;
+
+  /// Mean requests sharing one scheduler batch (0 when nothing ran).
+  [[nodiscard]] double coalescing() const noexcept {
+    return batches_submitted > 0
+               ? static_cast<double>(coalesced_requests) /
+                     static_cast<double>(batches_submitted)
+               : 0.0;
+  }
+};
+
+}  // namespace hemul::core

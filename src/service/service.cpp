@@ -1,0 +1,432 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "backend/registry.hpp"
+#include "fhe/evaluator.hpp"
+#include "fhe/graph.hpp"
+#include "fhe/noise.hpp"
+#include "util/check.hpp"
+
+namespace hemul::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+/// One tenant: key context, the constant encryptions the builtin circuits
+/// splice in, and the tenant's monotonic counters.
+struct Service::Session {
+  Session(const fhe::DghvParams& params, u64 seed, SessionId id,
+          std::shared_ptr<backend::MultiplierBackend> engine)
+      : scheme(params, seed, std::move(engine)), zero(scheme.encrypt(false)),
+        one(scheme.encrypt(true)) {
+    stats.session = id;
+  }
+
+  fhe::Dghv scheme;
+  fhe::Ciphertext zero;
+  fhe::Ciphertext one;
+  TenantStats stats;  ///< guarded by the Service mutex
+};
+
+/// A request accepted by submit(), waiting for admission.
+struct Service::Pending {
+  Session* session = nullptr;
+  Request request;
+  std::promise<Response> promise;
+  Clock::time_point submitted_at;
+};
+
+/// An admitted request mid-evaluation: the recorded graph plus the shared
+/// fhe::EvalState stepping core the coordinator advances one coalesced
+/// round at a time (the very rules fhe::Evaluator runs in-process, so
+/// served results are bit-exact against local evaluation by construction).
+struct Service::Active {
+  Session* session = nullptr;
+  std::promise<Response> promise;
+  Clock::time_point submitted_at;
+  Clock::time_point admitted_at;
+
+  fhe::Graph graph;
+  std::optional<fhe::EvalState> state;  ///< built once recording succeeded
+  unsigned next_level = 1;
+  Response response;  ///< counters filled as rounds execute
+  bool failed = false;
+  std::string fail_error;
+
+  explicit Active(const fhe::Dghv& scheme) : graph(scheme) {}
+
+  [[nodiscard]] fhe::Bytes serialize_outputs() const {
+    return fhe::encode_ciphertexts(state->outputs());
+  }
+};
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)), scheduler_(options_.config) {
+  coordinator_ = std::thread([this] { coordinator_loop(); });
+}
+
+Service::~Service() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  coordinator_.join();
+}
+
+SessionId Service::create_session(const fhe::DghvParams& params, u64 seed) {
+  params.validate();
+  // Key generation runs outside the lock (it is seconds-scale at paper
+  // parameters); the session engine is shared with the scheduler lanes'
+  // backend family only through the registry, so each tenant's in-process
+  // encrypt path stays independent of the PE lanes.
+  std::unique_lock lock(mutex_);
+  const SessionId id = next_session_++;
+  lock.unlock();
+  auto session = std::make_unique<Session>(params, seed, id, backend::auto_backend());
+  lock.lock();
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+Service::Session& Service::session_ref(SessionId id) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("Service: unknown session " + std::to_string(id));
+  }
+  return *it->second;
+}
+
+fhe::Dghv& Service::scheme(SessionId session) { return session_ref(session).scheme; }
+
+fhe::Bytes Service::public_key_bytes(SessionId session) {
+  return fhe::encode_public_key(session_ref(session).scheme.public_key());
+}
+
+fhe::Bytes Service::secret_key_bytes(SessionId session) {
+  return fhe::encode_secret_key(session_ref(session).scheme.secret_key());
+}
+
+std::future<Response> Service::submit(SessionId session, Request request) {
+  Session& tenant = session_ref(session);
+  Pending pending;
+  pending.session = &tenant;
+  pending.request = std::move(request);
+  pending.submitted_at = Clock::now();
+  std::future<Response> future = pending.promise.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    HEMUL_CHECK_MSG(!stop_, "Service: submit after shutdown");
+    ++totals_.submitted;
+    ++tenant.stats.submitted;
+    tenant.stats.bytes_in += pending.request.graph.size() + pending.request.inputs.size();
+    ++in_flight_;
+    pending_.push_back(std::move(pending));
+  }
+  work_cv_.notify_all();
+  return future;
+}
+
+void Service::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+ServiceStats Service::stats() const {
+  const SchedulerStats sched = scheduler_.stats();
+  std::lock_guard lock(mutex_);
+  ServiceStats snapshot = totals_;
+  snapshot.queue_depth = pending_.size();
+  snapshot.active_requests = in_flight_ - pending_.size();
+  snapshot.sessions = sessions_.size();
+  snapshot.cache_hits = sched.cache.hits;
+  snapshot.cache_misses = sched.cache.misses;
+  snapshot.lanes = sched.lanes;
+  return snapshot;
+}
+
+TenantStats Service::tenant_stats(SessionId session) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("Service: unknown session " + std::to_string(session));
+  }
+  return it->second->stats;
+}
+
+void Service::complete(Active& request, Response response) {
+  response.queue_ms =
+      std::chrono::duration<double, std::milli>(request.admitted_at - request.submitted_at)
+          .count();
+  response.exec_ms = ms_since(request.admitted_at);
+  bool idle = false;
+  {
+    std::lock_guard lock(mutex_);
+    TenantStats& tenant = request.session->stats;
+    switch (response.status) {
+      case ResponseStatus::kOk:
+        ++totals_.completed;
+        ++tenant.completed;
+        // Executed-work counters book only successful requests (a rejected
+        // request spends no multiplication by design).
+        totals_.and_gates += response.and_gates;
+        totals_.wavefronts += response.levels;
+        tenant.and_gates += response.and_gates;
+        tenant.wavefronts += response.levels;
+        break;
+      case ResponseStatus::kRejectedByNoise:
+        ++totals_.rejected_by_noise;
+        ++tenant.rejected_by_noise;
+        break;
+      case ResponseStatus::kBadRequest:
+        ++totals_.bad_requests;
+        ++tenant.bad_requests;
+        break;
+      case ResponseStatus::kInternalError:
+        ++totals_.internal_errors;
+        ++tenant.internal_errors;
+        break;
+    }
+    tenant.bytes_out += response.outputs.size();
+    --in_flight_;
+    idle = in_flight_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+  request.promise.set_value(std::move(response));
+}
+
+std::unique_ptr<Service::Active> Service::admit(Pending&& pending) {
+  auto active = std::make_unique<Active>(pending.session->scheme);
+  active->session = pending.session;
+  active->promise = std::move(pending.promise);
+  active->submitted_at = pending.submitted_at;
+  active->admitted_at = Clock::now();
+
+  const Request& request = pending.request;
+  std::vector<fhe::Wire> outputs;
+  try {
+    const std::vector<fhe::Ciphertext> inputs = fhe::decode_ciphertexts(request.inputs);
+    // Ciphertexts crossed a trust boundary: a valid DGHV ciphertext is
+    // reduced modulo the session's x0. Enforcing that here keeps hostile
+    // operand sizes out of the PE lanes entirely.
+    const bigint::BigUInt& x0 = active->session->scheme.public_key().x0;
+    for (const fhe::Ciphertext& c : inputs) {
+      if (!(c.value < x0)) {
+        throw fhe::SerializeError("input ciphertext is not reduced modulo the session x0");
+      }
+    }
+    fhe::Graph& g = active->graph;
+    if (request.circuit == CircuitKind::kGraph) {
+      const fhe::GraphTopology topology = fhe::decode_graph(request.graph);
+      outputs = topology.build(g, inputs);
+    } else {
+      if (request.width < 1 || request.width > 16) {
+        throw fhe::SerializeError("circuit width must be in [1, 16]");
+      }
+      const std::size_t expect = circuit_input_count(request.circuit, request.width);
+      if (inputs.size() != expect) {
+        throw fhe::SerializeError("circuit " + std::string(circuit_kind_name(request.circuit)) +
+                                  " width " + std::to_string(request.width) + " needs " +
+                                  std::to_string(expect) + " input ciphertexts, got " +
+                                  std::to_string(inputs.size()));
+      }
+      const unsigned w = request.width;
+      const std::vector<fhe::Wire> wires = g.inputs(inputs);
+      const std::span<const fhe::Wire> all(wires);
+      switch (request.circuit) {
+        case CircuitKind::kAnd:
+          outputs = {g.gate_and(wires[0], wires[1])};
+          break;
+        case CircuitKind::kAdder: {
+          fhe::Graph::AddResult r =
+              g.add(all.first(w), all.subspan(w, w), g.input(active->session->zero));
+          outputs = std::move(r.sum);
+          outputs.push_back(r.carry_out);
+          break;
+        }
+        case CircuitKind::kEquals:
+          outputs = {g.equals(all.first(w), all.subspan(w, w), g.input(active->session->one))};
+          break;
+        case CircuitKind::kMul:
+          outputs = g.multiply(all.first(w), all.subspan(w, w), g.input(active->session->zero));
+          break;
+        case CircuitKind::kMux:
+          outputs = g.mux(wires[0], all.subspan(1, w), all.subspan(1 + w, w));
+          break;
+        case CircuitKind::kLessThan:
+          outputs = {g.less_than(all.first(w), all.subspan(w, w),
+                                 g.input(active->session->zero),
+                                 g.input(active->session->one))};
+          break;
+        case CircuitKind::kGraph:
+          break;  // handled above
+      }
+    }
+    // Dead-node elimination, leveling and the noise audit -- the shared
+    // fhe::EvalState core, so the rules cannot diverge from in-process
+    // evaluation.
+    active->state.emplace(active->graph, outputs);
+  } catch (const std::exception& e) {
+    // SerializeError and width/count violations are malformed wire data;
+    // anything else a hostile payload provokes at record time lands here
+    // too -- a tenant's bad bytes must never take the coordinator down.
+    Response response;
+    response.status = ResponseStatus::kBadRequest;
+    response.error = e.what();
+    complete(*active, std::move(response));
+    return nullptr;
+  }
+
+  const fhe::EvalState& state = *active->state;
+  active->response.levels = state.max_level();
+
+  // Pre-execution noise veto: refuse before any multiplication is spent.
+  if (!state.decryptable()) {
+    const fhe::DghvParams& params = active->session->scheme.params();
+    Response response = std::move(active->response);
+    response.status = ResponseStatus::kRejectedByNoise;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "predicted noise %.1f bits exceeds the decryptability budget %.1f bits",
+                  state.max_noise_bits(), fhe::NoiseModel::budget_bits(params));
+    response.error = buf;
+    complete(*active, std::move(response));
+    return nullptr;
+  }
+
+  if (state.max_level() == 0) {  // multiplication-free circuit: done already
+    Response response = std::move(active->response);
+    response.outputs = active->serialize_outputs();
+    complete(*active, std::move(response));
+    return nullptr;
+  }
+  return active;
+}
+
+void Service::run_round(std::vector<std::unique_ptr<Active>>& active) {
+  // Fuse the fronts: every request's next wavefront into ONE scheduler
+  // batch, so independent tenants at the same depth share the round.
+  std::vector<std::pair<Active*, u32>> owners;
+  for (const auto& request : active) {
+    for (const u32 id : request->state->wavefront(request->next_level)) {
+      owners.emplace_back(request.get(), id);
+    }
+  }
+  HEMUL_CHECK_MSG(!owners.empty(), "Service: round with no ready gates");
+  {
+    std::lock_guard lock(mutex_);
+    ++totals_.batches_submitted;
+    totals_.coalesced_requests += active.size();
+  }
+
+  // A lane exception (engine limits, faulting backend) must fail THIS
+  // request while the coordinator -- and every other tenant -- lives on.
+  // Faults are confined to the lane thread and reported through per-gate
+  // slots (published to the coordinator by the promise/future handoff of
+  // each job) rather than exception_ptr: a rethrown exception's refcounted
+  // what()-string crossing threads is invisible to TSan inside libstdc++
+  // and reads as a race.
+  std::vector<std::unique_ptr<std::string>> faults(owners.size());
+  std::vector<std::future<bigint::BigUInt>> futures;
+  futures.reserve(owners.size());
+  for (std::size_t k = 0; k < owners.size(); ++k) {
+    auto [request, id] = owners[k];
+    backend::MulJob job = request->state->gate_job(id);
+    futures.push_back(scheduler_.submit(
+        [a = std::move(job.first), b = std::move(job.second),
+         fault = &faults[k]](backend::MultiplierBackend& engine) -> bigint::BigUInt {
+          try {
+            return engine.multiply(a, b);
+          } catch (const std::exception& e) {
+            *fault = std::make_unique<std::string>(e.what());
+          } catch (...) {
+            *fault = std::make_unique<std::string>("unknown lane error");
+          }
+          return bigint::BigUInt{};
+        }));
+  }
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    auto [request, id] = owners[k];
+    bigint::BigUInt product = futures[k].get();
+    if (faults[k] != nullptr) {
+      if (!request->failed) {
+        request->failed = true;
+        request->fail_error = *faults[k];
+      }
+    } else if (!request->failed) {
+      request->state->apply_product(id, std::move(product));
+    }
+  }
+
+  // Advance every participant one level; retire the finished and failed.
+  std::vector<std::unique_ptr<Active>> still_running;
+  still_running.reserve(active.size());
+  for (auto& request : active) {
+    if (request->failed) {
+      Response response = std::move(request->response);
+      response.status = ResponseStatus::kInternalError;
+      response.error = "execution failed: " + request->fail_error;
+      complete(*request, std::move(response));
+      continue;
+    }
+    request->response.and_gates += request->state->wavefront(request->next_level).size();
+    ++request->response.shared_batches;
+    request->state->sweep_linear(request->next_level);
+    ++request->next_level;
+    if (request->next_level > request->state->max_level()) {
+      Response response = std::move(request->response);
+      response.outputs = request->serialize_outputs();
+      complete(*request, std::move(response));
+    } else {
+      still_running.push_back(std::move(request));
+    }
+  }
+  active = std::move(still_running);
+}
+
+void Service::coordinator_loop() {
+  std::vector<std::unique_ptr<Active>> active;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (active.empty()) {
+      work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) {
+        if (stop_) break;
+        continue;
+      }
+      if (options_.admission_window_ms > 0.0 && !stop_) {
+        // Linger so tenants submitting concurrently land in one round.
+        const auto deadline = Clock::now() + std::chrono::duration<double, std::milli>(
+                                                 options_.admission_window_ms);
+        work_cv_.wait_until(lock, deadline, [&] { return stop_; });
+      }
+    }
+    std::vector<Pending> batch;
+    while (!pending_.empty()) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    lock.unlock();
+    for (Pending& pending : batch) {
+      if (auto admitted = admit(std::move(pending))) active.push_back(std::move(admitted));
+    }
+    if (!active.empty()) run_round(active);
+    lock.lock();
+  }
+  HEMUL_CHECK_MSG(active.empty() && pending_.empty(), "Service: shutdown with work in flight");
+}
+
+}  // namespace hemul::core

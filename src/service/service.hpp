@@ -1,0 +1,123 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/scheduler.hpp"
+#include "fhe/dghv.hpp"
+#include "service/request.hpp"
+
+namespace hemul::core {
+
+/// Configuration of a Service beyond the scheduler it owns.
+struct ServiceOptions {
+  /// Backend / PE-lane configuration of the owned Scheduler.
+  Config config = Config::paper();
+  /// How long the coordinator lingers after spotting the first pending
+  /// request before sealing an admission round, so requests submitted
+  /// concurrently by independent tenants land in the same shared wavefront
+  /// (0 = admit whatever is queued the moment the coordinator wakes).
+  double admission_window_ms = 0.0;
+};
+
+/// Multi-tenant evaluation front-end: the serving side of the accelerator.
+///
+/// A Service owns one core::Scheduler (the array of PE lanes) and exposes
+/// the host-interface shape of Medha/FAB: tenants open sessions (per-tenant
+/// fhe::Dghv key contexts), then submit Requests -- serialized ciphertexts
+/// plus a named or caller-recorded circuit -- and receive their Responses
+/// through futures. Every transport (sockets, RPC) is a thin shim over
+/// this class.
+///
+/// Cross-request batching: a coordinator thread advances every in-flight
+/// request one wavefront at a time and fuses the fronts -- all ready AND
+/// gates across *all* tenants go to the scheduler as ONE batch per round,
+/// so independent requests at the same multiplicative depth share scheduler
+/// batches (and the spectrum cache) instead of being serialized per caller.
+/// stats().batches_submitted < requests whenever tenants overlap.
+///
+/// Thread safety: create_session / submit / stats are safe from any
+/// thread. A session's scheme() reference is safe for concurrent
+/// encrypt-free use; encryption mutates the session RNG, so concurrent
+/// *encrypting* clients of one session must synchronize externally.
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Completes every accepted request, then stops the coordinator.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Opens a tenant session: generates a DGHV key pair from `seed` and the
+  /// session's constant zero/one encryptions (used by builtin circuits).
+  SessionId create_session(const fhe::DghvParams& params, u64 seed);
+
+  /// Enqueues one request. The future always yields a Response (malformed
+  /// payloads and noise vetoes are statuses, not exceptions). Throws
+  /// std::invalid_argument for an unknown session -- that is a caller bug,
+  /// not wire data.
+  std::future<Response> submit(SessionId session, Request request);
+
+  /// The tenant's key context (e.g. for client-side encrypt/decrypt in
+  /// tests and in-process callers). Valid for the Service's lifetime.
+  [[nodiscard]] fhe::Dghv& scheme(SessionId session);
+
+  /// Serialized key material, as a remote tenant would receive it.
+  [[nodiscard]] fhe::Bytes public_key_bytes(SessionId session);
+  [[nodiscard]] fhe::Bytes secret_key_bytes(SessionId session);
+
+  /// Blocks until no request is pending or in flight.
+  void wait_idle();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] TenantStats tenant_stats(SessionId session) const;
+
+  [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Session;
+  struct Pending;
+  struct Active;
+
+  [[nodiscard]] Session& session_ref(SessionId id);
+
+  void coordinator_loop();
+  /// Builds the evaluation state of one pending request; completes it
+  /// immediately on parse errors, noise veto, or a multiplication-free
+  /// circuit. Returns the active state otherwise.
+  std::unique_ptr<Active> admit(Pending&& pending);
+  /// Runs one coalesced round over `active`: one scheduler batch holding
+  /// every request's next wavefront. Completed requests are removed.
+  void run_round(std::vector<std::unique_ptr<Active>>& active);
+  void complete(Active& request, Response response);
+
+  ServiceOptions options_;
+  Scheduler scheduler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< pending work or shutdown
+  std::condition_variable idle_cv_;   ///< all work drained
+  std::unordered_map<SessionId, std::unique_ptr<Session>> sessions_;
+  std::deque<Pending> pending_;
+  std::size_t in_flight_ = 0;  ///< admitted, not yet completed
+  SessionId next_session_ = 1;
+  bool stop_ = false;
+
+  // Service-wide counters (under mutex_; lane/cache stats live in the
+  // scheduler and are merged into stats() snapshots).
+  ServiceStats totals_;
+
+  std::thread coordinator_;  ///< last member: joins before teardown
+};
+
+}  // namespace hemul::core

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "fhe/circuits.hpp"
+#include "fhe/evaluator.hpp"
+#include "fhe/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::fhe {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  SerializeTest() : scheme_(DghvParams::toy(), 41) {}
+
+  Dghv scheme_;
+};
+
+// --- BigUInt round trips ---------------------------------------------------
+
+TEST_F(SerializeTest, BigUIntEdgeSizesRoundTrip) {
+  const u64 max = std::numeric_limits<u64>::max();
+  std::vector<bigint::BigUInt> cases = {
+      bigint::BigUInt{},               // zero: empty limb vector
+      bigint::BigUInt{1},              // one
+      bigint::BigUInt{max},            // max single limb
+      bigint::BigUInt::pow2(64),       // exactly two limbs, low limb zero
+      bigint::BigUInt::pow2(64) - bigint::BigUInt{1},
+      bigint::BigUInt::pow2(8191),     // many limbs, power of two
+  };
+  util::Rng rng(0x5E1A);
+  for (const std::size_t bits : {1u, 63u, 64u, 65u, 1000u, 99991u}) {
+    cases.push_back(bigint::BigUInt::random_bits(rng, bits));
+  }
+
+  for (const bigint::BigUInt& x : cases) {
+    const Bytes wire = encode_biguint(x);
+    EXPECT_EQ(decode_biguint(wire), x) << "round trip of " << x.bit_length() << " bits";
+  }
+}
+
+TEST_F(SerializeTest, NonCanonicalLimbVectorIsRejected) {
+  // encode 1 as [1, 0]: a trailing zero limb the canonical form forbids.
+  ByteWriter w;
+  w.begin_frame(WireTag::kBigUInt);
+  w.put_u64(2);
+  w.put_u64(1);
+  w.put_u64(0);
+  w.finish_frame();
+  EXPECT_THROW((void)decode_biguint(w.bytes()), SerializeError);
+}
+
+TEST_F(SerializeTest, HostileLimbCountDoesNotAllocate) {
+  // A count field claiming 2^60 limbs with no bytes behind it must be
+  // rejected before any allocation happens.
+  ByteWriter w;
+  w.begin_frame(WireTag::kBigUInt);
+  w.put_u64(1ULL << 60);
+  w.finish_frame();
+  EXPECT_THROW((void)decode_biguint(w.bytes()), SerializeError);
+}
+
+// --- params / keys ---------------------------------------------------------
+
+TEST_F(SerializeTest, ParamsRoundTrip) {
+  for (const DghvParams& params :
+       {DghvParams::toy(), DghvParams::medium(), DghvParams::deep(), DghvParams::small_paper()}) {
+    const DghvParams back = decode_params(encode_params(params));
+    EXPECT_EQ(back.lambda, params.lambda);
+    EXPECT_EQ(back.rho, params.rho);
+    EXPECT_EQ(back.eta, params.eta);
+    EXPECT_EQ(back.gamma, params.gamma);
+    EXPECT_EQ(back.tau, params.tau);
+  }
+}
+
+TEST_F(SerializeTest, InconsistentParamsAreRejected) {
+  DghvParams params = DghvParams::toy();
+  params.eta = params.gamma + 1;  // violates eta < gamma
+  ByteWriter w;
+  w.begin_frame(WireTag::kParams);
+  w.put_u32(params.lambda);
+  w.put_u64(params.rho);
+  w.put_u64(params.eta);
+  w.put_u64(params.gamma);
+  w.put_u32(params.tau);
+  w.finish_frame();
+  EXPECT_THROW((void)decode_params(w.bytes()), SerializeError);
+}
+
+TEST_F(SerializeTest, PublicKeyRoundTrip) {
+  const PublicKey& key = scheme_.public_key();
+  const PublicKey back = decode_public_key(encode_public_key(key));
+  EXPECT_EQ(back.x0, key.x0);
+  EXPECT_EQ(back.x, key.x);
+  EXPECT_EQ(back.params.eta, key.params.eta);
+
+  // A decrypt through a round-tripped secret key matches the original.
+  const bigint::BigUInt p = decode_secret_key(encode_secret_key(scheme_.secret_key()));
+  EXPECT_EQ(p, scheme_.secret_key());
+}
+
+TEST_F(SerializeTest, HostileTauDoesNotAllocate) {
+  // A public-key frame whose params claim tau = 2^32 - 1 (internally
+  // consistent, so it passes validate()) with a matching element count
+  // must be rejected before reserving gigabytes for the element vector.
+  DghvParams params = scheme_.params();
+  params.tau = 0xFFFFFFFFu;
+  ByteWriter w;
+  w.begin_frame(WireTag::kPublicKey);
+  w.put_u32(params.lambda);
+  w.put_u64(params.rho);
+  w.put_u64(params.eta);
+  w.put_u64(params.gamma);
+  w.put_u32(params.tau);
+  w.put_biguint(scheme_.public_key().x0);
+  w.put_u32(params.tau);  // element count matches tau, but no bytes behind it
+  w.finish_frame();
+  EXPECT_THROW((void)decode_public_key(w.bytes()), SerializeError);
+}
+
+TEST_F(SerializeTest, SecretKeyTagIsNotInterchangeable) {
+  // Key material must not decode under an operand tag and vice versa.
+  const Bytes secret = encode_secret_key(scheme_.secret_key());
+  EXPECT_THROW((void)decode_biguint(secret), SerializeError);
+  const Bytes operand = encode_biguint(scheme_.secret_key());
+  EXPECT_THROW((void)decode_secret_key(operand), SerializeError);
+}
+
+// --- ciphertexts -----------------------------------------------------------
+
+TEST_F(SerializeTest, CiphertextRoundTripPreservesValueAndNoise) {
+  Ciphertext c = scheme_.encrypt(true);
+  const Ciphertext back = decode_ciphertext(encode_ciphertext(c));
+  EXPECT_EQ(back.value, c.value);
+  EXPECT_EQ(back.noise_bits, c.noise_bits);
+  EXPECT_TRUE(scheme_.decrypt(back));
+}
+
+TEST_F(SerializeTest, CiphertextStreamRoundTrip) {
+  std::vector<Ciphertext> cs;
+  for (int i = 0; i < 5; ++i) cs.push_back(scheme_.encrypt(i % 2 == 0));
+  const std::vector<Ciphertext> back = decode_ciphertexts(encode_ciphertexts(cs));
+  ASSERT_EQ(back.size(), cs.size());
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_EQ(back[i].value, cs[i].value);
+    EXPECT_EQ(scheme_.decrypt(back[i]), i % 2 == 0);
+  }
+}
+
+TEST_F(SerializeTest, EmptyCiphertextStreamDecodesEmpty) {
+  EXPECT_TRUE(decode_ciphertexts({}).empty());
+}
+
+// --- graphs ----------------------------------------------------------------
+
+TEST_F(SerializeTest, GraphTopologyRoundTripEvaluatesBitExact) {
+  // Record an adder, ship topology + inputs over the wire, rebuild, and
+  // check the rebuilt graph evaluates to the very same ciphertexts.
+  Graph graph(scheme_);
+  EncryptedInt a = encrypt_int(scheme_, 11, 4);
+  EncryptedInt b = encrypt_int(scheme_, 6, 4);
+  const std::vector<Wire> wa = graph.inputs(a);
+  const std::vector<Wire> wb = graph.inputs(b);
+  const Ciphertext zero_ct = scheme_.encrypt(false);
+  const Wire zero = graph.input(zero_ct);
+  Graph::AddResult r = graph.add(wa, wb, zero);
+  std::vector<Wire> outputs = std::move(r.sum);
+  outputs.push_back(r.carry_out);
+
+  const GraphTopology topology = GraphTopology::capture(graph, outputs);
+  const Bytes wire = encode_graph(topology);
+  const GraphTopology back = decode_graph(wire);
+  EXPECT_EQ(back.nodes.size(), topology.nodes.size());
+  EXPECT_EQ(back.input_count(), 9u);  // 2 x 4 bits + zero
+
+  // Ship the input ciphertexts separately, as a Request would.
+  std::vector<Ciphertext> inputs;
+  for (const Ciphertext& bit : a) inputs.push_back(bit);
+  for (const Ciphertext& bit : b) inputs.push_back(bit);
+  inputs.push_back(zero_ct);
+  const std::vector<Ciphertext> shipped =
+      decode_ciphertexts(encode_ciphertexts(inputs));
+
+  Graph rebuilt(scheme_);
+  const std::vector<Wire> rebuilt_outputs = back.build(rebuilt, shipped);
+
+  Evaluator evaluator;
+  const std::vector<Ciphertext> direct = evaluator.evaluate(graph, outputs);
+  // The zero input re-encrypts identically only because we shipped the
+  // same ciphertext; both graphs see identical input values.
+  const std::vector<Ciphertext> remote = evaluator.evaluate(rebuilt, rebuilt_outputs);
+  ASSERT_EQ(direct.size(), remote.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].value, remote[i].value) << "output " << i;
+  }
+  EXPECT_EQ(decrypt_int(scheme_, remote), 17u);
+}
+
+TEST_F(SerializeTest, GraphWithForwardReferenceIsRejected) {
+  GraphTopology topology;
+  topology.nodes.push_back({GateOp::kInput, Wire::kInvalid, Wire::kInvalid});
+  topology.nodes.push_back({GateOp::kAnd, 0, 2});  // operand 2 not yet recorded
+  topology.nodes.push_back({GateOp::kInput, Wire::kInvalid, Wire::kInvalid});
+  topology.outputs = {1};
+  EXPECT_THROW((void)encode_graph(topology), SerializeError);
+}
+
+TEST_F(SerializeTest, GraphWithBadOutputOrOpIsRejected) {
+  ByteWriter w;
+  w.begin_frame(WireTag::kGraph);
+  w.put_u32(1);
+  w.put_u8(0);     // one input node
+  w.put_u32(1);
+  w.put_u32(7);    // output references node 7 of 1
+  w.finish_frame();
+  EXPECT_THROW((void)decode_graph(w.bytes()), SerializeError);
+
+  ByteWriter w2;
+  w2.begin_frame(WireTag::kGraph);
+  w2.put_u32(2);
+  w2.put_u8(0);
+  w2.put_u8(9);    // unknown gate op
+  w2.put_u32(0);
+  w2.put_u32(0);
+  w2.put_u32(1);
+  w2.put_u32(1);
+  w2.finish_frame();
+  EXPECT_THROW((void)decode_graph(w2.bytes()), SerializeError);
+}
+
+TEST_F(SerializeTest, DuplicateGatesCollapseButOutputsStayCorrect) {
+  // A hand-built topology may repeat a gate; CSE collapses the duplicates
+  // on rebuild and the output map must still resolve.
+  GraphTopology topology;
+  topology.nodes.push_back({GateOp::kInput, Wire::kInvalid, Wire::kInvalid});
+  topology.nodes.push_back({GateOp::kInput, Wire::kInvalid, Wire::kInvalid});
+  topology.nodes.push_back({GateOp::kAnd, 0, 1});
+  topology.nodes.push_back({GateOp::kAnd, 0, 1});  // duplicate of node 2
+  topology.outputs = {3};
+
+  Graph graph(scheme_);
+  const std::vector<Ciphertext> inputs = {scheme_.encrypt(true), scheme_.encrypt(true)};
+  const std::vector<Wire> outputs = topology.build(graph, inputs);
+  EXPECT_EQ(graph.and_gates(), 1u);  // collapsed
+
+  Evaluator evaluator;
+  const std::vector<Ciphertext> result = evaluator.evaluate(graph, outputs);
+  EXPECT_TRUE(scheme_.decrypt(result[0]));
+}
+
+TEST_F(SerializeTest, InputCountMismatchIsRejected) {
+  GraphTopology topology;
+  topology.nodes.push_back({GateOp::kInput, Wire::kInvalid, Wire::kInvalid});
+  topology.nodes.push_back({GateOp::kInput, Wire::kInvalid, Wire::kInvalid});
+  topology.nodes.push_back({GateOp::kXor, 0, 1});
+  topology.outputs = {2};
+
+  Graph graph(scheme_);
+  const std::vector<Ciphertext> too_few = {scheme_.encrypt(true)};
+  EXPECT_THROW((void)topology.build(graph, too_few), SerializeError);
+}
+
+// --- malformed buffers -----------------------------------------------------
+
+TEST_F(SerializeTest, TruncationAtEveryLengthIsRejectedNotUB) {
+  // Chop every wire object at every prefix length: decoding must throw
+  // SerializeError each time (never crash/UB -- the ASan cell watches).
+  Graph graph(scheme_);
+  const Wire a = graph.input(scheme_.encrypt(true));
+  const Wire b = graph.input(scheme_.encrypt(false));
+  const std::vector<Wire> outs = {graph.gate_and(a, b)};
+
+  const std::vector<Bytes> frames = {
+      encode_biguint(scheme_.public_key().x0),
+      encode_params(scheme_.params()),
+      encode_public_key(scheme_.public_key()),
+      encode_secret_key(scheme_.secret_key()),
+      encode_ciphertext(scheme_.encrypt(true)),
+      encode_graph(GraphTopology::capture(graph, outs)),
+  };
+  const auto decoders = std::vector<std::function<void(std::span<const u8>)>>{
+      [](std::span<const u8> s) { (void)decode_biguint(s); },
+      [](std::span<const u8> s) { (void)decode_params(s); },
+      [](std::span<const u8> s) { (void)decode_public_key(s); },
+      [](std::span<const u8> s) { (void)decode_secret_key(s); },
+      [](std::span<const u8> s) { (void)decode_ciphertext(s); },
+      [](std::span<const u8> s) { (void)decode_graph(s); },
+  };
+
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const Bytes& whole = frames[f];
+    for (std::size_t len = 0; len < whole.size(); ++len) {
+      EXPECT_THROW(decoders[f](std::span<const u8>(whole.data(), len)), SerializeError)
+          << "frame " << f << " truncated to " << len << " of " << whole.size();
+    }
+    decoders[f](whole);  // the untruncated buffer still decodes
+  }
+}
+
+TEST_F(SerializeTest, CorruptedHeaderBytesAreRejected) {
+  const Bytes good = encode_ciphertext(scheme_.encrypt(true));
+
+  Bytes bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW((void)decode_ciphertext(bad_magic), SerializeError);
+
+  Bytes bad_version = good;
+  bad_version[4] = 0x7F;
+  EXPECT_THROW((void)decode_ciphertext(bad_version), SerializeError);
+
+  Bytes bad_tag = good;
+  bad_tag[5] = 0x66;
+  EXPECT_THROW((void)decode_ciphertext(bad_tag), SerializeError);
+
+  Bytes bad_length = good;
+  bad_length[6] ^= 0x01;  // length prefix no longer matches the payload
+  EXPECT_THROW((void)decode_ciphertext(bad_length), SerializeError);
+
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW((void)decode_ciphertext(trailing), SerializeError);
+}
+
+}  // namespace
+}  // namespace hemul::fhe

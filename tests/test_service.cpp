@@ -1,0 +1,447 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "backend/registry.hpp"
+#include "fhe/circuits.hpp"
+#include "fhe/evaluator.hpp"
+#include "fhe/serialize.hpp"
+#include "service/service.hpp"
+
+namespace hemul::core {
+namespace {
+
+using fhe::Ciphertext;
+using fhe::DghvParams;
+
+ServiceOptions ssa_options(unsigned workers, double window_ms = 0.0) {
+  ServiceOptions options;
+  options.config.backend_name = "ssa";
+  options.config.num_workers = workers;
+  options.admission_window_ms = window_ms;
+  return options;
+}
+
+/// Encrypts `value` bit by bit on the tenant's scheme and serializes the
+/// stream, as a remote client would.
+fhe::Bytes encrypt_inputs(fhe::Dghv& scheme, u64 value, unsigned width) {
+  const fhe::EncryptedInt bits = fhe::encrypt_int(scheme, value, width);
+  return fhe::encode_ciphertexts(bits);
+}
+
+fhe::Bytes concat(const fhe::Bytes& a, const fhe::Bytes& b) {
+  fhe::Bytes out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+u64 decrypt_response(const fhe::Dghv& scheme, const Response& response) {
+  const std::vector<Ciphertext> outputs = fhe::decode_ciphertexts(response.outputs);
+  return fhe::decrypt_int(scheme, fhe::EncryptedInt(outputs.begin(), outputs.end()));
+}
+
+// --- end-to-end builtin circuits -------------------------------------------
+
+TEST(ServiceTest, BuiltinAdderRoundTrips) {
+  Service service(ssa_options(2));
+  const SessionId session = service.create_session(DghvParams::toy(), 101);
+  fhe::Dghv& scheme = service.scheme(session);
+
+  Request request;
+  request.circuit = CircuitKind::kAdder;
+  request.width = 4;
+  request.inputs = concat(encrypt_inputs(scheme, 11, 4), encrypt_inputs(scheme, 6, 4));
+
+  const Response response = service.submit(session, std::move(request)).get();
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(decrypt_response(scheme, response), 17u);  // 5 outputs: sum + carry
+  EXPECT_EQ(response.and_gates, 8u);                   // 2 per bit
+  EXPECT_EQ(response.levels, 4u);
+  EXPECT_GE(response.shared_batches, 1u);
+}
+
+TEST(ServiceTest, EveryBuiltinCircuitDecryptsCorrectly) {
+  Service service(ssa_options(2));
+  const SessionId session = service.create_session(DghvParams::toy(), 77);
+  fhe::Dghv& scheme = service.scheme(session);
+  const unsigned w = 3;
+  const u64 x = 5, y = 3;
+
+  const struct {
+    CircuitKind kind;
+    fhe::Bytes inputs;
+    u64 expected;
+  } cases[] = {
+      {CircuitKind::kAnd,
+       concat(fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
+              fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)})),
+       1},
+      {CircuitKind::kEquals, concat(encrypt_inputs(scheme, x, w), encrypt_inputs(scheme, x, w)),
+       1},
+      {CircuitKind::kMux,
+       concat(fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
+              concat(encrypt_inputs(scheme, x, w), encrypt_inputs(scheme, y, w))),
+       x},
+      {CircuitKind::kLessThan,
+       concat(encrypt_inputs(scheme, y, w), encrypt_inputs(scheme, x, w)), 1},
+  };
+  for (const auto& c : cases) {
+    Request request;
+    request.circuit = c.kind;
+    request.width = w;
+    request.inputs = c.inputs;
+    const Response response = service.submit(session, std::move(request)).get();
+    ASSERT_TRUE(response.ok()) << circuit_kind_name(c.kind) << ": " << response.error;
+    EXPECT_EQ(decrypt_response(scheme, response), c.expected)
+        << "circuit " << circuit_kind_name(c.kind);
+  }
+}
+
+// --- serialize -> evaluate -> deserialize parity ---------------------------
+
+TEST(ServiceTest, GraphRequestBitExactAgainstInProcessForEveryBackend) {
+  // The acceptance bar: for every registered backend, shipping a recorded
+  // circuit through the service (serialize -> evaluate -> deserialize)
+  // yields the very same ciphertext bits as evaluating the same graph
+  // in-process.
+  for (const std::string& name : backend::Registry::instance().names()) {
+    // The registry is process-global: the lane-fault test registers an
+    // always-throwing "faulty" engine, which must not poison this sweep
+    // under test shuffling.
+    if (name == "faulty") continue;
+    ServiceOptions options;
+    options.config.backend_name = name;
+    options.config.num_workers = 1;
+    Service service(options);
+    const SessionId session = service.create_session(DghvParams::toy(), 4242);
+    fhe::Dghv& scheme = service.scheme(session);
+
+    // Client side: record a 2-bit adder with client-supplied constants.
+    fhe::Graph graph(scheme);
+    const fhe::EncryptedInt a = fhe::encrypt_int(scheme, 2, 2);
+    const fhe::EncryptedInt b = fhe::encrypt_int(scheme, 3, 2);
+    const Ciphertext zero = scheme.encrypt(false);
+    const std::vector<fhe::Wire> wa = graph.inputs(a);
+    const std::vector<fhe::Wire> wb = graph.inputs(b);
+    fhe::Graph::AddResult r = graph.add(wa, wb, graph.input(zero));
+    std::vector<fhe::Wire> outputs = std::move(r.sum);
+    outputs.push_back(r.carry_out);
+
+    std::vector<Ciphertext> inputs(a.begin(), a.end());
+    inputs.insert(inputs.end(), b.begin(), b.end());
+    inputs.push_back(zero);
+
+    Request request;
+    request.circuit = CircuitKind::kGraph;
+    request.graph = fhe::encode_graph(fhe::GraphTopology::capture(graph, outputs));
+    request.inputs = fhe::encode_ciphertexts(inputs);
+    const Response response = service.submit(session, std::move(request)).get();
+    ASSERT_TRUE(response.ok()) << name << ": " << response.error;
+
+    // In-process reference on the same engine family the service lanes use.
+    fhe::Evaluator evaluator(backend::make_backend(name));
+    const std::vector<Ciphertext> direct = evaluator.evaluate(graph, outputs);
+    const std::vector<Ciphertext> remote = fhe::decode_ciphertexts(response.outputs);
+    ASSERT_EQ(remote.size(), direct.size()) << name;
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(remote[i].value, direct[i].value) << name << " output " << i;
+    }
+    EXPECT_EQ(decrypt_response(scheme, response), 5u) << name;
+  }
+}
+
+// --- cross-request coalescing ----------------------------------------------
+
+TEST(ServiceTest, ConcurrentSingleMultiplyTenantsShareBatches) {
+  // 8 tenants, one AND (single multiply) each, submitted within the
+  // admission window: the coordinator must fuse them into fewer scheduler
+  // batches than there are requests -- the cross-request wavefront.
+  Service service(ssa_options(2, /*window_ms=*/250.0));
+  constexpr int kTenants = 8;
+
+  std::vector<SessionId> sessions;
+  std::vector<std::future<Response>> futures;
+  for (int t = 0; t < kTenants; ++t) {
+    sessions.push_back(service.create_session(DghvParams::toy(), 1000 + static_cast<u64>(t)));
+  }
+  for (int t = 0; t < kTenants; ++t) {
+    fhe::Dghv& scheme = service.scheme(sessions[static_cast<std::size_t>(t)]);
+    Request request;
+    request.circuit = CircuitKind::kAnd;
+    request.inputs =
+        concat(fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
+               fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(t % 2 == 0)}));
+    futures.push_back(service.submit(sessions[static_cast<std::size_t>(t)], std::move(request)));
+  }
+  for (int t = 0; t < kTenants; ++t) {
+    const Response response = futures[static_cast<std::size_t>(t)].get();
+    ASSERT_TRUE(response.ok()) << response.error;
+    const fhe::Dghv& scheme = service.scheme(sessions[static_cast<std::size_t>(t)]);
+    const std::vector<Ciphertext> outputs = fhe::decode_ciphertexts(response.outputs);
+    ASSERT_EQ(outputs.size(), 1u);
+    EXPECT_EQ(scheme.decrypt(outputs[0]), t % 2 == 0);
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, static_cast<u64>(kTenants));
+  EXPECT_EQ(stats.and_gates, static_cast<u64>(kTenants));
+  EXPECT_LT(stats.batches_submitted, static_cast<u64>(kTenants))
+      << "independent single-multiply requests must share scheduler batches";
+  EXPECT_GE(stats.batches_submitted, 1u);
+  EXPECT_GE(stats.coalesced_requests, stats.batches_submitted);
+}
+
+TEST(ServiceTest, MixedDepthRequestsCoalesceAndStayCorrect) {
+  Service service(ssa_options(2, /*window_ms=*/250.0));
+  const SessionId s1 = service.create_session(DghvParams::toy(), 11);
+  const SessionId s2 = service.create_session(DghvParams::toy(), 22);
+
+  Request adder;  // depth 3
+  adder.circuit = CircuitKind::kAdder;
+  adder.width = 3;
+  adder.inputs = concat(encrypt_inputs(service.scheme(s1), 5, 3),
+                        encrypt_inputs(service.scheme(s1), 6, 3));
+  Request single;  // depth 1
+  single.circuit = CircuitKind::kAnd;
+  single.inputs = concat(
+      fhe::encode_ciphertexts(std::vector<Ciphertext>{service.scheme(s2).encrypt(true)}),
+      fhe::encode_ciphertexts(std::vector<Ciphertext>{service.scheme(s2).encrypt(true)}));
+
+  auto f1 = service.submit(s1, std::move(adder));
+  auto f2 = service.submit(s2, std::move(single));
+  const Response r1 = f1.get();
+  const Response r2 = f2.get();
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(decrypt_response(service.scheme(s1), r1), 11u);
+  EXPECT_EQ(decrypt_response(service.scheme(s2), r2), 1u);
+
+  // The adder needed 3 rounds; the AND rode the first of them when both
+  // landed in one admission window, so total batches stays <= 4 either way.
+  const ServiceStats stats = service.stats();
+  EXPECT_LE(stats.batches_submitted, 4u);
+  EXPECT_EQ(stats.wavefronts, 4u);  // 3 (adder) + 1 (and)
+}
+
+// --- noise veto / error paths ----------------------------------------------
+
+TEST(ServiceTest, DeepCircuitOnToyParamsIsRejectedWithoutSpendingMultiplies) {
+  Service service(ssa_options(1));
+  const SessionId session = service.create_session(DghvParams::toy(), 5);
+  fhe::Dghv& scheme = service.scheme(session);
+
+  Request request;  // a 4x4 multiplier goes far past the toy noise budget
+  request.circuit = CircuitKind::kMul;
+  request.width = 4;
+  request.inputs = concat(encrypt_inputs(scheme, 9, 4), encrypt_inputs(scheme, 13, 4));
+  const Response response = service.submit(session, std::move(request)).get();
+
+  EXPECT_EQ(response.status, ResponseStatus::kRejectedByNoise);
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(response.and_gates, 0u) << "the veto must fire before execution";
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_by_noise, 1u);
+  EXPECT_EQ(stats.and_gates, 0u);
+  EXPECT_EQ(stats.batches_submitted, 0u);
+  EXPECT_EQ(service.tenant_stats(session).rejected_by_noise, 1u);
+
+  // The same circuit against the deep budget sails through.
+  const SessionId deep = service.create_session(DghvParams::deep(), 5);
+  Request retry;
+  retry.circuit = CircuitKind::kMul;
+  retry.width = 4;
+  retry.inputs = concat(encrypt_inputs(service.scheme(deep), 9, 4),
+                        encrypt_inputs(service.scheme(deep), 13, 4));
+  const Response ok = service.submit(deep, std::move(retry)).get();
+  ASSERT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(decrypt_response(service.scheme(deep), ok), 117u);
+}
+
+TEST(ServiceTest, MalformedPayloadsYieldBadRequestNotCrash) {
+  Service service(ssa_options(1));
+  const SessionId session = service.create_session(DghvParams::toy(), 3);
+  fhe::Dghv& scheme = service.scheme(session);
+
+  Request garbage;  // input bytes that are not ciphertext frames
+  garbage.circuit = CircuitKind::kAnd;
+  garbage.inputs = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(service.submit(session, std::move(garbage)).get().status,
+            ResponseStatus::kBadRequest);
+
+  Request count_mismatch;  // adder width 4 wants 8 ciphertexts, gets 2
+  count_mismatch.circuit = CircuitKind::kAdder;
+  count_mismatch.width = 4;
+  count_mismatch.inputs =
+      concat(fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
+             fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(false)}));
+  EXPECT_EQ(service.submit(session, std::move(count_mismatch)).get().status,
+            ResponseStatus::kBadRequest);
+
+  Request bad_width;
+  bad_width.circuit = CircuitKind::kAdder;
+  bad_width.width = 99;
+  EXPECT_EQ(service.submit(session, std::move(bad_width)).get().status,
+            ResponseStatus::kBadRequest);
+
+  Request bad_graph;
+  bad_graph.circuit = CircuitKind::kGraph;
+  bad_graph.graph = {1, 2, 3};
+  EXPECT_EQ(service.submit(session, std::move(bad_graph)).get().status,
+            ResponseStatus::kBadRequest);
+
+  Request oversized;  // a "ciphertext" that is not reduced modulo x0 must
+                      // be rejected at the trust boundary, not handed to
+                      // a PE lane
+  oversized.circuit = CircuitKind::kAnd;
+  oversized.inputs = concat(
+      fhe::encode_ciphertexts(
+          std::vector<Ciphertext>{{scheme.public_key().x0 + bigint::BigUInt{1}, 1.0}}),
+      fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}));
+  EXPECT_EQ(service.submit(session, std::move(oversized)).get().status,
+            ResponseStatus::kBadRequest);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.bad_requests, 5u);
+  EXPECT_EQ(stats.completed, 0u);
+
+  EXPECT_THROW((void)service.submit(999, Request{}), std::invalid_argument);
+  EXPECT_THROW((void)service.tenant_stats(999), std::invalid_argument);
+}
+
+TEST(ServiceTest, LaneExceptionFailsOneRequestNotTheService) {
+  // A backend that throws mid-execution must surface as kInternalError on
+  // the offending request while the coordinator -- and other tenants --
+  // keep serving.
+  backend::Registry::instance().add("faulty", [] {
+    return std::make_shared<backend::FunctionBackend>(
+        [](const bigint::BigUInt&, const bigint::BigUInt&) -> bigint::BigUInt {
+          throw std::runtime_error("injected lane fault");
+        },
+        "faulty");
+  });
+
+  ServiceOptions options;
+  options.config.backend_name = "faulty";
+  options.config.num_workers = 1;
+  Service service(options);
+  const SessionId session = service.create_session(DghvParams::toy(), 55);
+  fhe::Dghv& scheme = service.scheme(session);
+
+  Request doomed;
+  doomed.circuit = CircuitKind::kAnd;
+  doomed.inputs =
+      concat(fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
+             fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}));
+  const Response response = service.submit(session, std::move(doomed)).get();
+  EXPECT_EQ(response.status, ResponseStatus::kInternalError);
+  EXPECT_NE(response.error.find("injected lane fault"), std::string::npos);
+  EXPECT_EQ(service.stats().internal_errors, 1u);
+  EXPECT_EQ(service.tenant_stats(session).internal_errors, 1u);
+
+  // The service is still alive: a multiplication-free circuit completes.
+  const Ciphertext ca = scheme.encrypt(true);
+  const Ciphertext cb = scheme.encrypt(false);
+  fhe::Graph probe(scheme);
+  const std::vector<fhe::Wire> outs = {probe.gate_xor(probe.input(ca), probe.input(cb))};
+  Request xor_only;
+  xor_only.circuit = CircuitKind::kGraph;
+  xor_only.graph = fhe::encode_graph(fhe::GraphTopology::capture(probe, outs));
+  xor_only.inputs = fhe::encode_ciphertexts(std::vector<Ciphertext>{ca, cb});
+  const Response alive = service.submit(session, std::move(xor_only)).get();
+  ASSERT_TRUE(alive.ok()) << alive.error;
+  const std::vector<Ciphertext> outputs = fhe::decode_ciphertexts(alive.outputs);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_TRUE(scheme.decrypt(outputs[0]));
+}
+
+// --- concurrency (the TSan cell runs this suite) ---------------------------
+
+TEST(ServiceTest, ConcurrentTenantsFromManyThreads) {
+  Service service(ssa_options(2, /*window_ms=*/5.0));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3;
+
+  std::vector<SessionId> sessions;
+  for (int t = 0; t < kThreads; ++t) {
+    sessions.push_back(service.create_session(DghvParams::toy(), 31 + static_cast<u64>(t)));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &sessions, &failures, t] {
+      const SessionId session = sessions[static_cast<std::size_t>(t)];
+      fhe::Dghv& scheme = service.scheme(session);
+      for (int i = 0; i < kPerThread; ++i) {
+        const u64 x = static_cast<u64>(t + i) % 8;
+        const u64 y = static_cast<u64>(t * 2 + i) % 8;
+        Request request;
+        request.circuit = CircuitKind::kAdder;
+        request.width = 3;
+        request.inputs = concat(encrypt_inputs(scheme, x, 3), encrypt_inputs(scheme, y, 3));
+        const Response response = service.submit(session, std::move(request)).get();
+        if (!response.ok() || decrypt_response(scheme, response) != x + y) {
+          ++failures[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0) << t;
+
+  service.wait_idle();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, static_cast<u64>(kThreads * kPerThread));
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.active_requests, 0u);
+  EXPECT_EQ(stats.sessions, static_cast<std::size_t>(kThreads));
+
+  u64 tenant_completed = 0;
+  for (const SessionId session : sessions) {
+    tenant_completed += service.tenant_stats(session).completed;
+  }
+  EXPECT_EQ(tenant_completed, stats.completed);
+}
+
+TEST(ServiceTest, DestructorDrainsOutstandingRequests) {
+  std::future<Response> future;
+  SessionId session = 0;
+  fhe::Bytes secret;
+  fhe::Bytes outputs;
+  {
+    Service service(ssa_options(1, /*window_ms=*/50.0));
+    session = service.create_session(DghvParams::toy(), 9);
+    fhe::Dghv& scheme = service.scheme(session);
+    Request request;
+    request.circuit = CircuitKind::kAdder;
+    request.width = 2;
+    request.inputs = concat(encrypt_inputs(scheme, 1, 2), encrypt_inputs(scheme, 2, 2));
+    secret = service.secret_key_bytes(session);
+    future = service.submit(session, std::move(request));
+    // Service destructs here with the request possibly still queued.
+  }
+  const Response response = future.get();
+  ASSERT_TRUE(response.ok()) << response.error;
+  // Decrypt with the serialized secret key: (c mod p) mod 2 per bit.
+  const bigint::BigUInt p = fhe::decode_secret_key(secret);
+  const std::vector<Ciphertext> bits = fhe::decode_ciphertexts(response.outputs);
+  u64 value = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    value |= static_cast<u64>((bits[i].value % p).is_odd()) << i;
+  }
+  EXPECT_EQ(value, 3u);
+}
+
+TEST(ServiceTest, PublicKeyBytesMatchTheSessionKey) {
+  Service service(ssa_options(1));
+  const SessionId session = service.create_session(DghvParams::toy(), 13);
+  const fhe::PublicKey key = fhe::decode_public_key(service.public_key_bytes(session));
+  EXPECT_EQ(key.x0, service.scheme(session).public_key().x0);
+  EXPECT_EQ(key.x.size(), service.scheme(session).public_key().x.size());
+}
+
+}  // namespace
+}  // namespace hemul::core

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Compare bench --json outputs against committed baselines.
+
+Usage:
+    bench_compare.py --baseline bench/baselines --results bench-results \
+                     [--threshold 0.25] [--output comparison.json]
+
+Every bench JSON carries two classes of tracked metrics:
+
+  * hard metrics -- deterministic facts (bit-exactness, parity across
+    backends, modeled hardware cycles, gate counts after CSE/DCE,
+    coalescing). A regression beyond the threshold FAILS the gate
+    (exit 1, ::error:: annotation): these do not depend on runner speed.
+
+  * soft metrics -- wall-clock throughput and speedups. Runner hardware
+    varies, so a >threshold regression only WARNS (::warning::
+    annotation) and never fails CI. The numbers are still recorded in the
+    comparison artifact so trends are visible across commits.
+
+Intentional changes (a new optimization shifts a hard metric) are handled
+by regenerating the committed baseline in the same PR -- see
+CONTRIBUTING.md.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+class Metric:
+    """One tracked value: how to pull it out of a bench JSON and how to
+    judge a change against the baseline."""
+
+    def __init__(self, name, extract, kind="number", direction="higher", mode="warn"):
+        self.name = name
+        self.extract = extract        # fn(parsed json) -> value (may raise KeyError)
+        self.kind = kind              # "number" | "bool"
+        self.direction = direction    # "higher" | "lower" is better
+        self.mode = mode              # "hard" | "warn"
+
+
+def _max_over(items, key):
+    values = [item[key] for item in items]
+    return max(values) if values else 0.0
+
+
+TRACKED = {
+    "backend_batch.json": [
+        Metric("bit_exact", lambda d: d["bit_exact"], kind="bool", mode="hard"),
+        Metric("ssa.speedup", lambda d: d["ssa"]["speedup"], mode="warn"),
+        # Modeled cycles are deterministic: a drop in the cached-batch
+        # advantage means the double-buffered accounting regressed.
+        Metric("hw.modeled_speedup", lambda d: d["hw"]["modeled_speedup"], mode="hard"),
+    ],
+    "scheduler_throughput.json": [
+        Metric("bit_exact", lambda d: d["bit_exact"], kind="bool", mode="hard"),
+        Metric("max_jobs_per_sec", lambda d: _max_over(d["results"], "jobs_per_sec"),
+               mode="warn"),
+    ],
+    "circuit_wavefront.json": [
+        Metric("all_bit_exact", lambda d: all(c["bit_exact"] for c in d["circuits"]),
+               kind="bool", mode="hard"),
+        # Gate/wavefront counts after CSE + DCE are structural: growth
+        # means the IR optimizations regressed.
+        Metric("total_and_gates", lambda d: sum(c["and_gates"] for c in d["circuits"]),
+               direction="lower", mode="hard"),
+        Metric("total_wavefronts", lambda d: sum(c["wavefronts"] for c in d["circuits"]),
+               direction="lower", mode="hard"),
+        Metric("min_speedup", lambda d: min(c["speedup"] for c in d["circuits"]),
+               mode="warn"),
+    ],
+    "service_throughput.json": [
+        Metric("bit_exact", lambda d: d["bit_exact"], kind="bool", mode="hard"),
+        Metric("all_backends_parity", lambda d: all(d["parity"].values()), kind="bool",
+               mode="hard"),
+        # The tentpole invariant: 8 single-multiply tenants must share
+        # scheduler batches instead of being serialized per caller.
+        Metric("headline_coalesced", lambda d: d["headline_coalesced"], kind="bool",
+               mode="hard"),
+        Metric("headline_batches", lambda d: d["headline_batches"], direction="lower",
+               mode="warn"),
+        Metric("max_requests_per_sec",
+               lambda d: _max_over(d["results"], "requests_per_sec"), mode="warn"),
+    ],
+}
+
+
+def annotate(level, message):
+    # GitHub Actions annotation when running in CI; plain stderr otherwise.
+    print(f"::{level}::{message}" if "GITHUB_ACTIONS" in os.environ
+          else f"{level.upper()}: {message}", file=sys.stderr)
+
+
+def compare_metric(metric, baseline, current, threshold):
+    """Returns (status, detail): status in ok|regressed|improved|new."""
+    try:
+        base_value = metric.extract(baseline) if baseline is not None else None
+    except (KeyError, TypeError, ValueError):
+        base_value = None
+    current_value = metric.extract(current)
+
+    if metric.kind == "bool":
+        ok = bool(current_value)
+        return ("ok" if ok else "regressed",
+                {"baseline": base_value, "current": current_value,
+                 "note": "must be true"})
+
+    if base_value is None:
+        return "new", {"baseline": None, "current": current_value}
+    if base_value == 0:
+        return "ok", {"baseline": base_value, "current": current_value,
+                      "note": "zero baseline, skipped"}
+
+    change = (current_value - base_value) / abs(base_value)
+    if metric.direction == "lower":
+        change = -change  # now: positive change = improvement
+    detail = {"baseline": base_value, "current": current_value,
+              "change_pct": round(100.0 * change, 1)}
+    if change < -threshold:
+        return "regressed", detail
+    if change > threshold:
+        return "improved", detail
+    return "ok", detail
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--results", required=True, type=Path)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression that trips the gate (default 0.25)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the full comparison as JSON")
+    args = parser.parse_args()
+
+    failures = 0
+    report = {"threshold": args.threshold, "benches": {}}
+
+    for bench_file, metrics in sorted(TRACKED.items()):
+        result_path = args.results / bench_file
+        baseline_path = args.baseline / bench_file
+        if not result_path.exists():
+            annotate("error", f"{bench_file}: bench result missing from {args.results}")
+            failures += 1
+            report["benches"][bench_file] = {"error": "result missing"}
+            continue
+        current = json.loads(result_path.read_text())
+        baseline = (json.loads(baseline_path.read_text())
+                    if baseline_path.exists() else None)
+        if baseline is None:
+            annotate("warning",
+                     f"{bench_file}: no committed baseline (new bench?); "
+                     f"commit {baseline_path} to start tracking")
+
+        bench_report = {}
+        for metric in metrics:
+            try:
+                status, detail = compare_metric(metric, baseline, current, args.threshold)
+            except (KeyError, TypeError, ValueError) as error:
+                annotate("error", f"{bench_file}:{metric.name}: unreadable ({error})")
+                failures += 1
+                bench_report[metric.name] = {"status": "error", "detail": str(error)}
+                continue
+            detail["mode"] = metric.mode
+            bench_report[metric.name] = {"status": status, **detail}
+
+            label = f"{bench_file}:{metric.name}"
+            if status == "regressed":
+                message = (f"{label} regressed: baseline {detail.get('baseline')} -> "
+                           f"current {detail.get('current')}"
+                           + (f" ({detail['change_pct']:+.1f}%)"
+                              if "change_pct" in detail else ""))
+                if metric.mode == "hard":
+                    annotate("error", message)
+                    failures += 1
+                else:
+                    annotate("warning", message + " [soft metric: not failing CI]")
+            elif status == "improved":
+                print(f"note: {label} improved {detail['change_pct']:+.1f}% -- "
+                      f"consider refreshing the baseline (see CONTRIBUTING.md)")
+        report["benches"][bench_file] = bench_report
+
+    if args.output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    ok_count = sum(1 for bench in report["benches"].values()
+                   for entry in bench.values()
+                   if isinstance(entry, dict) and entry.get("status") == "ok")
+    print(f"bench-compare: {ok_count} metrics within threshold, {failures} hard failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
