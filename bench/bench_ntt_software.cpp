@@ -1,18 +1,32 @@
-// Experiment E8 (supporting): software NTT throughput across transform
-// sizes and kernels, via google-benchmark. Establishes the software
-// baseline the simulated accelerator is compared against and shows the
-// relative cost of the mixed-radix staging vs. the iterative radix-2 path.
+// Experiment E8 (supporting): software NTT throughput and operation
+// counts. Establishes the software baseline the simulated accelerator is
+// compared against, shows the relative cost of the mixed-radix staging vs.
+// the iterative radix-2 fast path, and verifies both engines bit-exactly
+// against each other on every run.
+//
+// The operation counts (shift vs. DSP multiplications per plan) are
+// deterministic facts of the decomposition and are hard-gated by the CI
+// bench-regression gate; wall-clock figures vary with the runner and only
+// warn.
+//
+//   bench_ntt_software [--quick] [--json FILE]
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
-#include "ntt/convolution.hpp"
+#include "bigint/mul.hpp"
+#include "ntt/context.hpp"
 #include "ntt/mixed_radix.hpp"
 #include "ntt/radix2.hpp"
+#include "ssa/multiply.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace hemul;
+using Clock = std::chrono::steady_clock;
 
 fp::FpVec random_vec(std::size_t n) {
   util::Rng rng(n);
@@ -21,70 +35,121 @@ fp::FpVec random_vec(std::size_t n) {
   return v;
 }
 
-void BM_Radix2Forward(benchmark::State& state) {
-  const auto n = static_cast<u64>(state.range(0));
-  const ntt::Radix2Ntt engine(n);
-  fp::FpVec data = random_vec(n);
-  for (auto _ : state) {
-    engine.forward(data);
-    benchmark::DoNotOptimize(data.data());
-  }
-  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+template <typename F>
+double time_ms(int iters, F&& f) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) f();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() / iters;
 }
-BENCHMARK(BM_Radix2Forward)->RangeMultiplier(4)->Range(64, 65536);
-
-void BM_MixedRadixPaperPlan(benchmark::State& state) {
-  const ntt::MixedRadixNtt engine(ntt::NttPlan::paper_64k());
-  const fp::FpVec data = random_vec(65536);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.forward(data));
-  }
-  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 65536);
-}
-BENCHMARK(BM_MixedRadixPaperPlan);
-
-void BM_MixedRadixUniform16(benchmark::State& state) {
-  const ntt::MixedRadixNtt engine(ntt::NttPlan::uniform(16, 65536));
-  const fp::FpVec data = random_vec(65536);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.forward(data));
-  }
-}
-BENCHMARK(BM_MixedRadixUniform16);
-
-void BM_CyclicConvolution(benchmark::State& state) {
-  const auto n = static_cast<u64>(state.range(0));
-  const fp::FpVec a = random_vec(n);
-  const fp::FpVec b = random_vec(n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ntt::cyclic_convolve(a, b));
-  }
-}
-BENCHMARK(BM_CyclicConvolution)->RangeMultiplier(16)->Range(256, 65536);
-
-void BM_FieldMultiplication(benchmark::State& state) {
-  util::Rng rng(99);
-  fp::Fp a{rng.next()};
-  const fp::Fp b{rng.next() | 1};
-  for (auto _ : state) {
-    a *= b;
-    benchmark::DoNotOptimize(a);
-  }
-}
-BENCHMARK(BM_FieldMultiplication);
-
-void BM_FieldShiftMultiplication(benchmark::State& state) {
-  util::Rng rng(100);
-  fp::Fp a{rng.next()};
-  u64 k = 0;
-  for (auto _ : state) {
-    a = a.mul_pow2(k);
-    k = (k + 67) % 192;
-    benchmark::DoNotOptimize(a);
-  }
-}
-BENCHMARK(BM_FieldShiftMultiplication);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_ntt_software [--quick] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  std::printf("== software NTT: op counts, parity, throughput%s ==\n\n",
+              quick ? " (quick)" : "");
+
+  // --- deterministic op counts of the paper's 64K plan (hard-gated) ------
+  const ntt::NttContext& paper = ntt::shared_context(ntt::NttPlan::paper_64k());
+  ntt::NttScratch scratch;
+  const fp::FpVec data64k = random_vec(65536);
+  fp::FpVec out64k;
+  ntt::NttOpCounts counts;
+  paper.forward(data64k, out64k, scratch, &counts);
+  std::printf("paper plan 64*64*16 forward: %llu shift muls, %llu DSP muls, %llu adds\n",
+              static_cast<unsigned long long>(counts.shift_muls),
+              static_cast<unsigned long long>(counts.generic_muls),
+              static_cast<unsigned long long>(counts.additions));
+
+  // --- parity: iterative plan engine vs. the radix-2 fast path -----------
+  const ntt::Radix2Ntt& radix2_64k = ntt::shared_radix2(65536);
+  fp::FpVec via_radix2 = data64k;
+  radix2_64k.forward(via_radix2);
+  bool bit_exact = out64k == via_radix2;
+
+  // ... and end to end through a multiplication on each engine.
+  const std::size_t mul_bits = quick ? 49152 : 196608;
+  util::Rng rng(0xE8);
+  const bigint::BigUInt a = bigint::BigUInt::random_bits(rng, mul_bits);
+  const bigint::BigUInt b = bigint::BigUInt::random_bits(rng, mul_bits);
+  ssa::SsaParams fast_params = ssa::SsaParams::for_bits(mul_bits);
+  ssa::SsaParams mixed_params = fast_params;
+  mixed_params.engine = ssa::Engine::kMixedRadix;
+  const bigint::BigUInt product_fast = ssa::multiply(a, b, fast_params);
+  bit_exact = bit_exact && product_fast == ssa::multiply(a, b, mixed_params) &&
+              product_fast == bigint::mul_karatsuba(a, b);
+  std::printf("parity (iterative vs radix-2 vs karatsuba): %s\n\n",
+              bit_exact ? "bit-exact" : "MISMATCH");
+
+  // --- throughput (warn-only; already warm from the parity section) ------
+  const int iters_small = quick ? 40 : 400;
+  const int iters_large = quick ? 3 : 30;
+
+  const u64 conv_n = fast_params.transform_size;
+  const ntt::Radix2Ntt& conv_engine = ntt::shared_radix2(conv_n);
+  fp::FpVec ca = random_vec(conv_n);
+  fp::FpVec cb = random_vec(conv_n + 1);
+  cb.pop_back();  // distinct seed material, same length
+  const double convolve_ms =
+      time_ms(iters_small, [&] { conv_engine.convolve_into(ca, cb); });
+
+  fp::FpVec spec64k;
+  const double mixed_forward_ms =
+      time_ms(iters_large, [&] { paper.forward(data64k, spec64k, scratch); });
+  fp::FpVec r2data = data64k;
+  const double radix2_forward_ms = time_ms(iters_large, [&] {
+    radix2_64k.forward_spectrum(r2data);
+  });
+
+  ssa::Workspace& ws = ssa::thread_workspace();
+  bigint::BigUInt product;
+  const double multiply_ms = time_ms(iters_small, [&] {
+    ssa::multiply_into(product, a, b, fast_params, ws);
+  });
+
+  std::printf("radix-2 convolve (n=%llu)     : %8.3f ms\n",
+              static_cast<unsigned long long>(conv_n), convolve_ms);
+  std::printf("radix-2 forward 64K (spectral): %8.3f ms\n", radix2_forward_ms);
+  std::printf("mixed-radix forward 64K       : %8.3f ms\n", mixed_forward_ms);
+  std::printf("ssa multiply (%zu bits)     : %8.3f ms\n", mul_bits, multiply_ms);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n  \"bench\": \"ntt_software\",\n  \"quick\": %s,\n  \"bit_exact\": %s,\n"
+        "  \"paper_plan\": {\"shift_muls\": %llu, \"generic_muls\": %llu, "
+        "\"additions\": %llu},\n"
+        "  \"radix2\": {\"convolve_n\": %llu, \"convolve_ms\": %.3f, "
+        "\"forward_64k_ms\": %.3f},\n"
+        "  \"mixed\": {\"forward_64k_ms\": %.3f},\n"
+        "  \"multiply\": {\"bits\": %zu, \"per_call_ms\": %.3f}\n}\n",
+        quick ? "true" : "false", bit_exact ? "true" : "false",
+        static_cast<unsigned long long>(counts.shift_muls),
+        static_cast<unsigned long long>(counts.generic_muls),
+        static_cast<unsigned long long>(counts.additions),
+        static_cast<unsigned long long>(conv_n), convolve_ms, radix2_forward_ms,
+        mixed_forward_ms, mul_bits, multiply_ms);
+    std::fclose(out);
+    std::printf("json: %s\n", json_path.c_str());
+  }
+
+  return bit_exact ? 0 : 1;
+}

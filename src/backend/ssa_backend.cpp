@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "ssa/batch.hpp"
-#include "ssa/multiply.hpp"
 
 namespace hemul::backend {
 
@@ -21,18 +20,42 @@ ssa::SsaParams SsaBackend::params_for(std::size_t bits) const {
   return ssa::SsaParams::for_bits(std::max<std::size_t>(bits, 1));
 }
 
+void SsaBackend::accumulate(const ssa::SsaStats& call_stats) {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ += call_stats;
+}
+
+ssa::SsaStats SsaBackend::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
 BigUInt SsaBackend::multiply(const BigUInt& a, const BigUInt& b) {
   if (a.is_zero() || b.is_zero()) return BigUInt{};
   const ssa::SsaParams params = params_for(std::max(a.bit_length(), b.bit_length()));
-  if (shared_cache_ != nullptr) return ssa::multiply_cached(a, b, params, *shared_cache_);
-  return ssa::multiply(a, b, params);
+  ssa::SsaStats call_stats;
+  BigUInt out;
+  if (shared_cache_ != nullptr) {
+    out = ssa::multiply_cached(a, b, params, *shared_cache_, workspace(), &call_stats);
+  } else {
+    ssa::multiply_into(out, a, b, params, workspace(), &call_stats);
+  }
+  accumulate(call_stats);
+  return out;
 }
 
 BigUInt SsaBackend::square(const BigUInt& a) {
   if (a.is_zero()) return BigUInt{};
   const ssa::SsaParams params = params_for(a.bit_length());
-  if (shared_cache_ != nullptr) return ssa::multiply_cached(a, a, params, *shared_cache_);
-  return ssa::square(a, params);
+  ssa::SsaStats call_stats;
+  BigUInt out;
+  if (shared_cache_ != nullptr) {
+    out = ssa::multiply_cached(a, a, params, *shared_cache_, workspace(), &call_stats);
+  } else {
+    ssa::square_into(out, a, params, workspace(), &call_stats);
+  }
+  accumulate(call_stats);
+  return out;
 }
 
 std::vector<BigUInt> SsaBackend::multiply_batch(std::span<const MulJob> jobs,
@@ -43,8 +66,13 @@ std::vector<BigUInt> SsaBackend::multiply_batch(std::span<const MulJob> jobs,
   for (const MulJob& job : jobs) {
     max_bits = std::max({max_bits, job.first.bit_length(), job.second.bit_length()});
   }
+  const ssa::SsaParams params = params_for(max_bits);
   ssa::BatchStats ssa_stats;
-  std::vector<BigUInt> products = ssa::multiply_batch(jobs, params_for(max_bits), &ssa_stats);
+  std::vector<BigUInt> products = ssa::multiply_batch(jobs, params, workspace(), &ssa_stats);
+  ssa::SsaStats call_stats;
+  call_stats.transform_count = ssa_stats.transform_count();
+  call_stats.pointwise_muls = ssa_stats.inverse_transforms * params.transform_size;
+  accumulate(call_stats);
   if (stats != nullptr) {
     *stats = BatchStats{};
     stats->jobs = ssa_stats.jobs;

@@ -1,11 +1,14 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "backend/backend.hpp"
+#include "ssa/multiply.hpp"
 #include "ssa/params.hpp"
 #include "ssa/spectrum_cache.hpp"
+#include "ssa/workspace.hpp"
 
 namespace hemul::backend {
 
@@ -15,6 +18,12 @@ namespace hemul::backend {
 /// size); constructed with fixed SsaParams it becomes one accelerator
 /// instance with a hard operand limit, matching the hardware's behavior.
 /// multiply_batch runs the spectrum-caching batch executor (ssa/batch.hpp).
+///
+/// Every call runs in a reusable ssa::Workspace: the scheduler injects one
+/// per PE lane via set_workspace(); otherwise the calling thread's arena is
+/// used. Either way, steady-state calls are allocation-free apart from the
+/// returned products. A backend instance must not be called concurrently
+/// from multiple threads (see CONTRIBUTING.md on workspace ownership).
 class SsaBackend final : public MultiplierBackend {
  public:
   SsaBackend() = default;
@@ -36,12 +45,39 @@ class SsaBackend final : public MultiplierBackend {
     shared_cache_ = std::move(cache);
   }
 
+  /// Dedicated buffer arena for this instance (the scheduler gives each PE
+  /// lane its own, so lanes never contend); without one, the calling
+  /// thread's arena is used.
+  void set_workspace(std::shared_ptr<ssa::Workspace> workspace) {
+    workspace_ = std::move(workspace);
+  }
+
+  /// Cumulative transform statistics across this instance's calls.
+  /// transform_count reflects transforms actually executed: cache-hit
+  /// multiplies report fewer than 3 (the satellite fix for the old
+  /// unconditional +3 accounting). Thread-safe (the registry's shared
+  /// "auto" instance is reachable from concurrent sessions).
+  [[nodiscard]] ssa::SsaStats stats() const;
+
  private:
   /// Fixed parameters, or parameters sized for `bits`-bit operands.
   [[nodiscard]] ssa::SsaParams params_for(std::size_t bits) const;
 
+  [[nodiscard]] ssa::Workspace& workspace() {
+    return workspace_ != nullptr ? *workspace_ : ssa::thread_workspace();
+  }
+
+  void accumulate(const ssa::SsaStats& call_stats);
+
   std::optional<ssa::SsaParams> fixed_params_;
   std::shared_ptr<ssa::ConcurrentSpectrumCache> shared_cache_;
+  std::shared_ptr<ssa::Workspace> workspace_;
+  /// Guards stats_ only: calls themselves need per-instance (or per-lane)
+  /// serialization because of the workspace, but the shared "auto"
+  /// engine's inner SsaBackend can see concurrent callers, each on its own
+  /// thread workspace.
+  mutable std::mutex stats_mutex_;
+  ssa::SsaStats stats_;
 };
 
 }  // namespace hemul::backend

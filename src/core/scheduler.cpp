@@ -49,9 +49,13 @@ std::shared_ptr<backend::MultiplierBackend> Scheduler::make_lane_backend() const
   if (name == "ssa") {
     // Adaptive software SSA per lane (the registry engine's semantics);
     // all lanes share one spectrum cache, keyed by operand *and* packing
-    // geometry, so mixed operand sizes stay exact.
+    // geometry, so mixed operand sizes stay exact. Each lane owns a
+    // private buffer arena (the software mirror of a PE's banked SRAM):
+    // steady-state jobs reuse it instead of allocating, and lanes never
+    // contend on buffers.
     auto ssa = std::make_shared<backend::SsaBackend>();
     ssa->set_shared_cache(cache_);
+    ssa->set_workspace(std::make_shared<ssa::Workspace>());
     return ssa;
   }
   return backend::make_backend(name);

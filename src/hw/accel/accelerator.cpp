@@ -33,11 +33,11 @@ BigUInt HwAccelerator::multiply(const BigUInt& a, const BigUInt& b, MultiplyRepo
   MultiplyReport local;
   local.clock_ns = config_.clock_ns;
 
-  const FpVec pa = ssa::pack(a, config_.ssa);
-  const FpVec pb = ssa::pack(b, config_.ssa);
+  ssa::pack_into(a, config_.ssa, workspace_.pack_a);
+  ssa::pack_into(b, config_.ssa, workspace_.pack_b);
 
-  const FpVec fa = ntt_.forward(pa, &local.forward_a);
-  const FpVec fb = ntt_.forward(pb, &local.forward_b);
+  const FpVec fa = ntt_.forward(workspace_.pack_a, &local.forward_a);
+  const FpVec fb = ntt_.forward(workspace_.pack_b, &local.forward_b);
   const FpVec fc = pointwise_.multiply(fa, fb, &local.pointwise);
   const FpVec pc = ntt_.inverse(fc, &local.inverse_c);
   BigUInt product = carry_.recover(pc, config_.ssa.coeff_bits, &local.carry);
@@ -90,11 +90,11 @@ std::vector<BigUInt> HwAccelerator::multiply_batch_cached(
   u64 fft_engine_cycles = 0;  // transforms + dot products (shared multipliers)
   u64 last_carry_cycles = 0;  // only the tail's carry recovery is exposed
 
-  ssa::BatchSpectrumProvider spectra(operands, [&](const BigUInt& operand) {
+  ssa::BatchSpectrumProvider spectra(operands, [&](const BigUInt& operand, FpVec& dst) {
     NttRunReport fwd;
-    FpVec spectrum = ntt_.forward(ssa::pack(operand, config_.ssa), &fwd);
+    ssa::pack_into(operand, config_.ssa, workspace_.pack_a);
+    dst = ntt_.forward(workspace_.pack_a, &fwd);
     fft_engine_cycles += fwd.total_cycles;
-    return spectrum;
   });
 
   for (std::size_t i = 0; i < operands.size(); ++i) {
@@ -133,8 +133,8 @@ BigUInt HwAccelerator::square(const BigUInt& a, MultiplyReport* report) {
   MultiplyReport local;
   local.clock_ns = config_.clock_ns;
 
-  const FpVec pa = ssa::pack(a, config_.ssa);
-  const FpVec fa = ntt_.forward(pa, &local.forward_a);
+  ssa::pack_into(a, config_.ssa, workspace_.pack_a);
+  const FpVec fa = ntt_.forward(workspace_.pack_a, &local.forward_a);
   const FpVec fc = pointwise_.multiply(fa, fa, &local.pointwise);
   const FpVec pc = ntt_.inverse(fc, &local.inverse_c);
   BigUInt product = carry_.recover(pc, config_.ssa.coeff_bits, &local.carry);

@@ -10,6 +10,7 @@
 #include "hw/accel/distributed_ntt.hpp"
 #include "hw/accel/pointwise.hpp"
 #include "ssa/params.hpp"
+#include "ssa/workspace.hpp"
 
 namespace hemul::hw {
 
@@ -120,6 +121,11 @@ class HwAccelerator {
   DistributedNtt ntt_;
   PointwiseUnit pointwise_;
   CarryRecoveryUnit carry_;
+  /// Reusable pack buffers (the model's input staging RAM): the software
+  /// model shares the ssa fast path's arena discipline, so steady-state
+  /// operand packing allocates nothing. One accelerator instance is used
+  /// by one lane/thread at a time, like the other stateful units here.
+  ssa::Workspace workspace_;
 };
 
 }  // namespace hemul::hw

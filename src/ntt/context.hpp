@@ -1,0 +1,98 @@
+#pragma once
+
+#include <vector>
+
+#include "fp/fp64.hpp"
+#include "ntt/op_counts.hpp"
+#include "ntt/plan.hpp"
+
+namespace hemul::ntt {
+
+/// Reusable per-thread scratch for NttContext stage execution: the column
+/// gather/scatter buffers of the combine stages. Sized on first use per
+/// plan (max radix elements each) and reused across calls, so steady-state
+/// transforms allocate nothing. Owned by the caller (e.g. one per
+/// scheduler PE lane inside ssa::Workspace); a NttContext itself is
+/// immutable and freely shared across threads.
+struct NttScratch {
+  fp::FpVec column;
+  fp::FpVec dft;
+};
+
+/// Scratch of the calling thread (for code without its own workspace).
+NttScratch& thread_ntt_scratch();
+
+/// Precomputed, immutable execution state of one mixed-radix NTT plan --
+/// the software mirror of the accelerator's pre-resident twiddle ROMs and
+/// banked operand buffers: everything a transform needs (twiddle tables,
+/// the digit-reversal permutation, per-stage inter-stage twiddles, 1/N) is
+/// built once and reused across every call, so steady-state transforms are
+/// setup-free and allocation-free.
+///
+/// The transform itself is the iterative in-place form of the paper's
+/// Eq. 1/2 staging: one digit-reversal gather, then one butterfly pass per
+/// plan stage over a single flat buffer (no per-stage vector-of-vectors).
+/// Sub-transform DFTs keep the shift-only twiddle kernel (paper Eq. 3)
+/// whenever the stage root is a power of two, and the butterfly inner loop
+/// defers canonical reduction: row sums accumulate in 128 bits and reduce
+/// once per output (bounds allow it for every radix <= 2^32).
+///
+/// Results are bit-exact against the recursive reference formulation, and
+/// NttOpCounts are reported with identical semantics.
+class NttContext {
+ public:
+  /// Builds all tables for the plan (the one-time cost shared_context()
+  /// amortizes process-wide).
+  explicit NttContext(NttPlan plan);
+
+  /// out = NTT(in), natural order on both sides, canonical values.
+  /// in.size() must equal plan().size; out is resized (no allocation once
+  /// its capacity fits). in and out must not alias.
+  void forward(const fp::FpVec& in, fp::FpVec& out, NttScratch& scratch,
+               NttOpCounts* counts = nullptr) const;
+
+  /// out = NTT^-1(in) including the 1/N scaling.
+  void inverse(const fp::FpVec& in, fp::FpVec& out, NttScratch& scratch,
+               NttOpCounts* counts = nullptr) const;
+
+  [[nodiscard]] const NttPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] fp::Fp root() const noexcept { return root_; }
+
+ private:
+  /// One combine stage: radix-r DFTs across columns of already-transformed
+  /// blocks, preceded by the inter-stage twiddle pass (paper Eq. 2).
+  struct Stage {
+    u32 radix = 0;
+    u64 block = 0;  ///< length of the sub-results being combined
+    u64 span = 0;   ///< radix * block: extent of one butterfly group
+    std::vector<fp::Fp> fwd_tw;  ///< (radix-1)*block twiddles, j-major
+    std::vector<fp::Fp> inv_tw;
+  };
+
+  void run(const fp::FpVec& in, fp::FpVec& out, bool inverse, NttScratch& scratch,
+           NttOpCounts* counts) const;
+
+  /// order-point DFT of `in` into `out` (distinct buffers) using the
+  /// full-size power table; shift-only kernel when the order-th root is a
+  /// power of two. Deferred reduction: one reduce128 per output.
+  void small_dft(const fp::Fp* in, fp::Fp* out, u64 order, const std::vector<fp::Fp>& table,
+                 NttOpCounts* counts) const;
+
+  NttPlan plan_;
+  fp::Fp root_;
+  fp::Fp n_inv_;
+  std::vector<fp::Fp> fwd_table_;  ///< w^0 .. w^(N-1)
+  std::vector<fp::Fp> inv_table_;
+  std::vector<u32> perm_;          ///< digit reversal: work[p] = in[perm_[p]]
+  std::vector<Stage> stages_;      ///< combine stages, innermost first
+};
+
+/// Process-wide plan cache: the first request for a plan builds its
+/// NttContext (twiddle tables, permutations); every later request -- from
+/// any thread -- returns the same immutable context via a lock-free list
+/// walk, so ssa::multiply never rebuilds an engine and scheduler lanes
+/// never contend on the lookup. Contexts intentionally live for the
+/// process lifetime (mirroring the accelerator's resident ROMs).
+const NttContext& shared_context(const NttPlan& plan);
+
+}  // namespace hemul::ntt

@@ -1,20 +1,13 @@
 #include "ntt/mixed_radix.hpp"
 
-#include "fp/roots.hpp"
-#include "util/check.hpp"
+#include "ntt/context.hpp"
 
 namespace hemul::ntt {
 
 using fp::Fp;
 using fp::FpVec;
 
-MixedRadixNtt::MixedRadixNtt(NttPlan plan) : plan_(std::move(plan)) {
-  const u64 n = plan_.size;
-  root_ = n >= 64 ? fp::aligned_root(n) : fp::primitive_root(n);
-  fwd_table_ = fp::power_table(root_, n);
-  inv_table_ = fp::power_table(root_.inv(), n);
-  n_inv_ = fp::inv_of_u64(n);
-}
+MixedRadixNtt::MixedRadixNtt(NttPlan plan) : context_(&shared_context(plan)) {}
 
 int MixedRadixNtt::log2_of(Fp x) noexcept {
   Fp probe = fp::kOne;
@@ -25,100 +18,19 @@ int MixedRadixNtt::log2_of(Fp x) noexcept {
   return -1;
 }
 
-void MixedRadixNtt::small_dft(const FpVec& in, FpVec& out, u64 order,
-                              const std::vector<Fp>& table, NttOpCounts* counts) const {
-  const u64 n = plan_.size;
-  const u64 stride = n / order;  // w_order = W^stride
-  const Fp w_order = table[stride % n];
-  const int shift = log2_of(w_order);
+const NttPlan& MixedRadixNtt::plan() const noexcept { return context_->plan(); }
 
-  if (shift >= 0) {
-    // Shift-only kernel (paper Eq. 3): every twiddle is 2^(shift*i*k).
-    for (u64 k = 0; k < order; ++k) {
-      Fp acc = fp::kZero;
-      for (u64 i = 0; i < order; ++i) {
-        acc += in[i].mul_pow2(static_cast<u64>(shift) * ((i * k) % order));
-      }
-      out[k] = acc;
-    }
-    if (counts != nullptr) {
-      counts->shift_muls += order * order;
-      counts->additions += order * (order - 1);
-    }
-    return;
-  }
+Fp MixedRadixNtt::root() const noexcept { return context_->root(); }
 
-  for (u64 k = 0; k < order; ++k) {
-    Fp acc = fp::kZero;
-    for (u64 i = 0; i < order; ++i) {
-      acc += in[i] * table[(stride * ((i * k) % order)) % n];
-    }
-    out[k] = acc;
-  }
-  if (counts != nullptr) {
-    counts->generic_muls += order * order;
-    counts->additions += order * (order - 1);
-  }
-}
-
-FpVec MixedRadixNtt::rec(const FpVec& in, std::size_t stages, const std::vector<Fp>& table,
-                         NttOpCounts* counts) const {
-  const u64 n = in.size();
-  if (stages == 1) {
-    FpVec out(n);
-    small_dft(in, out, n, table, counts);
-    return out;
-  }
-
-  // Outermost radix of the remaining stages; sub-transforms of length M are
-  // computed first (paper Eq. 2: the radix over n3 runs before the ones
-  // over n2 and n1).
-  const u32 r = plan_.radices[stages - 1];
-  const u64 m = n / r;
-  const u64 big_n = plan_.size;
-  const u64 w_n_stride = big_n / n;  // w_n = W^(N/n), the order-n root
-
-  // Decimate: sub_j[t] = in[t*r + j], then transform each recursively.
-  std::vector<FpVec> sub(r, FpVec(m));
-  for (u64 t = 0; t < m; ++t) {
-    for (u32 j = 0; j < r; ++j) sub[j][t] = in[t * r + j];
-  }
-  for (u32 j = 0; j < r; ++j) sub[j] = rec(sub[j], stages - 1, table, counts);
-
-  // Twiddle: H_j[t] = G_j[t] * w_n^(j*t). j*t < n so the exponent fits.
-  for (u32 j = 1; j < r; ++j) {
-    for (u64 t = 0; t < m; ++t) {
-      sub[j][t] *= table[(w_n_stride * ((static_cast<u64>(j) * t) % n)) % big_n];
-    }
-  }
-  if (counts != nullptr) counts->generic_muls += static_cast<u64>(r - 1) * m;
-
-  // Combine: F[q*m + t] = sum_j w_r^(j*q) * H_j[t] -- an r-point DFT across
-  // the sub-transform outputs for every t.
-  FpVec out(n);
-  FpVec column(r);
-  FpVec spectrum(r);
-  for (u64 t = 0; t < m; ++t) {
-    for (u32 j = 0; j < r; ++j) column[j] = sub[j][t];
-    small_dft(column, spectrum, r, table, counts);
-    for (u32 q = 0; q < r; ++q) out[static_cast<u64>(q) * m + t] = spectrum[q];
-  }
+FpVec MixedRadixNtt::forward(const FpVec& data, NttOpCounts* counts) const {
+  FpVec out;
+  context_->forward(data, out, thread_ntt_scratch(), counts);
   return out;
 }
 
-FpVec MixedRadixNtt::run(const FpVec& data, const std::vector<Fp>& table,
-                         NttOpCounts* counts) const {
-  HEMUL_CHECK_MSG(data.size() == plan_.size, "MixedRadixNtt: size mismatch");
-  return rec(data, plan_.stage_count(), table, counts);
-}
-
-FpVec MixedRadixNtt::forward(const FpVec& data, NttOpCounts* counts) const {
-  return run(data, fwd_table_, counts);
-}
-
 FpVec MixedRadixNtt::inverse(const FpVec& data, NttOpCounts* counts) const {
-  FpVec out = run(data, inv_table_, counts);
-  for (auto& v : out) v *= n_inv_;
+  FpVec out;
+  context_->inverse(data, out, thread_ntt_scratch(), counts);
   return out;
 }
 

@@ -1,38 +1,29 @@
 #pragma once
 
 #include "fp/fp64.hpp"
+#include "ntt/op_counts.hpp"
 #include "ntt/plan.hpp"
 
 namespace hemul::ntt {
 
-/// Operation counts gathered during a transform. The split between
-/// shift-implementable and generic multiplications is the quantitative core
-/// of the paper's architecture: with the aligned root hierarchy, *all*
-/// butterfly multiplications inside radix-8/16/32/64 sub-transforms are
-/// shifts (zero DSP blocks), and only the inter-stage twiddle factors need
-/// real modular multipliers.
-struct NttOpCounts {
-  u64 shift_muls = 0;    ///< multiplications by powers of two (hardware: wiring/shifts)
-  u64 generic_muls = 0;  ///< full modular multiplications (hardware: DSP blocks)
-  u64 additions = 0;
-
-  NttOpCounts& operator+=(const NttOpCounts& o) noexcept {
-    shift_muls += o.shift_muls;
-    generic_muls += o.generic_muls;
-    additions += o.additions;
-    return *this;
-  }
-};
+class NttContext;
 
 /// General Cooley-Tukey mixed-radix NTT following the paper's Eq. 1/2:
 /// the transform is decomposed per an NttPlan, inner sub-transforms use
 /// shift-only twiddles whenever the sub-root is a power of two, and
 /// inter-stage twiddles use generic multiplication.
+///
+/// This class is a thin facade over the process-wide ntt::NttContext plan
+/// cache (context.hpp): constructing it does *not* rebuild twiddle tables
+/// after the first time a plan is seen, so it is cheap to instantiate
+/// per call site. Code on the multiplication hot path uses the context's
+/// buffer-reusing API directly; this facade keeps the simple allocating
+/// golden-model interface.
 class MixedRadixNtt {
  public:
-  /// Builds twiddle tables for the plan. The root hierarchy is aligned so
-  /// that the 64-point sub-root is exactly 8 (paper Eq. 3) whenever the
-  /// size is >= 64.
+  /// Binds to the shared execution context of the plan (built on first
+  /// use). The root hierarchy is aligned so that the 64-point sub-root is
+  /// exactly 8 (paper Eq. 3) whenever the size is >= 64.
   explicit MixedRadixNtt(NttPlan plan);
 
   /// Out-of-place forward transform; input size must equal plan().size.
@@ -41,26 +32,15 @@ class MixedRadixNtt {
   /// Out-of-place inverse transform (with 1/N scaling).
   [[nodiscard]] fp::FpVec inverse(const fp::FpVec& data, NttOpCounts* counts = nullptr) const;
 
-  [[nodiscard]] const NttPlan& plan() const noexcept { return plan_; }
-  [[nodiscard]] fp::Fp root() const noexcept { return root_; }
+  [[nodiscard]] const NttPlan& plan() const noexcept;
+  [[nodiscard]] fp::Fp root() const noexcept;
 
   /// log2 of a field element if it is a power of two (2^e, e in [0,192)),
   /// or -1 otherwise. Exposed for the hardware layer's shifter banks.
   static int log2_of(fp::Fp x) noexcept;
 
  private:
-  fp::FpVec run(const fp::FpVec& data, const std::vector<fp::Fp>& table,
-                NttOpCounts* counts) const;
-  fp::FpVec rec(const fp::FpVec& in, std::size_t stages, const std::vector<fp::Fp>& table,
-                NttOpCounts* counts) const;
-  void small_dft(const fp::FpVec& in, fp::FpVec& out, u64 order,
-                 const std::vector<fp::Fp>& table, NttOpCounts* counts) const;
-
-  NttPlan plan_;
-  fp::Fp root_;
-  std::vector<fp::Fp> fwd_table_;
-  std::vector<fp::Fp> inv_table_;
-  fp::Fp n_inv_;
+  const NttContext* context_;  ///< shared, immutable, process-lifetime
 };
 
 }  // namespace hemul::ntt

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "util/uint128.hpp"
+
+namespace hemul::ntt {
+
+/// Operation counts gathered during a transform. The split between
+/// shift-implementable and generic multiplications is the quantitative core
+/// of the paper's architecture: with the aligned root hierarchy, *all*
+/// butterfly multiplications inside radix-8/16/32/64 sub-transforms are
+/// shifts (zero DSP blocks), and only the inter-stage twiddle factors need
+/// real modular multipliers.
+struct NttOpCounts {
+  u64 shift_muls = 0;    ///< multiplications by powers of two (hardware: wiring/shifts)
+  u64 generic_muls = 0;  ///< full modular multiplications (hardware: DSP blocks)
+  u64 additions = 0;
+
+  NttOpCounts& operator+=(const NttOpCounts& o) noexcept {
+    shift_muls += o.shift_muls;
+    generic_muls += o.generic_muls;
+    additions += o.additions;
+    return *this;
+  }
+};
+
+}  // namespace hemul::ntt

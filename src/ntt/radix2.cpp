@@ -1,9 +1,10 @@
 #include "ntt/radix2.hpp"
 
-#include <map>
+#include <atomic>
 #include <memory>
 #include <mutex>
 
+#include "fp/kernels.hpp"
 #include "fp/roots.hpp"
 #include "util/check.hpp"
 
@@ -39,13 +40,7 @@ void Radix2Ntt::dit_sweep(FpVec& data, const std::vector<std::vector<Fp>>& level
     const Fp* tw = levels[level].data();
     for (u64 start = 0; start < n_; start += len) {
       Fp* lo = data.data() + start;
-      Fp* hi = lo + half;
-      for (u64 k = 0; k < half; ++k) {
-        const Fp t = hi[k] * tw[k];
-        const Fp u = lo[k];
-        lo[k] = u + t;
-        hi[k] = u - t;
-      }
+      fp::dit_butterflies(lo, lo + half, tw, half);
     }
   }
 }
@@ -57,13 +52,7 @@ void Radix2Ntt::dif_sweep(FpVec& data, const std::vector<std::vector<Fp>>& level
     const Fp* tw = levels[level].data();
     for (u64 start = 0; start < n_; start += len) {
       Fp* lo = data.data() + start;
-      Fp* hi = lo + half;
-      for (u64 k = 0; k < half; ++k) {
-        const Fp u = lo[k];
-        const Fp v = hi[k];
-        lo[k] = u + v;
-        hi[k] = (u - v) * tw[k];
-      }
+      fp::dif_butterflies(lo, lo + half, tw, half);
     }
   }
 }
@@ -72,48 +61,96 @@ void Radix2Ntt::forward(FpVec& data) const {
   HEMUL_CHECK(data.size() == n_);
   bit_reverse(data);
   dit_sweep(data, fwd_levels_);
+  fp::canonicalize(data.data(), n_);
 }
 
 void Radix2Ntt::inverse(FpVec& data) const {
   HEMUL_CHECK(data.size() == n_);
   bit_reverse(data);
   dit_sweep(data, inv_levels_);
-  for (auto& v : data) v *= n_inv_;
+  fp::scale_canonical(data.data(), n_inv_, n_);
 }
 
-FpVec Radix2Ntt::convolve(const FpVec& a, const FpVec& b) const {
+void Radix2Ntt::forward_spectrum(FpVec& data) const {
+  HEMUL_CHECK(data.size() == n_);
+  dif_sweep(data, fwd_levels_);
+  fp::canonicalize(data.data(), n_);
+}
+
+void Radix2Ntt::inverse_from_spectrum(FpVec& data) const {
+  HEMUL_CHECK(data.size() == n_);
+  dit_sweep(data, inv_levels_);
+  fp::scale_canonical(data.data(), n_inv_, n_);
+}
+
+void Radix2Ntt::convolve_from_spectra(FpVec& out, const FpVec& fa, const FpVec& fb) const {
+  HEMUL_CHECK(fa.size() == n_ && fb.size() == n_);
+  out.resize(n_);
+  fp::pointwise_product_scaled(out.data(), fa.data(), fb.data(), n_inv_, n_);
+  dit_sweep(out, inv_levels_);
+  fp::canonicalize(out.data(), n_);
+}
+
+void Radix2Ntt::convolve_into(FpVec& a, FpVec& b) const {
   HEMUL_CHECK(a.size() == n_ && b.size() == n_);
-  FpVec fa = a;
-  FpVec fb = b;
   // DIF leaves spectra in bit-reversed order; the pointwise product is
   // order-agnostic, and the DIT inverse consumes bit-reversed input
   // directly -- no permutation passes at all.
-  dif_sweep(fa, fwd_levels_);
-  dif_sweep(fb, fwd_levels_);
-  for (u64 i = 0; i < n_; ++i) fa[i] = fa[i] * fb[i] * n_inv_;
-  dit_sweep(fa, inv_levels_);
+  dif_sweep(a, fwd_levels_);
+  dif_sweep(b, fwd_levels_);
+  fp::pointwise_product_scaled(a.data(), a.data(), b.data(), n_inv_, n_);
+  dit_sweep(a, inv_levels_);
+  fp::canonicalize(a.data(), n_);
+}
+
+void Radix2Ntt::convolve_square_into(FpVec& a) const {
+  HEMUL_CHECK(a.size() == n_);
+  dif_sweep(a, fwd_levels_);
+  fp::pointwise_product_scaled(a.data(), a.data(), a.data(), n_inv_, n_);
+  dit_sweep(a, inv_levels_);
+  fp::canonicalize(a.data(), n_);
+}
+
+FpVec Radix2Ntt::convolve(const FpVec& a, const FpVec& b) const {
+  FpVec fa = a;
+  FpVec fb = b;
+  convolve_into(fa, fb);
   return fa;
 }
 
 FpVec Radix2Ntt::convolve_square(const FpVec& a) const {
-  HEMUL_CHECK(a.size() == n_);
   FpVec fa = a;
-  dif_sweep(fa, fwd_levels_);
-  for (u64 i = 0; i < n_; ++i) fa[i] = fa[i] * fa[i] * n_inv_;
-  dit_sweep(fa, inv_levels_);
+  convolve_square_into(fa);
   return fa;
 }
 
 const Radix2Ntt& shared_radix2(u64 n) {
-  static std::mutex mutex;
-  static std::map<u64, std::unique_ptr<Radix2Ntt>>& cache =
-      *new std::map<u64, std::unique_ptr<Radix2Ntt>>();
-  const std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, std::make_unique<Radix2Ntt>(n)).first;
+  // Lock-free lookup: engines are immutable once published, so readers walk
+  // an atomic singly-linked list without synchronizing with each other.
+  // Nodes live for the process lifetime on purpose (a handful of transform
+  // sizes, each a few twiddle tables) -- scheduler lanes must never contend
+  // here, and tearing the list down at exit would race static destructors.
+  struct Node {
+    std::unique_ptr<const Radix2Ntt> engine;
+    const Node* next;
+  };
+  static std::atomic<const Node*> head{nullptr};
+  static std::mutex build_mutex;
+
+  for (const Node* node = head.load(std::memory_order_acquire); node != nullptr;
+       node = node->next) {
+    if (node->engine->size() == n) return *node->engine;
   }
-  return *it->second;
+
+  const std::lock_guard<std::mutex> lock(build_mutex);
+  for (const Node* node = head.load(std::memory_order_acquire); node != nullptr;
+       node = node->next) {
+    if (node->engine->size() == n) return *node->engine;
+  }
+  auto* node = new Node{std::make_unique<const Radix2Ntt>(n),
+                        head.load(std::memory_order_relaxed)};
+  head.store(node, std::memory_order_release);
+  return *node->engine;
 }
 
 }  // namespace hemul::ntt

@@ -1,8 +1,7 @@
 #include "ssa/batch.hpp"
 
-#include <optional>
-
-#include "ntt/mixed_radix.hpp"
+#include "fp/kernels.hpp"
+#include "ntt/context.hpp"
 #include "ntt/radix2.hpp"
 #include "ssa/pack.hpp"
 
@@ -13,28 +12,62 @@ using fp::FpVec;
 
 namespace {
 
-/// Uniform forward/inverse access over the two software engines.
+/// Uniform engine access over the two software paths, bound to one
+/// workspace. Spectra are in the producing engine's own order (engine
+/// order for radix-2, natural for mixed-radix); they only ever meet this
+/// view's own inverse path, so the orders never mix.
 struct EngineView {
   const ntt::Radix2Ntt* radix2 = nullptr;
-  const ntt::MixedRadixNtt* mixed = nullptr;
+  const ntt::NttContext* mixed = nullptr;
+  const SsaParams& params;
+  Workspace& ws;
 
-  [[nodiscard]] FpVec forward(FpVec data) const {
-    if (mixed != nullptr) return mixed->forward(data);
-    radix2->forward(data);
-    return data;
+  EngineView(const SsaParams& p, Workspace& w) : params(p), ws(w) {
+    if (p.engine == Engine::kMixedRadix) {
+      mixed = &ntt::shared_context(p.plan);
+    } else {
+      radix2 = &ntt::shared_radix2(p.transform_size);
+    }
   }
-  [[nodiscard]] FpVec inverse(FpVec data) const {
-    if (mixed != nullptr) return mixed->inverse(data);
-    radix2->inverse(data);
-    return data;
+
+  /// Forward spectrum of an operand into `dst` (resized; reuses its
+  /// capacity). dst must not be a pack buffer of this view's workspace.
+  void forward_into(const BigUInt& operand, FpVec& dst) {
+    if (mixed != nullptr) {
+      pack_into(operand, params, ws.pack_a);
+      mixed->forward(ws.pack_a, dst, ws.ntt);
+      return;
+    }
+    pack_into(operand, params, dst);
+    radix2->forward_spectrum(dst);  // in place: no copy at all
+  }
+
+  /// Forward spectrum as a freshly owned vector (cache storage).
+  [[nodiscard]] FpVec forward_copy(const BigUInt& operand) {
+    FpVec out;
+    forward_into(operand, out);
+    return out;
+  }
+
+  /// product = carry_recover(inverse(fa . fb)); fa/fb may live in the
+  /// spectrum cache or in ws.spec_a/ws.spec_b, never in the pack buffers.
+  void product_into(BigUInt& product, const FpVec& fa, const FpVec& fb) {
+    if (mixed != nullptr) {
+      ws.pack_b.resize(fa.size());
+      fp::pointwise_product(ws.pack_b.data(), fa.data(), fb.data(), fa.size());
+      mixed->inverse(ws.pack_b, ws.pack_a, ws.ntt);
+    } else {
+      radix2->convolve_from_spectra(ws.pack_a, fa, fb);
+    }
+    carry_recover_into(ws.pack_a, params.coeff_bits, product);
   }
 };
 
 }  // namespace
 
-std::vector<BigUInt> multiply_batch(
-    std::span<const std::pair<BigUInt, BigUInt>> jobs, const SsaParams& params,
-    BatchStats* stats) {
+std::vector<BigUInt> multiply_batch(std::span<const std::pair<BigUInt, BigUInt>> jobs,
+                                    const SsaParams& params, Workspace& ws,
+                                    BatchStats* stats) {
   BatchStats local;
   local.jobs = jobs.size();
 
@@ -45,31 +78,21 @@ std::vector<BigUInt> multiply_batch(
     return products;
   }
 
-  EngineView engine;
-  std::optional<ntt::MixedRadixNtt> mixed;
-  if (params.engine == Engine::kMixedRadix) {
-    mixed.emplace(params.plan);
-    engine.mixed = &*mixed;
-  } else {
-    engine.radix2 = &ntt::shared_radix2(params.transform_size);
-  }
-
-  BatchSpectrumProvider spectra(
-      jobs, [&](const BigUInt& operand) { return engine.forward(pack(operand, params)); });
+  EngineView engine(params, ws);
+  BatchSpectrumProvider spectra(jobs, [&engine](const BigUInt& operand, FpVec& dst) {
+    engine.forward_into(operand, dst);
+  });
 
   for (const auto& [a, b] : jobs) {
     if (a.is_zero() || b.is_zero()) {
       products.emplace_back();
       continue;
     }
-    FpVec scratch_a;
-    FpVec scratch_b;
-    const FpVec& fa = spectra.get(a, scratch_a);
-    const FpVec& fb = spectra.get(b, scratch_b);
-    FpVec fc(fa.size());
-    for (std::size_t i = 0; i < fc.size(); ++i) fc[i] = fa[i] * fb[i];
+    const FpVec& fa = spectra.get(a, ws.spec_a);
+    const FpVec& fb = spectra.get(b, ws.spec_b);
     ++local.inverse_transforms;
-    products.push_back(carry_recover(engine.inverse(std::move(fc)), params.coeff_bits));
+    products.emplace_back();
+    engine.product_into(products.back(), fa, fb);
   }
 
   local.forward_transforms = spectra.forward_transforms();
@@ -78,29 +101,38 @@ std::vector<BigUInt> multiply_batch(
   return products;
 }
 
+std::vector<BigUInt> multiply_batch(std::span<const std::pair<BigUInt, BigUInt>> jobs,
+                                    const SsaParams& params, BatchStats* stats) {
+  return multiply_batch(jobs, params, thread_workspace(), stats);
+}
+
 BigUInt multiply_cached(const BigUInt& a, const BigUInt& b, const SsaParams& params,
-                        ConcurrentSpectrumCache& cache) {
+                        ConcurrentSpectrumCache& cache, Workspace& ws, SsaStats* stats) {
   if (a.is_zero() || b.is_zero()) return BigUInt{};
 
-  EngineView engine;
-  std::optional<ntt::MixedRadixNtt> mixed;
-  if (params.engine == Engine::kMixedRadix) {
-    mixed.emplace(params.plan);
-    engine.mixed = &*mixed;
-  } else {
-    engine.radix2 = &ntt::shared_radix2(params.transform_size);
-  }
-
-  const auto forward = [&](const BigUInt& operand) {
-    return engine.forward(pack(operand, params));
+  EngineView engine(params, ws);
+  u64 forwards_executed = 0;
+  const auto forward = [&engine, &forwards_executed](const BigUInt& operand) {
+    ++forwards_executed;
+    return engine.forward_copy(operand);
   };
   const std::shared_ptr<const FpVec> fa = cache.get_or_compute(a, params, forward);
   const std::shared_ptr<const FpVec> fb =
       a == b ? fa : cache.get_or_compute(b, params, forward);
 
-  FpVec fc(fa->size());
-  for (std::size_t i = 0; i < fc.size(); ++i) fc[i] = (*fa)[i] * (*fb)[i];
-  return carry_recover(engine.inverse(std::move(fc)), params.coeff_bits);
+  BigUInt product;
+  engine.product_into(product, *fa, *fb);
+
+  if (stats != nullptr) {
+    stats->pointwise_muls += params.transform_size;
+    stats->transform_count += forwards_executed + 1;  // cache hits skip forwards
+  }
+  return product;
+}
+
+BigUInt multiply_cached(const BigUInt& a, const BigUInt& b, const SsaParams& params,
+                        ConcurrentSpectrumCache& cache) {
+  return multiply_cached(a, b, params, cache, thread_workspace(), nullptr);
 }
 
 }  // namespace hemul::ssa

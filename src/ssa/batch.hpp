@@ -15,23 +15,41 @@ struct BatchStats {
   u64 forward_transforms = 0;   ///< forward NTTs actually executed
   u64 inverse_transforms = 0;   ///< one per nonzero product
   u64 spectrum_cache_hits = 0;  ///< forward NTTs avoided by the cache
+
+  /// Transforms actually run -- the cache-aware replacement for the naive
+  /// 3-per-product count (cached operands skip their forward transform,
+  /// and the stats say so).
+  [[nodiscard]] u64 transform_count() const noexcept {
+    return forward_transforms + inverse_transforms;
+  }
 };
 
 /// Multiplies a batch of operand pairs under one SsaParams instance,
 /// caching forward spectra of repeated operands: a batch that multiplies
 /// one integer against N others costs N+1 forward transforms instead of
-/// 2N. Products are bit-exact against per-call ssa::multiply.
+/// 2N. Products are bit-exact against per-call ssa::multiply. All
+/// transient buffers come from the workspace (thread-local in the
+/// two-argument overload), so steady-state batches allocate only for the
+/// products and cached spectra themselves.
 ///
 /// Every operand must fit params.max_operand_bits().
 std::vector<bigint::BigUInt> multiply_batch(
     std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> jobs,
     const SsaParams& params, BatchStats* stats = nullptr);
+std::vector<bigint::BigUInt> multiply_batch(
+    std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> jobs,
+    const SsaParams& params, Workspace& workspace, BatchStats* stats);
 
 /// One SSA multiplication whose forward spectra go through a shared
 /// thread-safe cache: the per-job entry point of the scheduler's PE lanes,
 /// where repeated operands are transformed once *across* lanes rather than
 /// once per batch. Squarings (a == b) fetch a single spectrum. Bit-exact
-/// against ssa::multiply.
+/// against ssa::multiply. SsaStats (when given) reflect the transforms
+/// actually executed: 1 inverse plus one forward per cache miss, so a
+/// fully cached product reports 1, not 3.
+bigint::BigUInt multiply_cached(const bigint::BigUInt& a, const bigint::BigUInt& b,
+                                const SsaParams& params, ConcurrentSpectrumCache& cache,
+                                Workspace& workspace, SsaStats* stats = nullptr);
 bigint::BigUInt multiply_cached(const bigint::BigUInt& a, const bigint::BigUInt& b,
                                 const SsaParams& params, ConcurrentSpectrumCache& cache);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fp/kernels.hpp"
+#include "ntt/context.hpp"
 #include "ntt/radix2.hpp"
 #include "ssa/pack.hpp"
 #include "util/check.hpp"
@@ -11,30 +13,43 @@ namespace hemul::ssa {
 using bigint::BigUInt;
 using fp::FpVec;
 
-BigUInt multiply(const BigUInt& a, const BigUInt& b, const SsaParams& params, SsaStats* stats) {
-  if (a.is_zero() || b.is_zero()) return BigUInt{};
+void multiply_into(BigUInt& out, const BigUInt& a, const BigUInt& b, const SsaParams& params,
+                   Workspace& ws, SsaStats* stats) {
+  if (a.is_zero() || b.is_zero()) {
+    bigint::MutableAccess::limbs(out).clear();
+    return;
+  }
 
-  FpVec pa = pack(a, params);
-  FpVec pb = pack(b, params);
+  pack_into(a, params, ws.pack_a);
+  pack_into(b, params, ws.pack_b);
 
   if (params.engine == Engine::kMixedRadix) {
-    const ntt::MixedRadixNtt engine(params.plan);
+    const ntt::NttContext& engine = ntt::shared_context(params.plan);
     ntt::NttOpCounts* counts = stats != nullptr ? &stats->transform_ops : nullptr;
-    FpVec fa = engine.forward(pa, counts);
-    const FpVec fb = engine.forward(pb, counts);
-    for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
-    pa = engine.inverse(fa, counts);
+    engine.forward(ws.pack_a, ws.spec_a, ws.ntt, counts);
+    engine.forward(ws.pack_b, ws.spec_b, ws.ntt, counts);
+    fp::pointwise_product(ws.spec_a.data(), ws.spec_a.data(), ws.spec_b.data(),
+                          ws.spec_a.size());
+    engine.inverse(ws.spec_a, ws.pack_a, ws.ntt, counts);
   } else {
-    // Shared engine (twiddle tables cached across calls) and the
-    // bit-reversal-free DIF/DIT convolution path.
-    pa = ntt::shared_radix2(params.transform_size).convolve(pa, pb);
+    // Shared engine (twiddle tables cached process-wide, lock-free lookup)
+    // and the bit-reversal-free DIF/DIT convolution path, in place over the
+    // workspace's pack buffers.
+    ntt::shared_radix2(params.transform_size).convolve_into(ws.pack_a, ws.pack_b);
   }
 
   if (stats != nullptr) {
     stats->pointwise_muls += params.transform_size;
     stats->transform_count += 3;
   }
-  return carry_recover(pa, params.coeff_bits);
+  carry_recover_into(ws.pack_a, params.coeff_bits, out);
+}
+
+BigUInt multiply(const BigUInt& a, const BigUInt& b, const SsaParams& params,
+                 SsaStats* stats) {
+  BigUInt out;
+  multiply_into(out, a, b, params, thread_workspace(), stats);
+  return out;
 }
 
 BigUInt mul_ssa(const BigUInt& a, const BigUInt& b) {
@@ -43,25 +58,36 @@ BigUInt mul_ssa(const BigUInt& a, const BigUInt& b) {
   return multiply(a, b, SsaParams::for_bits(bits));
 }
 
-BigUInt square(const BigUInt& a, const SsaParams& params, SsaStats* stats) {
-  if (a.is_zero()) return BigUInt{};
+void square_into(BigUInt& out, const BigUInt& a, const SsaParams& params, Workspace& ws,
+                 SsaStats* stats) {
+  if (a.is_zero()) {
+    bigint::MutableAccess::limbs(out).clear();
+    return;
+  }
 
-  FpVec pa = pack(a, params);
+  pack_into(a, params, ws.pack_a);
   if (params.engine == Engine::kMixedRadix) {
-    const ntt::MixedRadixNtt engine(params.plan);
+    const ntt::NttContext& engine = ntt::shared_context(params.plan);
     ntt::NttOpCounts* counts = stats != nullptr ? &stats->transform_ops : nullptr;
-    FpVec fa = engine.forward(pa, counts);
-    for (auto& v : fa) v *= v;
-    pa = engine.inverse(fa, counts);
+    engine.forward(ws.pack_a, ws.spec_a, ws.ntt, counts);
+    fp::pointwise_product(ws.spec_a.data(), ws.spec_a.data(), ws.spec_a.data(),
+                          ws.spec_a.size());
+    engine.inverse(ws.spec_a, ws.pack_a, ws.ntt, counts);
   } else {
-    pa = ntt::shared_radix2(params.transform_size).convolve_square(pa);
+    ntt::shared_radix2(params.transform_size).convolve_square_into(ws.pack_a);
   }
 
   if (stats != nullptr) {
     stats->pointwise_muls += params.transform_size;
     stats->transform_count += 2;  // one forward + one inverse
   }
-  return carry_recover(pa, params.coeff_bits);
+  carry_recover_into(ws.pack_a, params.coeff_bits, out);
+}
+
+BigUInt square(const BigUInt& a, const SsaParams& params, SsaStats* stats) {
+  BigUInt out;
+  square_into(out, a, params, thread_workspace(), stats);
+  return out;
 }
 
 }  // namespace hemul::ssa

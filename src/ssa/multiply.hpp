@@ -1,23 +1,45 @@
 #pragma once
 
 #include "bigint/biguint.hpp"
-#include "ntt/mixed_radix.hpp"
+#include "ntt/op_counts.hpp"
 #include "ssa/params.hpp"
+#include "ssa/workspace.hpp"
 
 namespace hemul::ssa {
 
-/// Operation statistics of one SSA multiplication (three transforms plus
-/// the component-wise product), mirroring the work the accelerator
-/// schedules on hardware.
+/// Operation statistics of SSA multiplications, mirroring the work the
+/// accelerator schedules on hardware.
+///
+/// transform_count counts transforms *actually executed*: 3 for a full
+/// multiplication (two forward + one inverse), 2 for a squaring, and less
+/// on spectrum-cache-hit paths (a cached operand skips its forward
+/// transform -- see multiply_cached / multiply_batch).
 struct SsaStats {
-  ntt::NttOpCounts transform_ops;  ///< all three NTTs combined
+  ntt::NttOpCounts transform_ops;  ///< all executed NTTs combined
   u64 pointwise_muls = 0;          ///< component-wise products (paper: 65536)
-  u64 transform_count = 0;         ///< 3 for a full multiplication
+  u64 transform_count = 0;         ///< forward + inverse NTTs actually run
+
+  SsaStats& operator+=(const SsaStats& o) noexcept {
+    transform_ops += o.transform_ops;
+    pointwise_muls += o.pointwise_muls;
+    transform_count += o.transform_count;
+    return *this;
+  }
 };
 
 /// Schonhage-Strassen multiplication (paper Section III):
 /// pack -> NTT(a), NTT(b) -> component-wise product -> inverse NTT ->
-/// carry recovery. Exact for operands up to params.max_operand_bits().
+/// carry recovery, entirely within the given workspace's buffers and the
+/// process-wide shared engine caches: steady state runs allocation-free
+/// and setup-free. The product is written into `out`, reusing its limb
+/// storage (out may alias a or b). Exact for operands up to
+/// params.max_operand_bits().
+void multiply_into(bigint::BigUInt& out, const bigint::BigUInt& a, const bigint::BigUInt& b,
+                   const SsaParams& params, Workspace& workspace,
+                   SsaStats* stats = nullptr);
+
+/// Allocating wrapper over multiply_into (thread-local workspace; the only
+/// steady-state allocation is the returned product's limb vector).
 bigint::BigUInt multiply(const bigint::BigUInt& a, const bigint::BigUInt& b,
                          const SsaParams& params, SsaStats* stats = nullptr);
 
@@ -28,6 +50,10 @@ bigint::BigUInt mul_ssa(const bigint::BigUInt& a, const bigint::BigUInt& b);
 /// coincide), so the cost drops from 3 to 2 transforms -- the same saving
 /// the accelerator realizes when both operands are the same ciphertext
 /// (e.g. the squarings of an exponentiation ladder).
+void square_into(bigint::BigUInt& out, const bigint::BigUInt& a, const SsaParams& params,
+                 Workspace& workspace, SsaStats* stats = nullptr);
+
+/// Allocating wrapper over square_into (thread-local workspace).
 bigint::BigUInt square(const bigint::BigUInt& a, const SsaParams& params,
                        SsaStats* stats = nullptr);
 

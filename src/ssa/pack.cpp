@@ -8,12 +8,12 @@ using bigint::BigUInt;
 using fp::Fp;
 using fp::FpVec;
 
-FpVec pack(const BigUInt& a, const SsaParams& params) {
+void pack_into(const BigUInt& a, const SsaParams& params, FpVec& out) {
   HEMUL_CHECK_MSG(a.bit_length() <= params.max_operand_bits(),
                   "operand too large for these SSA parameters");
   const std::size_t m = params.coeff_bits;
   const u64 mask = (1ULL << m) - 1;
-  FpVec out(params.transform_size, fp::kZero);
+  out.assign(params.transform_size, fp::kZero);
 
   for (u64 i = 0; i < params.num_coeffs; ++i) {
     const std::size_t bit = static_cast<std::size_t>(i) * m;
@@ -23,13 +23,19 @@ FpVec pack(const BigUInt& a, const SsaParams& params) {
     if (offset + m > 64) group |= a.limb(word + 1) << (64 - offset);
     out[i] = Fp::from_canonical(group & mask);
   }
+}
+
+FpVec pack(const BigUInt& a, const SsaParams& params) {
+  FpVec out;
+  pack_into(a, params, out);
   return out;
 }
 
-BigUInt carry_recover(const FpVec& coeffs, std::size_t coeff_bits) {
+void carry_recover_into(const FpVec& coeffs, std::size_t coeff_bits, BigUInt& out) {
   const std::size_t m = coeff_bits;
   const std::size_t total_bits = coeffs.size() * m + 64;
-  std::vector<u64> acc(total_bits / 64 + 2, 0);
+  std::vector<u64>& acc = bigint::MutableAccess::limbs(out);
+  acc.assign(total_bits / 64 + 2, 0);
 
   for (std::size_t i = 0; i < coeffs.size(); ++i) {
     const u64 value = coeffs[i].value();
@@ -56,7 +62,13 @@ BigUInt carry_recover(const FpVec& coeffs, std::size_t coeff_bits) {
       carry = acc[w] == 0 ? 1u : 0u;
     }
   }
-  return BigUInt::from_limbs(std::move(acc));
+  bigint::MutableAccess::trim(out);
+}
+
+BigUInt carry_recover(const FpVec& coeffs, std::size_t coeff_bits) {
+  BigUInt out;
+  carry_recover_into(coeffs, coeff_bits, out);
+  return out;
 }
 
 }  // namespace hemul::ssa

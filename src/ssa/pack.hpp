@@ -8,14 +8,25 @@ namespace hemul::ssa {
 
 /// Operand decomposition (paper Section III, step 1): splits an integer
 /// into `params.num_coeffs` groups of `params.coeff_bits` bits, interpreted
-/// as polynomial coefficients, zero-padded to the transform length.
+/// as polynomial coefficients, zero-padded to the transform length. The
+/// result is written into `out` (resized; reuses its capacity, so the hot
+/// path allocates nothing once warm).
 /// Requires a.bit_length() <= params.max_operand_bits().
+void pack_into(const bigint::BigUInt& a, const SsaParams& params, fp::FpVec& out);
+
+/// Allocating wrapper over pack_into.
 fp::FpVec pack(const bigint::BigUInt& a, const SsaParams& params);
 
 /// Carry recovery (paper Section III, final step): evaluates the
 /// coefficient vector at x = 2^m via a shifted sum with carry propagation,
 /// i.e. result = sum_i c_i * 2^(m*i). Coefficient values must be canonical
-/// field elements representing exact convolution sums (< p).
+/// field elements representing exact convolution sums (< p). The
+/// accumulator is `out`'s own limb vector, so a reused product integer
+/// makes this step allocation-free.
+void carry_recover_into(const fp::FpVec& coeffs, std::size_t coeff_bits,
+                        bigint::BigUInt& out);
+
+/// Allocating wrapper over carry_recover_into.
 bigint::BigUInt carry_recover(const fp::FpVec& coeffs, std::size_t coeff_bits);
 
 }  // namespace hemul::ssa

@@ -54,7 +54,7 @@ const fp::FpVec& BatchSpectrumProvider::get(const bigint::BigUInt& operand,
   const bool reused = it != occurrences_.end() && it->second > 1;
   if (!reused) {
     ++forward_transforms_;
-    scratch = forward_(operand);
+    forward_(operand, scratch);  // fills in place: scratch keeps its capacity
     return scratch;
   }
   if (const fp::FpVec* hit = cache_.find(operand)) {
@@ -62,24 +62,30 @@ const fp::FpVec& BatchSpectrumProvider::get(const bigint::BigUInt& operand,
     return *hit;
   }
   ++forward_transforms_;
-  cache_.insert(operand, forward_(operand));
+  fp::FpVec owned;  // cache entries must own their storage
+  forward_(operand, owned);
+  cache_.insert(operand, std::move(owned));
   return *cache_.find(operand);
 }
 
 u64 ConcurrentSpectrumCache::key_hash(const bigint::BigUInt& operand,
                                       const SsaParams& params) noexcept {
   u64 h = SpectrumCache::hash(operand);
-  // Fold the packing geometry in so equal operands under different
-  // parameterizations land in different buckets.
+  // Fold the packing geometry AND the engine in so equal operands under
+  // different parameterizations land in different buckets: the radix-2
+  // path stores engine-order (bit-reversed) spectra, the mixed-radix path
+  // natural order, so entries are layout-incompatible across engines.
   h ^= static_cast<u64>(params.coeff_bits) * 0x9E3779B97F4A7C15ULL;
   h ^= params.transform_size * 0xC2B2AE3D27D4EB4FULL;
+  h ^= static_cast<u64>(params.engine) * 0xD6E8FEB86659FD93ULL;
   return h;
 }
 
 bool ConcurrentSpectrumCache::matches(const Entry& entry, const bigint::BigUInt& operand,
                                       const SsaParams& params) noexcept {
   return entry.coeff_bits == params.coeff_bits &&
-         entry.transform_size == params.transform_size && entry.operand == operand;
+         entry.transform_size == params.transform_size && entry.engine == params.engine &&
+         entry.operand == operand;
 }
 
 std::shared_ptr<const fp::FpVec> ConcurrentSpectrumCache::get_or_compute(
@@ -102,7 +108,8 @@ std::shared_ptr<const fp::FpVec> ConcurrentSpectrumCache::get_or_compute(
   // lane may duplicate the work, never the published entry).
   misses_.fetch_add(1, std::memory_order_relaxed);
   auto entry = std::make_shared<const Entry>(
-      Entry{params.coeff_bits, params.transform_size, operand, forward(operand)});
+      Entry{params.coeff_bits, params.transform_size, params.engine, operand,
+            forward(operand)});
 
   std::unique_lock lock(mutex_);
   const auto it = buckets_.find(key);

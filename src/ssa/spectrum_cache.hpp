@@ -15,7 +15,10 @@
 
 namespace hemul::ssa {
 
-/// Cache of forward NTT spectra keyed by operand value.
+/// Cache of forward NTT spectra keyed by operand value. Spectra are stored
+/// in the producing engine's own order (engine order for the radix-2 fast
+/// path); they are only ever combined by that same engine's inverse path,
+/// so the layout never leaks.
 ///
 /// The SSA pipeline spends 2 of its 3 transforms on the forward NTTs of the
 /// operands. When a batch multiplies one integer against many others (a
@@ -60,7 +63,10 @@ class SpectrumCache {
 /// operand is transformed exactly once.
 class BatchSpectrumProvider {
  public:
-  using TransformFn = std::function<fp::FpVec(const bigint::BigUInt&)>;
+  /// Computes the forward spectrum of the operand into the given buffer
+  /// (resizing it; callers reuse warmed capacity, so steady-state batches
+  /// of single-use operands transform without heap allocation).
+  using TransformFn = std::function<void(const bigint::BigUInt&, fp::FpVec&)>;
 
   BatchSpectrumProvider(std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> jobs,
                         TransformFn forward);
@@ -91,8 +97,10 @@ class BatchSpectrumProvider {
 /// of BatchSpectrumProvider's within-batch amortization.
 ///
 /// Keys pair the operand value with the packing geometry (coeff_bits,
-/// transform_size), so lanes running different SSA parameterizations never
-/// mix incompatible spectra. Entries are immutable once published and held
+/// transform_size) AND the engine, so lanes running different SSA
+/// parameterizations never mix incompatible spectra (the radix-2 fast path
+/// stores engine-order spectra, the mixed-radix path natural order --
+/// equal geometry does not imply an equal layout). Entries are immutable once published and held
 /// by shared_ptr, so readers keep their spectrum alive without holding the
 /// lock. On a miss the forward transform runs outside the lock; two lanes
 /// racing on the same cold operand may both compute it (both count as
@@ -136,6 +144,7 @@ class ConcurrentSpectrumCache {
   struct Entry {
     std::size_t coeff_bits;
     u64 transform_size;
+    Engine engine;
     bigint::BigUInt operand;
     fp::FpVec spectrum;
   };

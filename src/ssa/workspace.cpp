@@ -1,0 +1,26 @@
+#include "ssa/workspace.hpp"
+
+#include <algorithm>
+
+#include "ssa/params.hpp"
+
+namespace hemul::ssa {
+
+void Workspace::reserve(const SsaParams& params) {
+  const std::size_t n = params.transform_size;
+  pack_a.reserve(n);
+  pack_b.reserve(n);
+  spec_a.reserve(n);
+  spec_b.reserve(n);
+  u64 max_radix = 2;
+  for (const u32 radix : params.plan.radices) max_radix = std::max<u64>(max_radix, radix);
+  ntt.column.reserve(max_radix);
+  ntt.dft.reserve(max_radix);
+}
+
+Workspace& thread_workspace() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+}  // namespace hemul::ssa

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "bigint/mul.hpp"
+#include "ssa/batch.hpp"
 #include "ssa/multiply.hpp"
 #include "ssa/pack.hpp"
 #include "ssa/params.hpp"
@@ -195,6 +196,97 @@ TEST(SsaSquare, ZeroAndEdges) {
   EXPECT_EQ(square(BigUInt{1}, params), BigUInt{1});
   const BigUInt ones = BigUInt::pow2(1000) - BigUInt{1};
   EXPECT_EQ(square(ones, params), BigUInt::pow2(2000) - BigUInt::pow2(1001) + BigUInt{1});
+}
+
+TEST(SsaStatsAccounting, CachedPathCountsOnlyExecutedTransforms) {
+  // The overcounting fix: a spectrum-cache hit skips the operand's forward
+  // transform, and transform_count must say so instead of charging 3.
+  util::Rng rng(80);
+  const BigUInt a = BigUInt::random_bits(rng, 8000);
+  const BigUInt b = BigUInt::random_bits(rng, 8000);
+  const SsaParams params = SsaParams::for_bits(8000);
+  ConcurrentSpectrumCache cache;
+  Workspace workspace;
+
+  SsaStats cold;
+  const BigUInt first = multiply_cached(a, b, params, cache, workspace, &cold);
+  EXPECT_EQ(cold.transform_count, 3u);  // two forwards + one inverse
+
+  SsaStats warm;
+  const BigUInt second = multiply_cached(a, b, params, cache, workspace, &warm);
+  EXPECT_EQ(warm.transform_count, 1u);  // both spectra cached: inverse only
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, bigint::mul_schoolbook(a, b));
+
+  const BigUInt fresh = BigUInt::random_bits(rng, 8000);
+  SsaStats sq;
+  (void)multiply_cached(fresh, fresh, params, cache, workspace, &sq);
+  EXPECT_EQ(sq.transform_count, 2u);  // one fresh forward + inverse
+
+  SsaStats hot_square;
+  (void)multiply_cached(fresh, fresh, params, cache, workspace, &hot_square);
+  EXPECT_EQ(hot_square.transform_count, 1u);  // cached spectrum: inverse only
+}
+
+TEST(SsaStatsAccounting, BatchTransformCountReflectsCacheHits) {
+  // A batch of one operand against N others runs N+1 forwards + N
+  // inverses -- not the naive 3N.
+  util::Rng rng(81);
+  const BigUInt shared = BigUInt::random_bits(rng, 6000);
+  std::vector<std::pair<BigUInt, BigUInt>> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.emplace_back(shared, BigUInt::random_bits(rng, 6000));
+  }
+  const SsaParams params = SsaParams::for_bits(6000);
+  BatchStats stats;
+  const auto products = multiply_batch(jobs, params, &stats);
+  EXPECT_EQ(stats.forward_transforms, 6u);
+  EXPECT_EQ(stats.inverse_transforms, 5u);
+  EXPECT_EQ(stats.transform_count(), 11u);  // 2N+1, not 3N = 15
+  EXPECT_EQ(stats.spectrum_cache_hits, 4u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(products[i], bigint::mul_schoolbook(jobs[i].first, jobs[i].second));
+  }
+}
+
+TEST(SpectrumCacheKeying, EnginesNeverShareSpectra) {
+  // The two engines store layout-incompatible spectra (engine order vs
+  // natural order) at identical packing geometry: a shared cache must key
+  // on the engine, or a cross-engine hit silently corrupts the product.
+  util::Rng rng(83);
+  const BigUInt a = BigUInt::random_bits(rng, 5000);
+  const BigUInt b = BigUInt::random_bits(rng, 5000);
+  SsaParams fast = SsaParams::for_bits(5000);
+  SsaParams mixed = fast;
+  mixed.engine = Engine::kMixedRadix;
+  const BigUInt expected = bigint::mul_schoolbook(a, b);
+
+  ConcurrentSpectrumCache cache;
+  Workspace workspace;
+  EXPECT_EQ(multiply_cached(a, b, fast, cache, workspace, nullptr), expected);
+  EXPECT_EQ(multiply_cached(a, b, mixed, cache, workspace, nullptr), expected);
+  EXPECT_EQ(cache.size(), 4u);  // two operands x two engines, no sharing
+}
+
+TEST(SsaMultiply, IntoVariantReusesOutputAndAliasesSafely) {
+  util::Rng rng(82);
+  const BigUInt a = BigUInt::random_bits(rng, 5000);
+  const BigUInt b = BigUInt::random_bits(rng, 5000);
+  const SsaParams params = SsaParams::for_bits(5000);
+  Workspace workspace;
+
+  BigUInt out;
+  multiply_into(out, a, b, params, workspace);
+  EXPECT_EQ(out, bigint::mul_schoolbook(a, b));
+
+  // Aliasing: accumulate into one of the operands (a ladder step).
+  BigUInt acc = a;
+  multiply_into(acc, acc, b, params, workspace);
+  EXPECT_EQ(acc, out);
+
+  // Zero short-circuit clears a reused output.
+  multiply_into(out, BigUInt{}, b, params, workspace);
+  EXPECT_EQ(out, BigUInt{});
 }
 
 TEST(SsaMultiply, CommutesAndSquares) {

@@ -1,0 +1,171 @@
+// Allocation audit of the SSA hot path: after warm-up, multiply_into /
+// square_into must perform ZERO heap allocations -- the software
+// equivalent of the paper's claim that the accelerator runs from
+// pre-resident twiddle ROMs and statically managed buffers with no
+// per-operation setup.
+//
+// The audit counts every route into the heap by overriding the global
+// operator new/delete for this test binary (std::vector, BigUInt limbs and
+// all library transients funnel through them).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "bigint/mul.hpp"
+#include "ssa/batch.hpp"
+#include "ssa/multiply.hpp"
+#include "ssa/pack.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+thread_local hemul::u64 g_allocations = 0;
+
+}  // namespace
+
+// Counting allocator: every form of operator new funnels through malloc and
+// bumps the thread-local counter. (Sized/aligned deletes forward to free.)
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace hemul::ssa {
+namespace {
+
+using bigint::BigUInt;
+
+class SsaAllocationAudit : public ::testing::Test {
+ protected:
+  /// Allocations performed by `fn` on this thread.
+  template <typename Fn>
+  static u64 allocations_in(Fn&& fn) {
+    const u64 before = g_allocations;
+    fn();
+    return g_allocations - before;
+  }
+};
+
+TEST_F(SsaAllocationAudit, SteadyStateMultiplyIntoIsAllocationFree) {
+  util::Rng rng(1);
+  const std::size_t bits = 20000;
+  const BigUInt a = BigUInt::random_bits(rng, bits);
+  const BigUInt b = BigUInt::random_bits(rng, bits);
+  const SsaParams params = SsaParams::for_bits(bits);
+
+  Workspace workspace;
+  BigUInt product;
+  // Warm-up: builds the shared engine, sizes the workspace and the
+  // product's limb storage.
+  multiply_into(product, a, b, params, workspace);
+  multiply_into(product, a, b, params, workspace);
+  const BigUInt expected = product;
+
+  for (int round = 0; round < 5; ++round) {
+    const u64 allocs = allocations_in([&] {
+      multiply_into(product, a, b, params, workspace);
+    });
+    EXPECT_EQ(allocs, 0u) << "round " << round;
+  }
+  EXPECT_EQ(product, expected);
+  EXPECT_EQ(product, bigint::mul_karatsuba(a, b));
+}
+
+TEST_F(SsaAllocationAudit, SteadyStateSquareIntoIsAllocationFree) {
+  util::Rng rng(2);
+  const BigUInt a = BigUInt::random_bits(rng, 15000);
+  const SsaParams params = SsaParams::for_bits(15000);
+
+  Workspace workspace;
+  BigUInt product;
+  square_into(product, a, params, workspace);
+  square_into(product, a, params, workspace);
+
+  for (int round = 0; round < 5; ++round) {
+    const u64 allocs = allocations_in([&] { square_into(product, a, params, workspace); });
+    EXPECT_EQ(allocs, 0u) << "round " << round;
+  }
+  EXPECT_EQ(product, bigint::mul_karatsuba(a, a));
+}
+
+TEST_F(SsaAllocationAudit, MixedRadixEngineIsAlsoAllocationFree) {
+  util::Rng rng(3);
+  const std::size_t bits = 20000;
+  const BigUInt a = BigUInt::random_bits(rng, bits);
+  const BigUInt b = BigUInt::random_bits(rng, bits);
+  SsaParams params = SsaParams::for_bits(bits);
+  params.engine = Engine::kMixedRadix;
+
+  Workspace workspace;
+  BigUInt product;
+  multiply_into(product, a, b, params, workspace);
+  multiply_into(product, a, b, params, workspace);
+
+  for (int round = 0; round < 3; ++round) {
+    const u64 allocs = allocations_in([&] {
+      multiply_into(product, a, b, params, workspace);
+    });
+    EXPECT_EQ(allocs, 0u) << "round " << round;
+  }
+  EXPECT_EQ(product, bigint::mul_karatsuba(a, b));
+}
+
+TEST_F(SsaAllocationAudit, AllocatingWrapperOnlyPaysForTheProduct) {
+  // ssa::multiply returns a fresh BigUInt; everything else must come from
+  // the thread workspace. One limb-vector allocation is the expected cost.
+  util::Rng rng(4);
+  const std::size_t bits = 20000;
+  const BigUInt a = BigUInt::random_bits(rng, bits);
+  const BigUInt b = BigUInt::random_bits(rng, bits);
+  const SsaParams params = SsaParams::for_bits(bits);
+
+  (void)multiply(a, b, params);
+  (void)multiply(a, b, params);
+  const u64 allocs = allocations_in([&] { (void)multiply(a, b, params); });
+  EXPECT_EQ(allocs, 1u);
+}
+
+TEST_F(SsaAllocationAudit, CacheHitMultiplyCachedIsAllocationFreeModuloProduct) {
+  // Once both spectra are cached, a lane's multiply_cached only allocates
+  // the product it returns.
+  util::Rng rng(5);
+  const std::size_t bits = 20000;
+  const BigUInt a = BigUInt::random_bits(rng, bits);
+  const BigUInt b = BigUInt::random_bits(rng, bits);
+  const SsaParams params = SsaParams::for_bits(bits);
+
+  ConcurrentSpectrumCache cache;
+  Workspace workspace;
+  const BigUInt expected = multiply_cached(a, b, params, cache, workspace, nullptr);
+  (void)multiply_cached(a, b, params, cache, workspace, nullptr);
+
+  BigUInt product;
+  const u64 allocs = allocations_in([&] {
+    product = multiply_cached(a, b, params, cache, workspace, nullptr);
+  });
+  EXPECT_EQ(product, expected);
+  // Product limbs + the move of the returned value; everything transform-
+  // related must be reused. Allow the one product allocation only.
+  EXPECT_LE(allocs, 1u);
+}
+
+}  // namespace
+}  // namespace hemul::ssa

@@ -54,6 +54,25 @@ TRACKED = {
         # advantage means the double-buffered accounting regressed.
         Metric("hw.modeled_speedup", lambda d: d["hw"]["modeled_speedup"], mode="hard"),
     ],
+    "ntt_software.json": [
+        # Iterative plan engine vs radix-2 vs karatsuba parity.
+        Metric("bit_exact", lambda d: d["bit_exact"], kind="bool", mode="hard"),
+        # The shift/DSP split of the paper plan is a deterministic fact of
+        # the decomposition: any drift means the staging or the shift-only
+        # butterfly kernel regressed.
+        Metric("paper_plan.shift_muls", lambda d: d["paper_plan"]["shift_muls"],
+               direction="lower", mode="hard"),
+        Metric("paper_plan.generic_muls", lambda d: d["paper_plan"]["generic_muls"],
+               direction="lower", mode="hard"),
+        Metric("paper_plan.additions", lambda d: d["paper_plan"]["additions"],
+               direction="lower", mode="hard"),
+        Metric("radix2.convolve_ms", lambda d: d["radix2"]["convolve_ms"],
+               direction="lower", mode="warn"),
+        Metric("mixed.forward_64k_ms", lambda d: d["mixed"]["forward_64k_ms"],
+               direction="lower", mode="warn"),
+        Metric("multiply.per_call_ms", lambda d: d["multiply"]["per_call_ms"],
+               direction="lower", mode="warn"),
+    ],
     "scheduler_throughput.json": [
         Metric("bit_exact", lambda d: d["bit_exact"], kind="bool", mode="hard"),
         Metric("max_jobs_per_sec", lambda d: _max_over(d["results"], "jobs_per_sec"),
