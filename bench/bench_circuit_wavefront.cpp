@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "backend/registry.hpp"
+#include "backend/ssa_backend.hpp"
 #include "core/scheduler.hpp"
 #include "fhe/circuits.hpp"
 #include "fhe/evaluator.hpp"
@@ -71,6 +72,24 @@ struct CircuitResult {
     return wavefront_ms > 0.0 ? eager_ms / wavefront_ms : 0.0;
   }
   [[nodiscard]] bool batched() const { return wavefronts < and_gates; }
+
+  /// NTT executions (forward + inverse) the per-gate eager arm actually
+  /// performed, read off its engine's counters. Both tallies are
+  /// deterministic functions of the circuit, so the reduction gate is
+  /// machine-independent.
+  u64 eager_transforms = 0;
+  [[nodiscard]] u64 transforms_executed() const {
+    return report.residency.transforms_executed();
+  }
+  [[nodiscard]] i64 transforms_avoided() const {
+    return static_cast<i64>(eager_transforms) - static_cast<i64>(transforms_executed());
+  }
+  [[nodiscard]] double transform_reduction() const {
+    return transforms_executed() > 0
+               ? static_cast<double>(eager_transforms) /
+                     static_cast<double>(transforms_executed())
+               : 0.0;
+  }
 };
 
 }  // namespace
@@ -117,11 +136,15 @@ int main(int argc, char** argv) {
     fhe::EncryptedInt cy = fhe::encrypt_int(scheme, y, 8);
 
     // Eager arm: gate-at-a-time through the facade.
-    fhe::Circuits eager(scheme, backend::make_backend("ssa"));
+    auto eager_engine = backend::make_backend("ssa");
+    fhe::Circuits eager(scheme, eager_engine);
     const auto t0 = Clock::now();
     const fhe::Circuits::AdderResult eager_sum = eager.add(cx, cy, enc_zero);
     r.eager_ms = ms_since(t0);
     r.eager_and_gates = eager.and_gates_used();
+    if (auto* ssa = dynamic_cast<backend::SsaBackend*>(eager_engine.get())) {
+      r.eager_transforms = ssa->stats().transform_count;
+    }
 
     // Wavefront arm: record, level, batch.
     fhe::Graph graph(scheme);
@@ -161,11 +184,15 @@ int main(int argc, char** argv) {
     fhe::EncryptedInt cx = fhe::encrypt_int(scheme, x, 4);
     fhe::EncryptedInt cy = fhe::encrypt_int(scheme, y, 4);
 
-    fhe::Circuits eager(scheme, backend::make_backend("ssa"));
+    auto eager_engine = backend::make_backend("ssa");
+    fhe::Circuits eager(scheme, eager_engine);
     const auto t0 = Clock::now();
     const fhe::EncryptedInt eager_prod = eager.multiply(cx, cy, enc_zero);
     r.eager_ms = ms_since(t0);
     r.eager_and_gates = eager.and_gates_used();
+    if (auto* ssa = dynamic_cast<backend::SsaBackend*>(eager_engine.get())) {
+      r.eager_transforms = ssa->stats().transform_count;
+    }
 
     fhe::Graph graph(scheme);
     const std::vector<fhe::Wire> wx = graph.inputs(cx);
@@ -211,12 +238,26 @@ int main(int argc, char** argv) {
     std::printf("  wavefront    : %8.1f ms  (%.2fx)\n", r.wavefront_ms, r.speedup());
     std::printf("  bit-exact    : %s (decryptions %s)\n", r.match ? "yes" : "NO",
                 r.decrypt_ok ? "match" : "DIFFER");
+    if (r.report.spectrum_resident) {
+      std::printf("  transforms   : %llu executed vs %llu eager (%lld avoided, %.2fx fewer)\n",
+                  static_cast<unsigned long long>(r.transforms_executed()),
+                  static_cast<unsigned long long>(r.eager_transforms),
+                  static_cast<long long>(r.transforms_avoided()), r.transform_reduction());
+    }
     for (const fhe::WavefrontStats& wf : r.report.wavefronts) {
       std::printf("    wave %-4u : %3llu gates, cache %llu hit / %llu miss, %u lane(s), %.1f ms\n",
                   wf.level, static_cast<unsigned long long>(wf.and_gates),
                   static_cast<unsigned long long>(wf.cache_hits),
                   static_cast<unsigned long long>(wf.cache_misses), wf.lanes_used,
                   wf.wall_ms);
+      if (r.report.spectrum_resident) {
+        std::printf("                %llu spectra in, %llu inverses out, %llu folds, "
+                    "%lld transforms avoided\n",
+                    static_cast<unsigned long long>(wf.spectra_cached),
+                    static_cast<unsigned long long>(wf.inverses_paid),
+                    static_cast<unsigned long long>(wf.folds),
+                    static_cast<long long>(wf.transforms_avoided));
+      }
     }
     ok = ok && r.match && r.decrypt_ok && r.batched();
   }
@@ -238,19 +279,32 @@ int main(int argc, char** argv) {
                    "    {\"name\": \"%s\", \"and_gates\": %llu, \"wavefronts\": %zu,\n"
                    "     \"dead_nodes\": %zu, \"eager_ms\": %.3f, \"wavefront_ms\": %.3f,\n"
                    "     \"speedup\": %.3f, \"bit_exact\": %s, \"batched\": %s,\n"
+                   "     \"spectrum_resident\": %s, \"eager_transforms\": %llu,\n"
+                   "     \"transforms_executed\": %llu, \"transforms_avoided\": %lld,\n"
+                   "     \"transform_reduction\": %.3f,\n"
                    "     \"levels\": [\n",
                    r.name.c_str(), static_cast<unsigned long long>(r.and_gates),
                    r.wavefronts, r.dead_nodes, r.eager_ms, r.wavefront_ms, r.speedup(),
-                   r.match ? "true" : "false", r.batched() ? "true" : "false");
+                   r.match ? "true" : "false", r.batched() ? "true" : "false",
+                   r.report.spectrum_resident ? "true" : "false",
+                   static_cast<unsigned long long>(r.eager_transforms),
+                   static_cast<unsigned long long>(r.transforms_executed()),
+                   static_cast<long long>(r.transforms_avoided()), r.transform_reduction());
       for (std::size_t w = 0; w < r.report.wavefronts.size(); ++w) {
         const fhe::WavefrontStats& wf = r.report.wavefronts[w];
         std::fprintf(out,
                      "       {\"level\": %u, \"gates\": %llu, \"cache_hits\": %llu, "
-                     "\"cache_misses\": %llu, \"lanes_used\": %u, \"wall_ms\": %.3f}%s\n",
+                     "\"cache_misses\": %llu, \"lanes_used\": %u, \"wall_ms\": %.3f,\n"
+                     "        \"spectra_cached\": %llu, \"inverses_paid\": %llu, "
+                     "\"folds\": %llu, \"transforms_avoided\": %lld}%s\n",
                      wf.level, static_cast<unsigned long long>(wf.and_gates),
                      static_cast<unsigned long long>(wf.cache_hits),
                      static_cast<unsigned long long>(wf.cache_misses), wf.lanes_used,
-                     wf.wall_ms, w + 1 < r.report.wavefronts.size() ? "," : "");
+                     wf.wall_ms, static_cast<unsigned long long>(wf.spectra_cached),
+                     static_cast<unsigned long long>(wf.inverses_paid),
+                     static_cast<unsigned long long>(wf.folds),
+                     static_cast<long long>(wf.transforms_avoided),
+                     w + 1 < r.report.wavefronts.size() ? "," : "");
       }
       std::fprintf(out, "     ]}%s\n", i + 1 < results.size() ? "," : "");
     }

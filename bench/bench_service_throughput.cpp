@@ -46,6 +46,11 @@ struct Sample {
   u64 batches_submitted = 0;
   double coalescing = 0.0;  ///< mean requests sharing one scheduler batch
   bool coalesced = false;   ///< batches_submitted < requests
+  /// NTT executions the spectrum-resident rounds spent / saved. Both are
+  /// deterministic functions of the workload (counted on the coordinator,
+  /// never from lane timing).
+  u64 transforms_executed = 0;
+  i64 transforms_avoided = 0;
 };
 
 std::vector<unsigned> parse_list(const char* text) {
@@ -133,6 +138,8 @@ Sample run_cell(unsigned workers, unsigned tenants, unsigned requests_per_tenant
   sample.batches_submitted = stats.batches_submitted;
   sample.coalescing = stats.coalescing();
   sample.coalesced = stats.batches_submitted < stats.submitted;
+  sample.transforms_executed = stats.transforms_executed;
+  sample.transforms_avoided = stats.transforms_avoided;
   return sample;
 }
 
@@ -232,6 +239,9 @@ int main(int argc, char** argv) {
               headline.workers, static_cast<unsigned long long>(headline.batches_submitted),
               static_cast<unsigned long long>(headline.requests),
               headline.coalesced ? "coalesced" : "NOT coalesced");
+  std::printf("  headline transforms: %llu executed, %lld avoided (spectrum-resident rounds)\n",
+              static_cast<unsigned long long>(headline.transforms_executed),
+              static_cast<long long>(headline.transforms_avoided));
 
   std::printf("\n  wire-path parity vs in-process evaluation:\n");
   bool parity = true;
@@ -255,12 +265,16 @@ int main(int argc, char** argv) {
                  "  \"requests_per_tenant\": %u,\n  \"hardware_concurrency\": %u,\n"
                  "  \"bit_exact\": %s,\n"
                  "  \"headline_requests\": %llu,\n  \"headline_batches\": %llu,\n"
-                 "  \"headline_coalesced\": %s,\n  \"parity\": {",
+                 "  \"headline_coalesced\": %s,\n"
+                 "  \"headline_transforms_executed\": %llu,\n"
+                 "  \"headline_transforms_avoided\": %lld,\n  \"parity\": {",
                  requests_per_tenant, std::thread::hardware_concurrency(),
                  verified ? "true" : "false",
                  static_cast<unsigned long long>(headline.requests),
                  static_cast<unsigned long long>(headline.batches_submitted),
-                 headline.coalesced ? "true" : "false");
+                 headline.coalesced ? "true" : "false",
+                 static_cast<unsigned long long>(headline.transforms_executed),
+                 static_cast<long long>(headline.transforms_avoided));
     for (std::size_t i = 0; i < parity_results.size(); ++i) {
       std::fprintf(out, "%s\"%s\": %s", i == 0 ? "" : ", ", parity_results[i].first.c_str(),
                    parity_results[i].second ? "true" : "false");
@@ -271,10 +285,13 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "    {\"workers\": %u, \"tenants\": %u, \"requests\": %llu, "
                    "\"wall_ms\": %.3f, \"requests_per_sec\": %.3f, \"batches\": %llu, "
-                   "\"coalescing\": %.3f}%s\n",
+                   "\"coalescing\": %.3f, \"transforms_executed\": %llu, "
+                   "\"transforms_avoided\": %lld}%s\n",
                    s.workers, s.tenants, static_cast<unsigned long long>(s.requests),
                    s.wall_ms, s.requests_per_sec,
                    static_cast<unsigned long long>(s.batches_submitted), s.coalescing,
+                   static_cast<unsigned long long>(s.transforms_executed),
+                   static_cast<long long>(s.transforms_avoided),
                    i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

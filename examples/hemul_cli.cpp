@@ -329,6 +329,25 @@ int cmd_circuit(const std::string& backend_name, unsigned workers, const std::st
                 wf.level, static_cast<unsigned long long>(wf.and_gates),
                 static_cast<unsigned long long>(wf.cache_hits),
                 static_cast<unsigned long long>(wf.cache_misses), wf.lanes_used, wf.wall_ms);
+    if (report.spectrum_resident) {
+      std::printf("               %llu spectra cached, %llu inverses paid, %llu folds, "
+                  "%lld transforms avoided\n",
+                  static_cast<unsigned long long>(wf.spectra_cached),
+                  static_cast<unsigned long long>(wf.inverses_paid),
+                  static_cast<unsigned long long>(wf.folds),
+                  static_cast<long long>(wf.transforms_avoided));
+    }
+  }
+  if (report.spectrum_resident) {
+    const fhe::ResidencyStats& rs = report.residency;
+    std::printf("residency    : %llu transforms executed (%llu fwd + %llu inv) vs %llu "
+                "eager, %llu folds, %llu spectra evicted\n",
+                static_cast<unsigned long long>(rs.transforms_executed()),
+                static_cast<unsigned long long>(rs.forward_transforms),
+                static_cast<unsigned long long>(rs.inverse_transforms),
+                static_cast<unsigned long long>(3 * report.and_gates),
+                static_cast<unsigned long long>(rs.domain_additions),
+                static_cast<unsigned long long>(rs.spectra_evicted));
   }
 
   scheduler.wait_idle();

@@ -12,6 +12,7 @@ BackendLimits SsaBackend::limits() const {
   BackendLimits limits;
   limits.max_operand_bits = fixed_params_.has_value() ? fixed_params_->max_operand_bits() : 0;
   limits.caches_spectra = true;
+  limits.spectrum_resident = true;
   return limits;
 }
 
@@ -54,6 +55,40 @@ BigUInt SsaBackend::square(const BigUInt& a) {
   } else {
     ssa::square_into(out, a, params, workspace(), &call_stats);
   }
+  accumulate(call_stats);
+  return out;
+}
+
+ssa::SpectrumHandle SsaBackend::forward_spectrum(const BigUInt& value,
+                                                 const ssa::SsaParams& params) {
+  const ssa::SpectrumDomain domain(params, workspace());
+  auto spectrum = std::make_shared<ssa::ResidentSpectrum>();
+  domain.enter(*spectrum, value);
+  ssa::SsaStats call_stats;
+  call_stats.transform_count = 1;
+  accumulate(call_stats);
+  return spectrum;
+}
+
+ssa::SpectrumHandle SsaBackend::multiply_spectra(const ssa::SpectrumHandle& a,
+                                                 const ssa::SpectrumHandle& b,
+                                                 const ssa::SsaParams& params) {
+  const ssa::SpectrumDomain domain(params, workspace());
+  auto product = std::make_shared<ssa::ResidentSpectrum>();
+  domain.multiply(*product, *a, *b);
+  ssa::SsaStats call_stats;
+  call_stats.pointwise_muls = params.transform_size;
+  accumulate(call_stats);
+  return product;
+}
+
+BigUInt SsaBackend::materialize_spectrum(const ssa::ResidentSpectrum& spectrum,
+                                         const ssa::SsaParams& params) {
+  const ssa::SpectrumDomain domain(params, workspace());
+  BigUInt out;
+  domain.leave(out, spectrum);
+  ssa::SsaStats call_stats;
+  call_stats.transform_count = 1;
   accumulate(call_stats);
   return out;
 }

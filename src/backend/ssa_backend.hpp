@@ -7,6 +7,7 @@
 #include "backend/backend.hpp"
 #include "ssa/multiply.hpp"
 #include "ssa/params.hpp"
+#include "ssa/resident.hpp"
 #include "ssa/spectrum_cache.hpp"
 #include "ssa/workspace.hpp"
 
@@ -51,6 +52,27 @@ class SsaBackend final : public MultiplierBackend {
   void set_workspace(std::shared_ptr<ssa::Workspace> workspace) {
     workspace_ = std::move(workspace);
   }
+
+  // ---- spectrum-resident entry points --------------------------------
+  // The evaluator's wavefront loop splits the 3-transform multiply into
+  // its phases so intermediate spectra can stay resident across gates:
+  // forward once per distinct operand wire, pointwise per AND gate, one
+  // inverse per wire that actually leaves the domain. All three run in
+  // this instance's workspace and book into stats().
+
+  /// Forward spectrum of `value` under `params` (an operand spectrum).
+  [[nodiscard]] ssa::SpectrumHandle forward_spectrum(const bigint::BigUInt& value,
+                                                     const ssa::SsaParams& params);
+
+  /// Pointwise product of two operand spectra (a product spectrum).
+  [[nodiscard]] ssa::SpectrumHandle multiply_spectra(const ssa::SpectrumHandle& a,
+                                                     const ssa::SpectrumHandle& b,
+                                                     const ssa::SsaParams& params);
+
+  /// The exact integer a resident spectrum stands for (inverse + carry
+  /// recovery; the spectrum is not consumed).
+  [[nodiscard]] bigint::BigUInt materialize_spectrum(const ssa::ResidentSpectrum& spectrum,
+                                                     const ssa::SsaParams& params);
 
   /// Cumulative transform statistics across this instance's calls.
   /// transform_count reflects transforms actually executed: cache-hit

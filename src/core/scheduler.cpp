@@ -1,6 +1,7 @@
 #include "core/scheduler.hpp"
 
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "backend/hw_backend.hpp"
@@ -78,11 +79,7 @@ void Scheduler::worker_loop(unsigned lane) {
 
     const u64 cycles_before = hw != nullptr ? hw->accumulated_cycles() : 0;
     const auto start = Clock::now();
-    try {
-      task.promise.set_value(task.job(backend));
-    } catch (...) {
-      task.promise.set_exception(std::current_exception());
-    }
+    task.run(backend);  // runners catch internally and report via promise
     const double busy_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 
@@ -97,17 +94,99 @@ void Scheduler::worker_loop(unsigned lane) {
   }
 }
 
-std::future<BigUInt> Scheduler::submit(Job job) {
-  HEMUL_CHECK_MSG(job != nullptr, "Scheduler::submit: empty job");
-  std::promise<BigUInt> promise;
-  std::future<BigUInt> future = promise.get_future();
+void Scheduler::enqueue(std::function<void(backend::MultiplierBackend&)> run) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     HEMUL_CHECK_MSG(!stop_, "Scheduler::submit: scheduler is shutting down");
-    queue_.push_back(Task{std::move(job), std::move(promise)});
+    queue_.push_back(Task{std::move(run)});
     ++submitted_;
   }
   work_cv_.notify_one();
+}
+
+std::future<BigUInt> Scheduler::submit(Job job) {
+  HEMUL_CHECK_MSG(job != nullptr, "Scheduler::submit: empty job");
+  auto promise = std::make_shared<std::promise<BigUInt>>();
+  std::future<BigUInt> future = promise->get_future();
+  enqueue([job = std::move(job), promise](backend::MultiplierBackend& backend) {
+    try {
+      promise->set_value(job(backend));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+bool Scheduler::lanes_support_spectra() const {
+  return config_.resolved_backend_name() == "ssa";
+}
+
+namespace {
+
+/// Lane backend as an SsaBackend, or null for lanes that cannot speak
+/// spectrum handles.
+backend::SsaBackend* as_ssa(backend::MultiplierBackend& backend) {
+  return dynamic_cast<backend::SsaBackend*>(&backend);
+}
+
+}  // namespace
+
+std::future<ssa::SpectrumHandle> Scheduler::submit_spectrum_forward(BigUInt value,
+                                                                    ssa::SsaParams params) {
+  auto promise = std::make_shared<std::promise<ssa::SpectrumHandle>>();
+  std::future<ssa::SpectrumHandle> future = promise->get_future();
+  enqueue([value = std::move(value), params = std::move(params),
+           promise](backend::MultiplierBackend& backend) {
+    try {
+      backend::SsaBackend* ssa_backend = as_ssa(backend);
+      if (ssa_backend == nullptr) {
+        throw std::logic_error("spectrum job submitted to a non-ssa lane");
+      }
+      promise->set_value(ssa_backend->forward_spectrum(value, params));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+std::future<ssa::SpectrumHandle> Scheduler::submit_spectrum_multiply(ssa::SpectrumHandle a,
+                                                                     ssa::SpectrumHandle b,
+                                                                     ssa::SsaParams params) {
+  auto promise = std::make_shared<std::promise<ssa::SpectrumHandle>>();
+  std::future<ssa::SpectrumHandle> future = promise->get_future();
+  enqueue([a = std::move(a), b = std::move(b), params = std::move(params),
+           promise](backend::MultiplierBackend& backend) {
+    try {
+      backend::SsaBackend* ssa_backend = as_ssa(backend);
+      if (ssa_backend == nullptr) {
+        throw std::logic_error("spectrum job submitted to a non-ssa lane");
+      }
+      promise->set_value(ssa_backend->multiply_spectra(a, b, params));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+std::future<BigUInt> Scheduler::submit_spectrum_materialize(ssa::SpectrumHandle spectrum,
+                                                            ssa::SsaParams params) {
+  auto promise = std::make_shared<std::promise<BigUInt>>();
+  std::future<BigUInt> future = promise->get_future();
+  enqueue([spectrum = std::move(spectrum), params = std::move(params),
+           promise](backend::MultiplierBackend& backend) {
+    try {
+      backend::SsaBackend* ssa_backend = as_ssa(backend);
+      if (ssa_backend == nullptr) {
+        throw std::logic_error("spectrum job submitted to a non-ssa lane");
+      }
+      promise->set_value(ssa_backend->materialize_spectrum(*spectrum, params));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
   return future;
 }
 

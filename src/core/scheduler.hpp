@@ -88,6 +88,29 @@ class Scheduler {
   /// Enqueues every job of the batch; futures are in job order.
   std::vector<std::future<bigint::BigUInt>> submit_batch(std::span<const backend::MulJob> jobs);
 
+  // ---- spectrum-resident job forms -----------------------------------
+  // Only meaningful when lanes_support_spectra(): the lanes' SsaBackends
+  // split the 3-transform multiply into its phases so the evaluator can
+  // keep wires in the NTT domain across wavefronts. Submitting these to
+  // non-"ssa" lanes fails the future with std::logic_error.
+
+  /// True iff every lane runs the software SSA engine (the only backend
+  /// that speaks spectrum handles).
+  [[nodiscard]] bool lanes_support_spectra() const;
+
+  /// Enqueues one forward transform: value -> operand spectrum.
+  std::future<ssa::SpectrumHandle> submit_spectrum_forward(bigint::BigUInt value,
+                                                           ssa::SsaParams params);
+
+  /// Enqueues one pointwise product of two operand spectra.
+  std::future<ssa::SpectrumHandle> submit_spectrum_multiply(ssa::SpectrumHandle a,
+                                                            ssa::SpectrumHandle b,
+                                                            ssa::SsaParams params);
+
+  /// Enqueues one inverse transform + carry recovery: spectrum -> integer.
+  std::future<bigint::BigUInt> submit_spectrum_materialize(ssa::SpectrumHandle spectrum,
+                                                           ssa::SsaParams params);
+
   /// Blocks until the queue is empty and every lane is idle.
   void wait_idle();
 
@@ -103,10 +126,15 @@ class Scheduler {
   [[nodiscard]] ssa::ConcurrentSpectrumCache& spectrum_cache() noexcept { return *cache_; }
 
  private:
+  /// Type-erased unit of work. The runner owns its promise (shared_ptr,
+  /// since std::function requires copyable closures) and reports results /
+  /// exceptions through it, so one queue carries integer jobs and spectrum
+  /// jobs alike.
   struct Task {
-    Job job;
-    std::promise<bigint::BigUInt> promise;
+    std::function<void(backend::MultiplierBackend&)> run;
   };
+
+  void enqueue(std::function<void(backend::MultiplierBackend&)> run);
 
   [[nodiscard]] std::shared_ptr<backend::MultiplierBackend> make_lane_backend() const;
   void worker_loop(unsigned lane);

@@ -8,12 +8,31 @@
 
 #include "backend/backend.hpp"
 #include "fhe/graph.hpp"
+#include "ssa/spectrum_cache.hpp"
 
 namespace hemul::core {
 class Scheduler;
 }
 
 namespace hemul::fhe {
+
+/// Transform accounting of one spectrum-resident evaluation. All counters
+/// are incremented on the coordinator thread when results are installed, so
+/// they are deterministic regardless of scheduler worker count.
+struct ResidencyStats {
+  u64 forward_transforms = 0;  ///< operand spectra entered (one per distinct wire)
+  u64 inverse_transforms = 0;  ///< wires materialized out of the domain
+  u64 pointwise_products = 0;  ///< AND gates executed as pointwise products
+  u64 domain_additions = 0;    ///< XOR folds executed as pointwise additions
+  u64 spectra_evicted = 0;     ///< resident entries dropped after last use
+  u64 resident_peak = 0;       ///< high-water mark of simultaneously resident spectra
+  u64 bound_flushes = 0;       ///< XOR folds demoted to eager by the reduction bound
+
+  /// Transforms actually executed; the eager path pays ~3 per AND gate.
+  [[nodiscard]] u64 transforms_executed() const noexcept {
+    return forward_transforms + inverse_transforms;
+  }
+};
 
 /// Execution statistics of one wavefront (all independent AND gates at one
 /// multiplicative depth, issued as a single batch). On the scheduler path
@@ -33,6 +52,12 @@ struct WavefrontStats {
   u64 cache_misses = 0;
   unsigned lanes_used = 0;  ///< PE lanes that executed >= 1 gate (scheduler path)
   double wall_ms = 0.0;     ///< wall-clock of the wavefront
+  // Spectrum-residency accounting (filled when the evaluation ran
+  // resident; deterministic deltas of the coordinator-side counters).
+  u64 spectra_cached = 0;      ///< forward transforms entered at this level
+  u64 inverses_paid = 0;       ///< wires materialized out of the domain
+  u64 folds = 0;               ///< XOR gates swept as pointwise additions
+  i64 transforms_avoided = 0;  ///< 3 * and_gates - transforms executed
 };
 
 /// End-to-end report of one Evaluator::evaluate call.
@@ -45,6 +70,8 @@ struct EvalReport {
   unsigned levels = 0;         ///< multiplicative depth (= wavefront count)
   double max_noise_bits = 0.0;  ///< worst predicted residue over live wires
   bool decryptable = false;     ///< model verdict for every live wire
+  bool spectrum_resident = false;  ///< wires stayed in the NTT domain
+  ResidencyStats residency;        ///< totals (meaningful when resident)
   std::vector<WavefrontStats> wavefronts;
 
   [[nodiscard]] std::size_t wavefront_count() const noexcept { return wavefronts.size(); }
@@ -125,7 +152,75 @@ class EvalState {
   /// level has been stepped.
   [[nodiscard]] std::vector<Ciphertext> outputs() const;
 
+  // --- spectrum-resident stepping ------------------------------------------
+  // Opt-in alternative protocol per level L (engines that speak spectrum
+  // handles only -- SsaBackend / "ssa" scheduler lanes):
+  //   1. forward every wire of spectrum_plan(L), install_operand_spectrum();
+  //   2. pointwise-multiply each wavefront gate's operand spectra,
+  //      install_product();
+  //   3. fold_linear(L): XOR gates over in-domain products become pointwise
+  //      spectrum additions (lazy coefficients, bound-tracked);
+  //   4. materialize every wire of materialize_plan(L) (one inverse each),
+  //      apply_materialized();
+  //   5. sweep_linear(L) for the remaining eager XORs;
+  //   6. evict_spent_spectra(L).
+  // Results are bit-exact against the eager protocol: spectrum sums stand
+  // for sums of the same raw products, reduced by the same x0 at
+  // materialization ((a mod x0) + (b mod x0) == a + b (mod x0)).
+
+  /// Plans residency: decides per wire whether it stays in the spectrum
+  /// domain (static reduction-bound analysis included; over-bound XOR folds
+  /// are demoted to eager and counted as bound_flushes). `registry`, when
+  /// given, mirrors resident entries into the shared concurrent cache under
+  /// a per-evaluation uid so cross-request residency stays observable and
+  /// bounded.
+  void enable_residency(const ssa::SsaParams& params,
+                        ssa::ConcurrentSpectrumCache* registry = nullptr);
+  [[nodiscard]] bool residency_enabled() const noexcept { return residency_; }
+  [[nodiscard]] const ssa::SsaParams& spectrum_params() const noexcept { return params_; }
+
+  /// The materialized value of a wire (for forward transforms).
+  [[nodiscard]] const bigint::BigUInt& wire_value(u32 id) const;
+
+  /// Distinct operand wires of wavefront(level) gates that still need a
+  /// forward transform (ascending wire id; deterministic).
+  [[nodiscard]] std::vector<u32> spectrum_plan(unsigned level) const;
+  void install_operand_spectrum(u32 wire, ssa::SpectrumHandle spectrum);
+  [[nodiscard]] ssa::SpectrumHandle operand_spectrum(u32 wire) const;
+
+  /// Installs the pointwise product spectrum of wavefront gate `id`.
+  void install_product(u32 id, ssa::SpectrumHandle spectrum);
+
+  /// Sweeps the level's foldable XOR gates as pointwise spectrum additions
+  /// (coordinator-side; a fold is one O(N) vector addition).
+  void fold_linear(unsigned level);
+
+  /// Wires of this level whose values are consumed outside the spectrum
+  /// domain (outputs, AND operands, eager-XOR operands) -- one inverse
+  /// transform each (ascending wire id; deterministic).
+  [[nodiscard]] std::vector<u32> materialize_plan(unsigned level) const;
+
+  /// The product/sum spectrum standing for wire `id`.
+  [[nodiscard]] ssa::SpectrumHandle wire_spectrum(u32 id) const;
+
+  /// Completes a materialization with the raw integer the spectrum stood
+  /// for: reduces modulo x0 and annotates the analytic noise estimate.
+  void apply_materialized(u32 id, bigint::BigUInt raw);
+
+  /// Drops every resident spectrum whose last consumer was this level
+  /// (single-use operands leave after the wavefront that consumed them).
+  void evict_spent_spectra(unsigned level);
+
+  [[nodiscard]] const ResidencyStats& residency_stats() const noexcept { return rstats_; }
+
+  ~EvalState();
+
  private:
+  [[nodiscard]] u64 local_key(u32 wire, unsigned kind) const noexcept;
+  [[nodiscard]] u64 registry_key(u32 wire, unsigned kind) const noexcept;
+  void publish(u32 wire, unsigned kind, ssa::SpectrumHandle spectrum);
+  void evict(u32 wire, unsigned kind);
+
   const Graph* graph_;
   std::vector<Wire> output_wires_;
   std::vector<char> live_;
@@ -136,6 +231,19 @@ class EvalState {
   unsigned max_level_ = 0;
   double max_noise_ = 0.0;
   u32 worst_wire_ = Wire::kInvalid;
+
+  // Spectrum residency (set up by enable_residency).
+  bool residency_ = false;
+  ssa::SsaParams params_;
+  ssa::ConcurrentSpectrumCache* registry_ = nullptr;
+  u64 uid_ = 0;  ///< registry key namespace of this evaluation
+  ssa::SpectrumCache resident_cache_;  ///< wire-keyed spectra of this evaluation
+  std::vector<char> folded_;       ///< XOR swept in the spectrum domain
+  std::vector<char> needs_value_;  ///< wire consumed outside the domain
+  std::vector<std::vector<u32>> evict_operand_;   ///< kind-0 eviction per level
+  std::vector<std::vector<u32>> evict_spectrum_;  ///< kind-1 eviction per level
+  std::size_t resident_now_ = 0;  ///< current local resident entries
+  ResidencyStats rstats_;
 };
 
 /// Wavefront executor for a recorded Graph: dead nodes (not reachable from

@@ -268,6 +268,19 @@ inline void scale_canonical(Fp* data, Fp scale, std::size_t n) noexcept {
   }
 }
 
+/// a[i] = a[i] + b[i] (mod p); redundant inputs AND outputs -- the spectrum-
+/// domain accumulation primitive. Callers must canonicalize (or bound-track)
+/// before handing the result to code expecting canonical coefficients.
+inline void pointwise_add(Fp* a, const Fp* b, std::size_t n) noexcept {
+  std::size_t i = 0;
+#if HEMUL_FP_AVX512
+  for (; i + 8 <= n; i += 8) {
+    detail::v_store(a + i, detail::v_add_lazy(detail::v_load(a + i), detail::v_load(b + i)));
+  }
+#endif
+  for (; i < n; ++i) a[i] = Fp::from_canonical(add_lazy(a[i].value(), b[i].value()));
+}
+
 /// Canonicalizes a redundant array in place.
 inline void canonicalize(Fp* data, std::size_t n) noexcept {
   std::size_t i = 0;

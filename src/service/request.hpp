@@ -85,6 +85,13 @@ struct Response {
   unsigned levels = 0;    ///< multiplicative depth (= wavefronts traversed)
   u64 shared_batches = 0; ///< scheduler batches this request rode on (each
                           ///< possibly shared with other tenants' gates)
+  /// NTT executions (forward + inverse) this request actually cost, when
+  /// served by spectrum-resident rounds (0 on the eager protocol, whose
+  /// transforms are booked inside the lane engines).
+  u64 transforms_executed = 0;
+  /// Transforms the resident protocol saved against the per-gate eager
+  /// cost of the same gates (3 per AND). Deterministic.
+  i64 transforms_avoided = 0;
   double queue_ms = 0.0;  ///< submit -> admission
   double exec_ms = 0.0;   ///< admission -> completion
 
@@ -121,6 +128,10 @@ struct ServiceStats {
   /// Sum over batches of the requests sharing each batch (see
   /// coalescing()).
   u64 coalesced_requests = 0;
+  /// NTT executions spent / saved by spectrum-resident rounds, summed over
+  /// successful requests (both 0 when lanes run the eager protocol).
+  u64 transforms_executed = 0;
+  i64 transforms_avoided = 0;
   std::size_t queue_depth = 0;      ///< submitted, not yet admitted
   std::size_t active_requests = 0;  ///< admitted, still executing
   std::size_t sessions = 0;

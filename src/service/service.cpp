@@ -7,9 +7,11 @@
 #include <utility>
 
 #include "backend/registry.hpp"
+#include "backend/ssa_backend.hpp"
 #include "fhe/evaluator.hpp"
 #include "fhe/graph.hpp"
 #include "fhe/noise.hpp"
+#include "ssa/resident.hpp"
 #include "util/check.hpp"
 
 namespace hemul::core {
@@ -184,6 +186,8 @@ void Service::complete(Active& request, Response response) {
         // request spends no multiplication by design).
         totals_.and_gates += response.and_gates;
         totals_.wavefronts += response.levels;
+        totals_.transforms_executed += response.transforms_executed;
+        totals_.transforms_avoided += response.transforms_avoided;
         tenant.and_gates += response.and_gates;
         tenant.wavefronts += response.levels;
         break;
@@ -313,10 +317,218 @@ std::unique_ptr<Service::Active> Service::admit(Pending&& pending) {
     complete(*active, std::move(response));
     return nullptr;
   }
+
+  // "ssa" lanes speak spectrum handles: serve this request through
+  // spectrum-resident rounds, mirroring its wire spectra into the
+  // scheduler's shared cache (per-request uid-keyed, so tenants with
+  // different key sizes never collide).
+  if (scheduler_.lanes_support_spectra()) {
+    active->state->enable_residency(
+        ssa::SsaParams::for_bits(active->session->scheme.public_key().x0.bit_length(),
+                                 ssa::kResidentHeadroomBits),
+        &scheduler_.spectrum_cache());
+  }
   return active;
 }
 
+void Service::retire_round(std::vector<std::unique_ptr<Active>>& active, bool resident) {
+  // Advance every participant one level; retire the finished and failed.
+  std::vector<std::unique_ptr<Active>> still_running;
+  still_running.reserve(active.size());
+  for (auto& request : active) {
+    if (request->failed) {
+      Response response = std::move(request->response);
+      response.status = ResponseStatus::kInternalError;
+      response.error = "execution failed: " + request->fail_error;
+      complete(*request, std::move(response));
+      continue;
+    }
+    request->response.and_gates += request->state->wavefront(request->next_level).size();
+    ++request->response.shared_batches;
+    request->state->sweep_linear(request->next_level);
+    if (resident) request->state->evict_spent_spectra(request->next_level);
+    ++request->next_level;
+    if (request->next_level > request->state->max_level()) {
+      Response response = std::move(request->response);
+      if (resident) {
+        const fhe::ResidencyStats& rs = request->state->residency_stats();
+        response.transforms_executed = rs.transforms_executed();
+        response.transforms_avoided = static_cast<i64>(3 * response.and_gates) -
+                                      static_cast<i64>(rs.transforms_executed());
+      }
+      response.outputs = request->serialize_outputs();
+      complete(*request, std::move(response));
+    } else {
+      still_running.push_back(std::move(request));
+    }
+  }
+  active = std::move(still_running);
+}
+
+void Service::run_round_resident(std::vector<std::unique_ptr<Active>>& active) {
+  // The resident protocol, fused across tenants phase by phase. Faults are
+  // confined to fault slots exactly like the eager round: lane closures
+  // never let an exception cross threads (see run_round).
+  {
+    std::lock_guard lock(mutex_);
+    ++totals_.batches_submitted;
+    totals_.coalesced_requests += active.size();
+  }
+
+  struct SpectrumJob {
+    Active* request = nullptr;
+    u32 wire = 0;
+  };
+
+  // Phase A: forward transforms of operand wires new to the domain.
+  std::vector<SpectrumJob> forwards;
+  for (const auto& request : active) {
+    for (const u32 w : request->state->spectrum_plan(request->next_level)) {
+      forwards.push_back({request.get(), w});
+    }
+  }
+  {
+    std::vector<ssa::SpectrumHandle> slots(forwards.size());
+    std::vector<std::unique_ptr<std::string>> faults(forwards.size());
+    std::vector<std::future<bigint::BigUInt>> futures;
+    futures.reserve(forwards.size());
+    for (std::size_t k = 0; k < forwards.size(); ++k) {
+      auto [request, wire] = forwards[k];
+      futures.push_back(scheduler_.submit(
+          [value = request->state->wire_value(wire), params = request->state->spectrum_params(),
+           slot = &slots[k],
+           fault = &faults[k]](backend::MultiplierBackend& engine) -> bigint::BigUInt {
+            try {
+              auto* ssa_engine = dynamic_cast<backend::SsaBackend*>(&engine);
+              HEMUL_CHECK_MSG(ssa_engine != nullptr, "resident round on a non-ssa lane");
+              *slot = ssa_engine->forward_spectrum(value, params);
+            } catch (const std::exception& e) {
+              *fault = std::make_unique<std::string>(e.what());
+            } catch (...) {
+              *fault = std::make_unique<std::string>("unknown lane error");
+            }
+            return bigint::BigUInt{};
+          }));
+    }
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      futures[k].get();
+      auto [request, wire] = forwards[k];
+      if (faults[k] != nullptr) {
+        if (!request->failed) {
+          request->failed = true;
+          request->fail_error = *faults[k];
+        }
+      } else if (!request->failed) {
+        request->state->install_operand_spectrum(wire, std::move(slots[k]));
+      }
+    }
+  }
+
+  // Phase B: every ready AND gate across all tenants as pointwise products.
+  std::vector<SpectrumJob> gates;
+  for (const auto& request : active) {
+    if (request->failed) continue;
+    for (const u32 id : request->state->wavefront(request->next_level)) {
+      gates.push_back({request.get(), id});
+    }
+  }
+  {
+    std::vector<ssa::SpectrumHandle> slots(gates.size());
+    std::vector<std::unique_ptr<std::string>> faults(gates.size());
+    std::vector<std::future<bigint::BigUInt>> futures;
+    futures.reserve(gates.size());
+    for (std::size_t k = 0; k < gates.size(); ++k) {
+      auto [request, id] = gates[k];
+      const auto [a, b] = request->graph.operands(fhe::Wire{id});
+      futures.push_back(scheduler_.submit(
+          [sa = request->state->operand_spectrum(a.id),
+           sb = request->state->operand_spectrum(b.id),
+           params = request->state->spectrum_params(), slot = &slots[k],
+           fault = &faults[k]](backend::MultiplierBackend& engine) -> bigint::BigUInt {
+            try {
+              auto* ssa_engine = dynamic_cast<backend::SsaBackend*>(&engine);
+              HEMUL_CHECK_MSG(ssa_engine != nullptr, "resident round on a non-ssa lane");
+              *slot = ssa_engine->multiply_spectra(sa, sb, params);
+            } catch (const std::exception& e) {
+              *fault = std::make_unique<std::string>(e.what());
+            } catch (...) {
+              *fault = std::make_unique<std::string>("unknown lane error");
+            }
+            return bigint::BigUInt{};
+          }));
+    }
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      futures[k].get();
+      auto [request, id] = gates[k];
+      if (faults[k] != nullptr) {
+        if (!request->failed) {
+          request->failed = true;
+          request->fail_error = *faults[k];
+        }
+      } else if (!request->failed) {
+        request->state->install_product(id, std::move(slots[k]));
+      }
+    }
+  }
+
+  // Phase C: XOR folds are coordinator-side pointwise additions.
+  for (const auto& request : active) {
+    if (!request->failed) request->state->fold_linear(request->next_level);
+  }
+
+  // Phase D: one inverse per wire whose value leaves the domain.
+  std::vector<SpectrumJob> leaves;
+  for (const auto& request : active) {
+    if (request->failed) continue;
+    for (const u32 id : request->state->materialize_plan(request->next_level)) {
+      leaves.push_back({request.get(), id});
+    }
+  }
+  {
+    std::vector<std::unique_ptr<std::string>> faults(leaves.size());
+    std::vector<std::future<bigint::BigUInt>> futures;
+    futures.reserve(leaves.size());
+    for (std::size_t k = 0; k < leaves.size(); ++k) {
+      auto [request, id] = leaves[k];
+      futures.push_back(scheduler_.submit(
+          [spectrum = request->state->wire_spectrum(id),
+           params = request->state->spectrum_params(),
+           fault = &faults[k]](backend::MultiplierBackend& engine) -> bigint::BigUInt {
+            try {
+              auto* ssa_engine = dynamic_cast<backend::SsaBackend*>(&engine);
+              HEMUL_CHECK_MSG(ssa_engine != nullptr, "resident round on a non-ssa lane");
+              return ssa_engine->materialize_spectrum(*spectrum, params);
+            } catch (const std::exception& e) {
+              *fault = std::make_unique<std::string>(e.what());
+            } catch (...) {
+              *fault = std::make_unique<std::string>("unknown lane error");
+            }
+            return bigint::BigUInt{};
+          }));
+    }
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      bigint::BigUInt raw = futures[k].get();
+      auto [request, id] = leaves[k];
+      if (faults[k] != nullptr) {
+        if (!request->failed) {
+          request->failed = true;
+          request->fail_error = *faults[k];
+        }
+      } else if (!request->failed) {
+        request->state->apply_materialized(id, std::move(raw));
+      }
+    }
+  }
+
+  retire_round(active, /*resident=*/true);
+}
+
 void Service::run_round(std::vector<std::unique_ptr<Active>>& active) {
+  if (scheduler_.lanes_support_spectra()) {
+    run_round_resident(active);
+    return;
+  }
+
   // Fuse the fronts: every request's next wavefront into ONE scheduler
   // batch, so independent tenants at the same depth share the round.
   std::vector<std::pair<Active*, u32>> owners;
@@ -371,30 +583,7 @@ void Service::run_round(std::vector<std::unique_ptr<Active>>& active) {
     }
   }
 
-  // Advance every participant one level; retire the finished and failed.
-  std::vector<std::unique_ptr<Active>> still_running;
-  still_running.reserve(active.size());
-  for (auto& request : active) {
-    if (request->failed) {
-      Response response = std::move(request->response);
-      response.status = ResponseStatus::kInternalError;
-      response.error = "execution failed: " + request->fail_error;
-      complete(*request, std::move(response));
-      continue;
-    }
-    request->response.and_gates += request->state->wavefront(request->next_level).size();
-    ++request->response.shared_batches;
-    request->state->sweep_linear(request->next_level);
-    ++request->next_level;
-    if (request->next_level > request->state->max_level()) {
-      Response response = std::move(request->response);
-      response.outputs = request->serialize_outputs();
-      complete(*request, std::move(response));
-    } else {
-      still_running.push_back(std::move(request));
-    }
-  }
-  active = std::move(still_running);
+  retire_round(active, /*resident=*/false);
 }
 
 void Service::coordinator_loop() {

@@ -99,6 +99,13 @@ class Service {
   /// Runs one coalesced round over `active`: one scheduler batch holding
   /// every request's next wavefront. Completed requests are removed.
   void run_round(std::vector<std::unique_ptr<Active>>& active);
+  /// The spectrum-resident round ("ssa" lanes only): forwards, pointwise
+  /// products, coordinator-side XOR folds, then one inverse per wire whose
+  /// value leaves the NTT domain -- fused across all tenants per phase.
+  void run_round_resident(std::vector<std::unique_ptr<Active>>& active);
+  /// Retires finished / failed requests after a round and advances the
+  /// rest one level.
+  void retire_round(std::vector<std::unique_ptr<Active>>& active, bool resident);
   void complete(Active& request, Response response);
 
   ServiceOptions options_;

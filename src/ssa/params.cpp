@@ -15,11 +15,14 @@ u64 next_pow2(u64 x) {
   return n;
 }
 
-/// Exactness bound: num_coeffs * (2^m - 1)^2 < p.
-/// (m <= 31 and num_coeffs <= 2^32 keep the product within 128 bits.)
-bool exact(std::size_t m, u64 num_coeffs) {
+/// Exactness bound: num_coeffs * (2^m - 1)^2 < p / 2^headroom_bits.
+/// (m <= 31 and num_coeffs <= 2^32 keep the product within 128 bits; the
+/// right shift makes the headroom variant conservative, never permissive.)
+bool exact(std::size_t m, u64 num_coeffs, unsigned headroom_bits = 0) {
+  if (headroom_bits >= 64) return false;
   const u128 max_coeff = (u128{1} << m) - 1;
-  return static_cast<u128>(num_coeffs) * max_coeff * max_coeff < u128{fp::kModulus};
+  return static_cast<u128>(num_coeffs) * max_coeff * max_coeff <
+         (u128{fp::kModulus} >> headroom_bits);
 }
 
 }  // namespace
@@ -34,12 +37,12 @@ SsaParams SsaParams::paper() {
   return params;
 }
 
-SsaParams SsaParams::for_bits(std::size_t operand_bits) {
+SsaParams SsaParams::for_bits(std::size_t operand_bits, unsigned headroom_bits) {
   if (operand_bits == 0) throw std::invalid_argument("for_bits: operand_bits must be > 0");
   // Largest m keeps the transform shortest; scan downward until exact.
   for (std::size_t m = 26; m >= 4; --m) {
     const u64 num_coeffs = (operand_bits + m - 1) / m;
-    if (!exact(m, num_coeffs)) continue;
+    if (!exact(m, num_coeffs, headroom_bits)) continue;
     SsaParams params;
     params.coeff_bits = m;
     params.num_coeffs = num_coeffs;

@@ -32,9 +32,14 @@ struct SsaParams {
   static SsaParams paper();
 
   /// Chooses the largest exact coefficient width for the given operand size
-  /// and a matching power-of-two transform length.
-  /// Throws std::invalid_argument if operand_bits == 0.
-  static SsaParams for_bits(std::size_t operand_bits);
+  /// and a matching power-of-two transform length. `headroom_bits` tightens
+  /// the exactness bound to num_coeffs * (2^m - 1)^2 < p / 2^headroom_bits,
+  /// leaving room for up to 2^headroom_bits product spectra to accumulate
+  /// pointwise before any coefficient can reach p (the spectrum-resident
+  /// XOR sweep's lazy-reduction budget). headroom_bits == 0 reproduces the
+  /// plain exactness choice. Throws std::invalid_argument if
+  /// operand_bits == 0.
+  static SsaParams for_bits(std::size_t operand_bits, unsigned headroom_bits = 0);
 
   /// Maximum operand size this instance can multiply exactly.
   [[nodiscard]] std::size_t max_operand_bits() const noexcept {

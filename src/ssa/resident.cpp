@@ -1,0 +1,110 @@
+#include "ssa/resident.hpp"
+
+#include <algorithm>
+
+#include "fp/kernels.hpp"
+#include "ntt/context.hpp"
+#include "ntt/radix2.hpp"
+#include "ssa/pack.hpp"
+#include "util/check.hpp"
+
+namespace hemul::ssa {
+
+using bigint::BigUInt;
+
+SpectrumDomain::SpectrumDomain(const SsaParams& params, Workspace& ws)
+    : params_(params), ws_(&ws) {
+  params_.validate();
+  if (params_.engine == Engine::kMixedRadix) {
+    mixed_ = &ntt::shared_context(params_.plan);
+  } else {
+    radix2_ = &ntt::shared_radix2(params_.transform_size);
+  }
+}
+
+void SpectrumDomain::enter(ResidentSpectrum& out, const BigUInt& value) const {
+  const std::size_t bits = value.bit_length();
+  HEMUL_CHECK_MSG(bits <= params_.max_operand_bits(),
+                  "enter: value exceeds the packing geometry");
+  if (radix2_ != nullptr) {
+    // Pack straight into the resident buffer and transform in place.
+    pack_into(value, params_, out.spec);
+    radix2_->forward_spectrum(out.spec);
+  } else {
+    // The mixed-radix engine needs distinct in/out buffers.
+    pack_into(value, params_, ws_->pack_a);
+    mixed_->forward(ws_->pack_a, out.spec, ws_->ntt);
+  }
+  out.degree = std::max<u64>(1, (bits + params_.coeff_bits - 1) / params_.coeff_bits);
+  out.coeff_bound = operand_bound();
+}
+
+bool SpectrumDomain::can_multiply(const ResidentSpectrum& a,
+                                  const ResidentSpectrum& b) const noexcept {
+  if (a.empty() || b.empty()) return false;
+  // Acyclic product must fit the transform (no wraparound)...
+  if (a.degree + b.degree - 1 > params_.transform_size) return false;
+  // ...and only operand-grade bounds may multiply: cap per factor keeps the
+  // u128 product below overflow and the result bound meaningful.
+  const u128 cap = u128{1} << 31;
+  if (a.coeff_bound == 0 || b.coeff_bound == 0) return false;
+  if (a.coeff_bound >= cap || b.coeff_bound >= cap) return false;
+  const u128 bound = a.coeff_bound * b.coeff_bound * std::min(a.degree, b.degree);
+  return bound < u128{fp::kModulus};
+}
+
+void SpectrumDomain::multiply(ResidentSpectrum& out, const ResidentSpectrum& a,
+                              const ResidentSpectrum& b) const {
+  HEMUL_CHECK_MSG(can_multiply(a, b), "multiply: operands not spectrum-multipliable");
+  HEMUL_CHECK(a.spec.size() == params_.transform_size);
+  HEMUL_CHECK(b.spec.size() == params_.transform_size);
+  out.spec.resize(params_.transform_size);
+  fp::pointwise_product(out.spec.data(), a.spec.data(), b.spec.data(),
+                        params_.transform_size);
+  out.degree = a.degree + b.degree - 1;
+  out.coeff_bound = a.coeff_bound * b.coeff_bound * std::min(a.degree, b.degree);
+}
+
+bool SpectrumDomain::can_accumulate(const ResidentSpectrum& acc,
+                                    const ResidentSpectrum& b) const noexcept {
+  if (b.empty()) return false;
+  if (acc.empty()) return true;
+  return acc.coeff_bound + b.coeff_bound < u128{fp::kModulus};
+}
+
+void SpectrumDomain::accumulate(ResidentSpectrum& acc, const ResidentSpectrum& b) const {
+  HEMUL_CHECK_MSG(can_accumulate(acc, b), "accumulate: bound would reach p");
+  HEMUL_CHECK(b.spec.size() == params_.transform_size);
+  if (acc.empty()) {
+    acc.spec = b.spec;  // assignment reuses warmed capacity
+    acc.degree = b.degree;
+    acc.coeff_bound = b.coeff_bound;
+    return;
+  }
+  HEMUL_CHECK(acc.spec.size() == params_.transform_size);
+  fp::pointwise_add(acc.spec.data(), b.spec.data(), params_.transform_size);
+  acc.degree = std::max(acc.degree, b.degree);
+  acc.coeff_bound += b.coeff_bound;
+}
+
+void SpectrumDomain::leave(BigUInt& out, const ResidentSpectrum& s) const {
+  HEMUL_CHECK_MSG(!s.empty(), "leave: empty spectrum");
+  HEMUL_CHECK_MSG(s.coeff_bound < u128{fp::kModulus}, "leave: bound reached p");
+  HEMUL_CHECK(s.spec.size() == params_.transform_size);
+  if (radix2_ != nullptr) {
+    // The DIT sweep is exact on the redundant representation, so the lazy
+    // coefficients go straight in; the inverse canonicalizes on exit.
+    ws_->spec_a = s.spec;
+    radix2_->inverse_from_spectrum(ws_->spec_a);
+    carry_recover_into(ws_->spec_a, params_.coeff_bits, out);
+  } else {
+    // The mixed-radix engine's deferred-reduction row sums assume canonical
+    // inputs; pay the canonicalization sweep here, at inverse time.
+    ws_->spec_a = s.spec;
+    fp::canonicalize(ws_->spec_a.data(), ws_->spec_a.size());
+    mixed_->inverse(ws_->spec_a, ws_->pack_a, ws_->ntt);
+    carry_recover_into(ws_->pack_a, params_.coeff_bits, out);
+  }
+}
+
+}  // namespace hemul::ssa

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <memory>
+
+#include "bigint/biguint.hpp"
+#include "fp/fp64.hpp"
+#include "ssa/params.hpp"
+#include "ssa/workspace.hpp"
+
+namespace hemul::ntt {
+class Radix2Ntt;
+class NttContext;
+}  // namespace hemul::ntt
+
+namespace hemul::ssa {
+
+/// A wire's value held in the NTT spectrum domain -- the software analogue
+/// of the accelerator keeping operands in on-chip transform memory between
+/// butterfly passes instead of round-tripping through DRAM.
+///
+/// Coefficients are carried in the redundant representation of
+/// fp/kernels.hpp (any u64 in [0, 2^64) standing for its residue), with an
+/// explicit lazy-reduction policy: `coeff_bound` tracks an upper bound on
+/// the TRUE (integer, pre-reduction) convolution coefficients the spectrum
+/// stands for. As long as the bound stays below p, the inverse transform
+/// recovers the exact integer coefficients, so pointwise sums may pile up
+/// without any per-addition canonicalization; canonicalization happens only
+/// at inverse time (or, for the mixed-radix engine, immediately before the
+/// inverse, which expects canonical inputs).
+///
+/// Two kinds of spectra flow through the evaluator:
+///   * operand spectra (from enter()): degree = ceil(bits / m) packed
+///     coefficients, each < 2^m. Only these may be multiplied.
+///   * product/sum spectra (from multiply()/accumulate()): stand for an
+///     UNREDUCED integer (a raw ciphertext product, or a sum of such). They
+///     may be accumulated or inverted, never multiplied -- their degree and
+///     coefficient bounds would break the exactness conditions.
+struct ResidentSpectrum {
+  fp::FpVec spec;       ///< transform_size elements, producing engine's order
+  u64 degree = 0;       ///< nonzero coefficient count of the represented poly
+  u128 coeff_bound = 0; ///< upper bound on any true convolution coefficient
+
+  [[nodiscard]] bool empty() const noexcept { return degree == 0; }
+  void reset() noexcept {
+    degree = 0;
+    coeff_bound = 0;
+  }
+};
+
+/// Shared ownership handle for resident spectra: the caches, the scheduler
+/// lanes and the evaluator all hold the same immutable-once-published
+/// spectrum without copies.
+using SpectrumHandle = std::shared_ptr<ResidentSpectrum>;
+
+/// Exactness headroom (in bits) the spectrum-resident evaluator asks of
+/// SsaParams::for_bits: room for up to 2^6 = 64 product spectra to
+/// accumulate pointwise before any true coefficient can reach p. At the
+/// bench geometry (gamma = 8192 bits) this costs nothing -- the transform
+/// length is the same 1024 points with or without the headroom.
+inline constexpr unsigned kResidentHeadroomBits = 6;
+
+/// Binds one SSA parameterization (packing geometry + engine) to a
+/// workspace and exposes the spectrum-domain operations the evaluator
+/// composes: enter (pack + forward), pointwise multiply, lazy pointwise
+/// accumulate, and leave (canonicalize + inverse + carry recovery).
+///
+/// Spectra produced by one SpectrumDomain are only meaningful to a domain
+/// with the same engine AND geometry (the radix-2 fast path stores
+/// engine-order spectra, the mixed-radix path natural order); the caches
+/// key resident entries accordingly.
+class SpectrumDomain {
+ public:
+  /// Engines are resolved through the process-wide shared caches, so
+  /// construction is cheap after first use of a geometry.
+  SpectrumDomain(const SsaParams& params, Workspace& ws);
+
+  /// out = forward spectrum of `value` (an operand spectrum). Requires
+  /// value.bit_length() <= params.max_operand_bits(). Reuses out.spec's
+  /// capacity; steady state allocates nothing.
+  void enter(ResidentSpectrum& out, const bigint::BigUInt& value) const;
+
+  /// May a * b be formed exactly? True iff both are operand-grade spectra
+  /// whose acyclic product fits the transform and whose true coefficients
+  /// stay below p (with the bound tracked conservatively).
+  [[nodiscard]] bool can_multiply(const ResidentSpectrum& a,
+                                  const ResidentSpectrum& b) const noexcept;
+
+  /// out = a . b pointwise (a product spectrum). Requires can_multiply.
+  void multiply(ResidentSpectrum& out, const ResidentSpectrum& a,
+                const ResidentSpectrum& b) const;
+
+  /// May `b` be folded into `acc` without the true-coefficient bound
+  /// reaching p? (Always true into an empty accumulator.)
+  [[nodiscard]] bool can_accumulate(const ResidentSpectrum& acc,
+                                    const ResidentSpectrum& b) const noexcept;
+
+  /// acc += b pointwise with lazy (redundant) coefficients; bounds add.
+  /// Requires can_accumulate.
+  void accumulate(ResidentSpectrum& acc, const ResidentSpectrum& b) const;
+
+  /// out = the exact integer `s` stands for: canonicalize when the engine
+  /// demands it, inverse transform, carry recovery. `s` is not consumed --
+  /// a cached spectrum can be left (inverted) many times.
+  void leave(bigint::BigUInt& out, const ResidentSpectrum& s) const;
+
+  /// True-coefficient bound of any operand spectrum of this geometry.
+  [[nodiscard]] u128 operand_bound() const noexcept {
+    return (u128{1} << params_.coeff_bits) - 1;
+  }
+
+  [[nodiscard]] const SsaParams& params() const noexcept { return params_; }
+
+ private:
+  const ntt::Radix2Ntt* radix2_ = nullptr;  ///< set iff engine == kRadix2Fast
+  const ntt::NttContext* mixed_ = nullptr;  ///< set iff engine == kMixedRadix
+  SsaParams params_;
+  Workspace* ws_;
+};
+
+}  // namespace hemul::ssa

@@ -37,7 +37,19 @@ void SpectrumCache::insert(const bigint::BigUInt& operand, fp::FpVec spectrum) {
 void SpectrumCache::clear() {
   buckets_.clear();
   entries_ = 0;
+  resident_.clear();
 }
+
+const SpectrumHandle* SpectrumCache::find_resident(u64 key) const {
+  const auto it = resident_.find(key);
+  return it != resident_.end() ? &it->second : nullptr;
+}
+
+void SpectrumCache::insert_resident(u64 key, SpectrumHandle spectrum) {
+  resident_[key] = std::move(spectrum);
+}
+
+bool SpectrumCache::evict_resident(u64 key) { return resident_.erase(key) != 0; }
 
 BatchSpectrumProvider::BatchSpectrumProvider(
     std::span<const std::pair<bigint::BigUInt, bigint::BigUInt>> jobs, TransformFn forward)
@@ -125,8 +137,37 @@ std::shared_ptr<const fp::FpVec> ConcurrentSpectrumCache::get_or_compute(
   return {entry, &entry->spectrum};
 }
 
+void ConcurrentSpectrumCache::put_resident(u64 key, SpectrumHandle spectrum) {
+  std::unique_lock lock(mutex_);
+  resident_[key] = std::move(spectrum);
+  const u64 occupancy = resident_.size();
+  if (occupancy > resident_peak_.load(std::memory_order_relaxed)) {
+    resident_peak_.store(occupancy, std::memory_order_relaxed);
+  }
+}
+
+SpectrumHandle ConcurrentSpectrumCache::get_resident(u64 key) const {
+  std::shared_lock lock(mutex_);
+  const auto it = resident_.find(key);
+  return it != resident_.end() ? it->second : SpectrumHandle{};
+}
+
+bool ConcurrentSpectrumCache::evict_resident(u64 key) {
+  std::unique_lock lock(mutex_);
+  const bool erased = resident_.erase(key) != 0;
+  if (erased) resident_evictions_.fetch_add(1, std::memory_order_relaxed);
+  return erased;
+}
+
+std::size_t ConcurrentSpectrumCache::resident_size() const {
+  std::shared_lock lock(mutex_);
+  return resident_.size();
+}
+
 ConcurrentSpectrumCache::Stats ConcurrentSpectrumCache::stats() const noexcept {
-  return {hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed)};
+  return {hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed),
+          resident_peak_.load(std::memory_order_relaxed),
+          resident_evictions_.load(std::memory_order_relaxed)};
 }
 
 std::size_t ConcurrentSpectrumCache::size() const {
@@ -138,8 +179,11 @@ void ConcurrentSpectrumCache::clear() {
   std::unique_lock lock(mutex_);
   buckets_.clear();
   entries_ = 0;
+  resident_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  resident_peak_.store(0, std::memory_order_relaxed);
+  resident_evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hemul::ssa

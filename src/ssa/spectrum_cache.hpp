@@ -12,6 +12,7 @@
 #include "bigint/biguint.hpp"
 #include "fp/fp64.hpp"
 #include "ssa/params.hpp"
+#include "ssa/resident.hpp"
 
 namespace hemul::ssa {
 
@@ -46,6 +47,29 @@ class SpectrumCache {
 
   static u64 hash(const bigint::BigUInt& operand) noexcept;
 
+  // ---- wire-keyed resident spectra -----------------------------------
+  // The spectrum-resident evaluator addresses spectra by WIRE identity,
+  // not operand value: a wire's spectrum is produced once (forward NTT or
+  // pointwise product) and re-consumed by every later gate touching the
+  // wire, without rehashing the big integer it stands for. Keys are
+  // caller-composed (wire id + spectrum kind); all entries of one
+  // SpectrumCache share a single engine + packing geometry, which the
+  // owning evaluator fixed when it entered the domain.
+
+  /// The resident spectrum under `key`, or nullptr. Valid until the key is
+  /// evicted/overwritten or clear().
+  [[nodiscard]] const SpectrumHandle* find_resident(u64 key) const;
+
+  /// Publishes (or replaces) the resident spectrum under `key`.
+  void insert_resident(u64 key, SpectrumHandle spectrum);
+
+  /// Drops the entry under `key`; returns whether one existed.
+  bool evict_resident(u64 key);
+
+  /// Currently resident wire spectra (bounded-memory invariant: the
+  /// evaluator evicts each entry after its last consuming wavefront).
+  [[nodiscard]] std::size_t resident_entries() const noexcept { return resident_.size(); }
+
  private:
   struct Entry {
     bigint::BigUInt operand;
@@ -54,6 +78,7 @@ class SpectrumCache {
 
   std::unordered_map<u64, std::vector<std::unique_ptr<Entry>>> buckets_;
   std::size_t entries_ = 0;
+  std::unordered_map<u64, SpectrumHandle> resident_;
 };
 
 /// Batch-scoped spectrum provider shared by the software and the
@@ -128,8 +153,10 @@ class ConcurrentSpectrumCache {
                                                                 const TransformFn& forward);
 
   struct Stats {
-    u64 hits = 0;    ///< lookups served from the cache
-    u64 misses = 0;  ///< lookups that ran a forward transform
+    u64 hits = 0;                ///< lookups served from the cache
+    u64 misses = 0;              ///< lookups that ran a forward transform
+    u64 resident_peak = 0;       ///< high-water mark of resident wire spectra
+    u64 resident_evictions = 0;  ///< resident entries dropped after last use
   };
   [[nodiscard]] Stats stats() const noexcept;
 
@@ -139,6 +166,27 @@ class ConcurrentSpectrumCache {
   /// Drops all entries (spectra still referenced by lanes stay alive) and
   /// resets the hit/miss counters.
   void clear();
+
+  // ---- wire-keyed resident spectra -----------------------------------
+  // The Service's cross-request residency registry: evaluators publish
+  // wire spectra under caller-composed keys (evaluation uid + wire id +
+  // spectrum kind) so lanes and the coordinator share one copy. Memory
+  // stays bounded because evaluators evict every key after its last
+  // consuming wavefront -- resident_peak / resident_evictions make that
+  // invariant observable (and testable).
+
+  /// Publishes (or replaces) the resident spectrum under `key`.
+  void put_resident(u64 key, SpectrumHandle spectrum);
+
+  /// The resident spectrum under `key`, or an empty handle.
+  [[nodiscard]] SpectrumHandle get_resident(u64 key) const;
+
+  /// Drops the entry under `key` (handles held elsewhere stay alive);
+  /// returns whether one existed.
+  bool evict_resident(u64 key);
+
+  /// Currently resident wire spectra.
+  [[nodiscard]] std::size_t resident_size() const;
 
  private:
   struct Entry {
@@ -157,8 +205,11 @@ class ConcurrentSpectrumCache {
   std::size_t capacity_;
   std::unordered_map<u64, std::vector<std::shared_ptr<const Entry>>> buckets_;
   std::size_t entries_ = 0;
+  std::unordered_map<u64, SpectrumHandle> resident_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
+  std::atomic<u64> resident_peak_{0};
+  std::atomic<u64> resident_evictions_{0};
 };
 
 }  // namespace hemul::ssa

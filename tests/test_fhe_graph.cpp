@@ -306,11 +306,78 @@ TEST(GraphParity, EagerMatchesWavefrontAcrossBackendsAndWorkers) {
       if (name == "hw") config.hardware = small_hw_config();
       core::Scheduler scheduler(config);
       Evaluator evaluator(scheduler);
+      EvalReport report;
       const std::vector<Ciphertext> wave =
-          evaluator.evaluate(graph, outputs, nullptr, no_veto);
+          evaluator.evaluate(graph, outputs, &report, no_veto);
       expect_bit_exact(wave, eager.values,
                        name + " scheduler x" + std::to_string(workers));
+      // Spectrum residency engages exactly on "ssa" lanes and must never
+      // change results (checked above) -- only the transform economy.
+      EXPECT_EQ(report.spectrum_resident, name == "ssa")
+          << name << " x" << workers;
     }
+  }
+}
+
+// --- spectrum residency ----------------------------------------------------
+
+TEST(GraphResidency, ResidentEvaluationSavesTransformsDeterministically) {
+  Dghv scheme(DghvParams::toy(), 4242);
+  const Ciphertext zero = scheme.encrypt(false);
+  const Ciphertext one = scheme.encrypt(true);
+  const EncryptedInt cx = encrypt_int(scheme, 11, 4);
+  const EncryptedInt cy = encrypt_int(scheme, 6, 4);
+  const EvalOptions no_veto{.check_noise = false};
+
+  auto [graph, outputs] =
+      graph_reference(scheme, cx, cy, zero, one, /*include_multiply=*/true);
+
+  // Engine-path reference tally: the counters are coordinator-side facts of
+  // the circuit, so every path and every lane count must reproduce them.
+  EvalReport engine_report;
+  {
+    Evaluator evaluator(backend::make_backend("ssa"));
+    (void)evaluator.evaluate(graph, outputs, &engine_report, no_veto);
+  }
+  ASSERT_TRUE(engine_report.spectrum_resident);
+  const ResidencyStats& rs = engine_report.residency;
+  EXPECT_GT(rs.forward_transforms, 0u);
+  EXPECT_GT(rs.inverse_transforms, 0u);
+  EXPECT_GT(rs.domain_additions, 0u) << "XOR folds must run in the domain";
+  // Strictly cheaper than the per-gate eager protocol (2 forwards + 1
+  // inverse per AND).
+  EXPECT_LT(rs.transforms_executed(), 3 * engine_report.and_gates);
+  // Every AND still costs exactly one pointwise product.
+  EXPECT_EQ(rs.pointwise_products, engine_report.and_gates);
+  // All resident entries are evicted by the end of the evaluation.
+  EXPECT_GT(rs.spectra_evicted, 0u);
+  EXPECT_EQ(rs.spectra_evicted, rs.forward_transforms + rs.pointwise_products +
+                                    rs.domain_additions)
+      << "one eviction per spectrum entered, produced, or folded";
+
+  for (const unsigned workers : {1u, 4u}) {
+    core::Config config;
+    config.backend_name = "ssa";
+    config.num_workers = workers;
+    core::Scheduler scheduler(config);
+    Evaluator evaluator(scheduler);
+    EvalReport report;
+    (void)evaluator.evaluate(graph, outputs, &report, no_veto);
+    ASSERT_TRUE(report.spectrum_resident) << workers;
+    EXPECT_EQ(report.residency.forward_transforms, rs.forward_transforms) << workers;
+    EXPECT_EQ(report.residency.inverse_transforms, rs.inverse_transforms) << workers;
+    EXPECT_EQ(report.residency.pointwise_products, rs.pointwise_products) << workers;
+    EXPECT_EQ(report.residency.domain_additions, rs.domain_additions) << workers;
+    u64 executed = 0;
+    i64 avoided = 0;
+    for (const WavefrontStats& wf : report.wavefronts) {
+      executed += wf.spectra_cached + wf.inverses_paid;
+      avoided += wf.transforms_avoided;
+    }
+    EXPECT_EQ(executed, rs.transforms_executed()) << workers;
+    EXPECT_EQ(avoided, static_cast<i64>(3 * report.and_gates) -
+                           static_cast<i64>(rs.transforms_executed()))
+        << workers;
   }
 }
 

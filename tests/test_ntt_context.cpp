@@ -186,6 +186,35 @@ TEST(IterativeEngine, AdversarialValuesStressDeferredReduction) {
   }
 }
 
+TEST(FpKernels, PointwiseAddAccumulatesAdversarialRedundantSpectra) {
+  // The spectrum-domain accumulation primitive takes redundant inputs
+  // anywhere in [0, 2^64) and produces redundant outputs. Hammer it with
+  // all-(p-1), p, and near-2^64 lanes across sizes covering both the SIMD
+  // body and the scalar tail, checking every lane against an independently
+  // tracked canonical sum after 64 stacked accumulations.
+  util::Rng rng(0xADD5);
+  const u64 adversarial[] = {fp::kModulus - 1, fp::kModulus, ~u64{0},
+                             0x8000'0000'0000'0000ULL};
+  for (const u64 n : {4ULL, 8ULL, 64ULL, 257ULL}) {
+    FpVec acc(n, fp::kZero);
+    std::vector<u64> expected(n, 0);
+    for (unsigned round = 0; round < 64; ++round) {
+      FpVec b(n);
+      for (u64 i = 0; i < n; ++i) {
+        b[i] = Fp{round % 2 == 0 ? adversarial[(round + i) % 4] : rng.next()};
+      }
+      fp::pointwise_add(acc.data(), b.data(), n);
+      for (u64 i = 0; i < n; ++i) {
+        expected[i] =
+            fp::canonical_u64(fp::add_lazy(expected[i], fp::canonical_u64(b[i].value())));
+      }
+    }
+    for (u64 i = 0; i < n; ++i) {
+      EXPECT_EQ(fp::canonical_u64(acc[i].value()), expected[i]) << n << ":" << i;
+    }
+  }
+}
+
 TEST(SpectralConvolve, MatchesReferenceConvolutionAcrossSizes) {
   // The engine-order (bit-reversal-free) convolution path the multiplier
   // uses, including the odd-log2 sizes the radix-2 sweep must handle.

@@ -398,12 +398,48 @@ TEST(ServiceTest, ConcurrentTenantsFromManyThreads) {
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_EQ(stats.active_requests, 0u);
   EXPECT_EQ(stats.sessions, static_cast<std::size_t>(kThreads));
+  // No tenant's resident spectra may survive its own requests.
+  EXPECT_EQ(service.scheduler().spectrum_cache().resident_size(), 0u);
 
   u64 tenant_completed = 0;
   for (const SessionId session : sessions) {
     tenant_completed += service.tenant_stats(session).completed;
   }
   EXPECT_EQ(tenant_completed, stats.completed);
+}
+
+TEST(ServiceTest, ResidentSpectraAreEvictedOnceConsumed) {
+  // Spectrum-resident rounds park wire spectra in the scheduler's shared
+  // cache between wavefronts; single-use entries must be dropped right
+  // after the wavefront that consumes them, so the cache drains back to
+  // empty once the request retires.
+  Service service(ssa_options(2));
+  const SessionId session = service.create_session(DghvParams::toy(), 404);
+  fhe::Dghv& scheme = service.scheme(session);
+
+  Request request;
+  request.circuit = CircuitKind::kAdder;
+  request.width = 4;
+  request.inputs = concat(encrypt_inputs(scheme, 9, 4), encrypt_inputs(scheme, 5, 4));
+  const Response response = service.submit(session, std::move(request)).get();
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(decrypt_response(scheme, response), 14u);
+
+  // The resident protocol ran and beat the per-gate eager tally
+  // (3 transforms per AND gate).
+  EXPECT_GT(response.transforms_executed, 0u);
+  EXPECT_GT(response.transforms_avoided, 0);
+  EXPECT_LT(response.transforms_executed, 3u * response.and_gates);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.transforms_executed, response.transforms_executed);
+  EXPECT_EQ(stats.transforms_avoided, response.transforms_avoided);
+
+  service.wait_idle();
+  ssa::ConcurrentSpectrumCache& cache = service.scheduler().spectrum_cache();
+  const ssa::ConcurrentSpectrumCache::Stats cache_stats = cache.stats();
+  EXPECT_GT(cache_stats.resident_peak, 0u);
+  EXPECT_GT(cache_stats.resident_evictions, 0u);
+  EXPECT_EQ(cache.resident_size(), 0u) << "spent spectra must not outlive the request";
 }
 
 TEST(ServiceTest, DestructorDrainsOutstandingRequests) {

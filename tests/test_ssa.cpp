@@ -5,6 +5,9 @@
 #include "ssa/multiply.hpp"
 #include "ssa/pack.hpp"
 #include "ssa/params.hpp"
+#include "ssa/resident.hpp"
+#include "ssa/spectrum_cache.hpp"
+#include "ssa/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace hemul::ssa {
@@ -30,6 +33,21 @@ TEST(SsaParams, ForBitsPicksExactConfigurations) {
     EXPECT_NO_THROW(p.validate());
   }
   EXPECT_THROW(SsaParams::for_bits(0), std::invalid_argument);
+}
+
+TEST(SsaParams, ForBitsHeadroomShrinksTheConvolutionBudget) {
+  // Headroom h demands n * (2^m - 1)^2 < p / 2^h: the picked geometry must
+  // stay exact with the stricter budget, and enough headroom must force a
+  // smaller coefficient width (or larger transform) than the h = 0 pick.
+  for (const unsigned headroom : {0u, kResidentHeadroomBits, 12u}) {
+    const SsaParams p = SsaParams::for_bits(4096, headroom);
+    EXPECT_GE(p.max_operand_bits(), 4096u) << headroom;
+    EXPECT_NO_THROW(p.validate()) << headroom;
+    const u128 max_coeff = (u128{1} << p.coeff_bits) - 1;
+    EXPECT_LT(u128{p.num_coeffs} * max_coeff * max_coeff,
+              u128{fp::kModulus} >> headroom)
+        << headroom;
+  }
 }
 
 TEST(SsaParams, ValidateCatchesInexactness) {
@@ -266,6 +284,87 @@ TEST(SpectrumCacheKeying, EnginesNeverShareSpectra) {
   EXPECT_EQ(multiply_cached(a, b, fast, cache, workspace, nullptr), expected);
   EXPECT_EQ(multiply_cached(a, b, mixed, cache, workspace, nullptr), expected);
   EXPECT_EQ(cache.size(), 4u);  // two operands x two engines, no sharing
+}
+
+TEST(SpectrumDomain, LazyBoundTrackingSurvivesAdversarialAccumulation) {
+  // All-ones operands pin every packed coefficient at 2^m - 1, the worst
+  // case for the lazy coefficient bound. With kResidentHeadroomBits of
+  // headroom the domain must accept a deep stack of pointwise-accumulated
+  // products, refuse exactly when the tracked bound would reach p, and
+  // materialize the exact integer sum from the redundant spectrum.
+  for (const Engine engine : {Engine::kRadix2Fast, Engine::kMixedRadix}) {
+    SsaParams params = SsaParams::for_bits(1024, kResidentHeadroomBits);
+    params.engine = engine;
+    Workspace workspace;
+    const SpectrumDomain domain(params, workspace);
+
+    const BigUInt ones = BigUInt::pow2(1024) - BigUInt(1);
+    ResidentSpectrum sa, sb;
+    domain.enter(sa, ones);
+    domain.enter(sb, ones);
+    EXPECT_EQ(sa.coeff_bound, domain.operand_bound());
+    ASSERT_TRUE(domain.can_multiply(sa, sb));
+
+    ResidentSpectrum product;
+    domain.multiply(product, sa, sb);
+    const u128 product_bound =
+        sa.coeff_bound * sb.coeff_bound * u128{std::min(sa.degree, sb.degree)};
+    EXPECT_EQ(product.coeff_bound, product_bound);
+    EXPECT_LT(product_bound, u128{fp::kModulus} >> kResidentHeadroomBits);
+
+    // Stack products until the tracked bound refuses; the refusal must
+    // come from the bound alone (headroom guarantees >= 2^h - 1 addends).
+    ResidentSpectrum acc;
+    u64 accumulated = 0;
+    while (domain.can_accumulate(acc, product)) {
+      domain.accumulate(acc, product);
+      ++accumulated;
+      ASSERT_EQ(acc.coeff_bound, u128{accumulated} * product_bound);
+      ASSERT_LT(accumulated, u64{1} << 20) << "bound tracking never refused";
+    }
+    EXPECT_GE(accumulated, (u64{1} << kResidentHeadroomBits) - 1);
+    EXPECT_GE(acc.coeff_bound + product.coeff_bound, u128{fp::kModulus});
+
+    const BigUInt one_product = bigint::mul_schoolbook(ones, ones);
+    BigUInt expected;
+    for (u64 k = 0; k < accumulated; ++k) expected += one_product;
+    BigUInt materialized;
+    domain.leave(materialized, acc);
+    EXPECT_EQ(materialized, expected) << "engine " << static_cast<int>(engine);
+  }
+}
+
+TEST(SpectrumCacheResidency, WireKeyedEntriesInsertFindEvict) {
+  SpectrumCache cache;
+  auto handle = std::make_shared<ResidentSpectrum>();
+  handle->degree = 3;
+  cache.insert_resident(42, handle);
+  ASSERT_NE(cache.find_resident(42), nullptr);
+  EXPECT_EQ(cache.find_resident(42)->get(), handle.get());
+  EXPECT_EQ(cache.find_resident(7), nullptr);
+  EXPECT_EQ(cache.resident_entries(), 1u);
+  EXPECT_TRUE(cache.evict_resident(42));
+  EXPECT_FALSE(cache.evict_resident(42));
+  EXPECT_EQ(cache.resident_entries(), 0u);
+
+  // Value-keyed entries and wire-keyed entries are independent planes.
+  cache.insert_resident(1, handle);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.resident_entries(), 0u);
+
+  ConcurrentSpectrumCache shared;
+  shared.put_resident(1, handle);
+  shared.put_resident(2, handle);
+  EXPECT_EQ(shared.resident_size(), 2u);
+  EXPECT_NE(shared.get_resident(1), nullptr);
+  EXPECT_EQ(shared.get_resident(99), nullptr);
+  EXPECT_TRUE(shared.evict_resident(1));
+  EXPECT_FALSE(shared.evict_resident(1));
+  EXPECT_EQ(shared.resident_size(), 1u);
+  const ConcurrentSpectrumCache::Stats stats = shared.stats();
+  EXPECT_EQ(stats.resident_peak, 2u);
+  EXPECT_EQ(stats.resident_evictions, 1u);
 }
 
 TEST(SsaMultiply, IntoVariantReusesOutputAndAliasesSafely) {

@@ -128,6 +128,43 @@ TEST_F(SsaAllocationAudit, MixedRadixEngineIsAlsoAllocationFree) {
   EXPECT_EQ(product, bigint::mul_karatsuba(a, b));
 }
 
+TEST_F(SsaAllocationAudit, ResidentSpectrumSteadyStateIsAllocationFree) {
+  // The spectrum-resident protocol's primitives (enter / multiply /
+  // accumulate / leave) into warmed ResidentSpectrum buffers must be
+  // allocation-free, or keeping wires in the domain across wavefronts
+  // would trade transforms for heap churn.
+  util::Rng rng(6);
+  const std::size_t bits = 20000;
+  const BigUInt a = BigUInt::random_bits(rng, bits);
+  const BigUInt b = BigUInt::random_bits(rng, bits);
+  const SsaParams params = SsaParams::for_bits(bits, kResidentHeadroomBits);
+
+  Workspace workspace;
+  const SpectrumDomain domain(params, workspace);
+  ResidentSpectrum sa, sb, product, acc;
+  BigUInt out;
+  const auto run = [&] {
+    acc.reset();
+    domain.enter(sa, a);
+    domain.enter(sb, b);
+    domain.multiply(product, sa, sb);
+    domain.accumulate(acc, product);
+    domain.accumulate(acc, product);
+    domain.leave(out, acc);
+  };
+  run();
+  run();
+  const BigUInt expected = out;
+
+  for (int round = 0; round < 3; ++round) {
+    const u64 allocs = allocations_in(run);
+    EXPECT_EQ(allocs, 0u) << "round " << round;
+  }
+  EXPECT_EQ(out, expected);
+  const BigUInt ab = bigint::mul_karatsuba(a, b);
+  EXPECT_EQ(out, ab + ab) << "acc held ab + ab";
+}
+
 TEST_F(SsaAllocationAudit, AllocatingWrapperOnlyPaysForTheProduct) {
   // ssa::multiply returns a fresh BigUInt; everything else must come from
   // the thread workspace. One limb-vector allocation is the expected cost.

@@ -87,6 +87,17 @@ TRACKED = {
                direction="lower", mode="hard"),
         Metric("total_wavefronts", lambda d: sum(c["wavefronts"] for c in d["circuits"]),
                direction="lower", mode="hard"),
+        # Spectrum residency: NTT executions are counted on the evaluator
+        # coordinator, so both tallies are deterministic facts of the
+        # circuit. The 4-bit multiplier must keep >= 1.5x fewer transforms
+        # than its per-gate eager arm, and total executions must not creep.
+        Metric("mul4.transform_reduction_ok",
+               lambda d: next(c for c in d["circuits"]
+                              if c["name"] == "mul4")["transform_reduction"] >= 1.5,
+               kind="bool", mode="hard"),
+        Metric("total_transforms_executed",
+               lambda d: sum(c["transforms_executed"] for c in d["circuits"]),
+               direction="lower", mode="hard"),
         Metric("min_speedup", lambda d: min(c["speedup"] for c in d["circuits"]),
                mode="warn"),
     ],
@@ -100,6 +111,11 @@ TRACKED = {
                mode="hard"),
         Metric("headline_batches", lambda d: d["headline_batches"], direction="lower",
                mode="warn"),
+        # Deterministic transform tally of the 8-tenant headline cell's
+        # spectrum-resident rounds (3 per single-AND request).
+        Metric("headline_transforms_executed",
+               lambda d: d["headline_transforms_executed"], direction="lower",
+               mode="hard"),
         Metric("max_requests_per_sec",
                lambda d: _max_over(d["results"], "requests_per_sec"), mode="warn"),
     ],
