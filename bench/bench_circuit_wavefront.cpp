@@ -1,4 +1,5 @@
-// Experiment C1: eager gate-at-a-time vs lazy wavefront circuit evaluation.
+// Experiment C1: eager gate-at-a-time vs lazy wavefront circuit evaluation,
+// under both word-op lowering strategies.
 //
 // fhe::Circuits evaluates a homomorphic circuit eagerly: every AND gate is
 // one engine invocation issued the moment the circuit code reaches it, so
@@ -9,17 +10,25 @@
 // with the shared spectrum cache amortizing repeated operands (every a[i]
 // and b[j] of a partial-product matrix is transformed once, not w times).
 //
-// Measured circuits (the acceptance workload): the 8-bit ripple-carry adder
-// and the 4-bit schoolbook multiplier. Both are checked bit-for-bit: the
-// wavefront evaluation must reproduce the eager ciphertexts exactly, and
-// the wavefront count must be strictly below the AND-gate count (real
-// cross-gate batching, not one batch per gate).
+// Measured circuits (the acceptance workload): the 8-bit adder and the
+// 4-bit schoolbook multiplier, each lowered both ways -- ripple-carry
+// (serial chains) and carry-save (Wallace reduction + Sklansky resolve).
+// Every arm is checked bit-for-bit: the wavefront evaluation must reproduce
+// the eager ciphertexts exactly, and the wavefront count must be strictly
+// below the AND-gate count (real cross-gate batching, not one batch per
+// gate). Each circuit also reports its predicted AND-depth (the NoiseModel
+// runs the same lowering templates, so prediction == recorded depth) and
+// its wavefront width (peak gates per level, the batch-parallelism the
+// lowering exposes). The summary block additionally records the predicted
+// 16-bit multiply depth of both strategies: carry-save must reach at most
+// half of ripple's depth (hard-gated by bench_compare.py).
 //
 //   bench_circuit_wavefront [--workers N] [--json FILE]
 //     defaults: 2 PE lanes
 //
 // Exit code 0 iff every circuit matches bit-for-bit and batches gates.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +42,8 @@
 #include "fhe/circuits.hpp"
 #include "fhe/evaluator.hpp"
 #include "fhe/graph.hpp"
+#include "fhe/lowering.hpp"
+#include "fhe/noise.hpp"
 
 namespace {
 
@@ -62,6 +73,7 @@ struct CircuitResult {
   u64 eager_and_gates = 0; ///< executed by the eager facade
   std::size_t wavefronts = 0;
   std::size_t dead_nodes = 0;
+  unsigned predicted_depth = 0;  ///< NoiseModel prediction for this lowering
   double eager_ms = 0.0;
   double wavefront_ms = 0.0;
   bool match = false;       ///< wavefront ciphertexts == eager ciphertexts
@@ -72,6 +84,22 @@ struct CircuitResult {
     return wavefront_ms > 0.0 ? eager_ms / wavefront_ms : 0.0;
   }
   [[nodiscard]] bool batched() const { return wavefronts < and_gates; }
+
+  /// Peak AND gates in one wavefront: the batch parallelism this lowering
+  /// exposes to the PE lanes (carry-save trades depth for width here).
+  [[nodiscard]] u64 wavefront_width() const {
+    u64 width = 0;
+    for (const fhe::WavefrontStats& wf : report.wavefronts) {
+      width = std::max(width, wf.and_gates);
+    }
+    return width;
+  }
+
+  /// The predictor must agree with the recorded circuit: both run the very
+  /// same lowering templates.
+  [[nodiscard]] bool depth_consistent() const {
+    return predicted_depth == report.levels;
+  }
 
   /// NTT executions (forward + inverse) the per-gate eager arm actually
   /// performed, read off its engine's counters. Both tallies are
@@ -125,19 +153,22 @@ int main(int argc, char** argv) {
               params.eta, params.gamma, scheduler.num_workers());
 
   const fhe::Ciphertext enc_zero = scheme.encrypt(false);
+  constexpr fhe::LoweringOptions kRipple{fhe::LoweringStrategy::kRippleCarry};
+  constexpr fhe::LoweringOptions kCarrySave{fhe::LoweringStrategy::kCarrySave};
   std::vector<CircuitResult> results;
 
-  // --- circuit 1: 8-bit ripple-carry adder --------------------------------
-  {
+  // --- 8-bit adder, both lowerings ----------------------------------------
+  const auto run_adder = [&](const char* name, fhe::LoweringOptions lowering) {
     CircuitResult r;
-    r.name = "adder8";
+    r.name = name;
+    r.predicted_depth = fhe::NoiseModel::predicted_depth(fhe::WordOp::kAdd, 8, lowering);
     const u64 x = 0xB5, y = 0x6E;
     fhe::EncryptedInt cx = fhe::encrypt_int(scheme, x, 8);
     fhe::EncryptedInt cy = fhe::encrypt_int(scheme, y, 8);
 
     // Eager arm: gate-at-a-time through the facade.
     auto eager_engine = backend::make_backend("ssa");
-    fhe::Circuits eager(scheme, eager_engine);
+    fhe::Circuits eager(scheme, eager_engine, lowering);
     const auto t0 = Clock::now();
     const fhe::Circuits::AdderResult eager_sum = eager.add(cx, cy, enc_zero);
     r.eager_ms = ms_since(t0);
@@ -147,7 +178,7 @@ int main(int argc, char** argv) {
     }
 
     // Wavefront arm: record, level, batch.
-    fhe::Graph graph(scheme);
+    fhe::Graph graph(scheme, lowering);
     const std::vector<fhe::Wire> wx = graph.inputs(cx);
     const std::vector<fhe::Wire> wy = graph.inputs(cy);
     fhe::Graph::AddResult g_sum = graph.add(wx, wy, graph.input(enc_zero));
@@ -174,18 +205,21 @@ int main(int argc, char** argv) {
       r.decrypt_ok = scheme.decrypt(wave[i]) == scheme.decrypt(eager_out[i]);
     }
     results.push_back(std::move(r));
-  }
+  };
+  run_adder("adder8", kRipple);
+  run_adder("adder8_cs", kCarrySave);
 
-  // --- circuit 2: 4-bit schoolbook multiplier -----------------------------
-  {
+  // --- 4-bit schoolbook multiplier, both lowerings ------------------------
+  const auto run_mul = [&](const char* name, fhe::LoweringOptions lowering) {
     CircuitResult r;
-    r.name = "mul4";
+    r.name = name;
+    r.predicted_depth = fhe::NoiseModel::predicted_depth(fhe::WordOp::kMultiply, 4, lowering);
     const u64 x = 0xB, y = 0x6;
     fhe::EncryptedInt cx = fhe::encrypt_int(scheme, x, 4);
     fhe::EncryptedInt cy = fhe::encrypt_int(scheme, y, 4);
 
     auto eager_engine = backend::make_backend("ssa");
-    fhe::Circuits eager(scheme, eager_engine);
+    fhe::Circuits eager(scheme, eager_engine, lowering);
     const auto t0 = Clock::now();
     const fhe::EncryptedInt eager_prod = eager.multiply(cx, cy, enc_zero);
     r.eager_ms = ms_since(t0);
@@ -194,7 +228,7 @@ int main(int argc, char** argv) {
       r.eager_transforms = ssa->stats().transform_count;
     }
 
-    fhe::Graph graph(scheme);
+    fhe::Graph graph(scheme, lowering);
     const std::vector<fhe::Wire> wx = graph.inputs(cx);
     const std::vector<fhe::Wire> wy = graph.inputs(cy);
     const std::vector<fhe::Wire> outputs =
@@ -223,7 +257,9 @@ int main(int argc, char** argv) {
       r.decrypt_ok = scheme.decrypt(wave[i]) == scheme.decrypt(eager_prod[i]);
     }
     results.push_back(std::move(r));
-  }
+  };
+  run_mul("mul4", kRipple);
+  run_mul("mul4_cs", kCarrySave);
 
   bool ok = true;
   for (const CircuitResult& r : results) {
@@ -231,9 +267,12 @@ int main(int argc, char** argv) {
     std::printf("  AND gates    : %llu wavefront (%llu eager, %zu dead nodes eliminated)\n",
                 static_cast<unsigned long long>(r.and_gates),
                 static_cast<unsigned long long>(r.eager_and_gates), r.dead_nodes);
-    std::printf("  wavefronts   : %zu (%s: %zu < %llu gates)\n", r.wavefronts,
+    std::printf("  wavefronts   : %zu (%s: %zu < %llu gates), width %llu\n", r.wavefronts,
                 r.batched() ? "cross-gate batching" : "NO BATCHING", r.wavefronts,
-                static_cast<unsigned long long>(r.and_gates));
+                static_cast<unsigned long long>(r.and_gates),
+                static_cast<unsigned long long>(r.wavefront_width()));
+    std::printf("  pred. depth  : %u (%s recorded levels)\n", r.predicted_depth,
+                r.depth_consistent() ? "==" : "DISAGREES WITH");
     std::printf("  eager        : %8.1f ms\n", r.eager_ms);
     std::printf("  wavefront    : %8.1f ms  (%.2fx)\n", r.wavefront_ms, r.speedup());
     std::printf("  bit-exact    : %s (decryptions %s)\n", r.match ? "yes" : "NO",
@@ -259,8 +298,21 @@ int main(int argc, char** argv) {
                     static_cast<long long>(wf.transforms_avoided));
       }
     }
-    ok = ok && r.match && r.decrypt_ok && r.batched();
+    ok = ok && r.match && r.decrypt_ok && r.batched() && r.depth_consistent();
   }
+
+  // The headline depth claim at acceptance width: a 16-bit carry-save
+  // multiply must come in at no more than half the ripple depth.
+  const unsigned depth16_ripple =
+      fhe::NoiseModel::predicted_depth(fhe::WordOp::kMultiply, 16, kRipple);
+  const unsigned depth16_cs =
+      fhe::NoiseModel::predicted_depth(fhe::WordOp::kMultiply, 16, kCarrySave);
+  const bool depth16_halved = 2 * depth16_cs <= depth16_ripple;
+  std::printf("-- mul16 predicted depth --\n");
+  std::printf("  ripple       : %u AND levels\n", depth16_ripple);
+  std::printf("  carry-save   : %u AND levels (%s half of ripple)\n", depth16_cs,
+              depth16_halved ? "<=" : "EXCEEDS");
+  ok = ok && depth16_halved;
 
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
@@ -271,12 +323,17 @@ int main(int argc, char** argv) {
     std::fprintf(out,
                  "{\n  \"bench\": \"circuit_wavefront\",\n  \"backend\": \"ssa\",\n"
                  "  \"workers\": %u,\n  \"eta\": %zu,\n  \"gamma\": %zu,\n"
+                 "  \"depth16_ripple\": %u,\n  \"depth16_carry_save\": %u,\n"
+                 "  \"depth16_halved\": %s,\n"
                  "  \"circuits\": [\n",
-                 scheduler.num_workers(), params.eta, params.gamma);
+                 scheduler.num_workers(), params.eta, params.gamma, depth16_ripple,
+                 depth16_cs, depth16_halved ? "true" : "false");
     for (std::size_t i = 0; i < results.size(); ++i) {
       const CircuitResult& r = results[i];
       std::fprintf(out,
                    "    {\"name\": \"%s\", \"and_gates\": %llu, \"wavefronts\": %zu,\n"
+                   "     \"predicted_depth\": %u, \"wavefront_width\": %llu,\n"
+                   "     \"depth_consistent\": %s,\n"
                    "     \"dead_nodes\": %zu, \"eager_ms\": %.3f, \"wavefront_ms\": %.3f,\n"
                    "     \"speedup\": %.3f, \"bit_exact\": %s, \"batched\": %s,\n"
                    "     \"spectrum_resident\": %s, \"eager_transforms\": %llu,\n"
@@ -284,8 +341,11 @@ int main(int argc, char** argv) {
                    "     \"transform_reduction\": %.3f,\n"
                    "     \"levels\": [\n",
                    r.name.c_str(), static_cast<unsigned long long>(r.and_gates),
-                   r.wavefronts, r.dead_nodes, r.eager_ms, r.wavefront_ms, r.speedup(),
-                   r.match ? "true" : "false", r.batched() ? "true" : "false",
+                   r.wavefronts, r.predicted_depth,
+                   static_cast<unsigned long long>(r.wavefront_width()),
+                   r.depth_consistent() ? "true" : "false", r.dead_nodes, r.eager_ms,
+                   r.wavefront_ms, r.speedup(), r.match ? "true" : "false",
+                   r.batched() ? "true" : "false",
                    r.report.spectrum_resident ? "true" : "false",
                    static_cast<unsigned long long>(r.eager_transforms),
                    static_cast<unsigned long long>(r.transforms_executed()),

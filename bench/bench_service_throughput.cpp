@@ -96,7 +96,7 @@ Sample run_cell(unsigned workers, unsigned tenants, unsigned requests_per_tenant
       const bool x = (t + r) % 2 == 0;
       const bool y = (t + 2 * r) % 3 != 0;
       core::Request request;
-      request.circuit = core::CircuitKind::kAnd;
+      request.spec.kind = core::CircuitKind::kAnd;
       request.inputs = fhe::encode_ciphertexts(
           std::vector<fhe::Ciphertext>{scheme.encrypt(x), scheme.encrypt(y)});
       prepared.push_back({t, x && y, std::move(request)});
@@ -165,7 +165,7 @@ bool backend_parity(const std::string& name) {
                                                          graph.gate_xor(b, c))};
 
   core::Request request;
-  request.circuit = core::CircuitKind::kGraph;
+  request.spec.kind = core::CircuitKind::kGraph;
   request.graph = fhe::encode_graph(fhe::GraphTopology::capture(graph, outputs));
   request.inputs = fhe::encode_ciphertexts(std::vector<fhe::Ciphertext>{ca, cb, cc});
   const core::Response response = service.submit(session, std::move(request)).get();

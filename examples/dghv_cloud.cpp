@@ -46,11 +46,12 @@ int main() {
   core::Accelerator accel;
   unsigned accel_calls = 0;
   const double modeled_us = accel.performance().mult_us();
-  scheme.set_multiplier(
+  scheme.set_backend(std::make_shared<backend::FunctionBackend>(
       [&accel, &accel_calls](const bigint::BigUInt& x, const bigint::BigUInt& y) {
         ++accel_calls;
         return accel.multiply(x, y).product;
-      });
+      },
+      "accelerator"));
 
   const unsigned x = 3;  // client's secrets
   const unsigned y = 2;

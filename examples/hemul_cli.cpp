@@ -11,7 +11,9 @@
 //   hemul_cli [--workers N] circuit <kind> [width]   record a homomorphic circuit
 //                                                    as an fhe::Graph and wavefront-
 //                                                    evaluate it: levels, gate
-//                                                    counts, predicted noise, lane
+//                                                    counts, predicted depth for
+//                                                    BOTH lowering strategies,
+//                                                    predicted noise, lane
 //                                                    utilization (kind: adder,
 //                                                    equals, mul, mux, lt)
 //   hemul_cli [--workers N] service <tenants> <reqs> drive the multi-tenant
@@ -28,6 +30,8 @@
 // "classical", "karatsuba", ...; default "hw" — except for `throughput` and
 // `circuit`, which default to the software "ssa" engine). --workers sets the
 // scheduler's PE-lane count (default: one lane per hardware thread).
+// --lowering <ripple|carry-save> picks the word-op lowering strategy for
+// `circuit` and `service` (default: ripple).
 // Exit code 0 on success; 2 on usage errors; 3 when `circuit` finds the
 // recorded circuit undecryptable at every built-in parameter set (the
 // result cannot be verified).
@@ -47,6 +51,8 @@
 #include "fhe/circuits.hpp"
 #include "fhe/evaluator.hpp"
 #include "fhe/graph.hpp"
+#include "fhe/lowering.hpp"
+#include "fhe/noise.hpp"
 #include "fhe/serialize.hpp"
 #include "service/service.hpp"
 #include "util/format.hpp"
@@ -58,7 +64,9 @@ using namespace hemul;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hemul_cli [--backend <name>] [--workers N] mul <hexA> <hexB> |\n"
+               "usage: hemul_cli [--backend <name>] [--workers N]\n"
+               "                 [--lowering <ripple|carry-save>]\n"
+               "                 mul <hexA> <hexB> |\n"
                "                 random <bits> | batch <n> <bits> | throughput <n> <bits> |\n"
                "                 circuit <adder|equals|mul|mux|lt> [width] |\n"
                "                 service <tenants> <requests-per-tenant> |\n"
@@ -221,10 +229,24 @@ int cmd_throughput(const std::string& backend_name, unsigned workers, std::size_
 }
 
 int cmd_circuit(const std::string& backend_name, unsigned workers, const std::string& kind,
-                unsigned width) {
+                unsigned width, fhe::LoweringOptions lowering) {
   if (width == 0 || width > 16) {
     std::fprintf(stderr, "error: circuit width must be in [1, 16]\n");
     return 2;
+  }
+  fhe::WordOp word_op = fhe::WordOp::kAdd;
+  if (kind == "adder") {
+    word_op = fhe::WordOp::kAdd;
+  } else if (kind == "equals") {
+    word_op = fhe::WordOp::kEquals;
+  } else if (kind == "mul") {
+    word_op = fhe::WordOp::kMultiply;
+  } else if (kind == "mux") {
+    word_op = fhe::WordOp::kMux;
+  } else if (kind == "lt") {
+    word_op = fhe::WordOp::kLessThan;
+  } else {
+    return usage();
   }
 
   // Deterministic operands derived from the width.
@@ -280,7 +302,7 @@ int cmd_circuit(const std::string& backend_name, unsigned workers, const std::st
   // its stacked adders never fit the toy budget).
   fhe::DghvParams params = kind == "mul" ? fhe::DghvParams::deep() : fhe::DghvParams::toy();
   auto scheme = std::make_unique<fhe::Dghv>(params, 0xC14C);
-  auto graph = std::make_unique<fhe::Graph>(*scheme);
+  auto graph = std::make_unique<fhe::Graph>(*scheme, lowering);
   std::vector<fhe::Wire> outputs = record(*scheme, *graph);
   const auto fits = [&] {
     for (const fhe::Wire w : outputs) {
@@ -293,7 +315,7 @@ int cmd_circuit(const std::string& backend_name, unsigned workers, const std::st
                 "escalating to deep parameters\n");
     params = fhe::DghvParams::deep();
     scheme = std::make_unique<fhe::Dghv>(params, 0xC14C);
-    graph = std::make_unique<fhe::Graph>(*scheme);
+    graph = std::make_unique<fhe::Graph>(*scheme, lowering);
     outputs = record(*scheme, *graph);
   }
 
@@ -313,6 +335,17 @@ int cmd_circuit(const std::string& backend_name, unsigned workers, const std::st
   std::printf("circuit      : %s, %u bit(s), params %s (eta=%zu, gamma=%zu)\n",
               kind.c_str(), width, params.eta == fhe::DghvParams::deep().eta ? "deep" : "toy",
               params.eta, params.gamma);
+  // Predicted AND-depth under BOTH lowerings, against what the parameter
+  // set supports: the caller sees the headroom each strategy would leave
+  // before picking one.
+  const unsigned depth_ripple = fhe::NoiseModel::predicted_depth(
+      word_op, width, {fhe::LoweringStrategy::kRippleCarry});
+  const unsigned depth_cs = fhe::NoiseModel::predicted_depth(
+      word_op, width, {fhe::LoweringStrategy::kCarrySave});
+  const unsigned max_depth = fhe::NoiseModel::max_mult_depth(params);
+  std::printf("lowering     : %s\n", fhe::lowering_strategy_name(lowering.strategy).data());
+  std::printf("pred. depth  : ripple %u, carry-save %u (params support max_mult_depth %u)\n",
+              depth_ripple, depth_cs, max_depth);
   std::printf("backend      : %s, %u PE lane(s)\n", config.resolved_backend_name().c_str(),
               scheduler.num_workers());
   std::printf("nodes        : %zu recorded, %zu live, %zu dead (eliminated)\n",
@@ -380,7 +413,7 @@ int cmd_circuit(const std::string& backend_name, unsigned workers, const std::st
 }
 
 int cmd_service(const std::string& backend_name, unsigned workers, unsigned tenants,
-                unsigned requests_per_tenant) {
+                unsigned requests_per_tenant, fhe::LoweringOptions lowering) {
   using Clock = std::chrono::steady_clock;
   if (tenants == 0 || requests_per_tenant == 0) {
     std::fprintf(stderr, "error: tenants and requests-per-tenant must be >= 1\n");
@@ -418,7 +451,7 @@ int cmd_service(const std::string& backend_name, unsigned workers, unsigned tena
       const bool x = (t + r) % 2 == 0;
       const bool y = (t * 3 + r) % 3 != 0;
       core::Request request;
-      request.circuit = core::CircuitKind::kAnd;
+      request.spec = core::CircuitSpec{core::CircuitKind::kAnd, 1, lowering};
       request.inputs = fhe::encode_ciphertexts(
           std::vector<fhe::Ciphertext>{scheme.encrypt(x), scheme.encrypt(y)});
       issued.push_back({t, x && y, service.submit(sessions[t], std::move(request))});
@@ -500,6 +533,7 @@ int main(int argc, char** argv) {
 
   std::string backend_name;  // empty = config default ("hw")
   unsigned workers = 0;      // 0 = one scheduler lane per hardware thread
+  hemul::fhe::LoweringOptions lowering;  // default: ripple-carry
   for (std::size_t i = 0; i + 1 < args.size();) {
     if (args[i] == "--backend") {
       backend_name = args[i + 1];
@@ -507,6 +541,15 @@ int main(int argc, char** argv) {
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else if (args[i] == "--workers") {
       workers = static_cast<unsigned>(std::strtoul(args[i + 1].c_str(), nullptr, 10));
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--lowering") {
+      try {
+        lowering.strategy = hemul::fhe::lowering_strategy_from_name(args[i + 1]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else {
@@ -535,12 +578,13 @@ int main(int argc, char** argv) {
       const unsigned width = args.size() == 3
                                  ? static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10))
                                  : 4;
-      return cmd_circuit(backend_name, workers, args[1], width);
+      return cmd_circuit(backend_name, workers, args[1], width, lowering);
     }
     if (cmd == "service" && args.size() == 3) {
       return cmd_service(backend_name, workers,
                          static_cast<unsigned>(std::strtoul(args[1].c_str(), nullptr, 10)),
-                         static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10)));
+                         static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10)),
+                         lowering);
     }
     if (cmd == "table1" && args.size() == 1) return cmd_table1();
     if (cmd == "perf") {

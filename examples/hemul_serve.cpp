@@ -1,7 +1,8 @@
 // hemul_serve: multi-tenant evaluation service driven by a request stream.
 //
 //   hemul_serve [--workers N] [--backend NAME] [--window MS]
-//               [--stats-json FILE] [INPUT-FILE]
+//               [--lowering ripple|carry-save] [--stats-json FILE]
+//               [INPUT-FILE]
 //
 // Reads a line-oriented request stream from INPUT-FILE (or stdin), plays
 // it against one core::Service -- the serving front-end that owns the PE
@@ -10,19 +11,23 @@
 // tenants' wavefronts coalesce into shared scheduler batches exactly as
 // they would behind a socket transport.
 //
-// Stream grammar (one command per line, '#' starts a comment):
+// Stream grammar (one command per line, '#' starts a comment; every
+// request line may end with an optional lowering name overriding the
+// --lowering default for that request):
 //   session <name> <toy|medium|deep> <seed>
 //   request <name> and <x> <y>                 x, y in {0, 1}
-//   request <name> adder <width> <x> <y>
-//   request <name> equals <width> <x> <y>
-//   request <name> mul <width> <x> <y>
-//   request <name> mux <width> <sel> <x> <y>
-//   request <name> lt <width> <x> <y>
+//   request <name> adder <width> <x> <y> [ripple|carry-save]
+//   request <name> equals <width> <x> <y> [...]
+//   request <name> mul <width> <x> <y> [...]
+//   request <name> mux <width> <sel> <x> <y> [...]
+//   request <name> lt <width> <x> <y> [...]
 //
 // Every request is encrypted under its session's keys, serialized through
-// the wire format, evaluated by the service, deserialized, decrypted, and
-// checked against the plaintext result. Exit 0 iff every completed
-// request verifies (noise-rejected requests report but do not fail).
+// the framed wire format (core::encode_request, so the lowering-strategy
+// byte really crosses the wire), evaluated by the service, deserialized,
+// decrypted, and checked against the plaintext result. Exit 0 iff every
+// completed request verifies (noise-rejected requests report but do not
+// fail).
 
 #include <cstdio>
 #include <cstring>
@@ -43,8 +48,7 @@ using namespace hemul;
 
 struct PendingRequest {
   std::string session;
-  core::CircuitKind kind;
-  unsigned width = 1;
+  core::CircuitSpec spec;
   u64 expected = 0;
   std::size_t line = 0;
   std::future<core::Response> future;
@@ -53,7 +57,8 @@ struct PendingRequest {
 int usage() {
   std::fprintf(stderr,
                "usage: hemul_serve [--workers N] [--backend NAME] [--window MS]\n"
-               "                   [--stats-json FILE] [INPUT-FILE]\n");
+               "                   [--lowering ripple|carry-save] [--stats-json FILE]\n"
+               "                   [INPUT-FILE]\n");
   return 2;
 }
 
@@ -111,6 +116,7 @@ int main(int argc, char** argv) {
   unsigned workers = 0;
   std::string backend_name = "ssa";
   double window_ms = 2.0;
+  std::string lowering_name = "ripple";
   std::string stats_json;
   std::string input_path;
 
@@ -122,6 +128,8 @@ int main(int argc, char** argv) {
       backend_name = argv[++i];
     } else if (arg == "--window" && i + 1 < argc) {
       window_ms = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--lowering" && i + 1 < argc) {
+      lowering_name = argv[++i];
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
@@ -194,8 +202,8 @@ int main(int argc, char** argv) {
 
       PendingRequest record;
       record.session = name;
-      record.kind = core::circuit_kind_from_name(circuit);
-      if (record.kind == core::CircuitKind::kGraph) {
+      const core::CircuitKind kind = core::circuit_kind_from_name(circuit);
+      if (kind == core::CircuitKind::kGraph) {
         std::fprintf(stderr,
                      "error: line %zu: 'graph' requests carry a recorded topology and are "
                      "not expressible in stream mode (use the core::Service API)\n",
@@ -204,27 +212,25 @@ int main(int argc, char** argv) {
       }
       record.line = line_no;
       core::Request request;
-      request.circuit = record.kind;
 
       u64 x = 0, y = 0, sel = 0;
-      if (record.kind == core::CircuitKind::kAnd) {
+      unsigned width = 1;
+      if (kind == core::CircuitKind::kAnd) {
         if (!(words >> x >> y) || x > 1 || y > 1) {
           std::fprintf(stderr, "error: line %zu: request <s> and <0|1> <0|1>\n", line_no);
           return 2;
         }
-        record.width = 1;
         record.expected = x & y;
         request.inputs = encode_bits(scheme, x, 1);
         const fhe::Bytes rhs = encode_bits(scheme, y, 1);
         request.inputs.insert(request.inputs.end(), rhs.begin(), rhs.end());
       } else {
-        unsigned width = 0;
-        if (!(words >> width) || width == 0 || width > 16) {
-          std::fprintf(stderr, "error: line %zu: width must be in [1, 16]\n", line_no);
+        if (!(words >> width) || width == 0 || width > core::kMaxCircuitWidth) {
+          std::fprintf(stderr, "error: line %zu: width must be in [1, %u]\n", line_no,
+                       core::kMaxCircuitWidth);
           return 2;
         }
-        record.width = width;
-        if (record.kind == core::CircuitKind::kMux) {
+        if (kind == core::CircuitKind::kMux) {
           if (!(words >> sel >> x >> y) || sel > 1) {
             std::fprintf(stderr, "error: line %zu: request <s> mux <w> <sel> <x> <y>\n",
                          line_no);
@@ -237,7 +243,7 @@ int main(int argc, char** argv) {
         }
         x &= mask_of(width);
         y &= mask_of(width);
-        switch (record.kind) {
+        switch (kind) {
           case core::CircuitKind::kAdder:
             record.expected = (x + y) & mask_of(width + 1);
             break;
@@ -256,17 +262,27 @@ int main(int argc, char** argv) {
           default:
             return usage();
         }
-        if (record.kind == core::CircuitKind::kMux) {
+        if (kind == core::CircuitKind::kMux) {
           request.inputs = encode_bits(scheme, sel, 1);
         }
         fhe::Bytes bits = encode_bits(scheme, x, width);
         request.inputs.insert(request.inputs.end(), bits.begin(), bits.end());
         bits = encode_bits(scheme, y, width);
         request.inputs.insert(request.inputs.end(), bits.begin(), bits.end());
-        request.width = width;
       }
 
-      record.future = service.submit(session_it->second, std::move(request));
+      // One parse/validate path for kind + width + lowering: the spec. An
+      // optional trailing token on the request line overrides --lowering.
+      std::string per_request = lowering_name;
+      if (std::string token; words >> token) per_request = token;
+      record.spec = core::CircuitSpec::parse(circuit, width, per_request);
+      request.spec = record.spec;
+
+      // Round-trip the request through the framed wire encoding, so stream
+      // mode exercises exactly what a socket transport would put on the
+      // wire -- including the lowering-strategy byte.
+      record.future = service.submit(session_it->second,
+                                     core::decode_request(core::encode_request(request)));
       pending.push_back(std::move(record));
     }
   } catch (const std::exception& e) {
@@ -278,15 +294,15 @@ int main(int argc, char** argv) {
   bool all_verified = true;
   for (PendingRequest& record : pending) {
     const core::Response response = record.future.get();
-    const char* kind = core::circuit_kind_name(record.kind).data();
+    const std::string kind = record.spec.describe();
     if (response.status == core::ResponseStatus::kRejectedByNoise) {
-      std::printf("line %-4zu %-10s %-7s: rejected by noise (%s)\n", record.line,
-                  record.session.c_str(), kind, response.error.c_str());
+      std::printf("line %-4zu %-10s %-20s: rejected by noise (%s)\n", record.line,
+                  record.session.c_str(), kind.c_str(), response.error.c_str());
       continue;
     }
     if (!response.ok()) {
-      std::printf("line %-4zu %-10s %-7s: BAD REQUEST (%s)\n", record.line,
-                  record.session.c_str(), kind, response.error.c_str());
+      std::printf("line %-4zu %-10s %-20s: BAD REQUEST (%s)\n", record.line,
+                  record.session.c_str(), kind.c_str(), response.error.c_str());
       all_verified = false;
       continue;
     }
@@ -297,9 +313,9 @@ int main(int argc, char** argv) {
     const bool ok = value == record.expected;
     all_verified = all_verified && ok;
     std::printf(
-        "line %-4zu %-10s %-7s: %llu (expect %llu) %s  [%llu gates, %u levels, %llu shared "
+        "line %-4zu %-10s %-20s: %llu (expect %llu) %s  [%llu gates, %u levels, %llu shared "
         "batches, %.1f ms]\n",
-        record.line, record.session.c_str(), kind, static_cast<unsigned long long>(value),
+        record.line, record.session.c_str(), kind.c_str(), static_cast<unsigned long long>(value),
         static_cast<unsigned long long>(record.expected), ok ? "OK" : "WRONG",
         static_cast<unsigned long long>(response.and_gates), response.levels,
         static_cast<unsigned long long>(response.shared_batches),

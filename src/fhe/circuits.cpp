@@ -7,6 +7,26 @@
 
 namespace hemul::fhe {
 
+namespace {
+
+/// Gate-builder adapter over the eager facade: the lowering templates in
+/// fhe/lowering.hpp drive Circuits' own gate calls, so the eager word ops
+/// share one gate structure with Graph recording (bit-exact by
+/// construction) while keeping ciphertext-at-a-time execution and the
+/// facade's gate accounting.
+struct EagerBuilder {
+  using WireType = Ciphertext;
+  const Circuits* circuits;
+  Ciphertext gate_xor(const Ciphertext& a, const Ciphertext& b) const {
+    return circuits->gate_xor(a, b);
+  }
+  Ciphertext gate_and(const Ciphertext& a, const Ciphertext& b) const {
+    return circuits->gate_and(a, b);
+  }
+};
+
+}  // namespace
+
 Evaluator Circuits::make_evaluator() const {
   if (scheduler_ != nullptr) return Evaluator(*scheduler_);
   if (engine_ != nullptr) return Evaluator(engine_);
@@ -80,40 +100,63 @@ Ciphertext Circuits::gate_maj(const Ciphertext& a, const Ciphertext& b,
 
 Circuits::AdderResult Circuits::add(const EncryptedInt& a, const EncryptedInt& b,
                                     const Ciphertext& zero) const {
-  HEMUL_CHECK_MSG(a.size() == b.size(), "adder inputs must have equal width");
-  AdderResult result;
-  result.sum.reserve(a.size());
-  Ciphertext carry = zero;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    // sum_i = a ^ b ^ c; carry' = (a^b)c ^ ab (two multiplications).
-    const Ciphertext axb = gate_xor(a[i], b[i]);
-    result.sum.push_back(gate_xor(axb, carry));
-    carry = gate_xor(gate_and(axb, carry), gate_and(a[i], b[i]));
-  }
-  result.carry_out = carry;
-  return result;
+  return add(a, b, zero, lowering_);
+}
+
+Circuits::AdderResult Circuits::add(const EncryptedInt& a, const EncryptedInt& b,
+                                    const Ciphertext& zero,
+                                    LoweringOptions options) const {
+  EagerBuilder builder{this};
+  lowering::AddOut<EagerBuilder> out = lowering::lower_add(
+      builder, std::span<const Ciphertext>(a), std::span<const Ciphertext>(b), zero,
+      options);
+  return {std::move(out.sum), std::move(out.carry_out)};
 }
 
 Ciphertext Circuits::equals(const EncryptedInt& a, const EncryptedInt& b,
                             const Ciphertext& one) const {
-  HEMUL_CHECK_MSG(a.size() == b.size(), "comparator inputs must have equal width");
-  HEMUL_CHECK_MSG(!a.empty(), "comparator needs at least one bit");
-  Ciphertext acc = one;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    // XNOR = a ^ b ^ 1, then AND-accumulate.
-    const Ciphertext same = gate_xor(gate_xor(a[i], b[i]), one);
-    acc = gate_and(acc, same);
-  }
-  return acc;
+  return equals(a, b, one, lowering_);
+}
+
+Ciphertext Circuits::equals(const EncryptedInt& a, const EncryptedInt& b,
+                            const Ciphertext& one, LoweringOptions options) const {
+  EagerBuilder builder{this};
+  return lowering::lower_equals(builder, std::span<const Ciphertext>(a),
+                                std::span<const Ciphertext>(b), one, options);
+}
+
+EncryptedInt Circuits::mux(const Ciphertext& select, const EncryptedInt& when_true,
+                           const EncryptedInt& when_false) const {
+  EagerBuilder builder{this};
+  return lowering::lower_mux(builder, select, std::span<const Ciphertext>(when_true),
+                             std::span<const Ciphertext>(when_false));
+}
+
+Ciphertext Circuits::less_than(const EncryptedInt& a, const EncryptedInt& b,
+                               const Ciphertext& zero, const Ciphertext& one) const {
+  return less_than(a, b, zero, one, lowering_);
+}
+
+Ciphertext Circuits::less_than(const EncryptedInt& a, const EncryptedInt& b,
+                               const Ciphertext& zero, const Ciphertext& one,
+                               LoweringOptions options) const {
+  EagerBuilder builder{this};
+  return lowering::lower_less_than(builder, std::span<const Ciphertext>(a),
+                                   std::span<const Ciphertext>(b), zero, one, options);
 }
 
 EncryptedInt Circuits::multiply(const EncryptedInt& a, const EncryptedInt& b,
                                 const Ciphertext& zero) const {
+  return multiply(a, b, zero, lowering_);
+}
+
+EncryptedInt Circuits::multiply(const EncryptedInt& a, const EncryptedInt& b,
+                                const Ciphertext& zero, LoweringOptions options) const {
   HEMUL_CHECK_MSG(!a.empty() && !b.empty(), "multiplier needs nonempty inputs");
   const std::size_t out_width = a.size() + b.size();
 
   // All a.size()*b.size() partial-product AND gates are mutually
-  // independent; only the ripple additions below are ordered. With a
+  // independent; only the row accumulation below is ordered. With a
   // scheduler installed, every gate fans out across the PE lanes at once
   // (the shared spectrum cache still transforms each repeated a[i]/b[j]
   // once); otherwise each row goes out as one serial batch and the
@@ -150,15 +193,8 @@ EncryptedInt Circuits::multiply(const EncryptedInt& a, const EncryptedInt& b,
     }
   }
 
-  EncryptedInt acc(out_width, zero);
-  for (std::size_t j = 0; j < b.size(); ++j) {
-    // Row j: (a AND b[j]) shifted by j, ripple-added into the accumulator.
-    EncryptedInt row(out_width, zero);
-    for (std::size_t i = 0; i < a.size(); ++i) row[i + j] = rows[j][i];
-    const AdderResult added = add(acc, row, zero);
-    acc = added.sum;  // no overflow: out_width accommodates the product
-  }
-  return acc;
+  EagerBuilder builder{this};
+  return lowering::accumulate_rows(builder, rows, zero, out_width, options);
 }
 
 EncryptedInt encrypt_int(Dghv& scheme, u64 value, unsigned width) {

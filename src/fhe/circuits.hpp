@@ -32,24 +32,40 @@ using EncryptedInt = std::vector<Ciphertext>;
 /// core::Accelerator::evaluate) on it.
 class Circuits {
  public:
-  /// Evaluates gates on the scheme's own multiplication engine.
-  explicit Circuits(const Dghv& scheme) : scheme_(&scheme) {}
+  /// Evaluates gates on the scheme's own multiplication engine. `lowering`
+  /// is the default strategy of the word-level ops, overridable per call.
+  explicit Circuits(const Dghv& scheme, LoweringOptions lowering = {})
+      : scheme_(&scheme), lowering_(lowering) {}
 
   /// Evaluates AND gates on an explicit engine instead (any registered
   /// backend), overriding the scheme's. XOR gates stay additions.
-  Circuits(const Dghv& scheme, std::shared_ptr<backend::MultiplierBackend> engine)
-      : scheme_(&scheme), engine_(std::move(engine)) {}
+  Circuits(const Dghv& scheme, std::shared_ptr<backend::MultiplierBackend> engine,
+           LoweringOptions lowering = {})
+      : scheme_(&scheme), lowering_(lowering), engine_(std::move(engine)) {}
 
   /// Evaluates independent AND gates concurrently on a multi-PE scheduler:
   /// gate_and_batch submits every pair, and multiply() fans *all* its
   /// partial-product gates out at once. Serially-dependent gates (the
-  /// ripple-carry chain) execute wavefront by wavefront. Non-owning; the
+  /// carry chains) execute wavefront by wavefront. Non-owning; the
   /// scheduler must outlive the circuits.
-  Circuits(const Dghv& scheme, core::Scheduler& scheduler)
-      : scheme_(&scheme), scheduler_(&scheduler) {}
+  Circuits(const Dghv& scheme, core::Scheduler& scheduler, LoweringOptions lowering = {})
+      : scheme_(&scheme), lowering_(lowering), scheduler_(&scheduler) {}
 
   /// Installs (or, with nullptr, removes) a scheduler for batched gates.
   void set_scheduler(core::Scheduler* scheduler) noexcept { scheduler_ = scheduler; }
+
+  /// Replaces the multiplication engine -- the one engine-mutation API
+  /// (mirrors Dghv::set_backend; wrap a bare function in
+  /// backend::FunctionBackend). Pass nullptr to fall back to the scheme's
+  /// own engine.
+  void set_backend(std::shared_ptr<backend::MultiplierBackend> engine) noexcept {
+    engine_ = std::move(engine);
+  }
+
+  /// Replaces the default lowering of subsequent word-level ops.
+  void set_lowering(LoweringOptions lowering) noexcept { lowering_ = lowering; }
+
+  [[nodiscard]] LoweringOptions lowering() const noexcept { return lowering_; }
 
   // --- gates -------------------------------------------------------------
 
@@ -70,23 +86,43 @@ class Circuits {
     Ciphertext carry_out;  ///< the final carry
   };
 
-  /// Ripple-carry addition of two equal-width encrypted integers.
-  /// Uses 2 multiplications per bit position (carry = maj(a, b, c) with
-  /// shared subterms).
+  /// Addition of two equal-width encrypted integers: a ripple-carry chain
+  /// (2 multiplications per bit) or, under carry-save lowering, one
+  /// parallel-prefix resolve. The short forms use the facade's default
+  /// LoweringOptions; pass explicit options to override per call.
   [[nodiscard]] AdderResult add(const EncryptedInt& a, const EncryptedInt& b,
                                 const Ciphertext& zero) const;
+  [[nodiscard]] AdderResult add(const EncryptedInt& a, const EncryptedInt& b,
+                                const Ciphertext& zero, LoweringOptions options) const;
 
-  /// Equality comparator: AND over XNOR of all bit pairs
-  /// (width multiplications).
+  /// Equality comparator: AND over XNOR of all bit pairs, serially or as
+  /// a balanced tree (width multiplications either way).
   [[nodiscard]] Ciphertext equals(const EncryptedInt& a, const EncryptedInt& b,
                                   const Ciphertext& one) const;
+  [[nodiscard]] Ciphertext equals(const EncryptedInt& a, const EncryptedInt& b,
+                                  const Ciphertext& one, LoweringOptions options) const;
 
   /// Schoolbook product of two encrypted w-bit integers (2w-bit result).
   /// Each partial-product row ANDs every bit of `a` against the same b[j],
   /// so rows are issued as one batch: spectrum-caching engines compute
-  /// b[j]'s forward transform once per row instead of once per gate.
+  /// b[j]'s forward transform once per row instead of once per gate. The
+  /// rows then accumulate through ripple adders or a Wallace tree.
   [[nodiscard]] EncryptedInt multiply(const EncryptedInt& a, const EncryptedInt& b,
                                       const Ciphertext& zero) const;
+  [[nodiscard]] EncryptedInt multiply(const EncryptedInt& a, const EncryptedInt& b,
+                                      const Ciphertext& zero, LoweringOptions options) const;
+
+  /// Bitwise select: out = when_false ^ sel * (when_true ^ when_false).
+  [[nodiscard]] EncryptedInt mux(const Ciphertext& select, const EncryptedInt& when_true,
+                                 const EncryptedInt& when_false) const;
+
+  /// Unsigned a < b via the borrow chain (ripple) or a borrow-save prefix
+  /// pass (carry-save).
+  [[nodiscard]] Ciphertext less_than(const EncryptedInt& a, const EncryptedInt& b,
+                                     const Ciphertext& zero, const Ciphertext& one) const;
+  [[nodiscard]] Ciphertext less_than(const EncryptedInt& a, const EncryptedInt& b,
+                                     const Ciphertext& zero, const Ciphertext& one,
+                                     LoweringOptions options) const;
 
   /// Batched AND: all pairs through the active engine's multiply_batch (or
   /// fanned out across the scheduler's PE lanes) as one wavefront.
@@ -109,6 +145,7 @@ class Circuits {
   std::vector<Ciphertext> run(const Graph& graph, std::span<const Wire> outputs) const;
 
   const Dghv* scheme_;
+  LoweringOptions lowering_;
   std::shared_ptr<backend::MultiplierBackend> engine_;  ///< optional override
   core::Scheduler* scheduler_ = nullptr;  ///< optional concurrent fan-out
   mutable std::atomic<u64> and_gates_{0};

@@ -74,10 +74,14 @@ class Dghv {
   [[nodiscard]] std::vector<Ciphertext> multiply_batch(
       std::span<const std::pair<Ciphertext, Ciphertext>> jobs) const;
 
-  /// Replaces the multiplication engine.
+  /// Replaces the multiplication engine -- the one engine-mutation API.
+  /// Bare multiplication functions plug in through
+  /// backend::FunctionBackend:
+  ///   scheme.set_backend(std::make_shared<backend::FunctionBackend>(fn));
   void set_backend(std::shared_ptr<backend::MultiplierBackend> engine);
 
   /// Backward-compatible function hook (wrapped in a FunctionBackend).
+  [[deprecated("wrap the function in backend::FunctionBackend and call set_backend")]]
   void set_multiplier(MulFn mul);
 
   [[nodiscard]] const std::shared_ptr<backend::MultiplierBackend>& engine() const noexcept {

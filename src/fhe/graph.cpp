@@ -70,89 +70,50 @@ Wire Graph::gate_or(Wire a, Wire b) {
 
 Wire Graph::gate_not(Wire a, Wire one) { return gate_xor(a, one); }
 
-Wire Graph::gate_maj(Wire a, Wire b, Wire c) {
-  const Wire ab = gate_and(a, b);
-  const Wire bc = gate_and(b, c);
-  const Wire ca = gate_and(c, a);
-  return gate_xor(gate_xor(ab, bc), ca);
-}
+Wire Graph::gate_maj(Wire a, Wire b, Wire c) { return lowering::majority(*this, a, b, c); }
 
 Graph::AddResult Graph::add(std::span<const Wire> a, std::span<const Wire> b, Wire zero) {
-  HEMUL_CHECK_MSG(a.size() == b.size(), "adder inputs must have equal width");
-  AddResult result;
-  result.sum.reserve(a.size());
-  Wire carry = zero;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    // sum_i = a ^ b ^ c; carry' = (a^b)c ^ ab (two AND nodes) -- the same
-    // construction as the eager Circuits adder, so results are bit-exact.
-    const Wire axb = gate_xor(a[i], b[i]);
-    result.sum.push_back(gate_xor(axb, carry));
-    carry = gate_xor(gate_and(axb, carry), gate_and(a[i], b[i]));
-  }
-  result.carry_out = carry;
-  return result;
+  return add(a, b, zero, lowering_);
+}
+
+Graph::AddResult Graph::add(std::span<const Wire> a, std::span<const Wire> b, Wire zero,
+                            LoweringOptions options) {
+  lowering::AddOut<Graph> out = lowering::lower_add(*this, a, b, zero, options);
+  return {std::move(out.sum), out.carry_out};
 }
 
 Wire Graph::equals(std::span<const Wire> a, std::span<const Wire> b, Wire one) {
-  HEMUL_CHECK_MSG(a.size() == b.size(), "comparator inputs must have equal width");
-  HEMUL_CHECK_MSG(!a.empty(), "comparator needs at least one bit");
-  Wire acc = one;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    // XNOR = a ^ b ^ 1, then AND-accumulate.
-    const Wire same = gate_xor(gate_xor(a[i], b[i]), one);
-    acc = gate_and(acc, same);
-  }
-  return acc;
+  return equals(a, b, one, lowering_);
+}
+
+Wire Graph::equals(std::span<const Wire> a, std::span<const Wire> b, Wire one,
+                   LoweringOptions options) {
+  return lowering::lower_equals(*this, a, b, one, options);
 }
 
 std::vector<Wire> Graph::multiply(std::span<const Wire> a, std::span<const Wire> b,
                                   Wire zero) {
-  HEMUL_CHECK_MSG(!a.empty() && !b.empty(), "multiplier needs nonempty inputs");
-  const std::size_t out_width = a.size() + b.size();
+  return multiply(a, b, zero, lowering_);
+}
 
-  // The partial-product matrix: every and(a[i], b[j]) is depth 1, so the
-  // whole matrix is one wavefront for the Evaluator regardless of how the
-  // rows are accumulated below.
-  std::vector<std::vector<Wire>> rows(b.size());
-  for (std::size_t j = 0; j < b.size(); ++j) {
-    rows[j].reserve(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i) rows[j].push_back(gate_and(a[i], b[j]));
-  }
-
-  std::vector<Wire> acc(out_width, zero);
-  for (std::size_t j = 0; j < b.size(); ++j) {
-    // Row j: (a AND b[j]) shifted by j, ripple-added into the accumulator.
-    std::vector<Wire> row(out_width, zero);
-    for (std::size_t i = 0; i < a.size(); ++i) row[i + j] = rows[j][i];
-    AddResult added = add(acc, row, zero);
-    acc = std::move(added.sum);  // carry_out is dead: out_width fits the product
-  }
-  return acc;
+std::vector<Wire> Graph::multiply(std::span<const Wire> a, std::span<const Wire> b,
+                                  Wire zero, LoweringOptions options) {
+  return lowering::lower_multiply(*this, a, b, zero, options);
 }
 
 std::vector<Wire> Graph::mux(Wire select, std::span<const Wire> when_true,
                              std::span<const Wire> when_false) {
-  HEMUL_CHECK_MSG(when_true.size() == when_false.size(),
-                  "mux inputs must have equal width");
-  std::vector<Wire> out;
-  out.reserve(when_true.size());
-  for (std::size_t i = 0; i < when_true.size(); ++i) {
-    out.push_back(gate_xor(when_false[i],
-                           gate_and(select, gate_xor(when_true[i], when_false[i]))));
-  }
-  return out;
+  return lowering::lower_mux(*this, select, when_true, when_false);
 }
 
 Wire Graph::less_than(std::span<const Wire> a, std::span<const Wire> b, Wire zero,
                       Wire one) {
-  HEMUL_CHECK_MSG(a.size() == b.size(), "comparator inputs must have equal width");
-  HEMUL_CHECK_MSG(!a.empty(), "comparator needs at least one bit");
-  // Ripple borrow of a - b, LSB first: borrow' = maj(not a_i, b_i, borrow).
-  Wire borrow = zero;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    borrow = gate_maj(gate_not(a[i], one), b[i], borrow);
-  }
-  return borrow;  // borrow out of the MSB <=> a < b
+  return less_than(a, b, zero, one, lowering_);
+}
+
+Wire Graph::less_than(std::span<const Wire> a, std::span<const Wire> b, Wire zero,
+                      Wire one, LoweringOptions options) {
+  return lowering::lower_less_than(*this, a, b, zero, one, options);
 }
 
 unsigned Graph::level(Wire w) const { return node(w).level; }

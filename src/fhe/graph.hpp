@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fhe/dghv.hpp"
+#include "fhe/lowering.hpp"
 
 namespace hemul::fhe {
 
@@ -39,9 +40,20 @@ enum class GateOp : unsigned char { kInput, kXor, kAnd };
 /// gate, so evaluating a graph reproduces the eager results bit for bit.
 class Graph {
  public:
+  /// Gate-builder concept hook: the lowering templates record into a Graph
+  /// directly (see fhe/lowering.hpp).
+  using WireType = Wire;
+
   /// Circuits over ciphertexts of `scheme` (non-owning; the scheme must
-  /// outlive the graph and every evaluation of it).
-  explicit Graph(const Dghv& scheme) : scheme_(&scheme) {}
+  /// outlive the graph and every evaluation of it). `lowering` is the
+  /// default strategy of the word-level builders, overridable per call.
+  explicit Graph(const Dghv& scheme, LoweringOptions lowering = {})
+      : scheme_(&scheme), lowering_(lowering) {}
+
+  /// Replaces the default lowering of subsequent word-level builder calls.
+  void set_lowering(LoweringOptions lowering) noexcept { lowering_ = lowering; }
+
+  [[nodiscard]] LoweringOptions lowering() const noexcept { return lowering_; }
 
   // --- leaves --------------------------------------------------------------
 
@@ -70,28 +82,44 @@ class Graph {
     Wire carry_out;         ///< the final carry
   };
 
-  /// Ripple-carry addition (2 AND nodes per bit; bit i lands at depth i+1,
-  /// so the Evaluator runs the chain as `width` wavefronts of 2 gates).
+  /// Addition. Ripple-carry spends 2 AND nodes per bit with bit i at depth
+  /// i+1; carry-save resolves every bit through one Sklansky prefix pass
+  /// at depth 1 + ceil(log2 w). The one-argument forms use the graph's
+  /// default LoweringOptions; pass explicit options to override per call.
   [[nodiscard]] AddResult add(std::span<const Wire> a, std::span<const Wire> b, Wire zero);
+  [[nodiscard]] AddResult add(std::span<const Wire> a, std::span<const Wire> b, Wire zero,
+                              LoweringOptions options);
 
-  /// Equality comparator: AND-accumulate over XNOR of all bit pairs.
+  /// Equality comparator: XNOR of all bit pairs, AND-accumulated serially
+  /// (ripple) or as a balanced tree (carry-save).
   [[nodiscard]] Wire equals(std::span<const Wire> a, std::span<const Wire> b, Wire one);
+  [[nodiscard]] Wire equals(std::span<const Wire> a, std::span<const Wire> b, Wire one,
+                            LoweringOptions options);
 
   /// Schoolbook product (2w-bit result). All w^2 partial-product AND gates
-  /// land at depth 1 -- one wavefront -- and the discarded carry chains of
-  /// the row accumulators are removed by the Evaluator's dead-node pass.
+  /// land at depth 1 -- one wavefront -- however the rows are accumulated:
+  /// ripple-carry row adders (depth ~2w; dead carry chains removed by the
+  /// Evaluator's dead-node pass) or a Wallace 3:2-compressor tree plus one
+  /// prefix resolve (depth ~log w).
   [[nodiscard]] std::vector<Wire> multiply(std::span<const Wire> a,
                                            std::span<const Wire> b, Wire zero);
+  [[nodiscard]] std::vector<Wire> multiply(std::span<const Wire> a,
+                                           std::span<const Wire> b, Wire zero,
+                                           LoweringOptions options);
 
   /// Bitwise select: out = when_false ^ sel * (when_true ^ when_false)
-  /// (one AND per bit, all at the same depth -- a single wavefront).
+  /// (one AND per bit, all at the same depth -- a single wavefront under
+  /// either strategy).
   [[nodiscard]] std::vector<Wire> mux(Wire select, std::span<const Wire> when_true,
                                       std::span<const Wire> when_false);
 
-  /// Unsigned a < b via the ripple borrow chain
-  /// borrow' = maj(not a_i, b_i, borrow) (3 AND nodes per bit).
+  /// Unsigned a < b: ripple borrow chain borrow' = maj(not a_i, b_i,
+  /// borrow) (3 AND nodes per bit, depth w) or a borrow-save prefix pass
+  /// (depth 1 + ceil(log2 w)).
   [[nodiscard]] Wire less_than(std::span<const Wire> a, std::span<const Wire> b,
                                Wire zero, Wire one);
+  [[nodiscard]] Wire less_than(std::span<const Wire> a, std::span<const Wire> b,
+                               Wire zero, Wire one, LoweringOptions options);
 
   // --- introspection -------------------------------------------------------
 
@@ -138,6 +166,7 @@ class Graph {
   Wire record(GateOp op, Wire a, Wire b);
 
   const Dghv* scheme_;
+  LoweringOptions lowering_;
   std::vector<Node> nodes_;
   std::unordered_map<u64, u32> cse_;  ///< (op, a, b) -> node id
   u64 and_gates_ = 0;

@@ -2,8 +2,78 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
 
 namespace hemul::fhe {
+
+namespace {
+
+/// Gate builders for the lowering templates that track an analytic wire
+/// annotation instead of a ciphertext: AND-depth and modeled noise evolve
+/// by the same rules Graph::record applies, so simulating a lowering
+/// predicts exactly what recording it would annotate.
+struct DepthSim {
+  using WireType = unsigned;
+  unsigned gate_xor(unsigned a, unsigned b) const { return std::max(a, b); }
+  unsigned gate_and(unsigned a, unsigned b) const { return std::max(a, b) + 1; }
+};
+
+struct NoiseSim {
+  using WireType = double;
+  double gate_xor(double a, double b) const { return NoiseModel::after_add(a, b); }
+  double gate_and(double a, double b) const { return NoiseModel::after_mult(a, b); }
+};
+
+/// Runs one word op through the lowering templates over any annotation
+/// builder; returns the worst (max) output annotation. `fresh` is the
+/// annotation of an input wire (0 depth, fresh noise).
+template <class B>
+typename B::WireType simulate_word_op(B sim, WordOp op, unsigned width,
+                                      typename B::WireType fresh,
+                                      LoweringOptions options) {
+  HEMUL_CHECK_MSG(width >= 1, "word ops need at least one bit");
+  using W = typename B::WireType;
+  const std::vector<W> a(width, fresh);
+  const std::vector<W> b(width, fresh);
+  const W zero = fresh;  // constants are encrypted server-side: fresh too
+  const W one = fresh;
+  std::vector<W> outs;
+  switch (op) {
+    case WordOp::kAnd:
+      outs = {sim.gate_and(fresh, fresh)};
+      break;
+    case WordOp::kAdd: {
+      lowering::AddOut<B> r = lowering::lower_add(sim, std::span<const W>(a),
+                                                  std::span<const W>(b), zero, options);
+      outs = std::move(r.sum);
+      outs.push_back(r.carry_out);
+      break;
+    }
+    case WordOp::kEquals:
+      outs = {lowering::lower_equals(sim, std::span<const W>(a), std::span<const W>(b),
+                                     one, options)};
+      break;
+    case WordOp::kMultiply:
+      outs = lowering::lower_multiply(sim, std::span<const W>(a), std::span<const W>(b),
+                                      zero, options);
+      break;
+    case WordOp::kMux:
+      outs = lowering::lower_mux(sim, fresh, std::span<const W>(a), std::span<const W>(b));
+      break;
+    case WordOp::kLessThan:
+      outs = {lowering::lower_less_than(sim, std::span<const W>(a), std::span<const W>(b),
+                                        zero, one, options)};
+      break;
+  }
+  W worst = outs.front();
+  for (const W& out : outs) worst = std::max(worst, out);
+  return worst;
+}
+
+}  // namespace
 
 double NoiseModel::after_add(double a, double b) noexcept { return std::max(a, b) + 1.0; }
 
@@ -19,6 +89,16 @@ unsigned NoiseModel::max_mult_depth(const DghvParams& params) noexcept {
     ++depth;
   }
   return depth;
+}
+
+unsigned NoiseModel::predicted_depth(WordOp op, unsigned width, LoweringOptions lowering) {
+  return simulate_word_op(DepthSim{}, op, width, 0u, lowering);
+}
+
+double NoiseModel::predicted_noise_bits(WordOp op, unsigned width,
+                                        const DghvParams& params,
+                                        LoweringOptions lowering) {
+  return simulate_word_op(NoiseSim{}, op, width, fresh(params), lowering);
 }
 
 }  // namespace hemul::fhe

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "fhe/lowering.hpp"
 #include "fhe/params.hpp"
 
 namespace hemul::fhe {
@@ -33,6 +34,18 @@ struct NoiseModel {
 
   /// Multiplicative depth supported for fresh inputs under this model.
   static unsigned max_mult_depth(const DghvParams& params) noexcept;
+
+  /// AND-depth of a word op on `width`-bit operands under the given
+  /// lowering, computed by running the very lowering templates the Graph
+  /// records through -- the prediction and the recorded circuit cannot
+  /// diverge. Deterministic (no ciphertexts involved).
+  static unsigned predicted_depth(WordOp op, unsigned width, LoweringOptions lowering);
+
+  /// Worst output noise (in bits) of a word op on fresh encryptions of
+  /// `params`, through the same lowering templates. Compare against
+  /// budget_bits() to see the veto margin before recording anything.
+  static double predicted_noise_bits(WordOp op, unsigned width,
+                                     const DghvParams& params, LoweringOptions lowering);
 };
 
 }  // namespace hemul::fhe

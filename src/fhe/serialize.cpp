@@ -30,6 +30,11 @@ void ByteWriter::put_biguint(const bigint::BigUInt& x) {
   for (const u64 limb : x.limbs()) put_u64(limb);
 }
 
+void ByteWriter::put_bytes(std::span<const u8> data) {
+  put_u64(data.size());
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
 void ByteWriter::begin_frame(WireTag tag) {
   HEMUL_CHECK_MSG(!in_frame_, "ByteWriter: frames may not nest");
   put_u32(kWireMagic);
@@ -91,6 +96,16 @@ bigint::BigUInt ByteReader::get_biguint() {
   for (u64 i = 0; i < count; ++i) limbs.push_back(get_u64());
   if (!limbs.empty() && limbs.back() == 0) fail("non-canonical limb vector (trailing zero)");
   return bigint::BigUInt::from_limbs(std::move(limbs));
+}
+
+Bytes ByteReader::get_bytes() {
+  const u64 count = get_u64();
+  // Bounds first (same hostile-count rule as get_biguint).
+  if (count > remaining()) fail("byte string length exceeds the buffer");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += count;
+  return out;
 }
 
 u64 ByteReader::expect_frame(WireTag tag) {

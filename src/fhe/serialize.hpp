@@ -38,6 +38,11 @@ enum class WireTag : u8 {
   kSecretKey = 4,
   kCiphertext = 5,
   kGraph = 6,
+  /// core::Request envelope: circuit spec (kind, width, lowering strategy
+  /// byte) plus the nested graph/input payloads. Encoded by
+  /// core::encode_request -- the tag lives here so the frame namespace
+  /// stays collision-free.
+  kRequest = 7,
 };
 
 inline constexpr u32 kWireMagic = 0x31574D48u;  ///< "HMW1", little-endian
@@ -55,6 +60,9 @@ class ByteWriter {
   void put_f64(double value);
   /// Raw limb vector: u64 count + count little-endian limbs.
   void put_biguint(const bigint::BigUInt& x);
+  /// Length-prefixed opaque byte string: u64 count + the bytes verbatim
+  /// (nested payloads, e.g. the graph/input streams of a Request).
+  void put_bytes(std::span<const u8> data);
 
   /// Opens a frame: writes the magic/version/tag header and a length
   /// placeholder. Frames may not nest.
@@ -84,6 +92,8 @@ class ByteReader {
   /// Rejects non-canonical encodings (trailing zero limb), so
   /// decode(encode(x)) == x is a bijection.
   [[nodiscard]] bigint::BigUInt get_biguint();
+  /// Inverse of ByteWriter::put_bytes (bounds-checked before copying).
+  [[nodiscard]] Bytes get_bytes();
 
   /// Reads and validates a frame header of the expected tag; returns the
   /// payload length after checking it fits the remaining bytes.

@@ -26,7 +26,7 @@ CircuitKind circuit_kind_from_name(std::string_view name) {
   throw std::invalid_argument("unknown circuit kind: " + std::string(name));
 }
 
-std::size_t circuit_input_count(CircuitKind kind, unsigned width) noexcept {
+std::size_t CircuitSpec::input_count() const noexcept {
   switch (kind) {
     case CircuitKind::kAnd: return 2;
     case CircuitKind::kAdder:
@@ -37,6 +37,65 @@ std::size_t circuit_input_count(CircuitKind kind, unsigned width) noexcept {
     case CircuitKind::kGraph: return 0;
   }
   return 0;
+}
+
+void CircuitSpec::validate() const {
+  if (kind == CircuitKind::kGraph) return;  // width is decided by the topology
+  if (width < 1 || width > kMaxCircuitWidth) {
+    throw fhe::SerializeError("circuit width must be in [1, " +
+                              std::to_string(kMaxCircuitWidth) + "]");
+  }
+}
+
+std::string CircuitSpec::describe() const {
+  return std::string(circuit_kind_name(kind)) + "/" + std::to_string(width) + "/" +
+         std::string(fhe::lowering_strategy_name(lowering.strategy));
+}
+
+CircuitSpec CircuitSpec::parse(std::string_view kind_name, unsigned width,
+                               std::string_view lowering_name) {
+  CircuitSpec spec;
+  spec.kind = circuit_kind_from_name(kind_name);
+  spec.width = width;
+  spec.lowering.strategy = fhe::lowering_strategy_from_name(lowering_name);
+  spec.validate();
+  return spec;
+}
+
+fhe::Bytes encode_request(const Request& request) {
+  fhe::ByteWriter writer;
+  writer.begin_frame(fhe::WireTag::kRequest);
+  writer.put_u8(static_cast<u8>(request.spec.kind));
+  writer.put_u32(request.spec.width);
+  writer.put_u8(static_cast<u8>(request.spec.lowering.strategy));
+  writer.put_bytes(request.graph);
+  writer.put_bytes(request.inputs);
+  writer.finish_frame();
+  return writer.take();
+}
+
+Request decode_request(std::span<const u8> buffer) {
+  fhe::ByteReader reader(buffer);
+  reader.expect_frame(fhe::WireTag::kRequest);
+  Request request;
+  const u8 kind = reader.get_u8();
+  if (kind > static_cast<u8>(CircuitKind::kGraph)) {
+    throw fhe::SerializeError("unknown circuit kind byte " + std::to_string(kind));
+  }
+  request.spec.kind = static_cast<CircuitKind>(kind);
+  request.spec.width = reader.get_u32();
+  const u8 strategy = reader.get_u8();
+  if (strategy > static_cast<u8>(fhe::LoweringStrategy::kCarrySave)) {
+    throw fhe::SerializeError("unknown lowering strategy byte " + std::to_string(strategy));
+  }
+  request.spec.lowering.strategy = static_cast<fhe::LoweringStrategy>(strategy);
+  request.spec.validate();
+  request.graph = reader.get_bytes();
+  request.inputs = reader.get_bytes();
+  if (!reader.at_end()) {
+    throw fhe::SerializeError("trailing bytes after the request frame");
+  }
+  return request;
 }
 
 }  // namespace hemul::core

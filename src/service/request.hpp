@@ -46,21 +46,58 @@ enum class CircuitKind : u8 {
 /// unknown name.
 [[nodiscard]] CircuitKind circuit_kind_from_name(std::string_view name);
 
-/// Ciphertexts a request of this shape must carry (kGraph: decided by the
-/// topology, returns 0 here).
-[[nodiscard]] std::size_t circuit_input_count(CircuitKind kind, unsigned width) noexcept;
+/// The largest builtin word width the service admits.
+inline constexpr unsigned kMaxCircuitWidth = 16;
+
+/// The typed circuit selector of a Request: which builtin, at what word
+/// width, lowered how. One parse/validate surface shared by the service
+/// coordinator, hemul_cli and hemul_serve, replacing the former
+/// name + width stringly pairing.
+struct CircuitSpec {
+  CircuitKind kind = CircuitKind::kAnd;
+  unsigned width = 1;  ///< word width of the builtin circuits, in [1, 16]
+  /// Lowering of the word-level builtins (kAnd/kGraph ignore it: a lone
+  /// gate has no word structure and a topology is already lowered).
+  fhe::LoweringOptions lowering;
+
+  /// Ciphertexts a request of this shape must carry (kGraph: decided by
+  /// the topology, returns 0 here).
+  [[nodiscard]] std::size_t input_count() const noexcept;
+
+  /// Throws fhe::SerializeError when the spec cannot be served (width out
+  /// of [1, kMaxCircuitWidth] for builtin kinds).
+  void validate() const;
+
+  /// "mul/8/carry-save" -- for diagnostics and logs.
+  [[nodiscard]] std::string describe() const;
+
+  /// Builds a validated spec from transport-level strings; throws
+  /// std::invalid_argument / fhe::SerializeError on unknown names or a bad
+  /// width.
+  static CircuitSpec parse(std::string_view kind_name, unsigned width,
+                           std::string_view lowering_name);
+
+  friend bool operator==(const CircuitSpec&, const CircuitSpec&) = default;
+};
 
 /// One unit of tenant work: serialized ciphertext inputs plus the circuit
 /// to run them through. Everything a transport would put on the wire.
 struct Request {
-  CircuitKind circuit = CircuitKind::kAnd;
-  unsigned width = 1;  ///< word width of the builtin circuits, in [1, 16]
+  CircuitSpec spec;
   /// Serialized fhe::GraphTopology (kGraph requests only).
   fhe::Bytes graph;
   /// Serialized ciphertext stream (fhe::encode_ciphertexts), one frame per
   /// circuit input.
   fhe::Bytes inputs;
 };
+
+/// Framed wire encoding of a whole Request (fhe::WireTag::kRequest): the
+/// spec -- including the lowering-strategy byte -- plus the nested graph
+/// and input payloads. decode_request re-validates everything it reads
+/// (unknown kind/strategy bytes, truncation, width range) and throws
+/// fhe::SerializeError, so a transport can pass hostile bytes straight in.
+[[nodiscard]] fhe::Bytes encode_request(const Request& request);
+[[nodiscard]] Request decode_request(std::span<const u8> buffer);
 
 enum class ResponseStatus : u8 {
   kOk = 0,

@@ -220,6 +220,7 @@ std::unique_ptr<Service::Active> Service::admit(Pending&& pending) {
   active->admitted_at = Clock::now();
 
   const Request& request = pending.request;
+  const CircuitSpec& spec = request.spec;
   std::vector<fhe::Wire> outputs;
   try {
     const std::vector<fhe::Ciphertext> inputs = fhe::decode_ciphertexts(request.inputs);
@@ -233,24 +234,22 @@ std::unique_ptr<Service::Active> Service::admit(Pending&& pending) {
       }
     }
     fhe::Graph& g = active->graph;
-    if (request.circuit == CircuitKind::kGraph) {
+    g.set_lowering(spec.lowering);  // the strategy byte steers every builtin
+    if (spec.kind == CircuitKind::kGraph) {
       const fhe::GraphTopology topology = fhe::decode_graph(request.graph);
       outputs = topology.build(g, inputs);
     } else {
-      if (request.width < 1 || request.width > 16) {
-        throw fhe::SerializeError("circuit width must be in [1, 16]");
-      }
-      const std::size_t expect = circuit_input_count(request.circuit, request.width);
+      spec.validate();
+      const std::size_t expect = spec.input_count();
       if (inputs.size() != expect) {
-        throw fhe::SerializeError("circuit " + std::string(circuit_kind_name(request.circuit)) +
-                                  " width " + std::to_string(request.width) + " needs " +
+        throw fhe::SerializeError("circuit " + spec.describe() + " needs " +
                                   std::to_string(expect) + " input ciphertexts, got " +
                                   std::to_string(inputs.size()));
       }
-      const unsigned w = request.width;
+      const unsigned w = spec.width;
       const std::vector<fhe::Wire> wires = g.inputs(inputs);
       const std::span<const fhe::Wire> all(wires);
-      switch (request.circuit) {
+      switch (spec.kind) {
         case CircuitKind::kAnd:
           outputs = {g.gate_and(wires[0], wires[1])};
           break;

@@ -131,10 +131,11 @@ TEST(Dghv, NoiseModelAlgebra) {
 TEST(Dghv, CustomMultiplierBackend) {
   Dghv scheme(DghvParams::toy(), 11);
   unsigned calls = 0;
-  scheme.set_multiplier([&calls](const bigint::BigUInt& a, const bigint::BigUInt& b) {
-    ++calls;
-    return bigint::mul_schoolbook(a, b);
-  });
+  scheme.set_backend(std::make_shared<backend::FunctionBackend>(
+      [&calls](const bigint::BigUInt& a, const bigint::BigUInt& b) {
+        ++calls;
+        return bigint::mul_schoolbook(a, b);
+      }));
   const Ciphertext ca = scheme.encrypt(true);
   const Ciphertext cb = scheme.encrypt(true);
   EXPECT_TRUE(scheme.decrypt(scheme.multiply(ca, cb)));

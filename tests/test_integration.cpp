@@ -49,10 +49,12 @@ TEST(HeOnAccelerator, CiphertextMultiplicationThroughSimulatedHardware) {
 
   auto accel = std::make_shared<core::Accelerator>();
   unsigned accelerated_products = 0;
-  scheme.set_multiplier([accel, &accelerated_products](const BigUInt& a, const BigUInt& b) {
-    ++accelerated_products;
-    return accel->multiply(a, b).product;
-  });
+  scheme.set_backend(std::make_shared<backend::FunctionBackend>(
+      [accel, &accelerated_products](const BigUInt& a, const BigUInt& b) {
+        ++accelerated_products;
+        return accel->multiply(a, b).product;
+      },
+      "accelerator"));
 
   for (const bool x : {false, true}) {
     for (const bool y : {false, true}) {

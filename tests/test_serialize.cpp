@@ -8,6 +8,7 @@
 #include "fhe/circuits.hpp"
 #include "fhe/evaluator.hpp"
 #include "fhe/serialize.hpp"
+#include "service/request.hpp"
 #include "util/rng.hpp"
 
 namespace hemul::fhe {
@@ -300,6 +301,82 @@ TEST_F(SerializeTest, TruncationAtEveryLengthIsRejectedNotUB) {
     }
     decoders[f](whole);  // the untruncated buffer still decodes
   }
+}
+
+// --- request frames (core::Request over the wire) --------------------------
+
+TEST_F(SerializeTest, RequestRoundTripCarriesSpecAndPayloads) {
+  core::Request request;
+  request.spec.kind = core::CircuitKind::kMul;
+  request.spec.width = 8;
+  request.spec.lowering.strategy = LoweringStrategy::kCarrySave;
+  request.inputs = {0xAA, 0xBB, 0xCC};
+
+  const Bytes wire = encode_request(request);
+  const core::Request back = core::decode_request(wire);
+  EXPECT_EQ(back.spec, request.spec);
+  EXPECT_EQ(back.graph, request.graph);
+  EXPECT_EQ(back.inputs, request.inputs);
+
+  // A graph request carries its topology payload through the same frame.
+  Graph graph(scheme_);
+  const Wire a = graph.input(scheme_.encrypt(true));
+  const Wire b = graph.input(scheme_.encrypt(false));
+  core::Request graph_request;
+  graph_request.spec.kind = core::CircuitKind::kGraph;
+  const std::vector<Wire> graph_outs = {graph.gate_and(a, b)};
+  graph_request.graph = encode_graph(GraphTopology::capture(graph, graph_outs));
+  graph_request.inputs = encode_ciphertext(scheme_.encrypt(true));
+  const core::Request graph_back = core::decode_request(encode_request(graph_request));
+  EXPECT_EQ(graph_back.spec, graph_request.spec);
+  EXPECT_EQ(graph_back.graph, graph_request.graph);
+  EXPECT_EQ(graph_back.inputs, graph_request.inputs);
+}
+
+TEST_F(SerializeTest, RequestTruncationAtEveryLengthIsRejected) {
+  core::Request request;
+  request.spec.kind = core::CircuitKind::kAdder;
+  request.spec.width = 4;
+  request.inputs = {1, 2, 3, 4, 5};
+  const Bytes whole = encode_request(request);
+  for (std::size_t len = 0; len < whole.size(); ++len) {
+    EXPECT_THROW((void)core::decode_request(std::span<const u8>(whole.data(), len)),
+                 SerializeError)
+        << "truncated to " << len << " of " << whole.size();
+  }
+  (void)core::decode_request(whole);  // the untruncated buffer still decodes
+}
+
+TEST_F(SerializeTest, RequestHostileFieldBytesAreRejected) {
+  core::Request request;
+  request.spec.kind = core::CircuitKind::kLessThan;
+  request.spec.width = 4;
+  const Bytes good = encode_request(request);
+  // Frame header is magic(4) + version(1) + tag(1) + length(8); the spec
+  // payload starts right after: kind u8, width u32 (LE), strategy u8.
+  constexpr std::size_t kKindOffset = 14;
+  constexpr std::size_t kWidthOffset = 15;
+  constexpr std::size_t kStrategyOffset = 19;
+
+  Bytes bad_kind = good;
+  bad_kind[kKindOffset] = 0x63;
+  EXPECT_THROW((void)core::decode_request(bad_kind), SerializeError);
+
+  Bytes bad_strategy = good;
+  bad_strategy[kStrategyOffset] = 0x7;
+  EXPECT_THROW((void)core::decode_request(bad_strategy), SerializeError);
+
+  Bytes zero_width = good;
+  zero_width[kWidthOffset] = 0;
+  EXPECT_THROW((void)core::decode_request(zero_width), SerializeError);
+
+  Bytes huge_width = good;
+  huge_width[kWidthOffset + 2] = 0xFF;  // width |= 0xFF0000: far past the cap
+  EXPECT_THROW((void)core::decode_request(huge_width), SerializeError);
+
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW((void)core::decode_request(trailing), SerializeError);
 }
 
 TEST_F(SerializeTest, CorruptedHeaderBytesAreRejected) {

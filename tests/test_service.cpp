@@ -50,8 +50,8 @@ TEST(ServiceTest, BuiltinAdderRoundTrips) {
   fhe::Dghv& scheme = service.scheme(session);
 
   Request request;
-  request.circuit = CircuitKind::kAdder;
-  request.width = 4;
+  request.spec.kind = CircuitKind::kAdder;
+  request.spec.width = 4;
   request.inputs = concat(encrypt_inputs(scheme, 11, 4), encrypt_inputs(scheme, 6, 4));
 
   const Response response = service.submit(session, std::move(request)).get();
@@ -60,6 +60,35 @@ TEST(ServiceTest, BuiltinAdderRoundTrips) {
   EXPECT_EQ(response.and_gates, 8u);                   // 2 per bit
   EXPECT_EQ(response.levels, 4u);
   EXPECT_GE(response.shared_batches, 1u);
+}
+
+TEST(ServiceTest, CarrySaveLoweringRoundTripsAndRunsShallower) {
+  // The same adder request under both wire-level strategy bytes: identical
+  // decryption, but the carry-save form must traverse fewer wavefronts
+  // than ripple's width+... chain (the strategy really steers the builtin).
+  Service service(ssa_options(2));
+  const SessionId session = service.create_session(DghvParams::toy(), 101);
+  fhe::Dghv& scheme = service.scheme(session);
+
+  unsigned levels[2] = {0, 0};
+  int slot = 0;
+  for (const fhe::LoweringStrategy strategy :
+       {fhe::LoweringStrategy::kRippleCarry, fhe::LoweringStrategy::kCarrySave}) {
+    Request request;
+    request.spec.kind = CircuitKind::kAdder;
+    request.spec.width = 4;
+    request.spec.lowering.strategy = strategy;
+    request.inputs = concat(encrypt_inputs(scheme, 11, 4), encrypt_inputs(scheme, 6, 4));
+
+    // Through the framed wire encoding, as a remote tenant would send it.
+    const Response response =
+        service.submit(session, decode_request(encode_request(request))).get();
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(decrypt_response(scheme, response), 17u)
+        << fhe::lowering_strategy_name(strategy);
+    levels[slot++] = response.levels;
+  }
+  EXPECT_LT(levels[1], levels[0]) << "carry-save must be shallower than ripple";
 }
 
 TEST(ServiceTest, EveryBuiltinCircuitDecryptsCorrectly) {
@@ -89,8 +118,8 @@ TEST(ServiceTest, EveryBuiltinCircuitDecryptsCorrectly) {
   };
   for (const auto& c : cases) {
     Request request;
-    request.circuit = c.kind;
-    request.width = w;
+    request.spec.kind = c.kind;
+    request.spec.width = w;
     request.inputs = c.inputs;
     const Response response = service.submit(session, std::move(request)).get();
     ASSERT_TRUE(response.ok()) << circuit_kind_name(c.kind) << ": " << response.error;
@@ -134,7 +163,7 @@ TEST(ServiceTest, GraphRequestBitExactAgainstInProcessForEveryBackend) {
     inputs.push_back(zero);
 
     Request request;
-    request.circuit = CircuitKind::kGraph;
+    request.spec.kind = CircuitKind::kGraph;
     request.graph = fhe::encode_graph(fhe::GraphTopology::capture(graph, outputs));
     request.inputs = fhe::encode_ciphertexts(inputs);
     const Response response = service.submit(session, std::move(request)).get();
@@ -169,7 +198,7 @@ TEST(ServiceTest, ConcurrentSingleMultiplyTenantsShareBatches) {
   for (int t = 0; t < kTenants; ++t) {
     fhe::Dghv& scheme = service.scheme(sessions[static_cast<std::size_t>(t)]);
     Request request;
-    request.circuit = CircuitKind::kAnd;
+    request.spec.kind = CircuitKind::kAnd;
     request.inputs =
         concat(fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
                fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(t % 2 == 0)}));
@@ -199,12 +228,12 @@ TEST(ServiceTest, MixedDepthRequestsCoalesceAndStayCorrect) {
   const SessionId s2 = service.create_session(DghvParams::toy(), 22);
 
   Request adder;  // depth 3
-  adder.circuit = CircuitKind::kAdder;
-  adder.width = 3;
+  adder.spec.kind = CircuitKind::kAdder;
+  adder.spec.width = 3;
   adder.inputs = concat(encrypt_inputs(service.scheme(s1), 5, 3),
                         encrypt_inputs(service.scheme(s1), 6, 3));
   Request single;  // depth 1
-  single.circuit = CircuitKind::kAnd;
+  single.spec.kind = CircuitKind::kAnd;
   single.inputs = concat(
       fhe::encode_ciphertexts(std::vector<Ciphertext>{service.scheme(s2).encrypt(true)}),
       fhe::encode_ciphertexts(std::vector<Ciphertext>{service.scheme(s2).encrypt(true)}));
@@ -233,8 +262,8 @@ TEST(ServiceTest, DeepCircuitOnToyParamsIsRejectedWithoutSpendingMultiplies) {
   fhe::Dghv& scheme = service.scheme(session);
 
   Request request;  // a 4x4 multiplier goes far past the toy noise budget
-  request.circuit = CircuitKind::kMul;
-  request.width = 4;
+  request.spec.kind = CircuitKind::kMul;
+  request.spec.width = 4;
   request.inputs = concat(encrypt_inputs(scheme, 9, 4), encrypt_inputs(scheme, 13, 4));
   const Response response = service.submit(session, std::move(request)).get();
 
@@ -251,8 +280,8 @@ TEST(ServiceTest, DeepCircuitOnToyParamsIsRejectedWithoutSpendingMultiplies) {
   // The same circuit against the deep budget sails through.
   const SessionId deep = service.create_session(DghvParams::deep(), 5);
   Request retry;
-  retry.circuit = CircuitKind::kMul;
-  retry.width = 4;
+  retry.spec.kind = CircuitKind::kMul;
+  retry.spec.width = 4;
   retry.inputs = concat(encrypt_inputs(service.scheme(deep), 9, 4),
                         encrypt_inputs(service.scheme(deep), 13, 4));
   const Response ok = service.submit(deep, std::move(retry)).get();
@@ -266,14 +295,14 @@ TEST(ServiceTest, MalformedPayloadsYieldBadRequestNotCrash) {
   fhe::Dghv& scheme = service.scheme(session);
 
   Request garbage;  // input bytes that are not ciphertext frames
-  garbage.circuit = CircuitKind::kAnd;
+  garbage.spec.kind = CircuitKind::kAnd;
   garbage.inputs = {0xDE, 0xAD, 0xBE, 0xEF};
   EXPECT_EQ(service.submit(session, std::move(garbage)).get().status,
             ResponseStatus::kBadRequest);
 
   Request count_mismatch;  // adder width 4 wants 8 ciphertexts, gets 2
-  count_mismatch.circuit = CircuitKind::kAdder;
-  count_mismatch.width = 4;
+  count_mismatch.spec.kind = CircuitKind::kAdder;
+  count_mismatch.spec.width = 4;
   count_mismatch.inputs =
       concat(fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
              fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(false)}));
@@ -281,13 +310,13 @@ TEST(ServiceTest, MalformedPayloadsYieldBadRequestNotCrash) {
             ResponseStatus::kBadRequest);
 
   Request bad_width;
-  bad_width.circuit = CircuitKind::kAdder;
-  bad_width.width = 99;
+  bad_width.spec.kind = CircuitKind::kAdder;
+  bad_width.spec.width = 99;
   EXPECT_EQ(service.submit(session, std::move(bad_width)).get().status,
             ResponseStatus::kBadRequest);
 
   Request bad_graph;
-  bad_graph.circuit = CircuitKind::kGraph;
+  bad_graph.spec.kind = CircuitKind::kGraph;
   bad_graph.graph = {1, 2, 3};
   EXPECT_EQ(service.submit(session, std::move(bad_graph)).get().status,
             ResponseStatus::kBadRequest);
@@ -295,7 +324,7 @@ TEST(ServiceTest, MalformedPayloadsYieldBadRequestNotCrash) {
   Request oversized;  // a "ciphertext" that is not reduced modulo x0 must
                       // be rejected at the trust boundary, not handed to
                       // a PE lane
-  oversized.circuit = CircuitKind::kAnd;
+  oversized.spec.kind = CircuitKind::kAnd;
   oversized.inputs = concat(
       fhe::encode_ciphertexts(
           std::vector<Ciphertext>{{scheme.public_key().x0 + bigint::BigUInt{1}, 1.0}}),
@@ -331,7 +360,7 @@ TEST(ServiceTest, LaneExceptionFailsOneRequestNotTheService) {
   fhe::Dghv& scheme = service.scheme(session);
 
   Request doomed;
-  doomed.circuit = CircuitKind::kAnd;
+  doomed.spec.kind = CircuitKind::kAnd;
   doomed.inputs =
       concat(fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
              fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}));
@@ -347,7 +376,7 @@ TEST(ServiceTest, LaneExceptionFailsOneRequestNotTheService) {
   fhe::Graph probe(scheme);
   const std::vector<fhe::Wire> outs = {probe.gate_xor(probe.input(ca), probe.input(cb))};
   Request xor_only;
-  xor_only.circuit = CircuitKind::kGraph;
+  xor_only.spec.kind = CircuitKind::kGraph;
   xor_only.graph = fhe::encode_graph(fhe::GraphTopology::capture(probe, outs));
   xor_only.inputs = fhe::encode_ciphertexts(std::vector<Ciphertext>{ca, cb});
   const Response alive = service.submit(session, std::move(xor_only)).get();
@@ -379,8 +408,8 @@ TEST(ServiceTest, ConcurrentTenantsFromManyThreads) {
         const u64 x = static_cast<u64>(t + i) % 8;
         const u64 y = static_cast<u64>(t * 2 + i) % 8;
         Request request;
-        request.circuit = CircuitKind::kAdder;
-        request.width = 3;
+        request.spec.kind = CircuitKind::kAdder;
+        request.spec.width = 3;
         request.inputs = concat(encrypt_inputs(scheme, x, 3), encrypt_inputs(scheme, y, 3));
         const Response response = service.submit(session, std::move(request)).get();
         if (!response.ok() || decrypt_response(scheme, response) != x + y) {
@@ -418,8 +447,8 @@ TEST(ServiceTest, ResidentSpectraAreEvictedOnceConsumed) {
   fhe::Dghv& scheme = service.scheme(session);
 
   Request request;
-  request.circuit = CircuitKind::kAdder;
-  request.width = 4;
+  request.spec.kind = CircuitKind::kAdder;
+  request.spec.width = 4;
   request.inputs = concat(encrypt_inputs(scheme, 9, 4), encrypt_inputs(scheme, 5, 4));
   const Response response = service.submit(session, std::move(request)).get();
   ASSERT_TRUE(response.ok()) << response.error;
@@ -452,8 +481,8 @@ TEST(ServiceTest, DestructorDrainsOutstandingRequests) {
     session = service.create_session(DghvParams::toy(), 9);
     fhe::Dghv& scheme = service.scheme(session);
     Request request;
-    request.circuit = CircuitKind::kAdder;
-    request.width = 2;
+    request.spec.kind = CircuitKind::kAdder;
+    request.spec.width = 2;
     request.inputs = concat(encrypt_inputs(scheme, 1, 2), encrypt_inputs(scheme, 2, 2));
     secret = service.secret_key_bytes(session);
     future = service.submit(session, std::move(request));

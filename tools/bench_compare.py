@@ -87,6 +87,26 @@ TRACKED = {
                direction="lower", mode="hard"),
         Metric("total_wavefronts", lambda d: sum(c["wavefronts"] for c in d["circuits"]),
                direction="lower", mode="hard"),
+        # Lowering facts. The NoiseModel predictor runs the same lowering
+        # templates the Graph records, so every circuit's predicted depth
+        # must equal its recorded level count; each strategy's depth and
+        # peak wavefront width are deterministic structure, and the
+        # carry-save 16-bit multiply must stay at <= half ripple's depth.
+        Metric("all_depth_consistent",
+               lambda d: all(c["depth_consistent"] for c in d["circuits"]),
+               kind="bool", mode="hard"),
+        Metric("total_predicted_depth",
+               lambda d: sum(c["predicted_depth"] for c in d["circuits"]),
+               direction="lower", mode="hard"),
+        Metric("max_wavefront_width",
+               lambda d: max(c["wavefront_width"] for c in d["circuits"]),
+               direction="lower", mode="hard"),
+        Metric("depth16_ripple", lambda d: d["depth16_ripple"], direction="lower",
+               mode="hard"),
+        Metric("depth16_carry_save", lambda d: d["depth16_carry_save"],
+               direction="lower", mode="hard"),
+        Metric("depth16_halved", lambda d: d["depth16_halved"], kind="bool",
+               mode="hard"),
         # Spectrum residency: NTT executions are counted on the evaluator
         # coordinator, so both tallies are deterministic facts of the
         # circuit. The 4-bit multiplier must keep >= 1.5x fewer transforms
