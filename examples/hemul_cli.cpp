@@ -64,7 +64,7 @@ using namespace hemul;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hemul_cli [--backend <name>] [--workers N]\n"
+               "usage: hemul_cli [--backend <name>] [--workers N] [--no-intra-op]\n"
                "                 [--lowering <ripple|carry-save>]\n"
                "                 mul <hexA> <hexB> |\n"
                "                 random <bits> | batch <n> <bits> | throughput <n> <bits> |\n"
@@ -167,8 +167,8 @@ int cmd_batch(const std::string& backend_name, std::size_t n, std::size_t bits) 
   return 0;
 }
 
-int cmd_throughput(const std::string& backend_name, unsigned workers, std::size_t n,
-                   std::size_t bits) {
+int cmd_throughput(const std::string& backend_name, unsigned workers, bool intra_op,
+                   std::size_t n, std::size_t bits) {
   using Clock = std::chrono::steady_clock;
 
   core::Config config;
@@ -176,6 +176,7 @@ int cmd_throughput(const std::string& backend_name, unsigned workers, std::size_
   // SSA engine rather than the simulated accelerator.
   config.backend_name = backend_name.empty() ? "ssa" : backend_name;
   config.num_workers = workers;
+  config.intra_op_tiling = intra_op;
   core::Scheduler scheduler(config);
 
   util::Rng rng(0x7412);
@@ -206,14 +207,29 @@ int cmd_throughput(const std::string& backend_name, unsigned workers, std::size_
   double busy_ms = 0.0;
   for (const core::LaneStats& lane : stats.lanes) {
     busy_ms += lane.busy_ms;
-    std::printf("  lane %-2u    : %llu jobs, %.1f ms busy", lane.lane,
-                static_cast<unsigned long long>(lane.jobs), lane.busy_ms);
+    std::printf("  lane %-2u    : %llu jobs, %.1f ms busy (%.0f%% of wall)", lane.lane,
+                static_cast<unsigned long long>(lane.jobs), lane.busy_ms,
+                wall_ms > 0.0 ? 100.0 * lane.busy_ms / wall_ms : 0.0);
+    if (lane.tiles > 0) {
+      std::printf(", %llu intra-op tiles", static_cast<unsigned long long>(lane.tiles));
+    }
     if (lane.hw_cycles > 0) {
       std::printf(", %llu modeled cycles", static_cast<unsigned long long>(lane.hw_cycles));
     }
     std::printf("\n");
   }
   if (wall_ms > 0.0) std::printf("parallelism  : %.2fx (lane-busy/wall)\n", busy_ms / wall_ms);
+  if (stats.tile_groups > 0) {
+    unsigned lanes_with_tiles = 0;
+    for (const core::LaneStats& lane : stats.lanes) {
+      if (lane.tiles > 0) ++lanes_with_tiles;
+    }
+    std::printf("intra-op     : %llu tile group(s), %llu tiles across %u lane(s)\n",
+                static_cast<unsigned long long>(stats.tile_groups),
+                static_cast<unsigned long long>(stats.tiles_executed), lanes_with_tiles);
+  } else if (!intra_op) {
+    std::printf("intra-op     : disabled (--no-intra-op)\n");
+  }
   std::printf("cache        : %llu hits, %llu misses\n",
               static_cast<unsigned long long>(stats.cache.hits),
               static_cast<unsigned long long>(stats.cache.misses));
@@ -228,8 +244,8 @@ int cmd_throughput(const std::string& backend_name, unsigned workers, std::size_
   return 0;
 }
 
-int cmd_circuit(const std::string& backend_name, unsigned workers, const std::string& kind,
-                unsigned width, fhe::LoweringOptions lowering) {
+int cmd_circuit(const std::string& backend_name, unsigned workers, bool intra_op,
+                const std::string& kind, unsigned width, fhe::LoweringOptions lowering) {
   if (width == 0 || width > 16) {
     std::fprintf(stderr, "error: circuit width must be in [1, 16]\n");
     return 2;
@@ -323,6 +339,7 @@ int cmd_circuit(const std::string& backend_name, unsigned workers, const std::st
   core::Config config;
   config.backend_name = backend_name.empty() ? "ssa" : backend_name;
   config.num_workers = workers;
+  config.intra_op_tiling = intra_op;
   core::Scheduler scheduler(config);
   fhe::Evaluator evaluator(scheduler);
   fhe::EvalReport report;
@@ -388,9 +405,24 @@ int cmd_circuit(const std::string& backend_name, unsigned workers, const std::st
   double busy_ms = 0.0;
   for (const core::LaneStats& lane : stats.lanes) busy_ms += lane.busy_ms;
   for (const core::LaneStats& lane : stats.lanes) {
-    std::printf("  lane %-2u    : %llu jobs, %.1f ms busy (%.0f%% of lane-busy total)\n",
+    std::printf("  lane %-2u    : %llu jobs, %.1f ms busy (%.0f%% of lane-busy total)",
                 lane.lane, static_cast<unsigned long long>(lane.jobs), lane.busy_ms,
                 busy_ms > 0.0 ? 100.0 * lane.busy_ms / busy_ms : 0.0);
+    if (lane.tiles > 0) {
+      std::printf(", %llu intra-op tiles", static_cast<unsigned long long>(lane.tiles));
+    }
+    std::printf("\n");
+  }
+  if (stats.tile_groups > 0) {
+    unsigned lanes_with_tiles = 0;
+    for (const core::LaneStats& lane : stats.lanes) {
+      if (lane.tiles > 0) ++lanes_with_tiles;
+    }
+    std::printf("intra-op     : %llu tile group(s), %llu tiles across %u lane(s)\n",
+                static_cast<unsigned long long>(stats.tile_groups),
+                static_cast<unsigned long long>(stats.tiles_executed), lanes_with_tiles);
+  } else if (!intra_op) {
+    std::printf("intra-op     : disabled (--no-intra-op)\n");
   }
   std::printf("cache        : %llu hits, %llu misses (shared across lanes)\n",
               static_cast<unsigned long long>(stats.cache.hits),
@@ -533,17 +565,21 @@ int main(int argc, char** argv) {
 
   std::string backend_name;  // empty = config default ("hw")
   unsigned workers = 0;      // 0 = one scheduler lane per hardware thread
+  bool intra_op = true;      // intra-op tiling escape hatch: --no-intra-op
   hemul::fhe::LoweringOptions lowering;  // default: ripple-carry
-  for (std::size_t i = 0; i + 1 < args.size();) {
-    if (args[i] == "--backend") {
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] == "--no-intra-op") {
+      intra_op = false;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--backend" && i + 1 < args.size()) {
       backend_name = args[i + 1];
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-    } else if (args[i] == "--workers") {
+    } else if (args[i] == "--workers" && i + 1 < args.size()) {
       workers = static_cast<unsigned>(std::strtoul(args[i + 1].c_str(), nullptr, 10));
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-    } else if (args[i] == "--lowering") {
+    } else if (args[i] == "--lowering" && i + 1 < args.size()) {
       try {
         lowering.strategy = hemul::fhe::lowering_strategy_from_name(args[i + 1]);
       } catch (const std::exception& e) {
@@ -570,7 +606,7 @@ int main(int argc, char** argv) {
                        std::strtoull(args[2].c_str(), nullptr, 10));
     }
     if (cmd == "throughput" && args.size() == 3) {
-      return cmd_throughput(backend_name, workers,
+      return cmd_throughput(backend_name, workers, intra_op,
                             std::strtoull(args[1].c_str(), nullptr, 10),
                             std::strtoull(args[2].c_str(), nullptr, 10));
     }
@@ -578,7 +614,7 @@ int main(int argc, char** argv) {
       const unsigned width = args.size() == 3
                                  ? static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10))
                                  : 4;
-      return cmd_circuit(backend_name, workers, args[1], width, lowering);
+      return cmd_circuit(backend_name, workers, intra_op, args[1], width, lowering);
     }
     if (cmd == "service" && args.size() == 3) {
       return cmd_service(backend_name, workers,

@@ -210,6 +210,51 @@ inline void dit_butterflies(Fp* lo, Fp* hi, const Fp* tw, std::size_t half) noex
   }
 }
 
+/// Broadcast-twiddle DIF butterfly: lo' = lo + hi, hi' = (lo - hi) * w over
+/// `count` lanes, ONE twiddle for the whole pair. This is the vector-
+/// parallel four-step form: the sub-transforms run over the ROW index of a
+/// matrix, so each butterfly spans two contiguous rows and every level --
+/// including the ones a monolithic sweep executes as scalar small-half
+/// blocks -- is a full-width vector pass.
+inline void dif_butterflies_bcast(Fp* lo, Fp* hi, Fp w, std::size_t count) noexcept {
+  std::size_t k = 0;
+#if HEMUL_FP_AVX512
+  const __m512i wv = detail::v_bcast(w.value());
+  for (; k + 8 <= count; k += 8) {
+    const __m512i u = detail::v_load(lo + k);
+    const __m512i v = detail::v_load(hi + k);
+    detail::v_store(lo + k, detail::v_add_lazy(u, v));
+    detail::v_store(hi + k, detail::v_mul_lazy(detail::v_sub_lazy(u, v), wv));
+  }
+#endif
+  for (; k < count; ++k) {
+    const u64 u = lo[k].value();
+    const u64 v = hi[k].value();
+    lo[k] = Fp::from_canonical(add_lazy(u, v));
+    hi[k] = Fp::from_canonical(mul_lazy(sub_lazy(u, v), w.value()));
+  }
+}
+
+/// Broadcast-twiddle DIT butterfly: t = hi * w, lo' = lo + t, hi' = lo - t.
+inline void dit_butterflies_bcast(Fp* lo, Fp* hi, Fp w, std::size_t count) noexcept {
+  std::size_t k = 0;
+#if HEMUL_FP_AVX512
+  const __m512i wv = detail::v_bcast(w.value());
+  for (; k + 8 <= count; k += 8) {
+    const __m512i u = detail::v_load(lo + k);
+    const __m512i t = detail::v_mul_lazy(detail::v_load(hi + k), wv);
+    detail::v_store(lo + k, detail::v_add_lazy(u, t));
+    detail::v_store(hi + k, detail::v_sub_lazy(u, t));
+  }
+#endif
+  for (; k < count; ++k) {
+    const u64 t = mul_lazy(hi[k].value(), w.value());
+    const u64 u = lo[k].value();
+    lo[k] = Fp::from_canonical(add_lazy(u, t));
+    hi[k] = Fp::from_canonical(sub_lazy(u, t));
+  }
+}
+
 /// dst[i] = a[i] * b[i] * scale -- the fused pointwise product of a cyclic
 /// convolution with the 1/N factor folded in. dst may alias a or b.
 inline void pointwise_product_scaled(Fp* dst, const Fp* a, const Fp* b, Fp scale,
@@ -279,6 +324,140 @@ inline void pointwise_add(Fp* a, const Fp* b, std::size_t n) noexcept {
   }
 #endif
   for (; i < n; ++i) a[i] = Fp::from_canonical(add_lazy(a[i].value(), b[i].value()));
+}
+
+/// a[i] = a[i] * b[i] (mod p); redundant inputs and outputs -- the interior
+/// pointwise passes of the four-step transform (twiddle multiply, spectrum
+/// product) compose with the lazy butterfly sweeps without paying a
+/// canonicalization in between. a may alias b.
+inline void pointwise_product_lazy(Fp* a, const Fp* b, std::size_t n) noexcept {
+  std::size_t i = 0;
+#if HEMUL_FP_AVX512
+  for (; i + 8 <= n; i += 8) {
+    detail::v_store(a + i, detail::v_mul_lazy(detail::v_load(a + i), detail::v_load(b + i)));
+  }
+#endif
+  for (; i < n; ++i) a[i] = Fp::from_canonical(mul_lazy(a[i].value(), b[i].value()));
+}
+
+// ---- blocked transpose kernels --------------------------------------------
+// The four-step NTT's corner-turns: dst (cols x rows) = transpose of src
+// (rows x cols). Walking 8x8 blocks keeps both the gathered source columns
+// and the scattered destination rows inside L1 regardless of the matrix
+// size; the AVX-512 micro-kernel turns one block in 24 shuffles. The
+// scalar path visits elements in the same block order, so both produce
+// bit-identical results (values are moved, never rearithmetized).
+
+namespace detail {
+
+#if HEMUL_FP_AVX512
+/// Transposes one 8x8 block of u64: dst[j * dst_stride + i] =
+/// src[i * src_stride + j]. Stage 1 interleaves row pairs 64-bit-wise;
+/// stages 2-3 shuffle 128-bit quadrants across registers.
+inline void transpose_8x8(Fp* dst, std::size_t dst_stride, const Fp* src,
+                          std::size_t src_stride) noexcept {
+  __m512i r0 = v_load(src + 0 * src_stride);
+  __m512i r1 = v_load(src + 1 * src_stride);
+  __m512i r2 = v_load(src + 2 * src_stride);
+  __m512i r3 = v_load(src + 3 * src_stride);
+  __m512i r4 = v_load(src + 4 * src_stride);
+  __m512i r5 = v_load(src + 5 * src_stride);
+  __m512i r6 = v_load(src + 6 * src_stride);
+  __m512i r7 = v_load(src + 7 * src_stride);
+
+  const __m512i u0 = _mm512_unpacklo_epi64(r0, r1);
+  const __m512i u1 = _mm512_unpackhi_epi64(r0, r1);
+  const __m512i u2 = _mm512_unpacklo_epi64(r2, r3);
+  const __m512i u3 = _mm512_unpackhi_epi64(r2, r3);
+  const __m512i u4 = _mm512_unpacklo_epi64(r4, r5);
+  const __m512i u5 = _mm512_unpackhi_epi64(r4, r5);
+  const __m512i u6 = _mm512_unpacklo_epi64(r6, r7);
+  const __m512i u7 = _mm512_unpackhi_epi64(r6, r7);
+
+  const __m512i s0 = _mm512_shuffle_i64x2(u0, u2, 0x88);
+  const __m512i s1 = _mm512_shuffle_i64x2(u1, u3, 0x88);
+  const __m512i s2 = _mm512_shuffle_i64x2(u0, u2, 0xDD);
+  const __m512i s3 = _mm512_shuffle_i64x2(u1, u3, 0xDD);
+  const __m512i s4 = _mm512_shuffle_i64x2(u4, u6, 0x88);
+  const __m512i s5 = _mm512_shuffle_i64x2(u5, u7, 0x88);
+  const __m512i s6 = _mm512_shuffle_i64x2(u4, u6, 0xDD);
+  const __m512i s7 = _mm512_shuffle_i64x2(u5, u7, 0xDD);
+
+  v_store(dst + 0 * dst_stride, _mm512_shuffle_i64x2(s0, s4, 0x88));
+  v_store(dst + 1 * dst_stride, _mm512_shuffle_i64x2(s1, s5, 0x88));
+  v_store(dst + 2 * dst_stride, _mm512_shuffle_i64x2(s2, s6, 0x88));
+  v_store(dst + 3 * dst_stride, _mm512_shuffle_i64x2(s3, s7, 0x88));
+  v_store(dst + 4 * dst_stride, _mm512_shuffle_i64x2(s0, s4, 0xDD));
+  v_store(dst + 5 * dst_stride, _mm512_shuffle_i64x2(s1, s5, 0xDD));
+  v_store(dst + 6 * dst_stride, _mm512_shuffle_i64x2(s2, s6, 0xDD));
+  v_store(dst + 7 * dst_stride, _mm512_shuffle_i64x2(s3, s7, 0xDD));
+}
+#endif  // HEMUL_FP_AVX512
+
+}  // namespace detail
+
+/// Blocked transpose of the dst-row range [row_begin, row_end):
+/// dst[j * rows + i] = src[i * cols + j] for j in the range, i in [0, rows).
+/// src is rows x cols, dst is cols x rows; they must not overlap. The range
+/// form is the four-step engine's tile: disjoint ranges touch disjoint dst
+/// rows, so tiles run concurrently.
+inline void transpose_range(Fp* dst, const Fp* src, std::size_t rows, std::size_t cols,
+                            std::size_t row_begin, std::size_t row_end) noexcept {
+  std::size_t j = row_begin;
+#if HEMUL_FP_AVX512
+  for (; j + 8 <= row_end; j += 8) {
+    std::size_t i = 0;
+    for (; i + 8 <= rows; i += 8) {
+      detail::transpose_8x8(dst + j * rows + i, rows, src + i * cols + j, cols);
+    }
+    for (; i < rows; ++i) {
+      for (std::size_t jj = j; jj < j + 8; ++jj) dst[jj * rows + i] = src[i * cols + jj];
+    }
+  }
+#endif
+  for (; j < row_end; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) dst[j * rows + i] = src[i * cols + j];
+  }
+}
+
+/// Full blocked transpose: dst (cols x rows) = src (rows x cols) transposed.
+inline void transpose(Fp* dst, const Fp* src, std::size_t rows, std::size_t cols) noexcept {
+  transpose_range(dst, src, rows, cols, 0, cols);
+}
+
+/// Transpose-range fused with the inverse transform's epilogue:
+/// dst[j * rows + i] = canonical(src[i * cols + j] * scale). Folding the
+/// 1/N pass into the final corner-turn saves one full sweep over the data.
+inline void transpose_scale_canonical_range(Fp* dst, const Fp* src, std::size_t rows,
+                                            std::size_t cols, Fp scale, std::size_t row_begin,
+                                            std::size_t row_end) noexcept {
+  std::size_t j = row_begin;
+#if HEMUL_FP_AVX512
+  const __m512i s = detail::v_bcast(scale.value());
+  Fp block[64];
+  for (; j + 8 <= row_end; j += 8) {
+    std::size_t i = 0;
+    for (; i + 8 <= rows; i += 8) {
+      detail::transpose_8x8(block, 8, src + i * cols + j, cols);
+      for (std::size_t r = 0; r < 8; ++r) {
+        detail::v_store(dst + (j + r) * rows + i,
+                        detail::v_canonical(detail::v_mul_lazy(detail::v_load(block + 8 * r), s)));
+      }
+    }
+    for (; i < rows; ++i) {
+      for (std::size_t jj = j; jj < j + 8; ++jj) {
+        dst[jj * rows + i] = Fp::from_canonical(
+            canonical_u64(mul_lazy(src[i * cols + jj].value(), scale.value())));
+      }
+    }
+  }
+#endif
+  for (; j < row_end; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      dst[j * rows + i] = Fp::from_canonical(
+          canonical_u64(mul_lazy(src[i * cols + j].value(), scale.value())));
+    }
+  }
 }
 
 /// Canonicalizes a redundant array in place.

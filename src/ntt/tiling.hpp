@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+
+#include "fp/fp64.hpp"
+
+namespace hemul::ntt {
+
+/// Executes the independent tiles of one NTT pass -- the seam between the
+/// transform engines (which know how a pass splits into row/column tiles)
+/// and core::Scheduler (which knows how many PE lanes are idle). The
+/// four-step engine hands every cache-blocked pass through this interface,
+/// so one large transform fans out across lanes without the ntt layer
+/// depending on core.
+///
+/// Contract for implementations:
+///   * run() returns only after every tile callback has returned.
+///   * Tiles may execute on any thread, concurrently; callers guarantee
+///     tiles touch disjoint data.
+///   * run() must make progress even when the calling thread is itself a
+///     worker of the implementation's pool (nested submission): the caller
+///     participates in executing tiles instead of blocking, so a 1-lane
+///     pool cannot deadlock. core::Scheduler::run_tiles implements this.
+class TileExecutor {
+ public:
+  virtual ~TileExecutor() = default;
+
+  /// Worker threads available for tiles (>= 1). Engines use this for
+  /// lane-count-aware tile sizing.
+  [[nodiscard]] virtual unsigned concurrency() const noexcept = 0;
+
+  /// Runs tile(0) .. tile(count - 1), possibly concurrently; returns when
+  /// all have completed. The first exception thrown by a tile is rethrown
+  /// on the calling thread after the group drains.
+  virtual void run(u64 count, const std::function<void(u64)>& tile) = 0;
+};
+
+}  // namespace hemul::ntt

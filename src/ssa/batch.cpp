@@ -2,6 +2,7 @@
 
 #include "fp/kernels.hpp"
 #include "ntt/context.hpp"
+#include "ntt/four_step.hpp"
 #include "ntt/radix2.hpp"
 #include "ssa/pack.hpp"
 
@@ -19,12 +20,16 @@ namespace {
 struct EngineView {
   const ntt::Radix2Ntt* radix2 = nullptr;
   const ntt::NttContext* mixed = nullptr;
+  const ntt::FourStepNtt* four_step = nullptr;
   const SsaParams& params;
   Workspace& ws;
+  ntt::FourStepStats tile_stats;  ///< intra-op tiling across this view's calls
 
   EngineView(const SsaParams& p, Workspace& w) : params(p), ws(w) {
     if (p.engine == Engine::kMixedRadix) {
       mixed = &ntt::shared_context(p.plan);
+    } else if (p.use_four_step()) {
+      four_step = &ntt::shared_four_step(p.transform_size);
     } else {
       radix2 = &ntt::shared_radix2(p.transform_size);
     }
@@ -36,6 +41,11 @@ struct EngineView {
     if (mixed != nullptr) {
       pack_into(operand, params, ws.pack_a);
       mixed->forward(ws.pack_a, dst, ws.ntt);
+      return;
+    }
+    if (four_step != nullptr) {
+      pack_into(operand, params, dst);
+      four_step->forward_spectrum(dst, ws.tile_scratch, ws.tile_executor, &tile_stats);
       return;
     }
     pack_into(operand, params, dst);
@@ -56,6 +66,9 @@ struct EngineView {
       ws.pack_b.resize(fa.size());
       fp::pointwise_product(ws.pack_b.data(), fa.data(), fb.data(), fa.size());
       mixed->inverse(ws.pack_b, ws.pack_a, ws.ntt);
+    } else if (four_step != nullptr) {
+      four_step->convolve_from_spectra(ws.pack_a, fa, fb, ws.tile_scratch, ws.tile_executor,
+                                       &tile_stats);
     } else {
       radix2->convolve_from_spectra(ws.pack_a, fa, fb);
     }
@@ -126,6 +139,8 @@ BigUInt multiply_cached(const BigUInt& a, const BigUInt& b, const SsaParams& par
   if (stats != nullptr) {
     stats->pointwise_muls += params.transform_size;
     stats->transform_count += forwards_executed + 1;  // cache hits skip forwards
+    stats->tile_groups += engine.tile_stats.tile_groups;
+    stats->tiles += engine.tile_stats.tiles;
   }
   return product;
 }

@@ -4,6 +4,7 @@
 
 #include "fp/kernels.hpp"
 #include "ntt/context.hpp"
+#include "ntt/four_step.hpp"
 #include "ntt/radix2.hpp"
 #include "ssa/pack.hpp"
 #include "util/check.hpp"
@@ -31,6 +32,17 @@ void multiply_into(BigUInt& out, const BigUInt& a, const BigUInt& b, const SsaPa
     fp::pointwise_product(ws.spec_a.data(), ws.spec_a.data(), ws.spec_b.data(),
                           ws.spec_a.size());
     engine.inverse(ws.spec_a, ws.pack_a, ws.ntt, counts);
+  } else if (params.use_four_step()) {
+    // Large transform: the four-step cache-blocked path, its corner-turn
+    // scratch in the workspace, its passes fanned across idle lanes when
+    // the workspace carries a tile executor (serial otherwise).
+    ntt::FourStepStats fs;
+    ntt::shared_four_step(params.transform_size)
+        .convolve_into(ws.pack_a, ws.pack_b, ws.tile_scratch, ws.tile_executor, &fs);
+    if (stats != nullptr) {
+      stats->tile_groups += fs.tile_groups;
+      stats->tiles += fs.tiles;
+    }
   } else {
     // Shared engine (twiddle tables cached process-wide, lock-free lookup)
     // and the bit-reversal-free DIF/DIT convolution path, in place over the
@@ -73,6 +85,14 @@ void square_into(BigUInt& out, const BigUInt& a, const SsaParams& params, Worksp
     fp::pointwise_product(ws.spec_a.data(), ws.spec_a.data(), ws.spec_a.data(),
                           ws.spec_a.size());
     engine.inverse(ws.spec_a, ws.pack_a, ws.ntt, counts);
+  } else if (params.use_four_step()) {
+    ntt::FourStepStats fs;
+    ntt::shared_four_step(params.transform_size)
+        .convolve_square_into(ws.pack_a, ws.tile_scratch, ws.tile_executor, &fs);
+    if (stats != nullptr) {
+      stats->tile_groups += fs.tile_groups;
+      stats->tiles += fs.tiles;
+    }
   } else {
     ntt::shared_radix2(params.transform_size).convolve_square_into(ws.pack_a);
   }

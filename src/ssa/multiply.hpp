@@ -18,11 +18,18 @@ struct SsaStats {
   ntt::NttOpCounts transform_ops;  ///< all executed NTTs combined
   u64 pointwise_muls = 0;          ///< component-wise products (paper: 65536)
   u64 transform_count = 0;         ///< forward + inverse NTTs actually run
+  /// Four-step intra-op tiling: passes dispatched through a TileExecutor
+  /// and the tiles they split into (0 when the monolithic path ran or no
+  /// executor was installed). Deterministic in params + lane count.
+  u64 tile_groups = 0;
+  u64 tiles = 0;
 
   SsaStats& operator+=(const SsaStats& o) noexcept {
     transform_ops += o.transform_ops;
     pointwise_muls += o.pointwise_muls;
     transform_count += o.transform_count;
+    tile_groups += o.tile_groups;
+    tiles += o.tiles;
     return *this;
   }
 };

@@ -4,6 +4,7 @@
 
 #include "fp/kernels.hpp"
 #include "ntt/context.hpp"
+#include "ntt/four_step.hpp"
 #include "ntt/radix2.hpp"
 #include "ssa/pack.hpp"
 #include "util/check.hpp"
@@ -17,6 +18,8 @@ SpectrumDomain::SpectrumDomain(const SsaParams& params, Workspace& ws)
   params_.validate();
   if (params_.engine == Engine::kMixedRadix) {
     mixed_ = &ntt::shared_context(params_.plan);
+  } else if (params_.use_four_step()) {
+    four_step_ = &ntt::shared_four_step(params_.transform_size);
   } else {
     radix2_ = &ntt::shared_radix2(params_.transform_size);
   }
@@ -30,6 +33,11 @@ void SpectrumDomain::enter(ResidentSpectrum& out, const BigUInt& value) const {
     // Pack straight into the resident buffer and transform in place.
     pack_into(value, params_, out.spec);
     radix2_->forward_spectrum(out.spec);
+  } else if (four_step_ != nullptr) {
+    // Same in-place shape as radix-2; the corner-turn scratch lives in the
+    // workspace, so steady state stays allocation-free.
+    pack_into(value, params_, out.spec);
+    four_step_->forward_spectrum(out.spec, ws_->tile_scratch, ws_->tile_executor);
   } else {
     // The mixed-radix engine needs distinct in/out buffers.
     pack_into(value, params_, ws_->pack_a);
@@ -96,6 +104,13 @@ void SpectrumDomain::leave(BigUInt& out, const ResidentSpectrum& s) const {
     // coefficients go straight in; the inverse canonicalizes on exit.
     ws_->spec_a = s.spec;
     radix2_->inverse_from_spectrum(ws_->spec_a);
+    carry_recover_into(ws_->spec_a, params_.coeff_bits, out);
+  } else if (four_step_ != nullptr) {
+    // Every four-step pass runs on the redundant representation too, so
+    // lazily accumulated spectra invert directly; the final corner-turn
+    // fuses 1/N + canonicalization.
+    ws_->spec_a = s.spec;
+    four_step_->inverse_from_spectrum(ws_->spec_a, ws_->tile_scratch, ws_->tile_executor);
     carry_recover_into(ws_->spec_a, params_.coeff_bits, out);
   } else {
     // The mixed-radix engine's deferred-reduction row sums assume canonical

@@ -10,6 +10,7 @@
 namespace hemul::ntt {
 class Radix2Ntt;
 class NttContext;
+class FourStepNtt;
 }  // namespace hemul::ntt
 
 namespace hemul::ssa {
@@ -111,8 +112,12 @@ class SpectrumDomain {
   [[nodiscard]] const SsaParams& params() const noexcept { return params_; }
 
  private:
-  const ntt::Radix2Ntt* radix2_ = nullptr;  ///< set iff engine == kRadix2Fast
-  const ntt::NttContext* mixed_ = nullptr;  ///< set iff engine == kMixedRadix
+  /// Exactly one engine pointer is set, following params.spectral_layout():
+  /// spectra entered through this domain carry that layout, and the caches
+  /// key resident entries by it, so bound tracking is layout-independent.
+  const ntt::Radix2Ntt* radix2_ = nullptr;
+  const ntt::NttContext* mixed_ = nullptr;
+  const ntt::FourStepNtt* four_step_ = nullptr;
   SsaParams params_;
   Workspace* ws_;
 };

@@ -83,21 +83,22 @@ const fp::FpVec& BatchSpectrumProvider::get(const bigint::BigUInt& operand,
 u64 ConcurrentSpectrumCache::key_hash(const bigint::BigUInt& operand,
                                       const SsaParams& params) noexcept {
   u64 h = SpectrumCache::hash(operand);
-  // Fold the packing geometry AND the engine in so equal operands under
-  // different parameterizations land in different buckets: the radix-2
-  // path stores engine-order (bit-reversed) spectra, the mixed-radix path
-  // natural order, so entries are layout-incompatible across engines.
+  // Fold the packing geometry AND the resolved spectral layout in so equal
+  // operands under different parameterizations land in different buckets:
+  // the radix-2 path stores engine-order (bit-reversed) spectra, the
+  // four-step path its own row-major bit-reversed order, the mixed-radix
+  // path natural order -- all layout-incompatible despite equal geometry.
   h ^= static_cast<u64>(params.coeff_bits) * 0x9E3779B97F4A7C15ULL;
   h ^= params.transform_size * 0xC2B2AE3D27D4EB4FULL;
-  h ^= static_cast<u64>(params.engine) * 0xD6E8FEB86659FD93ULL;
+  h ^= static_cast<u64>(params.spectral_layout()) * 0xD6E8FEB86659FD93ULL;
   return h;
 }
 
 bool ConcurrentSpectrumCache::matches(const Entry& entry, const bigint::BigUInt& operand,
                                       const SsaParams& params) noexcept {
   return entry.coeff_bits == params.coeff_bits &&
-         entry.transform_size == params.transform_size && entry.engine == params.engine &&
-         entry.operand == operand;
+         entry.transform_size == params.transform_size &&
+         entry.layout == params.spectral_layout() && entry.operand == operand;
 }
 
 std::shared_ptr<const fp::FpVec> ConcurrentSpectrumCache::get_or_compute(
@@ -120,7 +121,7 @@ std::shared_ptr<const fp::FpVec> ConcurrentSpectrumCache::get_or_compute(
   // lane may duplicate the work, never the published entry).
   misses_.fetch_add(1, std::memory_order_relaxed);
   auto entry = std::make_shared<const Entry>(
-      Entry{params.coeff_bits, params.transform_size, params.engine, operand,
+      Entry{params.coeff_bits, params.transform_size, params.spectral_layout(), operand,
             forward(operand)});
 
   std::unique_lock lock(mutex_);

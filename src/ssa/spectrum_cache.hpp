@@ -192,7 +192,10 @@ class ConcurrentSpectrumCache {
   struct Entry {
     std::size_t coeff_bits;
     u64 transform_size;
-    Engine engine;
+    /// Resolved spectral layout, NOT just the engine enum: the radix-2
+    /// fast path and its four-step upgrade share Engine::kRadix2Fast but
+    /// produce layout-incompatible spectra, so the layout is the key.
+    SpectralLayout layout;
     bigint::BigUInt operand;
     fp::FpVec spectrum;
   };

@@ -2,6 +2,7 @@
 
 #include "fp/fp64.hpp"
 #include "ntt/context.hpp"
+#include "ntt/tiling.hpp"
 
 namespace hemul::ssa {
 
@@ -28,6 +29,16 @@ class Workspace {
   fp::FpVec spec_a;  ///< spectrum of a (mixed-radix path, batch scratch)
   fp::FpVec spec_b;  ///< spectrum of b
   ntt::NttScratch ntt;  ///< column gather/scatter scratch for NttContext
+  fp::FpVec tile_scratch;  ///< four-step corner-turn scratch (transform_size)
+
+  /// Intra-op tile executor for the four-step transform, or nullptr for
+  /// serial cache-blocked execution. Non-owning: the scheduler installs
+  /// its own executor on each lane workspace and outlives the lanes.
+  /// Tiles of one pass touch disjoint row ranges of this workspace's
+  /// buffers, the sanctioned exception to the single-owner rule (see
+  /// CONTRIBUTING.md): the owner blocks inside the pass, and no buffer may
+  /// be resized while a tile group is in flight.
+  ntt::TileExecutor* tile_executor = nullptr;
 
   /// Pre-warms every buffer for the given parameters so even the first
   /// call allocates nothing (optional; buffers also grow on demand).

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "bigint/mul.hpp"
+#include "ntt/four_step.hpp"
+#include "ntt/radix2.hpp"
+#include "ntt/reference.hpp"
+#include "ssa/multiply.hpp"
+#include "ssa/params.hpp"
+#include "ssa/resident.hpp"
+#include "ssa/spectrum_cache.hpp"
+#include "ssa/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace hemul::ntt {
+namespace {
+
+using bigint::BigUInt;
+using fp::Fp;
+using fp::FpVec;
+
+FpVec random_vec(util::Rng& rng, std::size_t n) {
+  FpVec v(n);
+  for (auto& x : v) x = Fp{rng.next()};
+  return v;
+}
+
+/// Worst case for the redundant representation: every input pinned at the
+/// largest canonical value p - 1.
+FpVec adversarial_vec(std::size_t n) { return FpVec(n, Fp::from_canonical(fp::kModulus - 1)); }
+
+/// Test executor: runs every tile of a pass serially but in REVERSE order,
+/// proving the tiles of one pass are independent (any interleaving a real
+/// scheduler produces is bit-exact). Counts groups/tiles for the stats
+/// parity checks.
+class ReversedExecutor final : public TileExecutor {
+ public:
+  explicit ReversedExecutor(unsigned concurrency) : concurrency_(concurrency) {}
+  [[nodiscard]] unsigned concurrency() const noexcept override { return concurrency_; }
+  void run(u64 count, const std::function<void(u64)>& tile) override {
+    ++groups;
+    tiles += count;
+    for (u64 i = count; i-- > 0;) tile(i);
+  }
+
+  u64 groups = 0;
+  u64 tiles = 0;
+
+ private:
+  unsigned concurrency_;
+};
+
+// ---- natural-order golden parity -----------------------------------------
+
+class FourStepVsReference : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FourStepVsReference, ForwardMatchesDirectDft) {
+  const u64 n = GetParam();
+  const FourStepNtt engine(n);
+  ASSERT_EQ(engine.n1() * engine.n2(), n);
+  util::Rng rng(n);
+  FpVec data = random_vec(rng, n);
+  const FpVec expected = dft_reference(data, engine.root());
+  FpVec scratch;
+  engine.forward(data, scratch);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(FourStepVsReference, ForwardMatchesRadix2BitExactly) {
+  // Same root hierarchy => directly comparable natural-order spectra.
+  const u64 n = GetParam();
+  const FourStepNtt four(n);
+  const Radix2Ntt radix2(n);
+  ASSERT_EQ(four.root(), radix2.root());
+  util::Rng rng(n + 1);
+  FpVec a = random_vec(rng, n);
+  FpVec b = a;
+  FpVec scratch;
+  four.forward(a, scratch);
+  radix2.forward(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(FourStepVsReference, RoundTrip) {
+  const u64 n = GetParam();
+  const FourStepNtt engine(n);
+  util::Rng rng(n + 7);
+  const FpVec orig = random_vec(rng, n);
+  FpVec data = orig;
+  FpVec scratch;
+  engine.forward(data, scratch);
+  EXPECT_NE(data, orig);
+  engine.inverse(data, scratch);
+  EXPECT_EQ(data, orig);
+}
+
+TEST_P(FourStepVsReference, SpectrumRoundTrip) {
+  const u64 n = GetParam();
+  const FourStepNtt engine(n);
+  util::Rng rng(n + 13);
+  const FpVec orig = random_vec(rng, n);
+  FpVec data = orig;
+  FpVec scratch;
+  engine.forward_spectrum(data, scratch);
+  engine.inverse_from_spectrum(data, scratch);
+  EXPECT_EQ(data, orig);
+}
+
+TEST_P(FourStepVsReference, AdversarialMaxValueRoundTrip) {
+  // All-(p-1) inputs stress the lazy-reduction bounds of every pass.
+  const u64 n = GetParam();
+  const FourStepNtt engine(n);
+  const FpVec orig = adversarial_vec(n);
+  FpVec data = orig;
+  FpVec scratch;
+  engine.forward_spectrum(data, scratch);
+  engine.inverse_from_spectrum(data, scratch);
+  EXPECT_EQ(data, orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FourStepVsReference,
+                         ::testing::Values(4, 8, 16, 64, 256, 1024, 4096));
+
+// ---- non-square splits ---------------------------------------------------
+
+class FourStepSplits : public ::testing::TestWithParam<std::pair<u64, u64>> {};
+
+TEST_P(FourStepSplits, ForwardMatchesReferenceAndRoundTrips) {
+  const auto [n1, n2] = GetParam();
+  const u64 n = n1 * n2;
+  const FourStepNtt engine(n1, n2);
+  EXPECT_EQ(engine.n1(), n1);
+  EXPECT_EQ(engine.n2(), n2);
+  util::Rng rng(n1 * 31 + n2);
+  const FpVec orig = random_vec(rng, n);
+
+  FpVec data = orig;
+  FpVec scratch;
+  engine.forward(data, scratch);
+  EXPECT_EQ(data, dft_reference(orig, engine.root()));
+  engine.inverse(data, scratch);
+  EXPECT_EQ(data, orig);
+
+  data = orig;
+  engine.forward_spectrum(data, scratch);
+  engine.inverse_from_spectrum(data, scratch);
+  EXPECT_EQ(data, orig);
+}
+
+TEST_P(FourStepSplits, ConvolveMatchesRadix2) {
+  const auto [n1, n2] = GetParam();
+  const u64 n = n1 * n2;
+  const FourStepNtt engine(n1, n2);
+  const Radix2Ntt radix2(n);
+  util::Rng rng(n1 * 37 + n2);
+  const FpVec a = random_vec(rng, n);
+  const FpVec b = random_vec(rng, n);
+  const FpVec expected = radix2.convolve(a, b);
+
+  FpVec fa = a, fb = b, scratch;
+  engine.convolve_into(fa, fb, scratch);
+  EXPECT_EQ(fa, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FourStepSplits,
+                         ::testing::Values(std::pair<u64, u64>{2, 8},
+                                           std::pair<u64, u64>{8, 2},
+                                           std::pair<u64, u64>{4, 16},
+                                           std::pair<u64, u64>{16, 4},
+                                           std::pair<u64, u64>{128, 16},
+                                           std::pair<u64, u64>{16, 128},
+                                           std::pair<u64, u64>{2, 2048}));
+
+// ---- convolution parity --------------------------------------------------
+
+TEST(FourStepConvolve, MatchesRadix2AcrossSizes) {
+  for (const u64 n : {16u, 256u, 1024u, 4096u}) {
+    const FourStepNtt engine(n);
+    const Radix2Ntt radix2(n);
+    util::Rng rng(n + 3);
+    const FpVec a = random_vec(rng, n);
+    const FpVec b = random_vec(rng, n);
+    FpVec fa = a, fb = b, scratch;
+    engine.convolve_into(fa, fb, scratch);
+    EXPECT_EQ(fa, radix2.convolve(a, b)) << "n = " << n;
+  }
+}
+
+TEST(FourStepConvolve, AdversarialMaxValueOperands) {
+  for (const u64 n : {1024u, 2048u}) {
+    const FourStepNtt engine(n);
+    const Radix2Ntt radix2(n);
+    const FpVec a = adversarial_vec(n);
+    FpVec fa = a, fb = a, scratch;
+    engine.convolve_into(fa, fb, scratch);
+    EXPECT_EQ(fa, radix2.convolve(a, a)) << "n = " << n;
+
+    fa = a;
+    engine.convolve_square_into(fa, scratch);
+    EXPECT_EQ(fa, radix2.convolve(a, a)) << "square n = " << n;
+  }
+}
+
+TEST(FourStepConvolve, FromSpectraMatchesDirect) {
+  const u64 n = 1024;
+  const FourStepNtt engine(n);
+  util::Rng rng(5);
+  const FpVec a = random_vec(rng, n);
+  const FpVec b = random_vec(rng, n);
+
+  FpVec fa = a, fb = b, scratch;
+  engine.forward_spectrum(fa, scratch);
+  engine.forward_spectrum(fb, scratch);
+  FpVec out;
+  engine.convolve_from_spectra(out, fa, fb, scratch);
+
+  FpVec direct_a = a, direct_b = b;
+  engine.convolve_into(direct_a, direct_b, scratch);
+  EXPECT_EQ(out, direct_a);
+}
+
+// ---- tiled execution -----------------------------------------------------
+
+TEST(FourStepTiling, TiledPassesAreOrderIndependentAndCounted) {
+  const u64 n = 4096;  // 64 x 64: every pass runs over 64 rows
+  const FourStepNtt engine(n);
+  util::Rng rng(9);
+  const FpVec a = random_vec(rng, n);
+  const FpVec b = random_vec(rng, n);
+
+  FpVec serial_a = a, serial_b = b, scratch;
+  engine.convolve_into(serial_a, serial_b, scratch);
+
+  ReversedExecutor exec(4);
+  FourStepStats stats;
+  FpVec tiled_a = a, tiled_b = b;
+  engine.convolve_into(tiled_a, tiled_b, scratch, &exec, &stats);
+
+  EXPECT_EQ(tiled_a, serial_a);
+  EXPECT_GT(stats.tile_groups, 0u);
+  EXPECT_EQ(stats.tile_groups, exec.groups);
+  EXPECT_EQ(stats.tiles, exec.tiles);
+  // Square split: every pass covers 64 rows, so the total is exactly
+  // groups * tiles_per_pass.
+  EXPECT_EQ(stats.tiles, stats.tile_groups * FourStepNtt::tiles_per_pass(64, 4));
+}
+
+TEST(FourStepTiling, TilesPerPassIsDeterministic) {
+  // 2x oversubscription, capped by 8-row tile granularity.
+  EXPECT_EQ(FourStepNtt::tiles_per_pass(256, 0), 2u);  // serial-ish floor
+  EXPECT_EQ(FourStepNtt::tiles_per_pass(256, 1), 2u);
+  EXPECT_EQ(FourStepNtt::tiles_per_pass(256, 2), 4u);
+  EXPECT_EQ(FourStepNtt::tiles_per_pass(256, 4), 8u);
+  EXPECT_EQ(FourStepNtt::tiles_per_pass(8, 8), 1u);     // one 8-row tile
+  EXPECT_EQ(FourStepNtt::tiles_per_pass(1024, 64), 128u);
+}
+
+// ---- ssa routing ---------------------------------------------------------
+
+TEST(SsaFourStep, MultiplyMatchesMonolithicPath) {
+  for (const std::size_t bits : {1000u, 4096u, 20000u}) {
+    util::Rng rng(bits);
+    const BigUInt a = BigUInt::random_bits(rng, bits);
+    const BigUInt b = BigUInt::random_bits(rng, bits);
+
+    ssa::SsaParams four = ssa::SsaParams::for_bits(bits);
+    four.four_step = ssa::FourStepMode::kAlways;
+    ssa::SsaParams mono = four;
+    mono.four_step = ssa::FourStepMode::kNever;
+    ASSERT_TRUE(four.use_four_step());
+    ASSERT_FALSE(mono.use_four_step());
+
+    const BigUInt product = ssa::multiply(a, b, four);
+    EXPECT_EQ(product, ssa::multiply(a, b, mono)) << bits;
+    EXPECT_EQ(product, bigint::mul_schoolbook(a, b)) << bits;
+    EXPECT_EQ(ssa::square(a, four), ssa::square(a, mono)) << bits;
+  }
+}
+
+TEST(SsaFourStep, AdversarialAllOnesOperands) {
+  const std::size_t bits = 4096;
+  const BigUInt ones = BigUInt::pow2(bits) - BigUInt(1);
+  ssa::SsaParams params = ssa::SsaParams::for_bits(bits);
+  params.four_step = ssa::FourStepMode::kAlways;
+  EXPECT_EQ(ssa::multiply(ones, ones, params), bigint::mul_schoolbook(ones, ones));
+}
+
+TEST(SsaFourStep, StatsReportTileCountsThroughWorkspace) {
+  const std::size_t bits = 4096;
+  util::Rng rng(17);
+  const BigUInt a = BigUInt::random_bits(rng, bits);
+  const BigUInt b = BigUInt::random_bits(rng, bits);
+
+  ssa::SsaParams params = ssa::SsaParams::for_bits(bits);
+  params.four_step = ssa::FourStepMode::kAlways;
+  ReversedExecutor exec(2);
+  ssa::Workspace workspace;
+  workspace.tile_executor = &exec;
+  ssa::SsaStats stats;
+  BigUInt out;
+  ssa::multiply_into(out, a, b, params, workspace, &stats);
+  EXPECT_EQ(out, bigint::mul_schoolbook(a, b));
+  EXPECT_GT(stats.tile_groups, 0u);
+  EXPECT_EQ(stats.tile_groups, exec.groups);
+  EXPECT_EQ(stats.tiles, exec.tiles);
+}
+
+TEST(SsaFourStep, SpectrumDomainRoundTripsWithFourStepEngine) {
+  ssa::SsaParams params = ssa::SsaParams::for_bits(1024, ssa::kResidentHeadroomBits);
+  params.four_step = ssa::FourStepMode::kAlways;
+  ASSERT_TRUE(params.use_four_step());
+  ssa::Workspace workspace;
+  const ssa::SpectrumDomain domain(params, workspace);
+
+  util::Rng rng(23);
+  const BigUInt a = BigUInt::random_bits(rng, 1024);
+  const BigUInt b = BigUInt::random_bits(rng, 1024);
+  ssa::ResidentSpectrum sa, sb;
+  domain.enter(sa, a);
+  domain.enter(sb, b);
+  ASSERT_TRUE(domain.can_multiply(sa, sb));
+  ssa::ResidentSpectrum product;
+  domain.multiply(product, sa, sb);
+
+  // Lazy accumulate twice, then leave: 2ab, exactly.
+  ssa::ResidentSpectrum acc;
+  ASSERT_TRUE(domain.can_accumulate(acc, product));
+  domain.accumulate(acc, product);
+  ASSERT_TRUE(domain.can_accumulate(acc, product));
+  domain.accumulate(acc, product);
+  BigUInt materialized;
+  domain.leave(materialized, acc);
+  const BigUInt ab = bigint::mul_schoolbook(a, b);
+  EXPECT_EQ(materialized, ab + ab);
+}
+
+TEST(SsaFourStep, SpectrumCacheSeparatesLayouts) {
+  // The four-step and monolithic radix-2 spectra share Engine::kRadix2Fast
+  // but are layout-incompatible: the cache must never serve one for the
+  // other.
+  ssa::SsaParams four = ssa::SsaParams::for_bits(1024);
+  four.four_step = ssa::FourStepMode::kAlways;
+  ssa::SsaParams mono = four;
+  mono.four_step = ssa::FourStepMode::kNever;
+  ASSERT_NE(four.spectral_layout(), mono.spectral_layout());
+
+  util::Rng rng(29);
+  const BigUInt a = BigUInt::random_bits(rng, 1024);
+  ssa::ConcurrentSpectrumCache cache;
+  u64 transforms = 0;
+  const auto forward = [&](const BigUInt&) {
+    ++transforms;
+    return FpVec(four.transform_size, fp::kOne);
+  };
+  (void)cache.get_or_compute(a, four, forward);
+  (void)cache.get_or_compute(a, mono, forward);
+  EXPECT_EQ(transforms, 2u);  // layout mismatch => no cross-serving
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.get_or_compute(a, four, forward);
+  EXPECT_EQ(transforms, 2u);  // same layout still hits
+}
+
+}  // namespace
+}  // namespace hemul::ntt

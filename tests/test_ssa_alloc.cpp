@@ -106,6 +106,40 @@ TEST_F(SsaAllocationAudit, SteadyStateSquareIntoIsAllocationFree) {
   EXPECT_EQ(product, bigint::mul_karatsuba(a, a));
 }
 
+TEST_F(SsaAllocationAudit, FourStepPathIsAllocationFree) {
+  // The cache-blocked four-step transform keeps all scratch (including the
+  // corner-turn buffer) inside the Workspace: the serial tiled path must be
+  // just as allocation-free as the monolithic sweep it replaces.
+  util::Rng rng(5);
+  const std::size_t bits = 20000;
+  const BigUInt a = BigUInt::random_bits(rng, bits);
+  const BigUInt b = BigUInt::random_bits(rng, bits);
+  SsaParams params = SsaParams::for_bits(bits);
+  params.four_step = FourStepMode::kAlways;
+  ASSERT_TRUE(params.use_four_step());
+
+  Workspace workspace;
+  BigUInt product;
+  multiply_into(product, a, b, params, workspace);
+  multiply_into(product, a, b, params, workspace);
+
+  for (int round = 0; round < 5; ++round) {
+    const u64 allocs = allocations_in([&] {
+      multiply_into(product, a, b, params, workspace);
+    });
+    EXPECT_EQ(allocs, 0u) << "round " << round;
+  }
+  EXPECT_EQ(product, bigint::mul_karatsuba(a, b));
+
+  // Squaring shares the same scratch discipline.
+  square_into(product, a, params, workspace);
+  for (int round = 0; round < 5; ++round) {
+    const u64 allocs = allocations_in([&] { square_into(product, a, params, workspace); });
+    EXPECT_EQ(allocs, 0u) << "square round " << round;
+  }
+  EXPECT_EQ(product, bigint::mul_karatsuba(a, a));
+}
+
 TEST_F(SsaAllocationAudit, MixedRadixEngineIsAlsoAllocationFree) {
   util::Rng rng(3);
   const std::size_t bits = 20000;

@@ -72,6 +72,40 @@ TRACKED = {
                direction="lower", mode="warn"),
         Metric("multiply.per_call_ms", lambda d: d["multiply"]["per_call_ms"],
                direction="lower", mode="warn"),
+        # Four-step headline: the 64K convolve must stay >= 1.3x faster
+        # than the monolithic radix-2 sweep on one lane. The bool is
+        # computed inside the bench from the same run, so it gates the
+        # ratio (stable across runners), not absolute wall-clock.
+        Metric("four_step.speedup_64k_ge_1_3",
+               lambda d: d["four_step"]["speedup_64k_ge_1_3"], kind="bool", mode="hard"),
+        Metric("four_step.speedup_64k", lambda d: d["four_step"]["speedup_64k"],
+               mode="warn"),
+        Metric("four_step.min_sweep_speedup",
+               lambda d: d["four_step"]["min_sweep_speedup"], mode="warn"),
+        Metric("four_step.convolve_64k_ms",
+               lambda d: d["four_step"]["convolve_64k_ms"], direction="lower",
+               mode="warn"),
+        # Intra-op tiling geometry is deterministic in (transform shape,
+        # worker count): 12 tile groups per cached multiply, split into
+        # tiles_per_pass(256, w) tiles each. Drift means the pass
+        # structure or the tile sizing changed -- regenerate the baseline
+        # deliberately if that is intentional.
+        Metric("intra_op.tile_groups_per_multiply",
+               lambda d: d["intra_op"]["tile_groups_per_multiply"],
+               direction="lower", mode="hard"),
+        Metric("intra_op.tiles_per_multiply_w1",
+               lambda d: d["intra_op"]["arms"]["w1"]["tiles_per_multiply"],
+               direction="lower", mode="hard"),
+        Metric("intra_op.tiles_per_multiply_w2",
+               lambda d: d["intra_op"]["arms"]["w2"]["tiles_per_multiply"],
+               direction="lower", mode="hard"),
+        Metric("intra_op.tiles_per_multiply_w4",
+               lambda d: d["intra_op"]["arms"]["w4"]["tiles_per_multiply"],
+               direction="lower", mode="hard"),
+        # Proof that ONE multiply fans across more than one PE lane when
+        # workers > 1 (>= 2 lanes executed tiles over the w=2 arm).
+        Metric("intra_op.multi_lane_fanout",
+               lambda d: d["intra_op"]["multi_lane_fanout"], kind="bool", mode="hard"),
     ],
     "scheduler_throughput.json": [
         Metric("bit_exact", lambda d: d["bit_exact"], kind="bool", mode="hard"),
@@ -149,12 +183,25 @@ def annotate(level, message):
 
 
 def compare_metric(metric, baseline, current, threshold):
-    """Returns (status, detail): status in ok|regressed|improved|new."""
-    try:
-        base_value = metric.extract(baseline) if baseline is not None else None
-    except (KeyError, TypeError, ValueError):
-        base_value = None
+    """Returns (status, detail): status in ok|regressed|improved|new|missing.
+
+    "missing" is a HARD failure regardless of the metric's mode: the
+    committed baseline file exists but does not carry this metric's key,
+    which happens when a metric is added or renamed without regenerating
+    the baseline in the same PR. Treating it as "new" would silently
+    disable the gate for exactly the change that most needs it.
+    """
     current_value = metric.extract(current)
+    if baseline is None:
+        base_value = None
+    else:
+        try:
+            base_value = metric.extract(baseline)
+        except (KeyError, TypeError, ValueError) as error:
+            return "missing", {
+                "baseline": None, "current": current_value,
+                "note": f"metric absent from committed baseline ({error!r}); "
+                        f"regenerate the baseline in this PR (see CONTRIBUTING.md)"}
 
     if metric.kind == "bool":
         ok = bool(current_value)
@@ -222,7 +269,11 @@ def main():
             bench_report[metric.name] = {"status": status, **detail}
 
             label = f"{bench_file}:{metric.name}"
-            if status == "regressed":
+            if status == "missing":
+                annotate("error",
+                         f"{label}: {detail.get('note', 'missing from baseline')}")
+                failures += 1
+            elif status == "regressed":
                 message = (f"{label} regressed: baseline {detail.get('baseline')} -> "
                            f"current {detail.get('current')}"
                            + (f" ({detail['change_pct']:+.1f}%)"
