@@ -1,0 +1,332 @@
+// Experiment FL1: sharded fleet serving throughput and load shedding.
+//
+// Builds a real fleet in-process -- N core::Services behind ShardServers on
+// loopback TCP, one Router in front -- and drives it with a closed-loop
+// load generator: every tenant keeps exactly one width-2 carry-save
+// multiply outstanding, decrypting and verifying each response before
+// sending the next round. Sweeps shard count x tenant count and reports
+// requests/sec (runner-dependent, warn-gated) plus deterministic facts the
+// CI gate holds hard: bit-exactness, forwarding counts, and the overload
+// cell's shedding behaviour (a queue bound of 1 must shed every pipelined
+// request beyond the first, with clean kOverloaded statuses and a retry
+// hint, never a hang or a malformed frame).
+//
+//   bench_fleet_throughput [--shards s1,s2,...] [--tenants t1,t2,...]
+//                          [--requests N] [--json FILE]
+//     defaults: shards 1,2; tenants 2,4; 2 requests per tenant
+//
+// Exit code 0 iff every decrypted product matches the plaintext
+// computation and the shedding cell behaved.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fhe/circuits.hpp"
+#include "fhe/evaluator.hpp"
+#include "fhe/serialize.hpp"
+#include "net/client.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace hemul;
+using Clock = std::chrono::steady_clock;
+
+std::string loopback(int port) { return "127.0.0.1:" + std::to_string(port); }
+
+fhe::Bytes concat(const fhe::Bytes& a, const fhe::Bytes& b) {
+  fhe::Bytes out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Width-2 carry-save multiply: the widest toy-parameter circuit whose
+/// noise fits the budget, and the fleet's canonical unit of work.
+core::Request mul_request(fhe::Dghv& scheme, u64 x, u64 y) {
+  core::Request request;
+  request.spec.kind = core::CircuitKind::kMul;
+  request.spec.width = 2;
+  request.spec.lowering.strategy = fhe::LoweringStrategy::kCarrySave;
+  request.inputs = concat(fhe::encode_ciphertexts(fhe::encrypt_int(scheme, x, 2)),
+                          fhe::encode_ciphertexts(fhe::encrypt_int(scheme, y, 2)));
+  return request;
+}
+
+u64 decrypt_response(const fhe::Dghv& scheme, const core::Response& response) {
+  const std::vector<fhe::Ciphertext> outputs = fhe::decode_ciphertexts(response.outputs);
+  return fhe::decrypt_int(scheme, fhe::EncryptedInt(outputs.begin(), outputs.end()));
+}
+
+/// One in-process fleet: services, shard servers, a router, one client.
+struct Fleet {
+  std::vector<std::unique_ptr<core::Service>> services;
+  std::vector<std::unique_ptr<net::ShardServer>> servers;
+  std::unique_ptr<net::Router> router;
+  std::unique_ptr<net::ShardClient> client;
+
+  explicit Fleet(unsigned shards, const core::ServiceOptions& options) {
+    std::vector<std::string> addresses;
+    for (unsigned s = 0; s < shards; ++s) {
+      services.push_back(std::make_unique<core::Service>(options));
+      servers.push_back(std::make_unique<net::ShardServer>(*services.back()));
+      addresses.push_back(loopback(servers.back()->port()));
+    }
+    router = std::make_unique<net::Router>(addresses);
+    client = std::make_unique<net::ShardClient>(loopback(router->port()));
+  }
+};
+
+struct Sample {
+  unsigned shards = 0;
+  unsigned tenants = 0;
+  u64 requests = 0;
+  double wall_ms = 0.0;
+  double requests_per_sec = 0.0;
+  u64 forwarded = 0;
+  double coalescing = 0.0;  ///< aggregated over all shards
+};
+
+struct Tenant {
+  core::SessionId session = 0;
+  std::unique_ptr<fhe::Dghv> scheme;
+};
+
+/// Closed-loop cell: each round submits one multiply per tenant (pipelined
+/// across tenants, as independent clients would), then decrypts and
+/// verifies every response before the next round begins.
+Sample run_cell(unsigned shards, unsigned tenants, unsigned requests_per_tenant,
+                bool* verified) {
+  core::ServiceOptions options;
+  options.config.backend_name = "ssa";
+  options.config.num_workers = 1;
+  options.admission_window_ms = 2.0;
+  Fleet fleet(shards, options);
+
+  std::vector<Tenant> roster;
+  for (unsigned t = 0; t < tenants; ++t) {
+    Tenant tenant;
+    net::ShardClient::SessionKeys keys =
+        fleet.client->create_session(fhe::DghvParams::toy(), 0xF1EE7 + t);
+    tenant.session = keys.session;
+    tenant.scheme = std::make_unique<fhe::Dghv>(std::move(keys.public_key),
+                                                std::move(keys.secret_key), 0xD0 + t);
+    roster.push_back(std::move(tenant));
+  }
+
+  const auto t0 = Clock::now();
+  for (unsigned r = 0; r < requests_per_tenant; ++r) {
+    std::vector<std::future<core::Response>> futures;
+    std::vector<u64> expected;
+    futures.reserve(tenants);
+    for (unsigned t = 0; t < tenants; ++t) {
+      const u64 x = (t + r) % 4, y = (t * 3 + r * 5) % 4;
+      expected.push_back(x * y);
+      futures.push_back(
+          fleet.client->submit(roster[t].session, mul_request(*roster[t].scheme, x, y)));
+    }
+    for (unsigned t = 0; t < tenants; ++t) {
+      const core::Response response = futures[t].get();
+      if (!response.ok() ||
+          decrypt_response(*roster[t].scheme, response) != expected[t]) {
+        *verified = false;
+      }
+    }
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  const net::FleetStats stats = fleet.client->stats();
+  const core::ServiceStats total = stats.aggregate();
+  Sample sample;
+  sample.shards = shards;
+  sample.tenants = tenants;
+  sample.requests = static_cast<u64>(tenants) * requests_per_tenant;
+  sample.wall_ms = wall_ms;
+  sample.requests_per_sec =
+      wall_ms > 0.0 ? 1000.0 * static_cast<double>(sample.requests) / wall_ms : 0.0;
+  sample.forwarded = stats.forwarded;
+  sample.coalescing = total.coalescing();
+  if (total.completed != sample.requests) *verified = false;
+  return sample;
+}
+
+/// The overload cell: one shard bounded to a single queue slot behind a
+/// long admission window, fed kPipelined submits at once. Deterministic
+/// outcome: the first occupies the slot, every other one is shed at the
+/// door with kOverloaded + a retry hint; the queue depth never exceeds
+/// the bound because refusals never enter the queue.
+struct ShedResult {
+  u64 requests = 0;
+  u64 ok = 0;
+  u64 shed = 0;
+  bool observed = false;        ///< at least one kOverloaded came back
+  bool queue_bounded = false;   ///< stats never showed depth > bound
+  bool statuses_clean = false;  ///< only kOk / kOverloaded, hints present
+  double retry_hint_ms = 0.0;   ///< max hint seen
+};
+
+ShedResult run_shed_cell() {
+  core::ServiceOptions options;
+  options.config.backend_name = "ssa";
+  options.config.num_workers = 1;
+  options.admission_window_ms = 200.0;
+  options.max_queue_depth = 1;
+
+  core::Service service(options);
+  net::ShardServer server(service);
+  net::ShardClient client(loopback(server.port()));
+
+  net::ShardClient::SessionKeys keys =
+      client.create_session(fhe::DghvParams::toy(), 0x0B5E55);
+  fhe::Dghv scheme(std::move(keys.public_key), std::move(keys.secret_key), 0xAB);
+
+  constexpr unsigned kPipelined = 8;
+  ShedResult result;
+  result.requests = kPipelined;
+  result.statuses_clean = true;
+
+  std::vector<std::future<core::Response>> futures;
+  futures.reserve(kPipelined);
+  for (unsigned i = 0; i < kPipelined; ++i) {
+    futures.push_back(client.submit(keys.session, mul_request(scheme, 3, 2)));
+  }
+  result.queue_bounded = service.stats().queue_depth <= 1;
+  for (auto& future : futures) {
+    const core::Response response = future.get();
+    if (response.ok()) {
+      ++result.ok;
+      if (decrypt_response(scheme, response) != 6) result.statuses_clean = false;
+    } else if (response.status == core::ResponseStatus::kOverloaded) {
+      ++result.shed;
+      if (response.retry_after_ms <= 0.0) result.statuses_clean = false;
+      result.retry_hint_ms = std::max(result.retry_hint_ms, response.retry_after_ms);
+    } else {
+      result.statuses_clean = false;
+    }
+  }
+  result.observed = result.shed > 0;
+  result.queue_bounded = result.queue_bounded && service.stats().queue_depth <= 1;
+  // The service's own ledger must agree with what came over the wire.
+  const core::ServiceStats stats = service.stats();
+  if (stats.shed != result.shed || stats.completed != result.ok) {
+    result.statuses_clean = false;
+  }
+  return result;
+}
+
+std::vector<unsigned> parse_list(const char* text) {
+  std::vector<unsigned> values;
+  for (const char* p = text; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    if (value > 0) values.push_back(static_cast<unsigned>(value));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<unsigned> shard_counts = {1, 2};
+  std::vector<unsigned> tenant_counts = {2, 4};
+  unsigned requests_per_tenant = 2;
+  std::string json_path;
+
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenant_counts = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests_per_tenant = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      usage_error = true;
+    }
+  }
+  if (usage_error || shard_counts.empty() || tenant_counts.empty() ||
+      requests_per_tenant == 0) {
+    std::fprintf(stderr,
+                 "usage: bench_fleet_throughput [--shards s1,s2,...] "
+                 "[--tenants t1,t2,...] [--requests N] [--json FILE]\n");
+    return 2;
+  }
+
+  std::printf("== fleet throughput: closed-loop tenants through router + shards ==\n");
+  std::printf("   host hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  bool verified = true;
+  std::vector<Sample> samples;
+  for (const unsigned shards : shard_counts) {
+    for (const unsigned tenants : tenant_counts) {
+      const Sample s = run_cell(shards, tenants, requests_per_tenant, &verified);
+      std::printf("  shards %-2u tenants %-3u : %4llu requests  %8.1f ms  %8.1f req/s  "
+                  "forwarded %llu  coalescing %.2f\n",
+                  s.shards, s.tenants, static_cast<unsigned long long>(s.requests),
+                  s.wall_ms, s.requests_per_sec,
+                  static_cast<unsigned long long>(s.forwarded), s.coalescing);
+      samples.push_back(s);
+    }
+  }
+
+  const ShedResult shed = run_shed_cell();
+  std::printf("\n  overload cell (queue bound 1, %llu pipelined): %llu ok, %llu shed, "
+              "retry hint %.1f ms\n",
+              static_cast<unsigned long long>(shed.requests),
+              static_cast<unsigned long long>(shed.ok),
+              static_cast<unsigned long long>(shed.shed), shed.retry_hint_ms);
+  std::printf("  shed observed: %s, queue bounded: %s, statuses clean: %s\n",
+              shed.observed ? "yes" : "NO", shed.queue_bounded ? "yes" : "NO",
+              shed.statuses_clean ? "yes" : "NO");
+  std::printf("\n  verified    : %s\n", verified ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"fleet_throughput\",\n  \"backend\": \"ssa\",\n"
+                 "  \"requests_per_tenant\": %u,\n  \"hardware_concurrency\": %u,\n"
+                 "  \"bit_exact\": %s,\n  \"shed\": {\"requests\": %llu, \"ok\": %llu, "
+                 "\"shed\": %llu, \"observed\": %s, \"queue_bounded\": %s, "
+                 "\"statuses_clean\": %s, \"retry_hint_ms\": %.3f},\n  \"results\": [\n",
+                 requests_per_tenant, std::thread::hardware_concurrency(),
+                 verified ? "true" : "false",
+                 static_cast<unsigned long long>(shed.requests),
+                 static_cast<unsigned long long>(shed.ok),
+                 static_cast<unsigned long long>(shed.shed),
+                 shed.observed ? "true" : "false", shed.queue_bounded ? "true" : "false",
+                 shed.statuses_clean ? "true" : "false", shed.retry_hint_ms);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      std::fprintf(out,
+                   "    {\"shards\": %u, \"tenants\": %u, \"requests\": %llu, "
+                   "\"wall_ms\": %.3f, \"requests_per_sec\": %.3f, "
+                   "\"forwarded\": %llu, \"coalescing\": %.3f}%s\n",
+                   s.shards, s.tenants, static_cast<unsigned long long>(s.requests),
+                   s.wall_ms, s.requests_per_sec,
+                   static_cast<unsigned long long>(s.forwarded), s.coalescing,
+                   i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("  json        : %s\n", json_path.c_str());
+  }
+
+  const bool shed_ok = shed.observed && shed.queue_bounded && shed.statuses_clean;
+  return verified && shed_ok ? 0 : 1;
+}

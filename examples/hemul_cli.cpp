@@ -41,6 +41,7 @@
 #include <cstdlib>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,7 @@
 #include "fhe/lowering.hpp"
 #include "fhe/noise.hpp"
 #include "fhe/serialize.hpp"
+#include "net/client.hpp"
 #include "service/service.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
@@ -70,6 +72,7 @@ int usage() {
                "                 random <bits> | batch <n> <bits> | throughput <n> <bits> |\n"
                "                 circuit <adder|equals|mul|mux|lt> [width] |\n"
                "                 service <tenants> <requests-per-tenant> |\n"
+               "                 fleet <host:port> <tenants> <requests-per-tenant> |\n"
                "                 backends | table1 | perf [P]\n");
   return 2;
 }
@@ -539,6 +542,106 @@ int cmd_service(const std::string& backend_name, unsigned workers, unsigned tena
   return verified ? 0 : 1;
 }
 
+// Drives a remote fleet (a hemul_router or a single hemul_shard -- both
+// speak the same envelope protocol) with multiply traffic, verifying every
+// decrypted product against the plaintext result. The tenant-side key
+// contexts are rebuilt from the key material the service ships back, so
+// this exercises the full remote path: create-session RPC, serialized
+// requests, and responses decrypted with nothing but wire bytes.
+int cmd_fleet(const std::string& address, unsigned tenants, unsigned requests_per_tenant,
+              fhe::LoweringOptions lowering, bool require_coalescing) {
+  using Clock = std::chrono::steady_clock;
+  if (tenants == 0 || requests_per_tenant == 0) {
+    std::fprintf(stderr, "error: tenants and requests-per-tenant must be >= 1\n");
+    return 2;
+  }
+  constexpr unsigned kWidth = 2;  // 2x2 multiply: fits the toy noise budget
+
+  net::ShardClient client(address);
+
+  struct Tenant {
+    core::SessionId session = 0;
+    std::optional<fhe::Dghv> scheme;
+  };
+  std::vector<Tenant> fleet_tenants(tenants);
+  for (unsigned t = 0; t < tenants; ++t) {
+    net::ShardClient::SessionKeys keys =
+        client.create_session(fhe::DghvParams::toy(), 0x5E55 + t);
+    fleet_tenants[t].session = keys.session;
+    fleet_tenants[t].scheme.emplace(std::move(keys.public_key), std::move(keys.secret_key),
+                                    /*seed=*/0xC11E00 + t);
+  }
+
+  struct Issued {
+    unsigned tenant = 0;
+    u64 expected = 0;
+    std::future<core::Response> future;
+  };
+  std::vector<Issued> issued;
+  issued.reserve(static_cast<std::size_t>(tenants) * requests_per_tenant);
+
+  const auto t0 = Clock::now();
+  for (unsigned r = 0; r < requests_per_tenant; ++r) {
+    for (unsigned t = 0; t < tenants; ++t) {
+      fhe::Dghv& scheme = *fleet_tenants[t].scheme;
+      const u64 x = (t + r) % (1u << kWidth);
+      const u64 y = (t * 3 + r * 5) % (1u << kWidth);
+      core::Request request;
+      request.spec = core::CircuitSpec{core::CircuitKind::kMul, kWidth, lowering};
+      std::vector<fhe::Ciphertext> inputs = fhe::encrypt_int(scheme, x, kWidth);
+      const std::vector<fhe::Ciphertext> ys = fhe::encrypt_int(scheme, y, kWidth);
+      inputs.insert(inputs.end(), ys.begin(), ys.end());
+      request.inputs = fhe::encode_ciphertexts(inputs);
+      issued.push_back(
+          {t, x * y, client.submit(fleet_tenants[t].session, std::move(request))});
+    }
+  }
+
+  bool verified = true;
+  for (Issued& item : issued) {
+    const core::Response response = item.future.get();
+    if (!response.ok()) {
+      std::fprintf(stderr, "request failed (%u): %s\n",
+                   static_cast<unsigned>(response.status), response.error.c_str());
+      verified = false;
+      continue;
+    }
+    const fhe::Dghv& scheme = *fleet_tenants[item.tenant].scheme;
+    const std::vector<fhe::Ciphertext> outputs = fhe::decode_ciphertexts(response.outputs);
+    if (outputs.size() != 2 * kWidth ||
+        fhe::decrypt_int(scheme, outputs) != item.expected) {
+      verified = false;
+    }
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  const net::FleetStats fleet = client.stats();
+  const core::ServiceStats total = fleet.aggregate();
+  std::printf("fleet        : %s, %zu shard(s)\n", address.c_str(), fleet.shards.size());
+  std::printf("tenants      : %u x %u %u-bit multiply request(s), %s lowering\n", tenants,
+              requests_per_tenant, kWidth,
+              std::string(fhe::lowering_strategy_name(lowering.strategy)).c_str());
+  std::printf("wall time    : %.1f ms (%.1f requests/s)\n", wall_ms,
+              wall_ms > 0.0 ? 1000.0 * static_cast<double>(issued.size()) / wall_ms : 0.0);
+  std::printf("coalescing   : %.2f requests/batch mean (%llu batches)\n", total.coalescing(),
+              static_cast<unsigned long long>(total.batches_submitted));
+  std::printf("shed         : %llu request(s)\n", static_cast<unsigned long long>(total.shed));
+  for (const net::ShardStats& shard : fleet.shards) {
+    std::printf("  shard %-21s: %s, %llu completed, %llu gates, %zu session(s)\n",
+                shard.address.c_str(), shard.alive ? "up" : "DOWN",
+                static_cast<unsigned long long>(shard.service.completed),
+                static_cast<unsigned long long>(shard.service.and_gates),
+                shard.service.sessions);
+  }
+  std::printf("verified     : %s\n", verified ? "yes" : "NO");
+  if (require_coalescing && !(total.coalescing() > 1.0)) {
+    std::fprintf(stderr, "error: --require-coalescing set but coalescing %.2f <= 1.0\n",
+                 total.coalescing());
+    return 1;
+  }
+  return verified ? 0 : 1;
+}
+
 int cmd_table1() {
   std::printf("%s", hw::ResourceComparison::paper().render_table().c_str());
   return 0;
@@ -566,10 +669,15 @@ int main(int argc, char** argv) {
   std::string backend_name;  // empty = config default ("hw")
   unsigned workers = 0;      // 0 = one scheduler lane per hardware thread
   bool intra_op = true;      // intra-op tiling escape hatch: --no-intra-op
+  bool require_coalescing = false;  // fleet: fail unless batches were shared
+  bool lowering_given = false;
   hemul::fhe::LoweringOptions lowering;  // default: ripple-carry
   for (std::size_t i = 0; i < args.size();) {
     if (args[i] == "--no-intra-op") {
       intra_op = false;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--require-coalescing") {
+      require_coalescing = true;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
     } else if (args[i] == "--backend" && i + 1 < args.size()) {
       backend_name = args[i + 1];
@@ -582,6 +690,7 @@ int main(int argc, char** argv) {
     } else if (args[i] == "--lowering" && i + 1 < args.size()) {
       try {
         lowering.strategy = hemul::fhe::lowering_strategy_from_name(args[i + 1]);
+        lowering_given = true;
       } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
@@ -621,6 +730,16 @@ int main(int argc, char** argv) {
                          static_cast<unsigned>(std::strtoul(args[1].c_str(), nullptr, 10)),
                          static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10)),
                          lowering);
+    }
+    if (cmd == "fleet" && args.size() == 4) {
+      // fleet defaults to carry-save: a ripple-lowered 2-bit multiply is
+      // deeper than the toy noise budget allows, carry-save fits.
+      if (!lowering_given) {
+        lowering.strategy = hemul::fhe::LoweringStrategy::kCarrySave;
+      }
+      return cmd_fleet(args[1], static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10)),
+                       static_cast<unsigned>(std::strtoul(args[3].c_str(), nullptr, 10)),
+                       lowering, require_coalescing);
     }
     if (cmd == "table1" && args.size() == 1) return cmd_table1();
     if (cmd == "perf") {

@@ -1,0 +1,87 @@
+// hemul_router: the fleet front door. Hashes sessions onto shards,
+// forwards requests, aggregates stats (see docs/operations.md).
+//
+//   hemul_router [--port N] --shard HOST:PORT [--shard HOST:PORT ...]
+//
+// --port 0 (the default) binds an ephemeral port; the daemon prints
+//   hemul_router listening on port <N>
+// to stdout (flushed). Exits on SIGTERM/SIGINT or a kShutdown request.
+// Every shard must be reachable at startup; a shard dying later is
+// tolerated (its sessions fail cleanly, the rest keep serving).
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/router.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hemul_router [--port N] --shard HOST:PORT [--shard HOST:PORT ...]\n");
+  return 2;
+}
+
+std::mutex g_mutex;
+std::condition_variable g_cv;
+bool g_shutdown = false;
+
+void request_shutdown() {
+  {
+    std::lock_guard lock(g_mutex);
+    g_shutdown = true;
+  }
+  g_cv.notify_all();
+}
+
+extern "C" void handle_signal(int) { request_shutdown(); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hemul;
+
+  int port = 0;
+  std::vector<std::string> shards;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--shard" && i + 1 < argc) {
+      shards.emplace_back(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  if (shards.empty()) return usage();
+
+  try {
+    net::Router::Options options;
+    options.port = port;
+    options.on_shutdown = request_shutdown;
+    net::Router router(shards, options);
+
+    std::printf("hemul_router listening on port %d\n", router.port());
+    std::fflush(stdout);
+
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+
+    {
+      std::unique_lock lock(g_mutex);
+      g_cv.wait(lock, [] { return g_shutdown; });
+    }
+    router.stop();
+    std::fprintf(stderr, "hemul_router: exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hemul_router: fatal: %s\n", e.what());
+    return 1;
+  }
+}

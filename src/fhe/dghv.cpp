@@ -38,6 +38,16 @@ Dghv::Dghv(const DghvParams& params, u64 seed,
   }
 }
 
+Dghv::Dghv(PublicKey public_key, bigint::BigUInt secret_key, u64 seed,
+           std::shared_ptr<backend::MultiplierBackend> engine)
+    : p_(std::move(secret_key)), pk_(std::move(public_key)), rng_(seed),
+      engine_(engine != nullptr ? std::move(engine) : backend::auto_backend()) {
+  pk_.params.validate();
+  HEMUL_CHECK_MSG(!pk_.x0.is_zero(), "Dghv: public modulus x0 is zero");
+  HEMUL_CHECK_MSG(p_.is_odd(), "Dghv: secret key must be odd");
+  HEMUL_CHECK_MSG((pk_.x0 % p_).is_zero(), "Dghv: x0 is not a multiple of the secret key");
+}
+
 Ciphertext Dghv::encrypt(bool message) {
   BigUInt c{message ? 1u : 0u};
   BigUInt r = BigUInt::random_bits(rng_, pk_.params.rho);

@@ -56,6 +56,14 @@ class Dghv {
   Dghv(const DghvParams& params, u64 seed,
        std::shared_ptr<backend::MultiplierBackend> engine);
 
+  /// Rebuilds a key context from existing key material -- the remote-tenant
+  /// path: a fleet client receives serialized keys from the shard that ran
+  /// keygen and encrypts/decrypts locally against them. `seed` drives only
+  /// this context's encryption randomness. The engine defaults to the
+  /// registry's auto policy.
+  Dghv(PublicKey public_key, bigint::BigUInt secret_key, u64 seed,
+       std::shared_ptr<backend::MultiplierBackend> engine = nullptr);
+
   /// Encrypts one bit: c = (m + 2r + 2 * sum_{i in S} x_i) mod x0.
   [[nodiscard]] Ciphertext encrypt(bool message);
 

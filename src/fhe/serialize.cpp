@@ -448,4 +448,63 @@ GraphTopology decode_graph(std::span<const u8> buffer) {
   return decode_whole(buffer, WireTag::kGraph, read_graph_payload);
 }
 
+// --- Envelope --------------------------------------------------------------
+
+Bytes encode_envelope(const Envelope& envelope) {
+  ByteWriter w;
+  w.begin_frame(WireTag::kEnvelope);
+  w.put_u8(static_cast<u8>(envelope.type));
+  w.put_u64(envelope.session);
+  w.put_u64(envelope.request_id);
+  w.put_bytes(envelope.payload);
+  w.finish_frame();
+  return w.take();
+}
+
+namespace {
+
+Envelope read_envelope_payload(ByteReader& r) {
+  Envelope envelope;
+  const u8 type = r.get_u8();
+  if (type < static_cast<u8>(MessageType::kCreateSession) ||
+      type > static_cast<u8>(MessageType::kError)) {
+    fail("unknown envelope message type " + std::to_string(type));
+  }
+  envelope.type = static_cast<MessageType>(type);
+  envelope.session = r.get_u64();
+  envelope.request_id = r.get_u64();
+  envelope.payload = r.get_bytes();
+  return envelope;
+}
+
+}  // namespace
+
+Envelope decode_envelope(ByteReader& reader) {
+  return decode_frame(reader, WireTag::kEnvelope, read_envelope_payload);
+}
+
+Envelope decode_envelope(std::span<const u8> buffer) {
+  return decode_whole(buffer, WireTag::kEnvelope, read_envelope_payload);
+}
+
+Bytes encode_error_payload(WireErrorCode code, const std::string& message) {
+  ByteWriter w;
+  w.put_u8(static_cast<u8>(code));
+  w.put_bytes(std::span<const u8>(reinterpret_cast<const u8*>(message.data()), message.size()));
+  return w.take();
+}
+
+std::pair<WireErrorCode, std::string> decode_error_payload(std::span<const u8> payload) {
+  ByteReader r(payload);
+  const u8 code = r.get_u8();
+  if (code < static_cast<u8>(WireErrorCode::kBadRequestBytes) ||
+      code > static_cast<u8>(WireErrorCode::kInternal)) {
+    fail("unknown wire error code " + std::to_string(code));
+  }
+  const Bytes message = r.get_bytes();
+  if (!r.at_end()) fail("trailing bytes after error payload");
+  return {static_cast<WireErrorCode>(code),
+          std::string(message.begin(), message.end())};
+}
+
 }  // namespace hemul::fhe

@@ -43,6 +43,13 @@ enum class WireTag : u8 {
   /// core::encode_request -- the tag lives here so the frame namespace
   /// stays collision-free.
   kRequest = 7,
+  /// core::Response frame: status byte, retry-after hint, diagnostic,
+  /// output ciphertext stream and the execution counters. Encoded by
+  /// core::encode_response.
+  kResponse = 8,
+  /// Transport envelope of the shard/router protocol: message type,
+  /// session id, request id, nested payload (see docs/wire-protocol.md).
+  kEnvelope = 9,
 };
 
 inline constexpr u32 kWireMagic = 0x31574D48u;  ///< "HMW1", little-endian
@@ -178,5 +185,66 @@ std::vector<Ciphertext> decode_ciphertexts(std::span<const u8> buffer);
 Bytes encode_graph(const GraphTopology& topology);
 GraphTopology decode_graph(ByteReader& reader);
 GraphTopology decode_graph(std::span<const u8> buffer);
+
+// --- transport envelope ----------------------------------------------------
+//
+// The shard/router fleet protocol (src/net/) exchanges ordinary HMW1 frames
+// wrapped in one extra kEnvelope frame that adds routing state the payload
+// frames deliberately do not carry: which conversation the bytes belong to
+// (session id) and which outstanding call they answer (request id). The
+// payload of an envelope is itself a byte-exact HMW1 frame stream, so the
+// transport never re-encodes application objects. See docs/wire-protocol.md
+// for the normative layout and a worked hex dump.
+
+/// Discriminates the envelope payload. Unknown values are a SerializeError,
+/// not an extension point -- new message types bump the wire version.
+enum class MessageType : u8 {
+  /// client -> shard: params frame + u64 keygen seed. Creates a tenant.
+  kCreateSession = 1,
+  /// shard -> client: public-key frame + secret-key frame. The new session
+  /// id travels in the envelope header.
+  kSessionCreated = 2,
+  /// client -> shard: one kRequest frame to evaluate under the session.
+  kSubmit = 3,
+  /// shard -> client: one kResponse frame answering a kSubmit.
+  kResponse = 4,
+  /// client -> shard/router: empty payload; asks for service statistics.
+  kStats = 5,
+  /// shard/router -> client: FleetStats payload (see net/frame.hpp).
+  kStatsReply = 6,
+  /// client -> shard: empty payload; asks the shard to stop accepting.
+  kShutdown = 7,
+  /// shard -> client: empty payload; acknowledges kShutdown.
+  kShutdownAck = 8,
+  /// shard/router -> client: error payload (u8 WireErrorCode + message
+  /// bytes) answering the request id that failed.
+  kError = 9,
+};
+
+/// Machine-readable reason inside a kError envelope.
+enum class WireErrorCode : u8 {
+  kBadRequestBytes = 1,  ///< payload failed to decode (SerializeError)
+  kUnknownSession = 2,   ///< session id not present on this shard
+  kShuttingDown = 3,     ///< shard is draining; try another shard
+  kUnsupported = 4,      ///< message type valid but not handled by this peer
+  kInternal = 5,         ///< unexpected server-side failure
+};
+
+/// One transport envelope: message type, session id, request id and the
+/// nested payload bytes (an HMW1 frame stream, possibly empty).
+struct Envelope {
+  MessageType type = MessageType::kError;
+  u64 session = 0;     ///< 0 when the message is not session-scoped
+  u64 request_id = 0;  ///< echoes the request this answers; 0 for one-way
+  Bytes payload;
+};
+
+Bytes encode_envelope(const Envelope& envelope);
+Envelope decode_envelope(ByteReader& reader);
+Envelope decode_envelope(std::span<const u8> buffer);
+
+/// Payload builder/parser for MessageType::kError envelopes.
+Bytes encode_error_payload(WireErrorCode code, const std::string& message);
+std::pair<WireErrorCode, std::string> decode_error_payload(std::span<const u8> payload);
 
 }  // namespace hemul::fhe

@@ -1,0 +1,236 @@
+#include "net/client.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace hemul::net {
+
+namespace {
+
+/// A kError envelope answering a submit becomes a Response status, so the
+/// caller-facing contract ("the future always yields a Response") holds.
+core::Response error_to_response(const fhe::Envelope& envelope) {
+  const auto [code, message] = fhe::decode_error_payload(envelope.payload);
+  core::Response response;
+  response.error = message;
+  switch (code) {
+    case fhe::WireErrorCode::kBadRequestBytes:
+    case fhe::WireErrorCode::kUnknownSession:
+      response.status = core::ResponseStatus::kBadRequest;
+      break;
+    case fhe::WireErrorCode::kShuttingDown:
+      response.status = core::ResponseStatus::kUnavailable;
+      break;
+    case fhe::WireErrorCode::kUnsupported:
+    case fhe::WireErrorCode::kInternal:
+      response.status = core::ResponseStatus::kInternalError;
+      break;
+  }
+  return response;
+}
+
+core::Response unavailable_response(const std::string& why) {
+  core::Response response;
+  response.status = core::ResponseStatus::kUnavailable;
+  response.error = why;
+  return response;
+}
+
+}  // namespace
+
+ShardClient::ShardClient(std::string address) : address_(std::move(address)) {
+  const auto [host, port] = parse_host_port(address_);
+  socket_ = Socket::connect_to(host, port);
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+ShardClient::~ShardClient() {
+  close();
+  if (reader_.joinable()) reader_.join();
+}
+
+void ShardClient::close() {
+  socket_.shutdown_both();  // unblocks the reader, which fails the pending
+}
+
+bool ShardClient::alive() const {
+  std::lock_guard lock(mutex_);
+  return alive_;
+}
+
+void ShardClient::reader_loop() {
+  for (;;) {
+    fhe::Envelope envelope;
+    try {
+      envelope = read_envelope(socket_);
+    } catch (const std::exception& e) {
+      fail_all_pending(std::string("connection to ") + address_ + " lost: " + e.what());
+      return;
+    }
+    PendingCall pending;
+    bool found = false;
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = pending_.find(envelope.request_id);
+      if (it != pending_.end()) {
+        pending = std::move(it->second);
+        pending_.erase(it);
+        found = true;
+      }
+    }
+    if (!found) continue;  // stale reply (e.g. after a local timeout path)
+    if (pending.is_submit) {
+      core::Response response;
+      try {
+        if (envelope.type == fhe::MessageType::kError) {
+          response = error_to_response(envelope);
+        } else if (envelope.type == fhe::MessageType::kResponse) {
+          response = core::decode_response(envelope.payload);
+        } else {
+          response.status = core::ResponseStatus::kInternalError;
+          response.error = "peer answered a submit with message type " +
+                           std::to_string(static_cast<unsigned>(envelope.type));
+        }
+      } catch (const std::exception& e) {
+        response = core::Response{};
+        response.status = core::ResponseStatus::kInternalError;
+        response.error = std::string("malformed response frame: ") + e.what();
+      }
+      pending.response.set_value(std::move(response));
+    } else {
+      pending.control.set_value(std::move(envelope));
+    }
+  }
+}
+
+void ShardClient::fail_all_pending(const std::string& why) {
+  std::unordered_map<u64, PendingCall> orphaned;
+  {
+    std::lock_guard lock(mutex_);
+    alive_ = false;
+    orphaned.swap(pending_);
+  }
+  for (auto& [id, pending] : orphaned) {
+    if (pending.is_submit) {
+      pending.response.set_value(unavailable_response(why));
+    } else {
+      pending.control.set_exception(std::make_exception_ptr(NetError(why)));
+    }
+  }
+}
+
+fhe::Envelope ShardClient::call(fhe::MessageType type, u64 session, fhe::Bytes payload) {
+  fhe::Envelope request;
+  request.type = type;
+  request.session = session;
+  request.payload = std::move(payload);
+
+  std::future<fhe::Envelope> future;
+  {
+    std::lock_guard lock(mutex_);
+    if (!alive_) throw NetError("connection to " + address_ + " is down");
+    request.request_id = next_request_++;
+    future = pending_[request.request_id].control.get_future();
+  }
+  try {
+    std::lock_guard lock(write_mutex_);
+    write_envelope(socket_, request);
+  } catch (const std::exception&) {
+    // The reader will notice the dead socket too; make sure THIS call's
+    // promise fails even if the reader already swept the table.
+    std::lock_guard lock(mutex_);
+    pending_.erase(request.request_id);
+    throw;
+  }
+  return future.get();
+}
+
+ShardClient::SessionKeys ShardClient::create_session(const fhe::DghvParams& params,
+                                                     u64 seed) {
+  fhe::Bytes payload = fhe::encode_params(params);
+  {
+    fhe::ByteWriter w;
+    w.put_u64(seed);
+    const fhe::Bytes seed_bytes = w.take();
+    payload.insert(payload.end(), seed_bytes.begin(), seed_bytes.end());
+  }
+  const fhe::Envelope reply =
+      call(fhe::MessageType::kCreateSession, 0, std::move(payload));
+  if (reply.type == fhe::MessageType::kError) {
+    const auto [code, message] = fhe::decode_error_payload(reply.payload);
+    if (code == fhe::WireErrorCode::kShuttingDown) throw core::ShuttingDown();
+    throw std::runtime_error("create_session failed: " + message);
+  }
+  if (reply.type != fhe::MessageType::kSessionCreated) {
+    throw NetError("unexpected reply to create_session");
+  }
+  SessionKeys keys;
+  keys.session = reply.session;
+  fhe::ByteReader reader(reply.payload);
+  keys.public_key = fhe::decode_public_key(reader);
+  keys.secret_key = fhe::decode_secret_key(reader);
+  if (!reader.at_end()) {
+    throw fhe::SerializeError("trailing bytes after session key material");
+  }
+  return keys;
+}
+
+std::future<core::Response> ShardClient::submit(core::SessionId session,
+                                                const core::Request& request) {
+  return submit_raw(session, core::encode_request(request));
+}
+
+std::future<core::Response> ShardClient::submit_raw(core::SessionId session,
+                                                    fhe::Bytes request_frame) {
+  fhe::Envelope envelope;
+  envelope.type = fhe::MessageType::kSubmit;
+  envelope.session = session;
+  envelope.payload = std::move(request_frame);
+
+  std::future<core::Response> future;
+  {
+    std::lock_guard lock(mutex_);
+    if (!alive_) {
+      std::promise<core::Response> dead;
+      dead.set_value(unavailable_response("connection to " + address_ + " is down"));
+      return dead.get_future();
+    }
+    envelope.request_id = next_request_++;
+    PendingCall& pending = pending_[envelope.request_id];
+    pending.is_submit = true;
+    future = pending.response.get_future();
+  }
+  try {
+    std::lock_guard lock(write_mutex_);
+    write_envelope(socket_, envelope);
+  } catch (const std::exception& e) {
+    std::promise<core::Response> orphan;
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = pending_.find(envelope.request_id);
+      if (it == pending_.end()) return future;  // reader already failed it
+      orphan = std::move(it->second.response);
+      pending_.erase(it);
+    }
+    orphan.set_value(unavailable_response(std::string("send failed: ") + e.what()));
+  }
+  return future;
+}
+
+FleetStats ShardClient::stats() {
+  const fhe::Envelope reply = call(fhe::MessageType::kStats, 0, {});
+  if (reply.type != fhe::MessageType::kStatsReply) {
+    throw NetError("unexpected reply to stats");
+  }
+  return decode_fleet_stats(reply.payload);
+}
+
+void ShardClient::request_shutdown() {
+  const fhe::Envelope reply = call(fhe::MessageType::kShutdown, 0, {});
+  if (reply.type != fhe::MessageType::kShutdownAck) {
+    throw NetError("unexpected reply to shutdown");
+  }
+}
+
+}  // namespace hemul::net

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "service/service.hpp"
+
+namespace hemul::net {
+
+/// Blocking client of one shard (or of the router -- both speak the same
+/// envelope protocol). One reader thread demultiplexes replies to callers
+/// by request id, so any number of submits can be outstanding at once.
+///
+/// Connection loss fails exactly the in-flight calls of THIS connection:
+/// pending submits complete with ResponseStatus::kUnavailable, pending
+/// control calls throw NetError, and the client reports alive() == false;
+/// later submits are refused locally the same way.
+class ShardClient {
+ public:
+  /// Connects to "host:port". Throws NetError on failure.
+  explicit ShardClient(std::string address);
+  ~ShardClient();
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  /// A created session: the server-assigned id plus the key material the
+  /// shard generated for this tenant (the client encrypts/decrypts locally
+  /// by rebuilding an fhe::Dghv from these).
+  struct SessionKeys {
+    core::SessionId session = 0;
+    fhe::PublicKey public_key;
+    bigint::BigUInt secret_key;
+  };
+
+  /// Synchronous create-session RPC. Throws core::ShuttingDown when the
+  /// peer is draining, NetError on connection loss, std::runtime_error on
+  /// other remote errors.
+  SessionKeys create_session(const fhe::DghvParams& params, u64 seed);
+
+  /// Asynchronous evaluate RPC. The future always yields a Response
+  /// (remote errors and connection loss become statuses, never broken
+  /// promises).
+  std::future<core::Response> submit(core::SessionId session, const core::Request& request);
+
+  /// Like submit(), but forwards an already-encoded kRequest frame
+  /// verbatim -- the router's path, which never re-encodes payloads.
+  std::future<core::Response> submit_raw(core::SessionId session, fhe::Bytes request_frame);
+
+  /// Synchronous stats RPC (a shard replies with one-entry FleetStats; the
+  /// router replies with the whole fleet).
+  FleetStats stats();
+
+  /// Sends kShutdown and waits for the acknowledgement: the peer stops
+  /// accepting (in-flight work still completes).
+  void request_shutdown();
+
+  /// Generic synchronous call: sends one envelope, returns the matching
+  /// reply (including kError envelopes -- callers that need typed errors
+  /// use the wrappers above, which map them to exceptions).
+  fhe::Envelope call(fhe::MessageType type, u64 session, fhe::Bytes payload);
+
+  [[nodiscard]] bool alive() const;
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+
+  /// Closes the connection (pending calls fail as on connection loss).
+  void close();
+
+ private:
+  struct PendingCall {
+    bool is_submit = false;
+    std::promise<core::Response> response;  ///< is_submit
+    std::promise<fhe::Envelope> control;    ///< !is_submit
+  };
+
+  void reader_loop();
+  void fail_all_pending(const std::string& why);
+
+  std::string address_;
+  Socket socket_;
+  std::mutex write_mutex_;          ///< serializes socket writes
+  mutable std::mutex mutex_;        ///< pending_ / alive_ / next_request_
+  std::unordered_map<u64, PendingCall> pending_;
+  u64 next_request_ = 1;
+  bool alive_ = true;
+  std::thread reader_;  ///< last member: joins before teardown
+};
+
+}  // namespace hemul::net

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fhe/serialize.hpp"
+#include "net/socket.hpp"
+#include "service/request.hpp"
+
+namespace hemul::net {
+
+/// Hard upper bound on one envelope frame (header + payload). A hostile or
+/// corrupted length prefix is rejected before any allocation; legitimate
+/// frames (key material at paper parameters included) stay far below it.
+inline constexpr u64 kMaxEnvelopeBytes = u64{1} << 28;  // 256 MiB
+
+/// Blocking-reads one whole kEnvelope frame off the socket: header first
+/// (validated magic/version/tag, length bounded by kMaxEnvelopeBytes), then
+/// the payload, then a full fhe::decode_envelope pass. Throws NetError on
+/// connection loss and fhe::SerializeError on malformed bytes.
+[[nodiscard]] fhe::Envelope read_envelope(Socket& socket);
+
+/// Writes one envelope as a single send (the frame is self-delimiting, so
+/// writers never need length negotiation).
+void write_envelope(Socket& socket, const fhe::Envelope& envelope);
+
+/// One shard's slice of a fleet stats reply.
+struct ShardStats {
+  std::string address;  ///< host:port the router dialed
+  bool alive = true;    ///< false once the router saw the connection die
+  core::ServiceStats service;
+};
+
+/// Aggregated fleet statistics: the payload of a kStatsReply envelope.
+/// Shard-level ServiceStats are carried verbatim so operators can see skew,
+/// plus router-side forwarding counters no shard can know.
+struct FleetStats {
+  u64 sessions_created = 0;  ///< sessions the router has placed on shards
+  u64 forwarded = 0;         ///< requests relayed to a shard
+  u64 failed = 0;            ///< requests failed by connection loss
+  std::vector<ShardStats> shards;
+
+  /// Sums the per-shard ServiceStats (lane detail dropped; scalar counters
+  /// and queue gauges added field by field).
+  [[nodiscard]] core::ServiceStats aggregate() const;
+};
+
+/// FleetStats wire codec (the bytes inside a kStatsReply envelope payload).
+[[nodiscard]] fhe::Bytes encode_fleet_stats(const FleetStats& stats);
+[[nodiscard]] FleetStats decode_fleet_stats(std::span<const u8> payload);
+
+}  // namespace hemul::net

@@ -1,0 +1,170 @@
+#include "net/router.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace hemul::net {
+
+namespace {
+
+std::vector<std::unique_ptr<ShardClient>> connect_all(
+    const std::vector<std::string>& addresses) {
+  HEMUL_CHECK_MSG(!addresses.empty(), "Router: no shards configured");
+  std::vector<std::unique_ptr<ShardClient>> shards;
+  shards.reserve(addresses.size());
+  for (const std::string& address : addresses) {
+    shards.push_back(std::make_unique<ShardClient>(address));
+  }
+  return shards;
+}
+
+}  // namespace
+
+Router::Router(std::vector<std::string> shard_addresses)
+    : Router(std::move(shard_addresses), Options{}) {}
+
+Router::Router(std::vector<std::string> shard_addresses, Options options)
+    : addresses_(std::move(shard_addresses)), shards_(connect_all(addresses_)),
+      on_shutdown_(std::move(options.on_shutdown)),
+      server_(options.port, [this](const fhe::Envelope& request, ServerConnection& conn) {
+        handle(request, conn);
+      }) {}
+
+std::size_t Router::shard_of(u64 global_session, std::size_t shard_count) noexcept {
+  // splitmix64: deterministic, well-mixed, and stable across platforms --
+  // the same session id always lands on the same shard.
+  u64 z = global_session + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % shard_count);
+}
+
+FleetStats Router::fleet_stats() {
+  FleetStats fleet;
+  {
+    std::lock_guard lock(mutex_);
+    fleet.sessions_created = sessions_created_;
+    fleet.forwarded = forwarded_;
+    fleet.failed = failed_;
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardStats shard;
+    shard.address = addresses_[i];
+    shard.alive = shards_[i]->alive();
+    if (shard.alive) {
+      try {
+        FleetStats remote = shards_[i]->stats();
+        if (remote.shards.size() == 1) shard.service = std::move(remote.shards[0].service);
+      } catch (const std::exception&) {
+        shard.alive = false;  // died between the check and the RPC
+      }
+    }
+    fleet.shards.push_back(std::move(shard));
+  }
+  return fleet;
+}
+
+void Router::handle(const fhe::Envelope& request, ServerConnection& connection) {
+  switch (request.type) {
+    case fhe::MessageType::kCreateSession: {
+      u64 global = 0;
+      {
+        std::lock_guard lock(mutex_);
+        global = next_session_++;
+      }
+      const std::size_t shard = shard_of(global, shards_.size());
+      if (!shards_[shard]->alive()) {
+        throw std::runtime_error("shard " + addresses_[shard] +
+                                 " for the new session is down");
+      }
+      // Forward the raw payload; the shard decodes and answers with the
+      // key material, which travels back verbatim under the global id.
+      const fhe::Envelope remote =
+          shards_[shard]->call(fhe::MessageType::kCreateSession, 0, request.payload);
+      if (remote.type == fhe::MessageType::kError) {
+        // Re-raise toward OUR client with the shard's error payload.
+        fhe::Envelope reply;
+        reply.type = fhe::MessageType::kError;
+        reply.session = request.session;
+        reply.request_id = request.request_id;
+        reply.payload = remote.payload;
+        connection.send_now(std::move(reply));
+        return;
+      }
+      if (remote.type != fhe::MessageType::kSessionCreated) {
+        throw std::runtime_error("shard answered create_session with message type " +
+                                 std::to_string(static_cast<unsigned>(remote.type)));
+      }
+      {
+        std::lock_guard lock(mutex_);
+        placements_[global] = Placement{shard, remote.session};
+        ++sessions_created_;
+      }
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kSessionCreated;
+      reply.session = global;
+      reply.request_id = request.request_id;
+      reply.payload = remote.payload;
+      connection.send_now(std::move(reply));
+      return;
+    }
+    case fhe::MessageType::kSubmit: {
+      Placement placement;
+      {
+        std::lock_guard lock(mutex_);
+        const auto it = placements_.find(request.session);
+        if (it == placements_.end()) {
+          throw std::invalid_argument("unknown session " + std::to_string(request.session));
+        }
+        placement = it->second;
+      }
+      ShardClient& shard = *shards_[placement.shard];
+      // A dead shard's submit_raw answers locally with kUnavailable; the
+      // failed_ counter distinguishes those from forwarded work.
+      {
+        std::lock_guard lock(mutex_);
+        if (shard.alive()) {
+          ++forwarded_;
+        } else {
+          ++failed_;
+        }
+      }
+      connection.send_when_ready(request.session, request.request_id,
+                                 shard.submit_raw(placement.remote, request.payload));
+      return;
+    }
+    case fhe::MessageType::kStats: {
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kStatsReply;
+      reply.request_id = request.request_id;
+      reply.payload = encode_fleet_stats(fleet_stats());
+      connection.send_now(std::move(reply));
+      return;
+    }
+    case fhe::MessageType::kShutdown: {
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kShutdownAck;
+      reply.request_id = request.request_id;
+      connection.send_now(std::move(reply));
+      if (on_shutdown_) on_shutdown_();
+      return;
+    }
+    default: {
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kError;
+      reply.session = request.session;
+      reply.request_id = request.request_id;
+      reply.payload = fhe::encode_error_payload(
+          fhe::WireErrorCode::kUnsupported,
+          "message type " + std::to_string(static_cast<unsigned>(request.type)) +
+              " is not served by the router");
+      connection.send_now(std::move(reply));
+      return;
+    }
+  }
+}
+
+}  // namespace hemul::net

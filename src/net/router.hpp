@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace hemul::net {
+
+/// Fleet front door: speaks the same envelope protocol as a shard, but owns
+/// no Service -- it places sessions on shards by hashing the (router-
+/// assigned) global session id, forwards submits verbatim to the owning
+/// shard, and aggregates per-shard stats into one kStatsReply.
+///
+/// Placement is deterministic: shard_of(id, n) depends only on the id and
+/// the shard count, so a restarted router with the same shard list hashes
+/// identically. A dead shard fails only its own sessions' requests (clean
+/// kUnavailable responses); other shards keep serving, and the stats reply
+/// reports the dead shard with alive == false.
+class Router {
+ public:
+  struct Options {
+    int port = 0;  ///< 0 = ephemeral
+    /// Invoked (once) after a kShutdown request has been acknowledged.
+    std::function<void()> on_shutdown;
+  };
+
+  /// Connects to every shard up front; throws NetError if any is
+  /// unreachable (a fleet that never formed is a deployment error, unlike
+  /// a shard dying later, which is handled).
+  Router(std::vector<std::string> shard_addresses, Options options);
+  explicit Router(std::vector<std::string> shard_addresses);
+
+  [[nodiscard]] int port() const noexcept { return server_.port(); }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  void stop() { server_.stop(); }
+
+  /// The placement hash: splitmix64 over the global session id, reduced
+  /// modulo the shard count. Exposed so tests can assert determinism.
+  [[nodiscard]] static std::size_t shard_of(u64 global_session,
+                                            std::size_t shard_count) noexcept;
+
+  /// The router's own view of the fleet (same data a kStats RPC returns).
+  [[nodiscard]] FleetStats fleet_stats();
+
+ private:
+  struct Placement {
+    std::size_t shard = 0;
+    core::SessionId remote = 0;  ///< the session id inside that shard
+  };
+
+  void handle(const fhe::Envelope& request, ServerConnection& connection);
+
+  std::vector<std::string> addresses_;
+  std::vector<std::unique_ptr<ShardClient>> shards_;
+  std::function<void()> on_shutdown_;
+
+  std::mutex mutex_;
+  std::unordered_map<u64, Placement> placements_;
+  u64 next_session_ = 1;
+  u64 sessions_created_ = 0;
+  u64 forwarded_ = 0;
+  u64 failed_ = 0;  ///< submits refused because the owning shard is down
+
+  EnvelopeServer server_;  ///< last member: stops before the clients close
+};
+
+}  // namespace hemul::net

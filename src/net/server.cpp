@@ -1,0 +1,251 @@
+#include "net/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hemul::net {
+
+// --- ServerConnection ------------------------------------------------------
+
+ServerConnection::ServerConnection(Socket socket) : socket_(std::move(socket)) {
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+ServerConnection::~ServerConnection() { finish(); }
+
+void ServerConnection::send_now(fhe::Envelope envelope) {
+  {
+    std::lock_guard lock(mutex_);
+    Outgoing out;
+    out.ready = std::move(envelope);
+    queue_.push_back(std::move(out));
+  }
+  cv_.notify_one();
+}
+
+void ServerConnection::send_when_ready(u64 session, u64 request_id,
+                                       std::future<core::Response> response) {
+  {
+    std::lock_guard lock(mutex_);
+    Outgoing out;
+    out.has_future = true;
+    out.session = session;
+    out.request_id = request_id;
+    out.response = std::move(response);
+    queue_.push_back(std::move(out));
+  }
+  cv_.notify_one();
+}
+
+void ServerConnection::writer_loop() {
+  for (;;) {
+    Outgoing out;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return done_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // done_ and drained
+      out = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fhe::Envelope envelope;
+    if (out.has_future) {
+      // Blocking on the future here keeps the reader free; the service
+      // always completes its futures (the destructor drains), so this
+      // cannot wedge shutdown.
+      const core::Response response = out.response.get();
+      envelope.type = fhe::MessageType::kResponse;
+      envelope.session = out.session;
+      envelope.request_id = out.request_id;
+      envelope.payload = core::encode_response(response);
+    } else {
+      envelope = std::move(out.ready);
+    }
+    bool skip = false;
+    {
+      std::lock_guard lock(mutex_);
+      skip = write_failed_;
+    }
+    if (skip) continue;  // peer is gone; keep draining futures quietly
+    try {
+      write_envelope(socket_, envelope);
+    } catch (const NetError&) {
+      // The peer vanished. Keep consuming the queue so pending service
+      // futures are still waited on; nothing more reaches the wire.
+      std::lock_guard lock(mutex_);
+      write_failed_ = true;
+    }
+  }
+}
+
+void ServerConnection::finish() {
+  {
+    std::lock_guard lock(mutex_);
+    if (done_) {
+      if (!writer_.joinable()) return;
+    }
+    done_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+// --- EnvelopeServer --------------------------------------------------------
+
+EnvelopeServer::EnvelopeServer(int port, Handler handler)
+    : listener_(port), handler_(std::move(handler)) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+EnvelopeServer::~EnvelopeServer() { stop(); }
+
+void EnvelopeServer::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  listener_.close();  // wakes the acceptor
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::unique_ptr<ServerConnection>> connections;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mutex_);
+    connections.swap(connections_);
+    threads.swap(threads_);
+  }
+  for (auto& connection : connections) connection->socket_.shutdown_both();
+  for (std::thread& thread : threads) thread.join();
+  // Connections destruct here, joining their writers after the drain.
+}
+
+void EnvelopeServer::accept_loop() {
+  for (;;) {
+    Socket socket;
+    try {
+      socket = listener_.accept_connection();
+    } catch (const NetError&) {
+      return;  // listener closed (stop()) or unrecoverable accept error
+    }
+    auto connection = std::make_unique<ServerConnection>(std::move(socket));
+    ServerConnection* raw = connection.get();
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;  // raced stop(); drop the connection
+    connections_.push_back(std::move(connection));
+    threads_.emplace_back([this, raw] { serve(*raw); });
+  }
+}
+
+void EnvelopeServer::serve(ServerConnection& connection) {
+  for (;;) {
+    fhe::Envelope request;
+    try {
+      request = read_envelope(connection.socket_);
+    } catch (const NetError&) {
+      break;  // peer closed or stop() shut the socket down
+    } catch (const fhe::SerializeError& e) {
+      // Bytes that are not a valid envelope: answer once, then drop the
+      // connection -- framing is lost, nothing later can be trusted.
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kError;
+      reply.payload =
+          fhe::encode_error_payload(fhe::WireErrorCode::kBadRequestBytes, e.what());
+      connection.send_now(std::move(reply));
+      break;
+    }
+    try {
+      handler_(request, connection);
+    } catch (const std::exception& e) {
+      fhe::WireErrorCode code = fhe::WireErrorCode::kInternal;
+      if (dynamic_cast<const core::ShuttingDown*>(&e) != nullptr) {
+        code = fhe::WireErrorCode::kShuttingDown;
+      } else if (dynamic_cast<const fhe::SerializeError*>(&e) != nullptr) {
+        code = fhe::WireErrorCode::kBadRequestBytes;
+      } else if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+        code = fhe::WireErrorCode::kUnknownSession;
+      }
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kError;
+      reply.session = request.session;
+      reply.request_id = request.request_id;
+      reply.payload = fhe::encode_error_payload(code, e.what());
+      connection.send_now(std::move(reply));
+    }
+  }
+  connection.finish();
+}
+
+// --- ShardServer -----------------------------------------------------------
+
+ShardServer::ShardServer(core::Service& service) : ShardServer(service, Options{}) {}
+
+ShardServer::ShardServer(core::Service& service, Options options)
+    : service_(service), on_shutdown_(std::move(options.on_shutdown)),
+      server_(options.port, [this](const fhe::Envelope& request, ServerConnection& conn) {
+        handle(request, conn);
+      }) {}
+
+void ShardServer::handle(const fhe::Envelope& request, ServerConnection& connection) {
+  switch (request.type) {
+    case fhe::MessageType::kCreateSession: {
+      fhe::ByteReader reader(request.payload);
+      const fhe::DghvParams params = fhe::decode_params(reader);
+      const u64 seed = reader.get_u64();
+      if (!reader.at_end()) {
+        throw fhe::SerializeError("trailing bytes after create-session payload");
+      }
+      const core::SessionId id = service_.create_session(params, seed);
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kSessionCreated;
+      reply.session = id;
+      reply.request_id = request.request_id;
+      reply.payload = service_.public_key_bytes(id);
+      const fhe::Bytes secret = service_.secret_key_bytes(id);
+      reply.payload.insert(reply.payload.end(), secret.begin(), secret.end());
+      connection.send_now(std::move(reply));
+      return;
+    }
+    case fhe::MessageType::kSubmit: {
+      core::Request decoded = core::decode_request(request.payload);
+      std::future<core::Response> future =
+          service_.submit(request.session, std::move(decoded));
+      connection.send_when_ready(request.session, request.request_id, std::move(future));
+      return;
+    }
+    case fhe::MessageType::kStats: {
+      FleetStats fleet;
+      ShardStats self;
+      self.alive = true;
+      self.service = service_.stats();
+      fleet.shards.push_back(std::move(self));
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kStatsReply;
+      reply.request_id = request.request_id;
+      reply.payload = encode_fleet_stats(fleet);
+      connection.send_now(std::move(reply));
+      return;
+    }
+    case fhe::MessageType::kShutdown: {
+      service_.stop_accepting();
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kShutdownAck;
+      reply.request_id = request.request_id;
+      connection.send_now(std::move(reply));
+      if (on_shutdown_) on_shutdown_();
+      return;
+    }
+    default: {
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kError;
+      reply.session = request.session;
+      reply.request_id = request.request_id;
+      reply.payload = fhe::encode_error_payload(
+          fhe::WireErrorCode::kUnsupported,
+          "message type " + std::to_string(static_cast<unsigned>(request.type)) +
+              " is not served by a shard");
+      connection.send_now(std::move(reply));
+      return;
+    }
+  }
+}
+
+}  // namespace hemul::net

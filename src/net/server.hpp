@@ -1,0 +1,125 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "service/service.hpp"
+
+namespace hemul::net {
+
+/// One accepted connection of an EnvelopeServer. Replies leave through a
+/// per-connection FIFO writer thread, so a handler can either answer
+/// immediately (send_now) or hand over a Service future (send_when_ready)
+/// without blocking the reader -- pipelined submits stay outstanding
+/// together, which is what lets the admission window coalesce them.
+class ServerConnection {
+ public:
+  explicit ServerConnection(Socket socket);
+  ~ServerConnection();
+
+  ServerConnection(const ServerConnection&) = delete;
+  ServerConnection& operator=(const ServerConnection&) = delete;
+
+  /// Queues a ready envelope for writing (FIFO with everything else).
+  void send_now(fhe::Envelope envelope);
+
+  /// Queues a response future; the writer thread blocks on it in queue
+  /// order and writes the kResponse envelope when the service completes it.
+  void send_when_ready(u64 session, u64 request_id, std::future<core::Response> response);
+
+ private:
+  friend class EnvelopeServer;
+
+  struct Outgoing {
+    fhe::Envelope ready;
+    bool has_future = false;
+    u64 session = 0;
+    u64 request_id = 0;
+    std::future<core::Response> response;
+  };
+
+  void writer_loop();
+  /// Stops the writer after it drains the queue, and joins it.
+  void finish();
+
+  Socket socket_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Outgoing> queue_;
+  bool done_ = false;
+  bool write_failed_ = false;  ///< socket died mid-write; drop the rest
+  std::thread writer_;
+};
+
+/// Minimal blocking envelope server: an accept loop, one reader thread per
+/// connection, and the ServerConnection writer. All protocol logic lives in
+/// the handler; the server maps handler exceptions to kError envelopes
+/// (ShuttingDown -> kShuttingDown, SerializeError -> kBadRequestBytes,
+/// invalid_argument -> kUnknownSession, anything else -> kInternal) so one
+/// hostile or unlucky request never tears the connection down.
+class EnvelopeServer {
+ public:
+  using Handler = std::function<void(const fhe::Envelope&, ServerConnection&)>;
+
+  /// Binds 127.0.0.1:port (0 = ephemeral; see port()) and starts accepting.
+  EnvelopeServer(int port, Handler handler);
+  ~EnvelopeServer();
+
+  EnvelopeServer(const EnvelopeServer&) = delete;
+  EnvelopeServer& operator=(const EnvelopeServer&) = delete;
+
+  [[nodiscard]] int port() const noexcept { return listener_.port(); }
+
+  /// Stops accepting, unblocks every connection and joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve(ServerConnection& connection);
+
+  Listener listener_;
+  Handler handler_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ServerConnection>> connections_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+  std::thread acceptor_;
+};
+
+/// The shard daemon's protocol: one core::Service behind an EnvelopeServer.
+/// Dispatches kCreateSession / kSubmit / kStats / kShutdown (the full
+/// message set a shard speaks; see docs/wire-protocol.md).
+class ShardServer {
+ public:
+  struct Options {
+    int port = 0;  ///< 0 = ephemeral
+    /// Invoked (once) after a kShutdown request has been acknowledged --
+    /// the daemon uses it to leave its wait loop and drain.
+    std::function<void()> on_shutdown;
+  };
+
+  /// The service must outlive the server.
+  ShardServer(core::Service& service, Options options);
+  explicit ShardServer(core::Service& service);
+
+  [[nodiscard]] int port() const noexcept { return server_.port(); }
+  void stop() { server_.stop(); }
+
+ private:
+  void handle(const fhe::Envelope& request, ServerConnection& connection);
+
+  core::Service& service_;
+  std::function<void()> on_shutdown_;
+  EnvelopeServer server_;  ///< last member: stops before the rest tears down
+};
+
+}  // namespace hemul::net

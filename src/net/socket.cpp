@@ -1,0 +1,158 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hemul::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket Socket::connect_to(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  Socket sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("unresolvable host (IPv4 literal expected): " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail_errno("connect to " + numeric + ":" + std::to_string(port));
+  }
+  // Frames are small and latency-bound; never batch them behind Nagle.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+void Socket::send_all(std::span<const u8> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::recv_exact(std::span<u8> data) {
+  std::size_t got = 0;
+  while (got < data.size()) {
+    const ssize_t n = ::recv(fd_, data.data() + got, data.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv");
+    }
+    if (n == 0) {
+      throw NetError(got == 0 ? "connection closed by peer"
+                              : "connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail_errno("socket");
+
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    fail_errno("bind to 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    fail_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    fail_errno("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+Socket Listener::accept_connection() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) fail_errno("accept");
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    // shutdown() first so a thread blocked in accept() wakes with an error
+    // instead of holding the fd forever.
+    (void)::shutdown(fd_, SHUT_RDWR);
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<std::string, int> parse_host_port(const std::string& address) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == address.size()) {
+    throw NetError("malformed address (want host:port): " + address);
+  }
+  int port = 0;
+  try {
+    port = std::stoi(address.substr(colon + 1));
+  } catch (const std::exception&) {
+    throw NetError("malformed port in address: " + address);
+  }
+  if (port < 1 || port > 65535) throw NetError("port out of range in address: " + address);
+  return {address.substr(0, colon), port};
+}
+
+}  // namespace hemul::net

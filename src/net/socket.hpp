@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/uint128.hpp"
+
+namespace hemul::net {
+
+/// Thrown on transport-level failures: connect/bind errors, peers closing
+/// mid-frame, short reads. Distinct from fhe::SerializeError (malformed
+/// bytes that arrived intact) so callers can tell a dead connection from a
+/// hostile one.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// RAII wrapper of one connected TCP socket. Blocking I/O only -- the fleet
+/// layer uses one reader thread per connection instead of readiness
+/// polling, which keeps the protocol code linear. Writes use MSG_NOSIGNAL,
+/// so a vanished peer is a NetError, never a SIGPIPE.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to an IPv4 host:port (numeric or "localhost"). Throws
+  /// NetError on failure.
+  static Socket connect_to(const std::string& host, int port);
+
+  /// Writes the whole buffer or throws NetError.
+  void send_all(std::span<const u8> data);
+
+  /// Reads exactly `data.size()` bytes or throws NetError (a clean remote
+  /// close before the first byte throws with "closed" in the message).
+  void recv_exact(std::span<u8> data);
+
+  /// Half-closes the write side (signals end-of-requests to the peer) and
+  /// unblocks any reader blocked on this socket.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket bound to 127.0.0.1. Port 0 asks the kernel for an
+/// ephemeral port; port() reports the one actually bound (daemons print it
+/// so a parent process can discover where to connect).
+class Listener {
+ public:
+  explicit Listener(int port);
+  ~Listener() { close(); }
+
+  Listener(Listener&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener& operator=(Listener&&) = delete;
+
+  /// Blocks for the next connection. Throws NetError once close() has been
+  /// called from another thread (the accept loop's shutdown path).
+  [[nodiscard]] Socket accept_connection();
+
+  void close() noexcept;
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Splits "host:port" (throws NetError on a malformed address).
+[[nodiscard]] std::pair<std::string, int> parse_host_port(const std::string& address);
+
+}  // namespace hemul::net

@@ -98,4 +98,52 @@ Request decode_request(std::span<const u8> buffer) {
   return request;
 }
 
+fhe::Bytes encode_response(const Response& response) {
+  fhe::ByteWriter writer;
+  writer.begin_frame(fhe::WireTag::kResponse);
+  writer.put_u8(static_cast<u8>(response.status));
+  writer.put_f64(response.retry_after_ms);
+  writer.put_bytes(std::span<const u8>(reinterpret_cast<const u8*>(response.error.data()),
+                                       response.error.size()));
+  writer.put_bytes(response.outputs);
+  writer.put_u64(response.and_gates);
+  writer.put_u32(response.levels);
+  writer.put_u64(response.shared_batches);
+  writer.put_u64(response.transforms_executed);
+  writer.put_u64(static_cast<u64>(response.transforms_avoided));
+  writer.put_f64(response.queue_ms);
+  writer.put_f64(response.exec_ms);
+  writer.finish_frame();
+  return writer.take();
+}
+
+Response decode_response(std::span<const u8> buffer) {
+  fhe::ByteReader reader(buffer);
+  reader.expect_frame(fhe::WireTag::kResponse);
+  Response response;
+  const u8 status = reader.get_u8();
+  if (status > static_cast<u8>(ResponseStatus::kUnavailable)) {
+    throw fhe::SerializeError("unknown response status byte " + std::to_string(status));
+  }
+  response.status = static_cast<ResponseStatus>(status);
+  response.retry_after_ms = reader.get_f64();
+  if (!(response.retry_after_ms >= 0.0) || response.retry_after_ms > 1e9) {
+    throw fhe::SerializeError("response retry-after out of range");
+  }
+  const fhe::Bytes error = reader.get_bytes();
+  response.error.assign(error.begin(), error.end());
+  response.outputs = reader.get_bytes();
+  response.and_gates = reader.get_u64();
+  response.levels = reader.get_u32();
+  response.shared_batches = reader.get_u64();
+  response.transforms_executed = reader.get_u64();
+  response.transforms_avoided = static_cast<i64>(reader.get_u64());
+  response.queue_ms = reader.get_f64();
+  response.exec_ms = reader.get_f64();
+  if (!reader.at_end()) {
+    throw fhe::SerializeError("trailing bytes after the response frame");
+  }
+  return response;
+}
+
 }  // namespace hemul::core

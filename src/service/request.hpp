@@ -99,6 +99,15 @@ struct Request {
 [[nodiscard]] fhe::Bytes encode_request(const Request& request);
 [[nodiscard]] Request decode_request(std::span<const u8> buffer);
 
+struct Response;
+
+/// Framed wire encoding of a whole Response (fhe::WireTag::kResponse):
+/// status byte, retry-after hint, diagnostic, output ciphertext stream and
+/// the execution counters. decode_response validates the status byte and
+/// throws fhe::SerializeError on malformed bytes.
+[[nodiscard]] fhe::Bytes encode_response(const Response& response);
+[[nodiscard]] Response decode_response(std::span<const u8> buffer);
+
 enum class ResponseStatus : u8 {
   kOk = 0,
   /// The pre-execution NoiseModel audit predicts an undecryptable output;
@@ -110,6 +119,14 @@ enum class ResponseStatus : u8 {
   /// A backend threw while executing this request (e.g. an operand past
   /// an engine's limits). The service stays up; only this request fails.
   kInternalError,
+  /// Load-shed at submit: the admission queue was at its configured bound
+  /// (ServiceOptions::max_queue_depth). The request never entered the
+  /// queue; retry_after_ms hints when to retry.
+  kOverloaded,
+  /// The service (or the connection carrying the request) is gone: shard
+  /// draining after stop_accepting(), or a connection loss that failed the
+  /// in-flight requests of that connection only.
+  kUnavailable,
 };
 
 /// Completion of one Request, delivered through the submit() future.
@@ -117,6 +134,9 @@ struct Response {
   ResponseStatus status = ResponseStatus::kOk;
   std::string error;   ///< diagnostic (non-kOk only)
   fhe::Bytes outputs;  ///< serialized ciphertext stream (kOk only)
+  /// Back-off hint for kOverloaded responses: one admission window, so a
+  /// retry lands after the queue has had a chance to drain. 0 otherwise.
+  double retry_after_ms = 0.0;
 
   u64 and_gates = 0;      ///< multiplications executed for this request
   unsigned levels = 0;    ///< multiplicative depth (= wavefronts traversed)
@@ -143,6 +163,7 @@ struct TenantStats {
   u64 rejected_by_noise = 0;
   u64 bad_requests = 0;
   u64 internal_errors = 0;
+  u64 shed = 0;  ///< kOverloaded refusals (never entered the queue)
   u64 and_gates = 0;
   u64 wavefronts = 0;
   u64 bytes_in = 0;   ///< serialized request payloads accepted
@@ -156,6 +177,8 @@ struct ServiceStats {
   u64 rejected_by_noise = 0;
   u64 bad_requests = 0;
   u64 internal_errors = 0;
+  u64 shed = 0;              ///< kOverloaded refusals across all tenants
+  u64 sessions_evicted = 0;  ///< idle key contexts dropped by the LRU bound
   u64 and_gates = 0;
   u64 wavefronts = 0;  ///< per-request wavefronts, summed
   /// Coalesced scheduler batches actually submitted. Cross-request batching

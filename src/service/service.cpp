@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -39,7 +40,12 @@ struct Service::Session {
   fhe::Dghv scheme;
   fhe::Ciphertext zero;
   fhe::Ciphertext one;
-  TenantStats stats;  ///< guarded by the Service mutex
+  TenantStats stats;         ///< guarded by the Service mutex
+  u64 last_used = 0;         ///< recency tick for LRU eviction (under mutex)
+  std::size_t in_flight = 0; ///< this tenant's queued + executing requests
+                             ///< (under mutex); eviction requires 0 so no
+                             ///< Pending/Active ever holds a dangling
+                             ///< Session pointer
 };
 
 /// A request accepted by submit(), waiting for admission.
@@ -95,12 +101,41 @@ SessionId Service::create_session(const fhe::DghvParams& params, u64 seed) {
   // backend family only through the registry, so each tenant's in-process
   // encrypt path stays independent of the PE lanes.
   std::unique_lock lock(mutex_);
+  if (!accepting_) throw ShuttingDown();
   const SessionId id = next_session_++;
   lock.unlock();
   auto session = std::make_unique<Session>(params, seed, id, backend::auto_backend());
   lock.lock();
+  if (!accepting_) throw ShuttingDown();  // drained while keygen ran
+  if (options_.max_sessions > 0 && sessions_.size() >= options_.max_sessions) {
+    evict_idle_session_locked();
+  }
+  session->last_used = ++lru_tick_;
   sessions_.emplace(id, std::move(session));
   return id;
+}
+
+void Service::evict_idle_session_locked() {
+  auto victim = sessions_.end();
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->second->in_flight != 0) continue;  // never evict under a request
+    if (victim == sessions_.end() || it->second->last_used < victim->second->last_used) {
+      victim = it;
+    }
+  }
+  if (victim == sessions_.end()) throw SessionTableFull();
+  sessions_.erase(victim);
+  ++totals_.sessions_evicted;
+}
+
+void Service::stop_accepting() {
+  std::lock_guard lock(mutex_);
+  accepting_ = false;
+}
+
+bool Service::accepting() const {
+  std::lock_guard lock(mutex_);
+  return accepting_;
 }
 
 Service::Session& Service::session_ref(SessionId id) {
@@ -123,20 +158,51 @@ fhe::Bytes Service::secret_key_bytes(SessionId session) {
 }
 
 std::future<Response> Service::submit(SessionId session, Request request) {
-  Session& tenant = session_ref(session);
   Pending pending;
-  pending.session = &tenant;
   pending.request = std::move(request);
   pending.submitted_at = Clock::now();
   std::future<Response> future = pending.promise.get_future();
+  // One lock acquisition covers the session lookup AND the enqueue: the
+  // Session* stored in Pending must be pinned (tenant.in_flight bumped)
+  // before the lock drops, or LRU eviction could invalidate it in between.
+  Response refused;
+  bool accepted = false;
   {
     std::lock_guard lock(mutex_);
     HEMUL_CHECK_MSG(!stop_, "Service: submit after shutdown");
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      throw std::invalid_argument("Service: unknown session " + std::to_string(session));
+    }
+    Session& tenant = *it->second;
+    tenant.last_used = ++lru_tick_;
     ++totals_.submitted;
     ++tenant.stats.submitted;
-    tenant.stats.bytes_in += pending.request.graph.size() + pending.request.inputs.size();
-    ++in_flight_;
-    pending_.push_back(std::move(pending));
+    if (!accepting_) {
+      refused.status = ResponseStatus::kUnavailable;
+      refused.error = "service is draining; no new requests accepted";
+    } else if (options_.max_queue_depth > 0 &&
+               pending_.size() >= options_.max_queue_depth) {
+      // Load-shed at the door: the request never enters the queue, so the
+      // queue depth is structurally bounded by max_queue_depth.
+      refused.status = ResponseStatus::kOverloaded;
+      refused.error = "admission queue full (bound " +
+                      std::to_string(options_.max_queue_depth) + ")";
+      refused.retry_after_ms = std::max(options_.admission_window_ms, 1.0);
+      ++totals_.shed;
+      ++tenant.stats.shed;
+    } else {
+      tenant.stats.bytes_in += pending.request.graph.size() + pending.request.inputs.size();
+      ++in_flight_;
+      ++tenant.in_flight;
+      pending.session = &tenant;
+      pending_.push_back(std::move(pending));
+      accepted = true;
+    }
+  }
+  if (!accepted) {
+    pending.promise.set_value(std::move(refused));
+    return future;
   }
   work_cv_.notify_all();
   return future;
@@ -177,7 +243,8 @@ void Service::complete(Active& request, Response response) {
   bool idle = false;
   {
     std::lock_guard lock(mutex_);
-    TenantStats& tenant = request.session->stats;
+    Session& session = *request.session;
+    TenantStats& tenant = session.stats;
     switch (response.status) {
       case ResponseStatus::kOk:
         ++totals_.completed;
@@ -203,8 +270,14 @@ void Service::complete(Active& request, Response response) {
         ++totals_.internal_errors;
         ++tenant.internal_errors;
         break;
+      case ResponseStatus::kOverloaded:
+      case ResponseStatus::kUnavailable:
+        // Shed/drain refusals complete synchronously in submit() and never
+        // become Active; nothing books them here.
+        break;
     }
     tenant.bytes_out += response.outputs.size();
+    --session.in_flight;
     --in_flight_;
     idle = in_flight_ == 0;
   }

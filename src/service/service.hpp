@@ -5,6 +5,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,31 @@ struct ServiceOptions {
   /// concurrently by independent tenants land in the same shared wavefront
   /// (0 = admit whatever is queued the moment the coordinator wakes).
   double admission_window_ms = 0.0;
+  /// Upper bound on resident tenant key contexts (0 = unbounded). At the
+  /// bound, create_session evicts the least-recently-used session with no
+  /// requests in flight; it throws SessionTableFull when every resident
+  /// session is busy (nothing is safely evictable).
+  std::size_t max_sessions = 0;
+  /// Upper bound on the admission queue (0 = unbounded). At the bound,
+  /// submit() sheds the request with ResponseStatus::kOverloaded and a
+  /// retry-after hint instead of queueing it, so callers back off rather
+  /// than stall. The queue depth never exceeds this bound.
+  std::size_t max_queue_depth = 0;
+};
+
+/// Thrown by create_session after stop_accepting(): the service is draining
+/// toward shutdown and opens no new tenant sessions.
+class ShuttingDown : public std::runtime_error {
+ public:
+  ShuttingDown() : std::runtime_error("Service: draining, not accepting new sessions") {}
+};
+
+/// Thrown by create_session when ServiceOptions::max_sessions is reached
+/// and every resident session has requests in flight.
+class SessionTableFull : public std::runtime_error {
+ public:
+  SessionTableFull()
+      : std::runtime_error("Service: session table full and no session is idle") {}
 };
 
 /// Multi-tenant evaluation front-end: the serving side of the accelerator.
@@ -75,6 +101,15 @@ class Service {
   [[nodiscard]] fhe::Bytes public_key_bytes(SessionId session);
   [[nodiscard]] fhe::Bytes secret_key_bytes(SessionId session);
 
+  /// Drain mode for a daemon's SIGTERM path: after this, create_session
+  /// throws ShuttingDown and submit() completes immediately with
+  /// ResponseStatus::kUnavailable. Work already queued or in flight still
+  /// runs to completion (pair with wait_idle() to drain fully).
+  void stop_accepting();
+
+  /// False once stop_accepting() has been called.
+  [[nodiscard]] bool accepting() const;
+
   /// Blocks until no request is pending or in flight.
   void wait_idle();
 
@@ -90,6 +125,10 @@ class Service {
   struct Active;
 
   [[nodiscard]] Session& session_ref(SessionId id);
+
+  /// Evicts the least-recently-used idle session (mutex_ held). Throws
+  /// SessionTableFull when every session has requests in flight.
+  void evict_idle_session_locked();
 
   void coordinator_loop();
   /// Builds the evaluation state of one pending request; completes it
@@ -118,7 +157,9 @@ class Service {
   std::deque<Pending> pending_;
   std::size_t in_flight_ = 0;  ///< admitted, not yet completed
   SessionId next_session_ = 1;
+  u64 lru_tick_ = 0;  ///< monotonic session-recency clock (under mutex_)
   bool stop_ = false;
+  bool accepting_ = true;  ///< cleared by stop_accepting()
 
   // Service-wide counters (under mutex_; lane/cache stats live in the
   // scheduler and are merged into stats() snapshots).

@@ -1,0 +1,409 @@
+// In-process loopback tests of the fleet transport (src/net/): a real
+// ShardServer/Router listening on 127.0.0.1, driven through ShardClient.
+// The multi-process variant (fork/exec of the actual daemons) lives in
+// test_fleet_integration.cpp; everything here runs in one process so the
+// sanitizer cells can see both sides.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fhe/circuits.hpp"
+#include "fhe/evaluator.hpp"
+#include "fhe/serialize.hpp"
+#include "net/client.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+
+namespace hemul::net {
+namespace {
+
+using fhe::Ciphertext;
+using fhe::DghvParams;
+
+core::ServiceOptions ssa_options(unsigned workers, double window_ms = 0.0) {
+  core::ServiceOptions options;
+  options.config.backend_name = "ssa";
+  options.config.num_workers = workers;
+  options.admission_window_ms = window_ms;
+  return options;
+}
+
+std::string loopback(int port) { return "127.0.0.1:" + std::to_string(port); }
+
+fhe::Bytes concat(const fhe::Bytes& a, const fhe::Bytes& b) {
+  fhe::Bytes out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// A width-2 carry-save multiply request (the fleet's canonical traffic:
+/// ripple at width 2 exceeds the toy noise budget, carry-save fits).
+core::Request mul_request(fhe::Dghv& scheme, u64 x, u64 y) {
+  core::Request request;
+  request.spec.kind = core::CircuitKind::kMul;
+  request.spec.width = 2;
+  request.spec.lowering.strategy = fhe::LoweringStrategy::kCarrySave;
+  request.inputs = concat(fhe::encode_ciphertexts(fhe::encrypt_int(scheme, x, 2)),
+                          fhe::encode_ciphertexts(fhe::encrypt_int(scheme, y, 2)));
+  return request;
+}
+
+u64 decrypt_response(const fhe::Dghv& scheme, const core::Response& response) {
+  const std::vector<Ciphertext> outputs = fhe::decode_ciphertexts(response.outputs);
+  return fhe::decrypt_int(scheme, fhe::EncryptedInt(outputs.begin(), outputs.end()));
+}
+
+// --- placement hash ---------------------------------------------------------
+
+TEST(NetTest, ShardPlacementHashIsDeterministicAndSpreads) {
+  // Same id, same count -> same shard, always (the router restart story).
+  for (u64 id = 0; id < 64; ++id) {
+    for (std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+      const std::size_t first = Router::shard_of(id, count);
+      EXPECT_EQ(first, Router::shard_of(id, count));
+      EXPECT_LT(first, count);
+    }
+  }
+  // splitmix64 mixes well enough that a handful of consecutive ids already
+  // touches every shard of a small fleet.
+  std::set<std::size_t> hit;
+  for (u64 id = 1; id <= 16; ++id) hit.insert(Router::shard_of(id, 2));
+  EXPECT_EQ(hit.size(), 2u);
+}
+
+// --- one shard over loopback ------------------------------------------------
+
+TEST(NetTest, LoopbackShardMatchesInProcessServiceBitExactly) {
+  // The same seeds and the same encrypted request bytes through both paths:
+  // a ShardServer over TCP and a plain in-process Service. Keygen is
+  // deterministic from (params, seed), so the two services hold identical
+  // key material and must produce byte-identical response payloads.
+  core::Service remote_service(ssa_options(2));
+  ShardServer server(remote_service);
+  ShardClient client(loopback(server.port()));
+
+  core::Service local_service(ssa_options(2));
+
+  const u64 key_seed = 12345;
+  ShardClient::SessionKeys keys = client.create_session(DghvParams::toy(), key_seed);
+  const core::SessionId local_session =
+      local_service.create_session(DghvParams::toy(), key_seed);
+
+  // The tenant rebuilds its scheme from the returned key material; it must
+  // agree with the service-side context bit for bit.
+  fhe::Dghv tenant(std::move(keys.public_key), std::move(keys.secret_key), 777);
+  EXPECT_EQ(fhe::encode_public_key(tenant.public_key()),
+            local_service.public_key_bytes(local_session));
+
+  for (const auto& [x, y] : std::vector<std::pair<u64, u64>>{{3, 2}, {1, 3}, {2, 2}}) {
+    const core::Request request = mul_request(tenant, x, y);
+    const fhe::Bytes wire = core::encode_request(request);
+
+    const core::Response remote = client.submit(keys.session, request).get();
+    const core::Response local =
+        local_service.submit(local_session, core::decode_request(wire)).get();
+
+    ASSERT_TRUE(remote.ok()) << remote.error;
+    ASSERT_TRUE(local.ok()) << local.error;
+    EXPECT_EQ(remote.outputs, local.outputs) << "x=" << x << " y=" << y;
+    EXPECT_EQ(decrypt_response(tenant, remote), x * y);
+    EXPECT_EQ(remote.and_gates, local.and_gates);
+    EXPECT_EQ(remote.levels, local.levels);
+  }
+
+  const FleetStats stats = client.stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].service.completed, 3u);
+}
+
+TEST(NetTest, DrainingShardRefusesNewSessionsCleanly) {
+  core::Service service(ssa_options(1));
+  ShardServer server(service);
+  ShardClient client(loopback(server.port()));
+
+  const ShardClient::SessionKeys keys = client.create_session(DghvParams::toy(), 5);
+  service.stop_accepting();
+
+  // New tenants are turned away with the typed error...
+  EXPECT_THROW((void)client.create_session(DghvParams::toy(), 6), core::ShuttingDown);
+
+  // ...and submits on existing sessions complete immediately as
+  // kUnavailable rather than hanging or tearing the connection down.
+  fhe::Dghv tenant(DghvParams::toy(), 5);
+  const core::Response response = client.submit(keys.session, mul_request(tenant, 2, 3)).get();
+  EXPECT_EQ(response.status, core::ResponseStatus::kUnavailable);
+
+  // The connection itself is still healthy: stats still answers.
+  EXPECT_EQ(client.stats().shards.size(), 1u);
+}
+
+TEST(NetTest, OverloadSheddingIsBoundedAndObservableOverTheWire) {
+  // One worker, a bounded queue of 1 and a long admission window: the
+  // first pipelined submit occupies the queue slot, every later one must
+  // be shed with kOverloaded + a retry hint before the window closes.
+  core::ServiceOptions options = ssa_options(1, /*window_ms=*/200.0);
+  options.max_queue_depth = 1;
+  core::Service service(options);
+  ShardServer server(service);
+  ShardClient client(loopback(server.port()));
+
+  ShardClient::SessionKeys keys = client.create_session(DghvParams::toy(), 9);
+  fhe::Dghv tenant(std::move(keys.public_key), std::move(keys.secret_key), 99);
+
+  constexpr int kPipelined = 6;
+  std::vector<std::future<core::Response>> futures;
+  futures.reserve(kPipelined);
+  for (int i = 0; i < kPipelined; ++i) {
+    futures.push_back(client.submit(keys.session, mul_request(tenant, 3, 2)));
+  }
+
+  int ok = 0, shed = 0;
+  for (auto& future : futures) {
+    const core::Response response = future.get();  // every future completes
+    if (response.ok()) {
+      ++ok;
+      EXPECT_EQ(decrypt_response(tenant, response), 6u);
+    } else {
+      ASSERT_EQ(response.status, core::ResponseStatus::kOverloaded) << response.error;
+      EXPECT_GT(response.retry_after_ms, 0.0);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 1) << "exactly the queued request executes";
+  EXPECT_EQ(shed, kPipelined - 1);
+
+  const core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, static_cast<u64>(shed));
+  EXPECT_LE(stats.queue_depth, 1u);  // the bound held
+  EXPECT_EQ(client.stats().shards[0].service.shed, static_cast<u64>(shed));
+}
+
+TEST(NetTest, LruEvictionDropsIdleSessionsOverTheWire) {
+  core::ServiceOptions options = ssa_options(1);
+  options.max_sessions = 2;
+  core::Service service(options);
+  ShardServer server(service);
+  ShardClient client(loopback(server.port()));
+
+  const ShardClient::SessionKeys first = client.create_session(DghvParams::toy(), 1);
+  (void)client.create_session(DghvParams::toy(), 2);
+  (void)client.create_session(DghvParams::toy(), 3);  // evicts the idle first
+
+  EXPECT_EQ(service.stats().sessions_evicted, 1u);
+  EXPECT_EQ(service.stats().sessions, 2u);
+
+  // The evicted tenant's submits now fail as an unknown session -- a clean
+  // kBadRequest status, not a hang or a dropped connection.
+  fhe::Dghv tenant(DghvParams::toy(), 1);
+  const core::Response response =
+      client.submit(first.session, mul_request(tenant, 1, 2)).get();
+  EXPECT_EQ(response.status, core::ResponseStatus::kBadRequest);
+}
+
+TEST(NetTest, ConnectionLossFailsOnlyThatConnectionsRequests) {
+  core::Service service(ssa_options(1, /*window_ms=*/100.0));
+  ShardServer server(service);
+
+  auto doomed = std::make_unique<ShardClient>(loopback(server.port()));
+  ShardClient survivor(loopback(server.port()));
+
+  ShardClient::SessionKeys doomed_keys = doomed->create_session(DghvParams::toy(), 21);
+  ShardClient::SessionKeys keys = survivor.create_session(DghvParams::toy(), 22);
+  fhe::Dghv doomed_tenant(std::move(doomed_keys.public_key),
+                          std::move(doomed_keys.secret_key), 5);
+  fhe::Dghv tenant(std::move(keys.public_key), std::move(keys.secret_key), 6);
+
+  // Leave one request in flight on the doomed connection, then cut it.
+  std::future<core::Response> orphan =
+      doomed->submit(doomed_keys.session, mul_request(doomed_tenant, 2, 3));
+  doomed->close();
+  const core::Response lost = orphan.get();  // fails cleanly, never hangs
+  EXPECT_EQ(lost.status, core::ResponseStatus::kUnavailable);
+  EXPECT_FALSE(doomed->alive());
+
+  // The other connection (and the service behind it) is untouched.
+  const core::Response response =
+      survivor.submit(keys.session, mul_request(tenant, 3, 3)).get();
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(decrypt_response(tenant, response), 9u);
+}
+
+TEST(NetTest, UnknownSessionsAndUnsupportedTypesYieldTypedErrors) {
+  core::Service service(ssa_options(1));
+  ShardServer server(service);
+  ShardClient client(loopback(server.port()));
+
+  fhe::Dghv tenant(DghvParams::toy(), 4);
+  const core::Response response =
+      client.submit(/*session=*/424242, mul_request(tenant, 1, 1)).get();
+  EXPECT_EQ(response.status, core::ResponseStatus::kBadRequest);
+
+  // A message type no shard serves comes back as kError/kUnsupported
+  // instead of closing the connection.
+  const fhe::Envelope reply = client.call(fhe::MessageType::kSessionCreated, 0, {});
+  ASSERT_EQ(reply.type, fhe::MessageType::kError);
+  const auto [code, message] = fhe::decode_error_payload(reply.payload);
+  EXPECT_EQ(code, fhe::WireErrorCode::kUnsupported);
+  EXPECT_FALSE(message.empty());
+}
+
+// --- router in front of two shards ------------------------------------------
+
+TEST(NetTest, RouterPlacesSessionsForwardsAndAggregatesStats) {
+  core::Service service_a(ssa_options(1));
+  core::Service service_b(ssa_options(1));
+  ShardServer shard_a(service_a);
+  ShardServer shard_b(service_b);
+
+  Router router({loopback(shard_a.port()), loopback(shard_b.port())});
+  ShardClient client(loopback(router.port()));
+
+  // Enough tenants that splitmix64 places some on each shard; the router
+  // assigns global ids 1, 2, 3, ... so the expected placement is computable.
+  constexpr int kTenants = 4;
+  std::size_t expected_on[2] = {0, 0};
+  int verified = 0;
+  for (int t = 0; t < kTenants; ++t) {
+    ShardClient::SessionKeys keys =
+        client.create_session(DghvParams::toy(), 1000 + static_cast<u64>(t));
+    ++expected_on[Router::shard_of(keys.session, 2)];
+    fhe::Dghv tenant(std::move(keys.public_key), std::move(keys.secret_key),
+                     2000 + static_cast<u64>(t));
+    const u64 x = static_cast<u64>(t) % 4, y = (static_cast<u64>(t) * 3 + 1) % 4;
+    const core::Response response = client.submit(keys.session, mul_request(tenant, x, y)).get();
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(decrypt_response(tenant, response), x * y);
+    ++verified;
+  }
+  EXPECT_EQ(verified, kTenants);
+
+  const FleetStats fleet = client.stats();
+  ASSERT_EQ(fleet.shards.size(), 2u);
+  EXPECT_TRUE(fleet.shards[0].alive);
+  EXPECT_TRUE(fleet.shards[1].alive);
+  EXPECT_EQ(fleet.sessions_created, static_cast<u64>(kTenants));
+  EXPECT_EQ(fleet.forwarded, static_cast<u64>(kTenants));
+  EXPECT_EQ(fleet.failed, 0u);
+  // The sessions really landed where shard_of says they do.
+  EXPECT_EQ(fleet.shards[0].service.sessions, expected_on[0]);
+  EXPECT_EQ(fleet.shards[1].service.sessions, expected_on[1]);
+  EXPECT_EQ(fleet.aggregate().completed, static_cast<u64>(kTenants));
+}
+
+TEST(NetTest, DeadShardFailsOnlyItsOwnSessions) {
+  core::Service service_a(ssa_options(1));
+  auto service_b = std::make_unique<core::Service>(ssa_options(1));
+  ShardServer shard_a(service_a);
+  auto shard_b = std::make_unique<ShardServer>(*service_b);
+  const int port_b = shard_b->port();
+
+  Router router({loopback(shard_a.port()), loopback(port_b)});
+  ShardClient client(loopback(router.port()));
+
+  // Create sessions until both shards hold at least one tenant.
+  std::vector<ShardClient::SessionKeys> on_a, on_b;
+  std::vector<fhe::Dghv> tenants_a, tenants_b;
+  u64 seed = 0;
+  while (on_a.empty() || on_b.empty()) {
+    ShardClient::SessionKeys keys = client.create_session(DghvParams::toy(), 3000 + seed);
+    fhe::Dghv tenant(std::move(keys.public_key), std::move(keys.secret_key), 4000 + seed);
+    ++seed;
+    if (Router::shard_of(keys.session, 2) == 0) {
+      on_a.push_back(std::move(keys));
+      tenants_a.push_back(std::move(tenant));
+    } else {
+      on_b.push_back(std::move(keys));
+      tenants_b.push_back(std::move(tenant));
+    }
+    ASSERT_LT(seed, 64u) << "splitmix64 should spread a few ids over 2 shards";
+  }
+
+  // Kill shard B outright (server first, then its service).
+  shard_b->stop();
+  shard_b.reset();
+  service_b.reset();
+
+  // Shard B's sessions fail with a clean kUnavailable...
+  const core::Response dead =
+      client.submit(on_b[0].session, mul_request(tenants_b[0], 1, 2)).get();
+  EXPECT_EQ(dead.status, core::ResponseStatus::kUnavailable);
+
+  // ...while shard A's keep serving bit-exact results.
+  const core::Response alive =
+      client.submit(on_a[0].session, mul_request(tenants_a[0], 2, 3)).get();
+  ASSERT_TRUE(alive.ok()) << alive.error;
+  EXPECT_EQ(decrypt_response(tenants_a[0], alive), 6u);
+
+  // The stats reply calls the dead shard out and counts the failure.
+  const FleetStats fleet = client.stats();
+  ASSERT_EQ(fleet.shards.size(), 2u);
+  EXPECT_TRUE(fleet.shards[0].alive);
+  EXPECT_FALSE(fleet.shards[1].alive);
+  EXPECT_GE(fleet.failed, 1u);
+
+  // New sessions that hash onto the dead shard are refused with a typed
+  // error; ones that hash onto the live shard still work.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      ShardClient::SessionKeys keys = client.create_session(DghvParams::toy(), 5000 + attempt);
+      EXPECT_EQ(Router::shard_of(keys.session, 2), 0u);
+    } catch (const std::runtime_error&) {
+      // the dead shard's turn in the hash sequence -- expected
+    }
+  }
+}
+
+// --- FleetStats codec --------------------------------------------------------
+
+TEST(NetTest, FleetStatsRoundTripAndTruncationFuzz) {
+  FleetStats fleet;
+  fleet.sessions_created = 5;
+  fleet.forwarded = 17;
+  fleet.failed = 2;
+  ShardStats shard;
+  shard.address = "127.0.0.1:4242";
+  shard.alive = false;
+  shard.service.submitted = 9;
+  shard.service.completed = 7;
+  shard.service.shed = 1;
+  shard.service.sessions_evicted = 1;
+  shard.service.coalesced_requests = 6;
+  shard.service.batches_submitted = 2;
+  shard.service.transforms_avoided = -3;
+  fleet.shards.push_back(shard);
+  shard.alive = true;
+  fleet.shards.push_back(shard);
+
+  const fhe::Bytes wire = encode_fleet_stats(fleet);
+  const FleetStats back = decode_fleet_stats(wire);
+  ASSERT_EQ(back.shards.size(), 2u);
+  EXPECT_EQ(back.sessions_created, fleet.sessions_created);
+  EXPECT_EQ(back.forwarded, fleet.forwarded);
+  EXPECT_EQ(back.failed, fleet.failed);
+  EXPECT_EQ(back.shards[0].address, "127.0.0.1:4242");
+  EXPECT_FALSE(back.shards[0].alive);
+  EXPECT_TRUE(back.shards[1].alive);
+  EXPECT_EQ(back.shards[0].service.completed, 7u);
+  EXPECT_EQ(back.shards[0].service.transforms_avoided, -3);
+  EXPECT_EQ(back.aggregate().submitted, 18u);
+  EXPECT_EQ(back.aggregate().coalesced_requests, 12u);
+
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW((void)decode_fleet_stats(std::span<const u8>(wire.data(), len)),
+                 fhe::SerializeError)
+        << "truncated to " << len << " of " << wire.size();
+  }
+  fhe::Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW((void)decode_fleet_stats(trailing), fhe::SerializeError);
+}
+
+}  // namespace
+}  // namespace hemul::net

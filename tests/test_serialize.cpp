@@ -379,6 +379,186 @@ TEST_F(SerializeTest, RequestHostileFieldBytesAreRejected) {
   EXPECT_THROW((void)core::decode_request(trailing), SerializeError);
 }
 
+// --- envelope frames (the fleet transport header) --------------------------
+
+TEST_F(SerializeTest, EnvelopeRoundTripCarriesHeaderAndPayload) {
+  Envelope envelope;
+  envelope.type = MessageType::kSubmit;
+  envelope.session = 0x1122334455667788ull;
+  envelope.request_id = 42;
+  envelope.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+
+  const Envelope back = decode_envelope(encode_envelope(envelope));
+  EXPECT_EQ(back.type, envelope.type);
+  EXPECT_EQ(back.session, envelope.session);
+  EXPECT_EQ(back.request_id, envelope.request_id);
+  EXPECT_EQ(back.payload, envelope.payload);
+
+  // An empty payload is legal (kStats, kShutdown, kShutdownAck carry none).
+  Envelope bare;
+  bare.type = MessageType::kShutdownAck;
+  const Envelope bare_back = decode_envelope(encode_envelope(bare));
+  EXPECT_EQ(bare_back.type, MessageType::kShutdownAck);
+  EXPECT_TRUE(bare_back.payload.empty());
+}
+
+TEST_F(SerializeTest, EnvelopeTruncationAtEveryLengthIsRejected) {
+  Envelope envelope;
+  envelope.type = MessageType::kCreateSession;
+  envelope.session = 7;
+  envelope.request_id = 9;
+  envelope.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Bytes whole = encode_envelope(envelope);
+  for (std::size_t len = 0; len < whole.size(); ++len) {
+    EXPECT_THROW((void)decode_envelope(std::span<const u8>(whole.data(), len)),
+                 SerializeError)
+        << "truncated to " << len << " of " << whole.size();
+  }
+  (void)decode_envelope(whole);  // the untruncated buffer still decodes
+}
+
+TEST_F(SerializeTest, EnvelopeHostileBytesAreRejected) {
+  Envelope envelope;
+  envelope.type = MessageType::kStats;
+  const Bytes good = encode_envelope(envelope);
+  // Envelope payload starts after the 14-byte frame header: type u8,
+  // session u64 (LE), request id u64 (LE), then the inner payload bytes.
+  constexpr std::size_t kTypeOffset = 14;
+
+  for (const u8 hostile_type : {u8{0}, u8{10}, u8{0x63}, u8{0xFF}}) {
+    Bytes bad_type = good;
+    bad_type[kTypeOffset] = hostile_type;
+    EXPECT_THROW((void)decode_envelope(bad_type), SerializeError)
+        << "message type byte " << static_cast<unsigned>(hostile_type);
+  }
+
+  Bytes bad_tag = good;
+  bad_tag[5] = 0x02;  // a valid tag, but not kEnvelope
+  EXPECT_THROW((void)decode_envelope(bad_tag), SerializeError);
+
+  Bytes bad_length = good;
+  bad_length[6] ^= 0x01;  // length prefix no longer matches the payload
+  EXPECT_THROW((void)decode_envelope(bad_length), SerializeError);
+
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW((void)decode_envelope(trailing), SerializeError);
+}
+
+TEST_F(SerializeTest, ErrorPayloadRoundTripsAndRejectsHostileCodes) {
+  const Bytes payload =
+      encode_error_payload(WireErrorCode::kShuttingDown, "draining, come back later");
+  const auto [code, message] = decode_error_payload(payload);
+  EXPECT_EQ(code, WireErrorCode::kShuttingDown);
+  EXPECT_EQ(message, "draining, come back later");
+
+  // The empty diagnostic is legal; the code byte alone carries meaning.
+  const auto [bare_code, bare_message] =
+      decode_error_payload(encode_error_payload(WireErrorCode::kInternal, ""));
+  EXPECT_EQ(bare_code, WireErrorCode::kInternal);
+  EXPECT_TRUE(bare_message.empty());
+
+  for (const u8 hostile_code : {u8{0}, u8{6}, u8{0xFF}}) {
+    Bytes bad = payload;
+    bad[0] = hostile_code;
+    EXPECT_THROW((void)decode_error_payload(bad), SerializeError)
+        << "error code byte " << static_cast<unsigned>(hostile_code);
+  }
+
+  EXPECT_THROW((void)decode_error_payload(std::span<const u8>{}), SerializeError);
+}
+
+// --- response frames (core::Response over the wire) -------------------------
+
+TEST_F(SerializeTest, ResponseRoundTripCarriesStatusAndCounters) {
+  core::Response response;
+  response.status = core::ResponseStatus::kOverloaded;
+  response.error = "admission queue at its bound (3 queued)";
+  response.outputs = {0x10, 0x20, 0x30};
+  response.retry_after_ms = 2.5;
+  response.and_gates = 12;
+  response.levels = 3;
+  response.shared_batches = 4;
+  response.transforms_executed = 18;
+  response.transforms_avoided = -6;
+  response.queue_ms = 1.25;
+  response.exec_ms = 9.75;
+
+  const core::Response back = core::decode_response(core::encode_response(response));
+  EXPECT_EQ(back.status, response.status);
+  EXPECT_EQ(back.error, response.error);
+  EXPECT_EQ(back.outputs, response.outputs);
+  EXPECT_EQ(back.retry_after_ms, response.retry_after_ms);
+  EXPECT_EQ(back.and_gates, response.and_gates);
+  EXPECT_EQ(back.levels, response.levels);
+  EXPECT_EQ(back.shared_batches, response.shared_batches);
+  EXPECT_EQ(back.transforms_executed, response.transforms_executed);
+  EXPECT_EQ(back.transforms_avoided, response.transforms_avoided);
+  EXPECT_EQ(back.queue_ms, response.queue_ms);
+  EXPECT_EQ(back.exec_ms, response.exec_ms);
+}
+
+TEST_F(SerializeTest, ResponseTruncationAndHostileBytesAreRejected) {
+  core::Response response;
+  response.status = core::ResponseStatus::kOk;
+  response.outputs = {9, 8, 7};
+  response.and_gates = 1;
+  const Bytes whole = core::encode_response(response);
+  for (std::size_t len = 0; len < whole.size(); ++len) {
+    EXPECT_THROW((void)core::decode_response(std::span<const u8>(whole.data(), len)),
+                 SerializeError)
+        << "truncated to " << len << " of " << whole.size();
+  }
+  (void)core::decode_response(whole);
+
+  // The status byte sits right after the 14-byte frame header.
+  Bytes bad_status = whole;
+  bad_status[14] = 0x2A;
+  EXPECT_THROW((void)core::decode_response(bad_status), SerializeError);
+
+  Bytes trailing = whole;
+  trailing.push_back(0);
+  EXPECT_THROW((void)core::decode_response(trailing), SerializeError);
+}
+
+// --- the documented wire example -------------------------------------------
+
+TEST_F(SerializeTest, DocumentedSubmitEnvelopeHexExampleRoundTrips) {
+  // The exact 75-byte kSubmit envelope worked through byte by byte in
+  // docs/wire-protocol.md: session 7, request id 1, wrapping the kRequest
+  // frame for spec {and, width 1, ripple-carry} with empty graph/input
+  // payloads. Keep the doc and this array in sync.
+  const Bytes documented = {
+      0x48, 0x4D, 0x57, 0x31, 0x01, 0x09, 0x3D, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x03, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x24, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x48, 0x4D, 0x57, 0x31, 0x01, 0x07, 0x16, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+
+  core::Request request;
+  request.spec.kind = core::CircuitKind::kAnd;
+  request.spec.width = 1;
+  request.spec.lowering.strategy = LoweringStrategy::kRippleCarry;
+
+  Envelope envelope;
+  envelope.type = MessageType::kSubmit;
+  envelope.session = 7;
+  envelope.request_id = 1;
+  envelope.payload = core::encode_request(request);
+  EXPECT_EQ(encode_envelope(envelope), documented);
+
+  const Envelope back = decode_envelope(documented);
+  EXPECT_EQ(back.type, MessageType::kSubmit);
+  EXPECT_EQ(back.session, 7u);
+  EXPECT_EQ(back.request_id, 1u);
+  const core::Request decoded = core::decode_request(back.payload);
+  EXPECT_EQ(decoded.spec, request.spec);
+  EXPECT_TRUE(decoded.graph.empty());
+  EXPECT_TRUE(decoded.inputs.empty());
+}
+
 TEST_F(SerializeTest, CorruptedHeaderBytesAreRejected) {
   const Bytes good = encode_ciphertext(scheme_.encrypt(true));
 

@@ -500,6 +500,117 @@ TEST(ServiceTest, DestructorDrainsOutstandingRequests) {
   EXPECT_EQ(value, 3u);
 }
 
+// --- drain mode (the daemon's SIGTERM path) ---------------------------------
+
+TEST(ServiceTest, StopAcceptingDrainsButRefusesNewWork) {
+  Service service(ssa_options(1, /*window_ms=*/50.0));
+  const SessionId session = service.create_session(DghvParams::toy(), 31);
+  fhe::Dghv& scheme = service.scheme(session);
+
+  Request request;
+  request.spec.kind = CircuitKind::kAdder;
+  request.spec.width = 2;
+  request.inputs = concat(encrypt_inputs(scheme, 1, 2), encrypt_inputs(scheme, 2, 2));
+  std::future<Response> admitted = service.submit(session, std::move(request));
+
+  EXPECT_TRUE(service.accepting());
+  service.stop_accepting();
+  EXPECT_FALSE(service.accepting());
+  service.stop_accepting();  // idempotent
+
+  // New sessions are refused with the typed exception...
+  EXPECT_THROW((void)service.create_session(DghvParams::toy(), 32), ShuttingDown);
+
+  // ...and new submits complete immediately as kUnavailable...
+  Request late;
+  late.spec.kind = CircuitKind::kAnd;
+  late.inputs = concat(
+      fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
+      fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(false)}));
+  const Response refused = service.submit(session, std::move(late)).get();
+  EXPECT_EQ(refused.status, ResponseStatus::kUnavailable);
+  EXPECT_FALSE(refused.error.empty());
+
+  // ...while work admitted before the drain still runs to completion.
+  const Response response = admitted.get();
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(decrypt_response(scheme, response), 3u);
+  service.wait_idle();
+}
+
+// --- bounded admission queue ------------------------------------------------
+
+TEST(ServiceTest, BoundedQueueShedsWithRetryHintAndNeverExceedsDepth) {
+  // One queue slot and a long admission window: the first submit occupies
+  // the slot, every later one must shed synchronously -- the queue depth
+  // can never exceed the bound because refusals never enter the queue.
+  ServiceOptions options = ssa_options(1, /*window_ms=*/150.0);
+  options.max_queue_depth = 1;
+  Service service(options);
+  const SessionId session = service.create_session(DghvParams::toy(), 41);
+  fhe::Dghv& scheme = service.scheme(session);
+
+  auto make_request = [&] {
+    Request request;
+    request.spec.kind = CircuitKind::kAnd;
+    request.inputs = concat(
+        fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
+        fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}));
+    return request;
+  };
+
+  std::future<Response> first = service.submit(session, make_request());
+  constexpr int kExtra = 4;
+  for (int i = 0; i < kExtra; ++i) {
+    const Response shed = service.submit(session, make_request()).get();
+    ASSERT_EQ(shed.status, ResponseStatus::kOverloaded) << shed.error;
+    EXPECT_GT(shed.retry_after_ms, 0.0);
+    EXPECT_LE(service.stats().queue_depth, 1u);
+  }
+
+  const Response response = first.get();
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(decrypt_response(scheme, response), 1u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, static_cast<u64>(kExtra));
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(service.tenant_stats(session).shed, static_cast<u64>(kExtra));
+  EXPECT_EQ(service.tenant_stats(session).submitted, 1u + kExtra);
+}
+
+// --- LRU session eviction ---------------------------------------------------
+
+TEST(ServiceTest, SessionTableEvictsLeastRecentlyUsedWhenFull) {
+  ServiceOptions options = ssa_options(1);
+  options.max_sessions = 2;
+  Service service(options);
+
+  const SessionId a = service.create_session(DghvParams::toy(), 51);
+  const SessionId b = service.create_session(DghvParams::toy(), 52);
+
+  // Touch a so b becomes the least recently used...
+  fhe::Dghv& scheme = service.scheme(a);
+  Request request;
+  request.spec.kind = CircuitKind::kAnd;
+  request.inputs = concat(
+      fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}),
+      fhe::encode_ciphertexts(std::vector<Ciphertext>{scheme.encrypt(true)}));
+  ASSERT_TRUE(service.submit(a, std::move(request)).get().ok());
+
+  // ...then a third session must evict b, not a.
+  const SessionId c = service.create_session(DghvParams::toy(), 53);
+  EXPECT_NE(c, a);
+  EXPECT_EQ(service.stats().sessions_evicted, 1u);
+  EXPECT_EQ(service.stats().sessions, 2u);
+  (void)service.scheme(a);  // the touched session survived
+  EXPECT_THROW((void)service.tenant_stats(b), std::invalid_argument);
+
+  Request late;
+  late.spec.kind = CircuitKind::kAnd;
+  EXPECT_THROW((void)service.submit(b, std::move(late)), std::invalid_argument);
+}
+
 TEST(ServiceTest, PublicKeyBytesMatchTheSessionKey) {
   Service service(ssa_options(1));
   const SessionId session = service.create_session(DghvParams::toy(), 13);

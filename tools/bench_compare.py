@@ -173,6 +173,27 @@ TRACKED = {
         Metric("max_requests_per_sec",
                lambda d: _max_over(d["results"], "requests_per_sec"), mode="warn"),
     ],
+    "fleet_throughput.json": [
+        # Closed-loop tenants through router + shards on loopback: every
+        # decrypted product matched and every shard's completion count
+        # added up. Deterministic regardless of runner speed.
+        Metric("fleet.bit_exact", lambda d: d["bit_exact"], kind="bool", mode="hard"),
+        # The overload cell (queue bound 1, pipelined submits) must shed:
+        # kOverloaded observed, queue depth never past the bound, and no
+        # status other than kOk/kOverloaded (with retry hints) came back.
+        Metric("fleet.shed_observed", lambda d: d["shed"]["observed"], kind="bool",
+               mode="hard"),
+        Metric("fleet.shed_queue_bounded", lambda d: d["shed"]["queue_bounded"],
+               kind="bool", mode="hard"),
+        Metric("fleet.shed_statuses_clean", lambda d: d["shed"]["statuses_clean"],
+               kind="bool", mode="hard"),
+        # Every submitted request is forwarded exactly once (the router
+        # neither drops nor duplicates) -- a deterministic count.
+        Metric("fleet.total_forwarded",
+               lambda d: sum(r["forwarded"] for r in d["results"]), mode="hard"),
+        Metric("fleet.max_requests_per_sec",
+               lambda d: _max_over(d["results"], "requests_per_sec"), mode="warn"),
+    ],
 }
 
 
