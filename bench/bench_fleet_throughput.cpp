@@ -222,6 +222,100 @@ ShedResult run_shed_cell() {
   return result;
 }
 
+/// The degraded-mode cell: 3 shards, tenants spread across all of them, one
+/// shard destroyed mid-run. Deterministic outcome the CI gate holds hard:
+/// every future completes (no hangs), the dead shard's tenants re-home via
+/// seeded create replay, and every post-failover answer is bit-exact.
+struct FailoverResult {
+  u64 tenants = 0;
+  u64 victims = 0;            ///< tenants that lived on the killed shard
+  u64 sessions_rehomed = 0;   ///< the router's own failover ledger
+  bool bit_exact = true;      ///< every completed answer decrypted right
+  bool no_hung_futures = true;
+  double wall_ms = 0.0;
+};
+
+FailoverResult run_failover_cell() {
+  constexpr unsigned kShards = 3;
+  constexpr unsigned kTenants = 6;
+  constexpr unsigned kRoundsAfterKill = 2;
+
+  core::ServiceOptions options;
+  options.config.backend_name = "ssa";
+  options.config.num_workers = 1;
+  Fleet fleet(kShards, options);
+
+  std::vector<Tenant> roster;
+  for (unsigned t = 0; t < kTenants; ++t) {
+    Tenant tenant;
+    net::ShardClient::SessionKeys keys =
+        fleet.client->create_session(fhe::DghvParams::toy(), 0xFA110 + t);
+    tenant.session = keys.session;
+    tenant.scheme = std::make_unique<fhe::Dghv>(std::move(keys.public_key),
+                                                std::move(keys.secret_key), 0xE0 + t);
+    roster.push_back(std::move(tenant));
+  }
+
+  FailoverResult result;
+  result.tenants = kTenants;
+
+  // One clean warm-up round, then kill the shard hosting tenant 0.
+  const auto t0 = Clock::now();
+  for (Tenant& tenant : roster) {
+    const core::Response response =
+        fleet.client->submit(tenant.session, mul_request(*tenant.scheme, 2, 3)).get();
+    if (!response.ok() || decrypt_response(*tenant.scheme, response) != 6) {
+      result.bit_exact = false;
+    }
+  }
+
+  const std::size_t dead = net::Router::shard_of(roster[0].session, kShards);
+  for (const Tenant& tenant : roster) {
+    if (net::Router::shard_of(tenant.session, kShards) == dead) ++result.victims;
+  }
+  fleet.servers[dead]->stop();
+  fleet.servers[dead].reset();
+  fleet.services[dead].reset();
+
+  for (unsigned r = 0; r < kRoundsAfterKill; ++r) {
+    std::vector<std::future<core::Response>> futures;
+    std::vector<u64> expected;
+    futures.reserve(kTenants);
+    for (unsigned t = 0; t < kTenants; ++t) {
+      const u64 x = (t + r) % 4, y = (t * 3 + r * 5) % 4;
+      expected.push_back(x * y);
+      futures.push_back(fleet.client->submit(roster[t].session,
+                                             mul_request(*roster[t].scheme, x, y)));
+    }
+    for (unsigned t = 0; t < kTenants; ++t) {
+      if (futures[t].wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+        result.no_hung_futures = false;
+        continue;
+      }
+      core::Response response = futures[t].get();
+      if (response.status == core::ResponseStatus::kUnavailable) {
+        // An ambiguous mid-flight loss fails once by design; the replay
+        // must then succeed via re-homing.
+        auto retry = fleet.client->submit(roster[t].session,
+                                          mul_request(*roster[t].scheme, (t + r) % 4,
+                                                      (t * 3 + r * 5) % 4));
+        if (retry.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+          result.no_hung_futures = false;
+          continue;
+        }
+        response = retry.get();
+      }
+      if (!response.ok() ||
+          decrypt_response(*roster[t].scheme, response) != expected[t]) {
+        result.bit_exact = false;
+      }
+    }
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  result.sessions_rehomed = fleet.client->stats().sessions_rehomed;
+  return result;
+}
+
 std::vector<unsigned> parse_list(const char* text) {
   std::vector<unsigned> values;
   for (const char* p = text; *p != '\0';) {
@@ -281,6 +375,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  const FailoverResult failover = run_failover_cell();
+  std::printf("\n  failover cell (3 shards, 1 killed mid-run): %llu tenant(s), "
+              "%llu victim(s), %llu re-homed in %.1f ms\n",
+              static_cast<unsigned long long>(failover.tenants),
+              static_cast<unsigned long long>(failover.victims),
+              static_cast<unsigned long long>(failover.sessions_rehomed),
+              failover.wall_ms);
+  std::printf("  failover bit-exact: %s, no hung futures: %s\n",
+              failover.bit_exact ? "yes" : "NO",
+              failover.no_hung_futures ? "yes" : "NO");
+
   const ShedResult shed = run_shed_cell();
   std::printf("\n  overload cell (queue bound 1, %llu pipelined): %llu ok, %llu shed, "
               "retry hint %.1f ms\n",
@@ -303,14 +408,22 @@ int main(int argc, char** argv) {
                  "  \"requests_per_tenant\": %u,\n  \"hardware_concurrency\": %u,\n"
                  "  \"bit_exact\": %s,\n  \"shed\": {\"requests\": %llu, \"ok\": %llu, "
                  "\"shed\": %llu, \"observed\": %s, \"queue_bounded\": %s, "
-                 "\"statuses_clean\": %s, \"retry_hint_ms\": %.3f},\n  \"results\": [\n",
+                 "\"statuses_clean\": %s, \"retry_hint_ms\": %.3f},\n"
+                 "  \"failover\": {\"tenants\": %llu, \"victims\": %llu, "
+                 "\"sessions_rehomed\": %llu, \"bit_exact\": %s, "
+                 "\"no_hung_futures\": %s, \"wall_ms\": %.3f},\n  \"results\": [\n",
                  requests_per_tenant, std::thread::hardware_concurrency(),
                  verified ? "true" : "false",
                  static_cast<unsigned long long>(shed.requests),
                  static_cast<unsigned long long>(shed.ok),
                  static_cast<unsigned long long>(shed.shed),
                  shed.observed ? "true" : "false", shed.queue_bounded ? "true" : "false",
-                 shed.statuses_clean ? "true" : "false", shed.retry_hint_ms);
+                 shed.statuses_clean ? "true" : "false", shed.retry_hint_ms,
+                 static_cast<unsigned long long>(failover.tenants),
+                 static_cast<unsigned long long>(failover.victims),
+                 static_cast<unsigned long long>(failover.sessions_rehomed),
+                 failover.bit_exact ? "true" : "false",
+                 failover.no_hung_futures ? "true" : "false", failover.wall_ms);
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const Sample& s = samples[i];
       std::fprintf(out,
@@ -328,5 +441,7 @@ int main(int argc, char** argv) {
   }
 
   const bool shed_ok = shed.observed && shed.queue_bounded && shed.statuses_clean;
-  return verified && shed_ok ? 0 : 1;
+  const bool failover_ok = failover.victims >= 1 && failover.sessions_rehomed >= 1 &&
+                           failover.bit_exact && failover.no_hung_futures;
+  return verified && shed_ok && failover_ok ? 0 : 1;
 }

@@ -36,6 +36,7 @@
 // recorded circuit undecryptable at every built-in parameter set (the
 // result cannot be verified).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +44,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backend/registry.hpp"
@@ -68,12 +70,17 @@ int usage() {
   std::fprintf(stderr,
                "usage: hemul_cli [--backend <name>] [--workers N] [--no-intra-op]\n"
                "                 [--lowering <ripple|carry-save>]\n"
+               "                 [--deadline-ms MS] [--retries N]\n"
                "                 mul <hexA> <hexB> |\n"
                "                 random <bits> | batch <n> <bits> | throughput <n> <bits> |\n"
                "                 circuit <adder|equals|mul|mux|lt> [width] |\n"
                "                 service <tenants> <requests-per-tenant> |\n"
                "                 fleet <host:port> <tenants> <requests-per-tenant> |\n"
-               "                 backends | table1 | perf [P]\n");
+               "                 backends | table1 | perf [P]\n"
+               "  --deadline-ms MS  fleet: per-request budget; overdue futures\n"
+               "                    complete with kTimeout/kExpired (0 = off)\n"
+               "  --retries N       fleet: resubmits of kOverloaded sheds, paced\n"
+               "                    by the server's retry-after hint (default 2)\n");
   return 2;
 }
 
@@ -549,7 +556,8 @@ int cmd_service(const std::string& backend_name, unsigned workers, unsigned tena
 // this exercises the full remote path: create-session RPC, serialized
 // requests, and responses decrypted with nothing but wire bytes.
 int cmd_fleet(const std::string& address, unsigned tenants, unsigned requests_per_tenant,
-              fhe::LoweringOptions lowering, bool require_coalescing) {
+              fhe::LoweringOptions lowering, bool require_coalescing, double deadline_ms,
+              unsigned retries) {
   using Clock = std::chrono::steady_clock;
   if (tenants == 0 || requests_per_tenant == 0) {
     std::fprintf(stderr, "error: tenants and requests-per-tenant must be >= 1\n");
@@ -557,7 +565,9 @@ int cmd_fleet(const std::string& address, unsigned tenants, unsigned requests_pe
   }
   constexpr unsigned kWidth = 2;  // 2x2 multiply: fits the toy noise budget
 
-  net::ShardClient client(address);
+  net::ShardClient::Options client_options;
+  client_options.deadline_ms = deadline_ms;
+  net::ShardClient client(address, client_options);
 
   struct Tenant {
     core::SessionId session = 0;
@@ -575,6 +585,7 @@ int cmd_fleet(const std::string& address, unsigned tenants, unsigned requests_pe
   struct Issued {
     unsigned tenant = 0;
     u64 expected = 0;
+    fhe::Bytes encoded;  ///< the request frame, kept for overload resubmits
     std::future<core::Response> future;
   };
   std::vector<Issued> issued;
@@ -592,14 +603,47 @@ int cmd_fleet(const std::string& address, unsigned tenants, unsigned requests_pe
       const std::vector<fhe::Ciphertext> ys = fhe::encrypt_int(scheme, y, kWidth);
       inputs.insert(inputs.end(), ys.begin(), ys.end());
       request.inputs = fhe::encode_ciphertexts(inputs);
-      issued.push_back(
-          {t, x * y, client.submit(fleet_tenants[t].session, std::move(request))});
+      fhe::Bytes encoded = core::encode_request(request);
+      Issued item;
+      item.tenant = t;
+      item.expected = x * y;
+      item.future = client.submit_raw(fleet_tenants[t].session, encoded);
+      item.encoded = std::move(encoded);
+      issued.push_back(std::move(item));
     }
   }
 
   bool verified = true;
+  u64 resubmitted = 0;
+  u64 timed_out = 0;
   for (Issued& item : issued) {
-    const core::Response response = item.future.get();
+    core::Response response = item.future.get();
+    // Overload sheds are explicitly safe to resubmit (the request never
+    // entered the queue) -- and so is everything else in THIS command's
+    // traffic: the multiplies are pure and the client holds the keys, so a
+    // duplicate execution after a timeout or failover blip changes nothing
+    // a tenant can observe. Pace the replays by the server's own hint.
+    const auto retryable = [](core::ResponseStatus status) {
+      return status == core::ResponseStatus::kOverloaded ||
+             status == core::ResponseStatus::kUnavailable ||
+             status == core::ResponseStatus::kTimeout ||
+             status == core::ResponseStatus::kExpired;
+    };
+    for (unsigned attempt = 0; attempt < retries && retryable(response.status);
+         ++attempt) {
+      if (response.status == core::ResponseStatus::kTimeout ||
+          response.status == core::ResponseStatus::kExpired) {
+        ++timed_out;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          std::max(response.retry_after_ms, 1.0)));
+      ++resubmitted;
+      response = client.submit_raw(fleet_tenants[item.tenant].session, item.encoded).get();
+    }
+    if (response.status == core::ResponseStatus::kTimeout ||
+        response.status == core::ResponseStatus::kExpired) {
+      ++timed_out;
+    }
     if (!response.ok()) {
       std::fprintf(stderr, "request failed (%u): %s\n",
                    static_cast<unsigned>(response.status), response.error.c_str());
@@ -625,10 +669,18 @@ int cmd_fleet(const std::string& address, unsigned tenants, unsigned requests_pe
               wall_ms > 0.0 ? 1000.0 * static_cast<double>(issued.size()) / wall_ms : 0.0);
   std::printf("coalescing   : %.2f requests/batch mean (%llu batches)\n", total.coalescing(),
               static_cast<unsigned long long>(total.batches_submitted));
-  std::printf("shed         : %llu request(s)\n", static_cast<unsigned long long>(total.shed));
+  std::printf("shed         : %llu request(s), %llu resubmitted, %llu overdue\n",
+              static_cast<unsigned long long>(total.shed),
+              static_cast<unsigned long long>(resubmitted),
+              static_cast<unsigned long long>(timed_out));
+  std::printf("failover     : %llu session(s) re-homed, %llu router retries, %llu probes\n",
+              static_cast<unsigned long long>(fleet.sessions_rehomed),
+              static_cast<unsigned long long>(fleet.retries),
+              static_cast<unsigned long long>(fleet.probes_sent));
   for (const net::ShardStats& shard : fleet.shards) {
     std::printf("  shard %-21s: %s, %llu completed, %llu gates, %zu session(s)\n",
-                shard.address.c_str(), shard.alive ? "up" : "DOWN",
+                shard.address.c_str(),
+                std::string(net::shard_state_name(shard.state)).c_str(),
                 static_cast<unsigned long long>(shard.service.completed),
                 static_cast<unsigned long long>(shard.service.and_gates),
                 shard.service.sessions);
@@ -671,6 +723,8 @@ int main(int argc, char** argv) {
   bool intra_op = true;      // intra-op tiling escape hatch: --no-intra-op
   bool require_coalescing = false;  // fleet: fail unless batches were shared
   bool lowering_given = false;
+  double deadline_ms = 0.0;  // fleet: per-request budget (0 = none)
+  unsigned retries = 2;      // fleet: resubmits of kOverloaded sheds
   hemul::fhe::LoweringOptions lowering;  // default: ripple-carry
   for (std::size_t i = 0; i < args.size();) {
     if (args[i] == "--no-intra-op") {
@@ -685,6 +739,14 @@ int main(int argc, char** argv) {
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else if (args[i] == "--workers" && i + 1 < args.size()) {
       workers = static_cast<unsigned>(std::strtoul(args[i + 1].c_str(), nullptr, 10));
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--deadline-ms" && i + 1 < args.size()) {
+      deadline_ms = std::strtod(args[i + 1].c_str(), nullptr);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--retries" && i + 1 < args.size()) {
+      retries = static_cast<unsigned>(std::strtoul(args[i + 1].c_str(), nullptr, 10));
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else if (args[i] == "--lowering" && i + 1 < args.size()) {
@@ -739,7 +801,7 @@ int main(int argc, char** argv) {
       }
       return cmd_fleet(args[1], static_cast<unsigned>(std::strtoul(args[2].c_str(), nullptr, 10)),
                        static_cast<unsigned>(std::strtoul(args[3].c_str(), nullptr, 10)),
-                       lowering, require_coalescing);
+                       lowering, require_coalescing, deadline_ms, retries);
     }
     if (cmd == "table1" && args.size() == 1) return cmd_table1();
     if (cmd == "perf") {

@@ -2,12 +2,18 @@
 // forwards requests, aggregates stats (see docs/operations.md).
 //
 //   hemul_router [--port N] --shard HOST:PORT [--shard HOST:PORT ...]
+//                [--retries N] [--probe-interval-ms MS] [--deadline-ms MS]
+//                [--fault-plan SPEC]
 //
 // --port 0 (the default) binds an ephemeral port; the daemon prints
 //   hemul_router listening on port <N>
 // to stdout (flushed). Exits on SIGTERM/SIGINT or a kShutdown request.
 // Every shard must be reachable at startup; a shard dying later is
-// tolerated (its sessions fail cleanly, the rest keep serving).
+// tolerated: a probe loop (--probe-interval-ms) detects it, its sessions
+// re-home onto live shards via seeded create replay (bit-exact answers),
+// and the probe loop redials it for when it returns. --retries bounds the
+// safe replays (placement, overload backoff); --deadline-ms bounds the
+// router's own control RPCs to shards (ping, stats).
 
 #include <csignal>
 #include <cstdio>
@@ -17,13 +23,22 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/router.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hemul_router [--port N] --shard HOST:PORT [--shard HOST:PORT ...]\n");
+               "usage: hemul_router [--port N] --shard HOST:PORT [--shard HOST:PORT ...]\n"
+               "                    [--retries N] [--probe-interval-ms MS]\n"
+               "                    [--deadline-ms MS] [--fault-plan SPEC]\n"
+               "  --retries N            max safe replays per request (default 2)\n"
+               "  --probe-interval-ms MS kPing health-probe period; drives failover\n"
+               "                         and redial of dead shards (0 = off)\n"
+               "  --deadline-ms MS       budget for router->shard control RPCs\n"
+               "  --fault-plan SPEC      deterministic fault injection, e.g.\n"
+               "                         seed=7,drop=0.02,refuse=0.1\n");
   return 2;
 }
 
@@ -48,6 +63,10 @@ int main(int argc, char** argv) {
 
   int port = 0;
   std::vector<std::string> shards;
+  unsigned retries = 2;
+  double probe_interval_ms = 0.0;
+  double deadline_ms = 0.0;
+  std::string fault_plan;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,6 +74,14 @@ int main(int argc, char** argv) {
       port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--shard" && i + 1 < argc) {
       shards.emplace_back(argv[++i]);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--probe-interval-ms" && i + 1 < argc) {
+      probe_interval_ms = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      fault_plan = argv[++i];
     } else {
       return usage();
     }
@@ -62,8 +89,17 @@ int main(int argc, char** argv) {
   if (shards.empty()) return usage();
 
   try {
+    if (!fault_plan.empty()) {
+      const net::FaultPlan plan = net::FaultPlan::parse(fault_plan);
+      net::install_fault_injector(std::make_shared<net::FaultInjector>(plan));
+      std::fprintf(stderr, "hemul_router: fault injection armed (%s)\n",
+                   fault_plan.c_str());
+    }
     net::Router::Options options;
     options.port = port;
+    options.retry.max_retries = retries;
+    options.probe_interval_ms = probe_interval_ms;
+    options.shard_deadline_ms = deadline_ms;
     options.on_shutdown = request_shutdown;
     net::Router router(shards, options);
 
@@ -78,6 +114,9 @@ int main(int argc, char** argv) {
       g_cv.wait(lock, [] { return g_shutdown; });
     }
     router.stop();
+    if (const auto injector = net::fault_injector()) {
+      std::fprintf(stderr, "hemul_router: %s\n", injector->summary().c_str());
+    }
     std::fprintf(stderr, "hemul_router: exiting\n");
     return 0;
   } catch (const std::exception& e) {

@@ -3,7 +3,14 @@
 // hemul_router (see docs/operations.md for the runbook).
 //
 //   hemul_shard [--port N] [--workers N] [--backend NAME] [--window MS]
-//               [--max-sessions N] [--max-queue N]
+//               [--max-sessions N] [--max-queue N] [--deadline-ms MS]
+//               [--fault-plan SPEC]
+//
+// --deadline-ms sets the default per-request budget: requests whose budget
+// elapses in the admission queue complete with kExpired instead of
+// executing (a request-borne deadline overrides it).
+// --fault-plan installs a deterministic network fault injector, e.g.
+// "seed=7,drop=0.02,delay=0.05:3,corrupt=0.01" -- fault drills only.
 //
 // --port 0 (the default) binds an ephemeral port; the daemon prints
 //   hemul_shard listening on port <N>
@@ -21,6 +28,7 @@
 #include <mutex>
 #include <string>
 
+#include "net/fault.hpp"
 #include "net/server.hpp"
 #include "service/service.hpp"
 
@@ -29,7 +37,12 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: hemul_shard [--port N] [--workers N] [--backend NAME]\n"
-               "                   [--window MS] [--max-sessions N] [--max-queue N]\n");
+               "                   [--window MS] [--max-sessions N] [--max-queue N]\n"
+               "                   [--deadline-ms MS] [--fault-plan SPEC]\n"
+               "  --deadline-ms MS   default per-request budget; overdue queued\n"
+               "                     requests expire instead of executing (0 = off)\n"
+               "  --fault-plan SPEC  deterministic fault injection, e.g.\n"
+               "                     seed=7,drop=0.02,delay=0.05:3,corrupt=0.01\n");
   return 2;
 }
 
@@ -58,6 +71,8 @@ int main(int argc, char** argv) {
   double window_ms = 2.0;
   std::size_t max_sessions = 0;
   std::size_t max_queue = 0;
+  double deadline_ms = 0.0;
+  std::string fault_plan;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +88,10 @@ int main(int argc, char** argv) {
       max_sessions = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--max-queue" && i + 1 < argc) {
       max_queue = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      fault_plan = argv[++i];
     } else {
       return usage();
     }
@@ -84,8 +103,15 @@ int main(int argc, char** argv) {
   options.admission_window_ms = window_ms;
   options.max_sessions = max_sessions;
   options.max_queue_depth = max_queue;
+  options.default_deadline_ms = deadline_ms;
 
   try {
+    if (!fault_plan.empty()) {
+      const net::FaultPlan plan = net::FaultPlan::parse(fault_plan);
+      net::install_fault_injector(std::make_shared<net::FaultInjector>(plan));
+      std::fprintf(stderr, "hemul_shard: fault injection armed (%s)\n",
+                   fault_plan.c_str());
+    }
     core::Service service(options);
     net::ShardServer::Options server_options;
     server_options.port = port;
@@ -108,6 +134,9 @@ int main(int argc, char** argv) {
     service.stop_accepting();
     service.wait_idle();
     server.stop();
+    if (const auto injector = net::fault_injector()) {
+      std::fprintf(stderr, "hemul_shard: %s\n", injector->summary().c_str());
+    }
     std::fprintf(stderr, "hemul_shard: drained, exiting\n");
     return 0;
   } catch (const std::exception& e) {

@@ -450,6 +450,15 @@ GraphTopology decode_graph(std::span<const u8> buffer) {
 
 // --- Envelope --------------------------------------------------------------
 
+namespace {
+
+/// Extension tag of the envelope's optional trailing section. Encoders emit
+/// the tail only when the field is set, so an extension-free envelope stays
+/// byte-identical to the original layout (older peers keep parsing it).
+constexpr u8 kEnvelopeExtDeadline = 1;
+
+}  // namespace
+
 Bytes encode_envelope(const Envelope& envelope) {
   ByteWriter w;
   w.begin_frame(WireTag::kEnvelope);
@@ -457,34 +466,62 @@ Bytes encode_envelope(const Envelope& envelope) {
   w.put_u64(envelope.session);
   w.put_u64(envelope.request_id);
   w.put_bytes(envelope.payload);
+  if (envelope.deadline_ms != 0) {
+    w.put_u8(kEnvelopeExtDeadline);
+    w.put_u64(envelope.deadline_ms);
+  }
   w.finish_frame();
   return w.take();
 }
 
 namespace {
 
-Envelope read_envelope_payload(ByteReader& r) {
+Envelope read_envelope_payload(ByteReader& r, u64 payload_bytes) {
+  const std::size_t start = r.position();
   Envelope envelope;
   const u8 type = r.get_u8();
   if (type < static_cast<u8>(MessageType::kCreateSession) ||
-      type > static_cast<u8>(MessageType::kError)) {
+      type > static_cast<u8>(MessageType::kPong)) {
     fail("unknown envelope message type " + std::to_string(type));
   }
   envelope.type = static_cast<MessageType>(type);
   envelope.session = r.get_u64();
   envelope.request_id = r.get_u64();
   envelope.payload = r.get_bytes();
+  // Optional extension tail: u8 tag + field, repeated until the frame's
+  // declared payload length is consumed. Unknown tags are rejected -- a
+  // peer that emits an extension this decoder does not speak is a protocol
+  // error, not silently-dropped data.
+  while (r.position() - start < payload_bytes) {
+    const u8 ext = r.get_u8();
+    if (ext == kEnvelopeExtDeadline) {
+      if (envelope.deadline_ms != 0) fail("duplicate envelope deadline extension");
+      envelope.deadline_ms = r.get_u64();
+      if (envelope.deadline_ms == 0) fail("envelope deadline extension must be nonzero");
+    } else {
+      fail("unknown envelope extension tag " + std::to_string(ext));
+    }
+  }
   return envelope;
 }
 
 }  // namespace
 
 Envelope decode_envelope(ByteReader& reader) {
-  return decode_frame(reader, WireTag::kEnvelope, read_envelope_payload);
+  // Hand-rolled rather than decode_frame(): the extension-tail parse needs
+  // the frame's payload length to know whether a tail is present.
+  const u64 payload = reader.expect_frame(WireTag::kEnvelope);
+  const std::size_t start = reader.position();
+  Envelope envelope = read_envelope_payload(reader, payload);
+  if (reader.position() - start != payload) fail("frame payload length mismatch");
+  return envelope;
 }
 
 Envelope decode_envelope(std::span<const u8> buffer) {
-  return decode_whole(buffer, WireTag::kEnvelope, read_envelope_payload);
+  ByteReader reader(buffer);
+  Envelope envelope = decode_envelope(reader);
+  if (!reader.at_end()) fail("trailing bytes after frame");
+  return envelope;
 }
 
 Bytes encode_error_payload(WireErrorCode code, const std::string& message) {

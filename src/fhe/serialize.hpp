@@ -197,7 +197,8 @@ GraphTopology decode_graph(std::span<const u8> buffer);
 // for the normative layout and a worked hex dump.
 
 /// Discriminates the envelope payload. Unknown values are a SerializeError,
-/// not an extension point -- new message types bump the wire version.
+/// not an extension point -- new message types are appended here and peers
+/// that do not speak them reject the envelope outright.
 enum class MessageType : u8 {
   /// client -> shard: params frame + u64 keygen seed. Creates a tenant.
   kCreateSession = 1,
@@ -219,6 +220,11 @@ enum class MessageType : u8 {
   /// shard/router -> client: error payload (u8 WireErrorCode + message
   /// bytes) answering the request id that failed.
   kError = 9,
+  /// any peer -> any peer: liveness probe, empty payload (the router's
+  /// health loop sends these). Answered with kPong.
+  kPing = 10,
+  /// Reply to kPing: empty payload, echoed request id.
+  kPong = 11,
 };
 
 /// Machine-readable reason inside a kError envelope.
@@ -232,11 +238,20 @@ enum class WireErrorCode : u8 {
 
 /// One transport envelope: message type, session id, request id and the
 /// nested payload bytes (an HMW1 frame stream, possibly empty).
+///
+/// The deadline travels in an optional *extension tail* after the payload
+/// (u8 extension tag 1 + u64 milliseconds), emitted only when nonzero -- an
+/// envelope without a deadline is byte-identical to the original layout, so
+/// peers predating the extension still parse deadline-free traffic.
 struct Envelope {
   MessageType type = MessageType::kError;
   u64 session = 0;     ///< 0 when the message is not session-scoped
   u64 request_id = 0;  ///< echoes the request this answers; 0 for one-way
   Bytes payload;
+  /// Remaining time budget of the request in milliseconds (relative, so it
+  /// survives clock skew between hosts). 0 = no deadline. A server drops
+  /// work still queued past its budget with ResponseStatus::kExpired.
+  u64 deadline_ms = 0;
 };
 
 Bytes encode_envelope(const Envelope& envelope);

@@ -1,0 +1,174 @@
+#include "net/fault.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace hemul::net {
+
+namespace {
+
+/// splitmix64 -- the same mixer the router's placement hash uses:
+/// deterministic, well-distributed and stable across platforms.
+u64 mix64(u64 z) noexcept {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits of a hash.
+double unit(u64 h) noexcept { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+[[noreturn]] void bad_plan(const std::string& why) {
+  throw std::invalid_argument("fault plan: " + why);
+}
+
+}  // namespace
+
+std::string_view fault_action_name(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kDrop: return "drop";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kTruncate: return "truncate";
+    case FaultAction::kCorrupt: return "corrupt";
+    case FaultAction::kRefuse: return "refuse";
+  }
+  return "?";
+}
+
+bool FaultPlan::empty() const noexcept {
+  return drop == 0.0 && delay == 0.0 && truncate == 0.0 && corrupt == 0.0 &&
+         refuse == 0.0;
+}
+
+void FaultPlan::validate() const {
+  for (const double p : {drop, delay, truncate, corrupt, refuse}) {
+    if (!(p >= 0.0 && p <= 1.0)) bad_plan("probabilities must lie in [0, 1]");
+  }
+  if (!(delay_ms >= 0.0)) bad_plan("delay milliseconds must be non-negative");
+  if (drop + delay + truncate + corrupt > 1.0) {
+    bad_plan("drop+delay+truncate+corrupt must not exceed 1");
+  }
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t comma = spec.find(',', at);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(at, comma - at);
+    at = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      bad_plan("expected key=value, got \"" + std::string(item) + "\"");
+    }
+    const std::string_view key = item.substr(0, eq);
+    std::string value(item.substr(eq + 1));
+    try {
+      if (key == "seed") {
+        plan.seed = std::stoull(value);
+      } else if (key == "drop") {
+        plan.drop = std::stod(value);
+      } else if (key == "delay") {
+        // "delay=P:MS" sets both the probability and the stall length.
+        const std::size_t colon = value.find(':');
+        if (colon != std::string::npos) {
+          plan.delay_ms = std::stod(value.substr(colon + 1));
+          value.resize(colon);
+        }
+        plan.delay = std::stod(value);
+      } else if (key == "truncate") {
+        plan.truncate = std::stod(value);
+      } else if (key == "corrupt") {
+        plan.corrupt = std::stod(value);
+      } else if (key == "refuse") {
+        plan.refuse = std::stod(value);
+      } else {
+        bad_plan("unknown key \"" + std::string(key) + "\"");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      bad_plan("malformed value in \"" + std::string(item) + "\"");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) { plan_.validate(); }
+
+FaultAction FaultInjector::decide(FaultDirection direction, u64 index) const noexcept {
+  const u64 h = mix64(plan_.seed ^ mix64((static_cast<u64>(direction) << 56) | index));
+  const double u = unit(h);
+  if (direction == FaultDirection::kConnect) {
+    return u < plan_.refuse ? FaultAction::kRefuse : FaultAction::kNone;
+  }
+  double edge = plan_.drop;
+  if (u < edge) return FaultAction::kDrop;
+  edge += plan_.delay;
+  if (u < edge) return FaultAction::kDelay;
+  if (direction == FaultDirection::kOutbound) {
+    // Truncation needs control of the sending side; the inbound hook can
+    // only see frames that arrived whole.
+    edge += plan_.truncate;
+    if (u < edge) return FaultAction::kTruncate;
+  }
+  edge += plan_.corrupt;
+  if (u < edge) return FaultAction::kCorrupt;
+  return FaultAction::kNone;
+}
+
+std::size_t FaultInjector::corrupt_offset(u64 index, std::size_t size) const noexcept {
+  if (size == 0) return 0;
+  return static_cast<std::size_t>(mix64(plan_.seed ^ ~index) % size);
+}
+
+void FaultInjector::record(FaultAction action) noexcept {
+  counts_[static_cast<std::size_t>(action)].fetch_add(1, std::memory_order_relaxed);
+}
+
+u64 FaultInjector::injected() const noexcept {
+  u64 total = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string FaultInjector::summary() const {
+  std::string out = "injected";
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    out += " " + std::string(fault_action_name(static_cast<FaultAction>(i))) + "=" +
+           std::to_string(counts_[i].load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+namespace {
+
+std::mutex g_injector_mutex;
+std::shared_ptr<FaultInjector> g_injector;
+std::atomic<bool> g_injector_installed{false};
+
+}  // namespace
+
+void install_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard lock(g_injector_mutex);
+  g_injector = std::move(injector);
+  g_injector_installed.store(g_injector != nullptr, std::memory_order_release);
+}
+
+std::shared_ptr<FaultInjector> fault_injector() {
+  // Fast path: production processes never install one, so the hot send/recv
+  // paths pay one atomic load and no lock.
+  if (!g_injector_installed.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard lock(g_injector_mutex);
+  return g_injector;
+}
+
+}  // namespace hemul::net

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/uint128.hpp"
+
+namespace hemul::net {
+
+/// What a fault plan does to one message (or one connect attempt).
+enum class FaultAction : u8 {
+  kNone = 0,
+  kDrop,      ///< outbound: swallow the frame; inbound: read it and discard
+  kDelay,     ///< sleep plan.delay_ms before the frame moves
+  kTruncate,  ///< outbound only: send a prefix, then kill the socket
+  kCorrupt,   ///< flip one payload byte (framing survives; decode must cope)
+  kRefuse,    ///< connect only: fail the attempt with NetError
+};
+
+/// Which hook point is consulting the plan. Outbound/inbound index envelope
+/// writes/reads per socket; kConnect indexes connect_to() attempts.
+enum class FaultDirection : u8 { kOutbound = 0, kInbound = 1, kConnect = 2 };
+
+[[nodiscard]] std::string_view fault_action_name(FaultAction action) noexcept;
+
+/// A seeded chaos plan: per-action probabilities resolved by hashing
+/// (seed, direction, message index), so the same seed against the same
+/// message sequence reproduces the same faults on every run -- drills and
+/// chaos tests are replayable, never flaky-by-randomness.
+struct FaultPlan {
+  u64 seed = 0;
+  double drop = 0.0;
+  double delay = 0.0;
+  double truncate = 0.0;
+  double corrupt = 0.0;
+  double refuse = 0.0;
+  double delay_ms = 5.0;  ///< how long one kDelay stalls the frame
+
+  [[nodiscard]] bool empty() const noexcept;
+  /// Throws std::invalid_argument on probabilities outside [0, 1] or a
+  /// negative delay.
+  void validate() const;
+
+  /// Parses the --fault-plan syntax: comma-separated key=value pairs, e.g.
+  /// "seed=42,drop=0.05,delay=0.1:2,corrupt=0.02" (delay takes an optional
+  /// ":milliseconds" suffix). Throws std::invalid_argument on bad specs.
+  static FaultPlan parse(std::string_view spec);
+};
+
+/// Decides and books injected faults. decide() is a pure function of the
+/// plan and (direction, index) -- all the mutable state is the counters.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] FaultAction decide(FaultDirection direction, u64 index) const noexcept;
+
+  /// Deterministic byte offset (< size) at which kCorrupt flips a byte.
+  [[nodiscard]] std::size_t corrupt_offset(u64 index, std::size_t size) const noexcept;
+
+  [[nodiscard]] u64 next_connect_index() noexcept { return connect_index_++; }
+
+  void record(FaultAction action) noexcept;
+  [[nodiscard]] u64 injected() const noexcept;  ///< total non-kNone actions
+  [[nodiscard]] std::string summary() const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<u64> connect_index_{0};
+  std::array<std::atomic<u64>, 6> counts_{};
+};
+
+/// Process-global injector the socket/frame layer consults (none installed
+/// by default, so production paths pay one relaxed load). Installing an
+/// empty pointer disables injection again.
+void install_fault_injector(std::shared_ptr<FaultInjector> injector);
+[[nodiscard]] std::shared_ptr<FaultInjector> fault_injector();
+
+}  // namespace hemul::net

@@ -1,5 +1,10 @@
 #include "net/frame.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "net/fault.hpp"
+
 namespace hemul::net {
 
 namespace {
@@ -7,9 +12,9 @@ namespace {
 /// Envelope header: u32 magic | u8 version | u8 tag | u64 payload length.
 constexpr std::size_t kHeaderBytes = 14;
 
-}  // namespace
-
-fhe::Envelope read_envelope(Socket& socket) {
+/// Pulls one raw envelope frame (header + payload) off the socket without
+/// decoding the payload.
+fhe::Bytes read_frame_bytes(Socket& socket) {
   fhe::Bytes buffer(kHeaderBytes);
   socket.recv_exact(buffer);
 
@@ -37,11 +42,77 @@ fhe::Envelope read_envelope(Socket& socket) {
 
   buffer.resize(kHeaderBytes + payload);
   socket.recv_exact(std::span<u8>(buffer).subspan(kHeaderBytes));
-  return fhe::decode_envelope(buffer);
+  return buffer;
+}
+
+void fault_sleep(const FaultInjector& injector) {
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(injector.plan().delay_ms));
+}
+
+}  // namespace
+
+fhe::Envelope read_envelope(Socket& socket) {
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  for (;;) {
+    fhe::Bytes buffer = read_frame_bytes(socket);
+    if (injector) {
+      const u64 index = socket.next_fault_index(/*outbound=*/false);
+      const FaultAction action = injector->decide(FaultDirection::kInbound, index);
+      if (action != FaultAction::kNone) injector->record(action);
+      if (action == FaultAction::kDrop) continue;  // lost in transit: read on
+      if (action == FaultAction::kDelay) fault_sleep(*injector);
+      if (action == FaultAction::kCorrupt && buffer.size() > kHeaderBytes) {
+        // Flip one payload byte; the frame header survives, so this models
+        // in-flight corruption the decode layer must reject or absorb.
+        buffer[kHeaderBytes +
+               injector->corrupt_offset(index, buffer.size() - kHeaderBytes)] ^= 0x01;
+      }
+    }
+    return fhe::decode_envelope(buffer);
+  }
 }
 
 void write_envelope(Socket& socket, const fhe::Envelope& envelope) {
-  socket.send_all(fhe::encode_envelope(envelope));
+  fhe::Bytes frame = fhe::encode_envelope(envelope);
+  if (const std::shared_ptr<FaultInjector> injector = fault_injector()) {
+    const u64 index = socket.next_fault_index(/*outbound=*/true);
+    const FaultAction action = injector->decide(FaultDirection::kOutbound, index);
+    if (action != FaultAction::kNone) injector->record(action);
+    switch (action) {
+      case FaultAction::kDrop:
+        return;  // swallowed: the peer never sees this frame
+      case FaultAction::kDelay:
+        fault_sleep(*injector);
+        break;
+      case FaultAction::kTruncate:
+        // Half a frame, then a dead socket: the peer observes a mid-frame
+        // close (NetError), the canonical crashed-peer signature.
+        socket.send_all(std::span<const u8>(frame).first(frame.size() / 2));
+        socket.shutdown_both();
+        return;
+      case FaultAction::kCorrupt:
+        if (frame.size() > kHeaderBytes) {
+          frame[kHeaderBytes +
+                injector->corrupt_offset(index, frame.size() - kHeaderBytes)] ^= 0x01;
+        }
+        break;
+      case FaultAction::kRefuse:
+      case FaultAction::kNone:
+        break;
+    }
+  }
+  socket.send_all(frame);
+}
+
+std::string_view shard_state_name(ShardState state) noexcept {
+  switch (state) {
+    case ShardState::kAlive: return "alive";
+    case ShardState::kSuspect: return "suspect";
+    case ShardState::kDead: return "dead";
+    case ShardState::kReconnecting: return "reconnecting";
+  }
+  return "?";
 }
 
 core::ServiceStats FleetStats::aggregate() const {
@@ -54,6 +125,7 @@ core::ServiceStats FleetStats::aggregate() const {
     total.bad_requests += s.bad_requests;
     total.internal_errors += s.internal_errors;
     total.shed += s.shed;
+    total.expired += s.expired;
     total.sessions_evicted += s.sessions_evicted;
     total.and_gates += s.and_gates;
     total.wavefronts += s.wavefronts;
@@ -79,6 +151,7 @@ void write_service_stats(fhe::ByteWriter& w, const core::ServiceStats& s) {
   w.put_u64(s.bad_requests);
   w.put_u64(s.internal_errors);
   w.put_u64(s.shed);
+  w.put_u64(s.expired);
   w.put_u64(s.sessions_evicted);
   w.put_u64(s.and_gates);
   w.put_u64(s.wavefronts);
@@ -109,6 +182,7 @@ core::ServiceStats read_service_stats(fhe::ByteReader& r) {
   s.bad_requests = r.get_u64();
   s.internal_errors = r.get_u64();
   s.shed = r.get_u64();
+  s.expired = r.get_u64();
   s.sessions_evicted = r.get_u64();
   s.and_gates = r.get_u64();
   s.wavefronts = r.get_u64();
@@ -147,11 +221,15 @@ fhe::Bytes encode_fleet_stats(const FleetStats& stats) {
   w.put_u64(stats.sessions_created);
   w.put_u64(stats.forwarded);
   w.put_u64(stats.failed);
+  w.put_u64(stats.sessions_rehomed);
+  w.put_u64(stats.retries);
+  w.put_u64(stats.probes_sent);
   w.put_u32(static_cast<u32>(stats.shards.size()));
   for (const ShardStats& shard : stats.shards) {
     w.put_bytes(std::span<const u8>(reinterpret_cast<const u8*>(shard.address.data()),
                                     shard.address.size()));
     w.put_u8(shard.alive ? 1 : 0);
+    w.put_u8(static_cast<u8>(shard.state));
     write_service_stats(w, shard.service);
   }
   return w.take();
@@ -163,6 +241,9 @@ FleetStats decode_fleet_stats(std::span<const u8> payload) {
   stats.sessions_created = r.get_u64();
   stats.forwarded = r.get_u64();
   stats.failed = r.get_u64();
+  stats.sessions_rehomed = r.get_u64();
+  stats.retries = r.get_u64();
+  stats.probes_sent = r.get_u64();
   const u32 shard_count = r.get_u32();
   if (shard_count > r.remaining()) {
     throw fhe::SerializeError("fleet stats: shard count exceeds the buffer");
@@ -175,6 +256,11 @@ FleetStats decode_fleet_stats(std::span<const u8> payload) {
     const u8 alive = r.get_u8();
     if (alive > 1) throw fhe::SerializeError("fleet stats: bad alive flag");
     shard.alive = alive == 1;
+    const u8 state = r.get_u8();
+    if (state > static_cast<u8>(ShardState::kReconnecting)) {
+      throw fhe::SerializeError("fleet stats: bad shard state byte");
+    }
+    shard.state = static_cast<ShardState>(state);
     shard.service = read_service_stats(r);
     stats.shards.push_back(std::move(shard));
   }

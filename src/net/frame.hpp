@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fhe/serialize.hpp"
@@ -17,17 +18,29 @@ inline constexpr u64 kMaxEnvelopeBytes = u64{1} << 28;  // 256 MiB
 /// Blocking-reads one whole kEnvelope frame off the socket: header first
 /// (validated magic/version/tag, length bounded by kMaxEnvelopeBytes), then
 /// the payload, then a full fhe::decode_envelope pass. Throws NetError on
-/// connection loss and fhe::SerializeError on malformed bytes.
+/// connection loss and fhe::SerializeError on malformed bytes. An installed
+/// net::FaultInjector may discard, delay or corrupt frames here.
 [[nodiscard]] fhe::Envelope read_envelope(Socket& socket);
 
 /// Writes one envelope as a single send (the frame is self-delimiting, so
-/// writers never need length negotiation).
+/// writers never need length negotiation). An installed net::FaultInjector
+/// may swallow, delay, truncate or corrupt the frame here.
 void write_envelope(Socket& socket, const fhe::Envelope& envelope);
+
+/// The router's health view of one shard, driven by the probe loop:
+/// kAlive -> kSuspect after one failed probe, -> kDead after a second (or
+/// instantly on connection loss), -> kReconnecting while a redial is in
+/// flight, -> kAlive once it lands. Suspect shards still serve; dead and
+/// reconnecting shards get their sessions re-homed.
+enum class ShardState : u8 { kAlive = 0, kSuspect = 1, kDead = 2, kReconnecting = 3 };
+
+[[nodiscard]] std::string_view shard_state_name(ShardState state) noexcept;
 
 /// One shard's slice of a fleet stats reply.
 struct ShardStats {
   std::string address;  ///< host:port the router dialed
-  bool alive = true;    ///< false once the router saw the connection die
+  bool alive = true;    ///< still serving (state is kAlive or kSuspect)
+  ShardState state = ShardState::kAlive;
   core::ServiceStats service;
 };
 
@@ -35,9 +48,13 @@ struct ShardStats {
 /// Shard-level ServiceStats are carried verbatim so operators can see skew,
 /// plus router-side forwarding counters no shard can know.
 struct FleetStats {
-  u64 sessions_created = 0;  ///< sessions the router has placed on shards
-  u64 forwarded = 0;         ///< requests relayed to a shard
-  u64 failed = 0;            ///< requests failed by connection loss
+  u64 sessions_created = 0;   ///< sessions the router has placed on shards
+  u64 forwarded = 0;          ///< requests relayed to a shard
+  u64 failed = 0;             ///< requests failed by connection loss
+  u64 sessions_rehomed = 0;   ///< failover replays of (params, seed) onto a
+                              ///< live shard after the owner died
+  u64 retries = 0;            ///< safe-to-retry attempts the router replayed
+  u64 probes_sent = 0;        ///< kPing health probes issued
   std::vector<ShardStats> shards;
 
   /// Sums the per-shard ServiceStats (lane detail dropped; scalar counters

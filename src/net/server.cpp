@@ -206,8 +206,11 @@ void ShardServer::handle(const fhe::Envelope& request, ServerConnection& connect
     }
     case fhe::MessageType::kSubmit: {
       core::Request decoded = core::decode_request(request.payload);
+      // The envelope's deadline is this request's remaining budget: the
+      // service drops it at admission once the budget has elapsed.
       std::future<core::Response> future =
-          service_.submit(request.session, std::move(decoded));
+          service_.submit(request.session, std::move(decoded),
+                          static_cast<double>(request.deadline_ms));
       connection.send_when_ready(request.session, request.request_id, std::move(future));
       return;
     }
@@ -221,6 +224,16 @@ void ShardServer::handle(const fhe::Envelope& request, ServerConnection& connect
       reply.type = fhe::MessageType::kStatsReply;
       reply.request_id = request.request_id;
       reply.payload = encode_fleet_stats(fleet);
+      connection.send_now(std::move(reply));
+      return;
+    }
+    case fhe::MessageType::kPing: {
+      // Liveness only: answered from the reader thread, no service touch,
+      // so a wedged scheduler still pongs -- probes measure the transport
+      // and the process, not queue depth.
+      fhe::Envelope reply;
+      reply.type = fhe::MessageType::kPong;
+      reply.request_id = request.request_id;
       connection.send_now(std::move(reply));
       return;
     }

@@ -1,5 +1,7 @@
 #include "net/socket.hpp"
 
+#include "net/fault.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -23,11 +25,21 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    fault_out_ = other.fault_out_;
+    fault_in_ = other.fault_in_;
   }
   return *this;
 }
 
 Socket Socket::connect_to(const std::string& host, int port) {
+  if (const std::shared_ptr<FaultInjector> injector = fault_injector()) {
+    const u64 index = injector->next_connect_index();
+    if (injector->decide(FaultDirection::kConnect, index) == FaultAction::kRefuse) {
+      injector->record(FaultAction::kRefuse);
+      throw NetError("connect to " + host + ":" + std::to_string(port) +
+                     " refused (injected fault #" + std::to_string(index) + ")");
+    }
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail_errno("socket");
   Socket sock(fd);
@@ -123,7 +135,9 @@ Listener::Listener(int port) {
 }
 
 Socket Listener::accept_connection() {
-  const int fd = ::accept(fd_, nullptr, nullptr);
+  const int listen_fd = fd_.load(std::memory_order_relaxed);
+  if (listen_fd < 0) throw NetError("accept on closed listener");
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
   if (fd < 0) fail_errno("accept");
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -131,12 +145,14 @@ Socket Listener::accept_connection() {
 }
 
 void Listener::close() noexcept {
-  if (fd_ >= 0) {
+  // exchange() claims the fd exactly once even if close() races with the
+  // destructor on another thread.
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) {
     // shutdown() first so a thread blocked in accept() wakes with an error
     // instead of holding the fd forever.
-    (void)::shutdown(fd_, SHUT_RDWR);
-    (void)::close(fd_);
-    fd_ = -1;
+    (void)::shutdown(fd, SHUT_RDWR);
+    (void)::close(fd);
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <stdexcept>
@@ -29,7 +30,10 @@ class Socket {
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { close(); }
 
-  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket(Socket&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)),
+        fault_out_(other.fault_out_),
+        fault_in_(other.fault_in_) {}
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -54,8 +58,17 @@ class Socket {
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
+  /// Per-connection message index for net::FaultInjector: frames written
+  /// to / read from this socket are numbered independently per direction,
+  /// so a seeded fault plan selects the same messages on every run.
+  [[nodiscard]] u64 next_fault_index(bool outbound) noexcept {
+    return outbound ? fault_out_++ : fault_in_++;
+  }
+
  private:
   int fd_ = -1;
+  u64 fault_out_ = 0;  ///< frames written so far (fault-plan index space)
+  u64 fault_in_ = 0;   ///< frames read so far
 };
 
 /// RAII listening socket bound to 127.0.0.1. Port 0 asks the kernel for an
@@ -67,7 +80,7 @@ class Listener {
   ~Listener() { close(); }
 
   Listener(Listener&& other) noexcept
-      : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+      : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
   Listener(const Listener&) = delete;
   Listener& operator=(const Listener&) = delete;
   Listener& operator=(Listener&&) = delete;
@@ -79,10 +92,12 @@ class Listener {
   void close() noexcept;
 
   [[nodiscard]] int port() const noexcept { return port_; }
-  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] bool valid() const noexcept { return fd_.load(std::memory_order_relaxed) >= 0; }
 
  private:
-  int fd_ = -1;
+  // Atomic because close() is the cross-thread shutdown path: it races by
+  // design with an accept_connection() blocked on another thread.
+  std::atomic<int> fd_{-1};
   int port_ = 0;
 };
 

@@ -122,7 +122,7 @@ Response decode_response(std::span<const u8> buffer) {
   reader.expect_frame(fhe::WireTag::kResponse);
   Response response;
   const u8 status = reader.get_u8();
-  if (status > static_cast<u8>(ResponseStatus::kUnavailable)) {
+  if (status > static_cast<u8>(ResponseStatus::kExpired)) {
     throw fhe::SerializeError("unknown response status byte " + std::to_string(status));
   }
   response.status = static_cast<ResponseStatus>(status);

@@ -127,6 +127,14 @@ enum class ResponseStatus : u8 {
   /// draining after stop_accepting(), or a connection loss that failed the
   /// in-flight requests of that connection only.
   kUnavailable,
+  /// The caller-side deadline elapsed before a reply arrived. Produced
+  /// locally by net::ShardClient's timer (the peer may still answer later;
+  /// that stale reply is discarded), never by the service itself.
+  kTimeout,
+  /// The request's deadline budget was already spent when the service got
+  /// around to admitting it; it was dropped before any multiplication was
+  /// spent (the wire deadline travels in the envelope's extension tail).
+  kExpired,
 };
 
 /// Completion of one Request, delivered through the submit() future.
@@ -163,7 +171,8 @@ struct TenantStats {
   u64 rejected_by_noise = 0;
   u64 bad_requests = 0;
   u64 internal_errors = 0;
-  u64 shed = 0;  ///< kOverloaded refusals (never entered the queue)
+  u64 shed = 0;     ///< kOverloaded refusals (never entered the queue)
+  u64 expired = 0;  ///< kExpired drops (deadline spent before admission)
   u64 and_gates = 0;
   u64 wavefronts = 0;
   u64 bytes_in = 0;   ///< serialized request payloads accepted
@@ -178,6 +187,7 @@ struct ServiceStats {
   u64 bad_requests = 0;
   u64 internal_errors = 0;
   u64 shed = 0;              ///< kOverloaded refusals across all tenants
+  u64 expired = 0;           ///< kExpired deadline drops across all tenants
   u64 sessions_evicted = 0;  ///< idle key contexts dropped by the LRU bound
   u64 and_gates = 0;
   u64 wavefronts = 0;  ///< per-request wavefronts, summed

@@ -54,6 +54,8 @@ struct Service::Pending {
   Request request;
   std::promise<Response> promise;
   Clock::time_point submitted_at;
+  bool has_deadline = false;
+  Clock::time_point expires_at;  ///< admission drops the request past this
 };
 
 /// An admitted request mid-evaluation: the recorded graph plus the shared
@@ -157,10 +159,19 @@ fhe::Bytes Service::secret_key_bytes(SessionId session) {
   return fhe::encode_secret_key(session_ref(session).scheme.secret_key());
 }
 
-std::future<Response> Service::submit(SessionId session, Request request) {
+std::future<Response> Service::submit(SessionId session, Request request,
+                                      double deadline_ms) {
   Pending pending;
   pending.request = std::move(request);
   pending.submitted_at = Clock::now();
+  const double budget = deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
+  if (budget > 0) {
+    pending.has_deadline = true;
+    pending.expires_at =
+        pending.submitted_at +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(budget));
+  }
   std::future<Response> future = pending.promise.get_future();
   // One lock acquisition covers the session lookup AND the enqueue: the
   // Session* stored in Pending must be pinned (tenant.in_flight bumped)
@@ -270,10 +281,17 @@ void Service::complete(Active& request, Response response) {
         ++totals_.internal_errors;
         ++tenant.internal_errors;
         break;
+      case ResponseStatus::kExpired:
+        ++totals_.expired;
+        ++tenant.expired;
+        break;
       case ResponseStatus::kOverloaded:
       case ResponseStatus::kUnavailable:
         // Shed/drain refusals complete synchronously in submit() and never
         // become Active; nothing books them here.
+        break;
+      case ResponseStatus::kTimeout:
+        // Client-local: a server never produces kTimeout for its own work.
         break;
     }
     tenant.bytes_out += response.outputs.size();
@@ -291,6 +309,16 @@ std::unique_ptr<Service::Active> Service::admit(Pending&& pending) {
   active->promise = std::move(pending.promise);
   active->submitted_at = pending.submitted_at;
   active->admitted_at = Clock::now();
+
+  // Deadline check FIRST: a request whose caller already gave up is dropped
+  // before the input decode, let alone a multiplication, is spent on it.
+  if (pending.has_deadline && active->admitted_at >= pending.expires_at) {
+    Response response;
+    response.status = ResponseStatus::kExpired;
+    response.error = "deadline expired in the admission queue";
+    complete(*active, std::move(response));
+    return nullptr;
+  }
 
   const Request& request = pending.request;
   const CircuitSpec& spec = request.spec;

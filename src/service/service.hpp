@@ -36,6 +36,12 @@ struct ServiceOptions {
   /// retry-after hint instead of queueing it, so callers back off rather
   /// than stall. The queue depth never exceeds this bound.
   std::size_t max_queue_depth = 0;
+  /// Default per-request deadline in milliseconds (0 = none). A request
+  /// whose budget elapses while it waits in the admission queue completes
+  /// with ResponseStatus::kExpired before any multiplication is spent --
+  /// the caller stopped waiting, so the work would be wasted. A per-call
+  /// deadline on submit() overrides this default.
+  double default_deadline_ms = 0.0;
 };
 
 /// Thrown by create_session after stop_accepting(): the service is draining
@@ -88,10 +94,14 @@ class Service {
   SessionId create_session(const fhe::DghvParams& params, u64 seed);
 
   /// Enqueues one request. The future always yields a Response (malformed
-  /// payloads and noise vetoes are statuses, not exceptions). Throws
-  /// std::invalid_argument for an unknown session -- that is a caller bug,
-  /// not wire data.
-  std::future<Response> submit(SessionId session, Request request);
+  /// payloads, noise vetoes and expired deadlines are statuses, not
+  /// exceptions). Throws std::invalid_argument for an unknown session --
+  /// that is a caller bug, not wire data. `deadline_ms` is this request's
+  /// remaining budget (0 = use ServiceOptions::default_deadline_ms; both
+  /// zero = no deadline): if it elapses before admission the request
+  /// completes with ResponseStatus::kExpired instead of executing.
+  std::future<Response> submit(SessionId session, Request request,
+                               double deadline_ms = 0.0);
 
   /// The tenant's key context (e.g. for client-side encrypt/decrypt in
   /// tests and in-process callers). Valid for the Service's lifetime.

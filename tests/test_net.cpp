@@ -8,6 +8,7 @@
 
 #include <future>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -297,7 +298,7 @@ TEST(NetTest, RouterPlacesSessionsForwardsAndAggregatesStats) {
   EXPECT_EQ(fleet.aggregate().completed, static_cast<u64>(kTenants));
 }
 
-TEST(NetTest, DeadShardFailsOnlyItsOwnSessions) {
+TEST(NetTest, DeadShardSessionsRehomeOntoLiveShards) {
   core::Service service_a(ssa_options(1));
   auto service_b = std::make_unique<core::Service>(ssa_options(1));
   ShardServer shard_a(service_a);
@@ -330,34 +331,111 @@ TEST(NetTest, DeadShardFailsOnlyItsOwnSessions) {
   shard_b.reset();
   service_b.reset();
 
-  // Shard B's sessions fail with a clean kUnavailable...
-  const core::Response dead =
+  // Shard B's sessions re-home: the router replays the recorded seeded
+  // create on shard A, so the tenant's keys still decrypt the answers
+  // bit-exactly. The very first request after the kill may race the
+  // connection-loss detection and fail once with kUnavailable (ambiguous
+  // mid-flight loss is never replayed) -- the next one must succeed.
+  core::Response rehomed =
       client.submit(on_b[0].session, mul_request(tenants_b[0], 1, 2)).get();
-  EXPECT_EQ(dead.status, core::ResponseStatus::kUnavailable);
+  if (rehomed.status == core::ResponseStatus::kUnavailable) {
+    rehomed = client.submit(on_b[0].session, mul_request(tenants_b[0], 1, 2)).get();
+  }
+  ASSERT_TRUE(rehomed.ok()) << rehomed.error;
+  EXPECT_EQ(decrypt_response(tenants_b[0], rehomed), 2u);
 
-  // ...while shard A's keep serving bit-exact results.
+  // Shard A's own sessions were never disturbed.
   const core::Response alive =
       client.submit(on_a[0].session, mul_request(tenants_a[0], 2, 3)).get();
   ASSERT_TRUE(alive.ok()) << alive.error;
   EXPECT_EQ(decrypt_response(tenants_a[0], alive), 6u);
 
-  // The stats reply calls the dead shard out and counts the failure.
+  // Drive the health state machine once by hand (this router has no probe
+  // thread): the dead connection demotes shard B straight to kDead.
+  router.probe_once();
+
+  // The stats reply calls the dead shard out and counts the re-homing.
   const FleetStats fleet = client.stats();
   ASSERT_EQ(fleet.shards.size(), 2u);
   EXPECT_TRUE(fleet.shards[0].alive);
+  EXPECT_EQ(fleet.shards[0].state, ShardState::kAlive);
   EXPECT_FALSE(fleet.shards[1].alive);
-  EXPECT_GE(fleet.failed, 1u);
+  EXPECT_EQ(fleet.shards[1].state, ShardState::kDead);
+  EXPECT_GE(fleet.sessions_rehomed, 1u);
 
-  // New sessions that hash onto the dead shard are refused with a typed
-  // error; ones that hash onto the live shard still work.
+  // New sessions always land on a live shard now: the placement walk skips
+  // dead shards instead of refusing the tenant.
   for (int attempt = 0; attempt < 8; ++attempt) {
-    try {
-      ShardClient::SessionKeys keys = client.create_session(DghvParams::toy(), 5000 + attempt);
-      EXPECT_EQ(Router::shard_of(keys.session, 2), 0u);
-    } catch (const std::runtime_error&) {
-      // the dead shard's turn in the hash sequence -- expected
-    }
+    ShardClient::SessionKeys keys = client.create_session(DghvParams::toy(), 5000 + attempt);
+    fhe::Dghv tenant(std::move(keys.public_key), std::move(keys.secret_key), 6000 + attempt);
+    const core::Response fresh =
+        client.submit(keys.session, mul_request(tenant, 3, 3)).get();
+    ASSERT_TRUE(fresh.ok()) << fresh.error;
+    EXPECT_EQ(decrypt_response(tenant, fresh), 9u);
   }
+}
+
+// The probe loop's full arc: alive -> dead on connection loss, then
+// kReconnecting -> kAlive with an incarnation bump once the shard is back,
+// and the bump forces sessions pinned to the old incarnation to re-home.
+TEST(NetTest, ProbeLoopRedialsRestartedShardAndRehomesItsSessions) {
+  core::Service service_a(ssa_options(1));
+  auto service_b = std::make_unique<core::Service>(ssa_options(1));
+  ShardServer shard_a(service_a);
+  auto shard_b = std::make_unique<ShardServer>(*service_b);
+  const int port_b = shard_b->port();
+
+  Router router({loopback(shard_a.port()), loopback(port_b)});
+  ShardClient client(loopback(router.port()));
+
+  // Find a session that lands on shard B.
+  u64 seed = 0;
+  std::optional<ShardClient::SessionKeys> victim;
+  std::optional<fhe::Dghv> tenant;
+  while (!victim) {
+    ShardClient::SessionKeys keys = client.create_session(DghvParams::toy(), 7000 + seed);
+    if (Router::shard_of(keys.session, 2) == 1) {
+      tenant.emplace(std::move(keys.public_key), std::move(keys.secret_key), 8000 + seed);
+      victim = std::move(keys);
+    }
+    ++seed;
+    ASSERT_LT(seed, 64u);
+  }
+
+  // Restart shard B on the same port with a FRESH service: the old session
+  // table is gone, exactly like a crashed-and-respawned daemon.
+  shard_b->stop();
+  shard_b.reset();
+  service_b.reset();
+  router.probe_once();  // sees the dead connection -> kDead
+  {
+    const FleetStats fleet = client.stats();
+    EXPECT_EQ(fleet.shards[1].state, ShardState::kDead);
+  }
+
+  service_b = std::make_unique<core::Service>(ssa_options(1));
+  {
+    ShardServer::Options reopen;
+    reopen.port = port_b;
+    shard_b = std::make_unique<ShardServer>(*service_b, std::move(reopen));
+  }
+  router.probe_once();  // kDead -> redial -> kAlive, incarnation bumped
+  {
+    const FleetStats fleet = client.stats();
+    EXPECT_TRUE(fleet.shards[1].alive);
+    EXPECT_EQ(fleet.shards[1].state, ShardState::kAlive);
+    EXPECT_GE(fleet.probes_sent, 1u);
+  }
+
+  // The victim's placement points at the old incarnation, so its next
+  // request replays the seeded create (possibly onto the restarted shard
+  // itself) and still answers bit-exactly.
+  const core::Response response =
+      client.submit(victim->session, mul_request(*tenant, 2, 2)).get();
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(decrypt_response(*tenant, response), 4u);
+  const FleetStats fleet = client.stats();
+  EXPECT_GE(fleet.sessions_rehomed, 1u);
 }
 
 // --- FleetStats codec --------------------------------------------------------
@@ -367,9 +445,13 @@ TEST(NetTest, FleetStatsRoundTripAndTruncationFuzz) {
   fleet.sessions_created = 5;
   fleet.forwarded = 17;
   fleet.failed = 2;
+  fleet.sessions_rehomed = 3;
+  fleet.retries = 11;
+  fleet.probes_sent = 29;
   ShardStats shard;
   shard.address = "127.0.0.1:4242";
   shard.alive = false;
+  shard.state = ShardState::kDead;
   shard.service.submitted = 9;
   shard.service.completed = 7;
   shard.service.shed = 1;
@@ -379,6 +461,7 @@ TEST(NetTest, FleetStatsRoundTripAndTruncationFuzz) {
   shard.service.transforms_avoided = -3;
   fleet.shards.push_back(shard);
   shard.alive = true;
+  shard.state = ShardState::kSuspect;
   fleet.shards.push_back(shard);
 
   const fhe::Bytes wire = encode_fleet_stats(fleet);
@@ -387,9 +470,14 @@ TEST(NetTest, FleetStatsRoundTripAndTruncationFuzz) {
   EXPECT_EQ(back.sessions_created, fleet.sessions_created);
   EXPECT_EQ(back.forwarded, fleet.forwarded);
   EXPECT_EQ(back.failed, fleet.failed);
+  EXPECT_EQ(back.sessions_rehomed, 3u);
+  EXPECT_EQ(back.retries, 11u);
+  EXPECT_EQ(back.probes_sent, 29u);
   EXPECT_EQ(back.shards[0].address, "127.0.0.1:4242");
   EXPECT_FALSE(back.shards[0].alive);
+  EXPECT_EQ(back.shards[0].state, ShardState::kDead);
   EXPECT_TRUE(back.shards[1].alive);
+  EXPECT_EQ(back.shards[1].state, ShardState::kSuspect);
   EXPECT_EQ(back.shards[0].service.completed, 7u);
   EXPECT_EQ(back.shards[0].service.transforms_avoided, -3);
   EXPECT_EQ(back.aggregate().submitted, 18u);

@@ -425,7 +425,7 @@ TEST_F(SerializeTest, EnvelopeHostileBytesAreRejected) {
   // session u64 (LE), request id u64 (LE), then the inner payload bytes.
   constexpr std::size_t kTypeOffset = 14;
 
-  for (const u8 hostile_type : {u8{0}, u8{10}, u8{0x63}, u8{0xFF}}) {
+  for (const u8 hostile_type : {u8{0}, u8{12}, u8{0x63}, u8{0xFF}}) {
     Bytes bad_type = good;
     bad_type[kTypeOffset] = hostile_type;
     EXPECT_THROW((void)decode_envelope(bad_type), SerializeError)
@@ -443,6 +443,80 @@ TEST_F(SerializeTest, EnvelopeHostileBytesAreRejected) {
   Bytes trailing = good;
   trailing.push_back(0);
   EXPECT_THROW((void)decode_envelope(trailing), SerializeError);
+}
+
+TEST_F(SerializeTest, EnvelopeDeadlineExtensionRoundTrips) {
+  Envelope envelope;
+  envelope.type = MessageType::kSubmit;
+  envelope.session = 3;
+  envelope.request_id = 5;
+  envelope.payload = {0xAB, 0xCD};
+  envelope.deadline_ms = 1234;
+
+  const Bytes with_deadline = encode_envelope(envelope);
+  const Envelope back = decode_envelope(with_deadline);
+  EXPECT_EQ(back.deadline_ms, 1234u);
+  EXPECT_EQ(back.type, envelope.type);
+  EXPECT_EQ(back.payload, envelope.payload);
+
+  // A deadline-free envelope encodes with NO extension tail: byte-identical
+  // to the version-1 layout, so old peers keep parsing it.
+  envelope.deadline_ms = 0;
+  const Bytes without_deadline = encode_envelope(envelope);
+  EXPECT_EQ(with_deadline.size(), without_deadline.size() + 9);  // u8 tag + u64 value
+  EXPECT_EQ(decode_envelope(without_deadline).deadline_ms, 0u);
+
+  // Truncating inside the extension tail is rejected, never UB. (Cutting
+  // the tail off entirely is the legal deadline-free layout, so the loop
+  // starts one byte past it: a tag with no value.)
+  for (std::size_t len = without_deadline.size() + 1; len < with_deadline.size(); ++len) {
+    Bytes cut(with_deadline.begin(),
+              with_deadline.begin() + static_cast<std::ptrdiff_t>(len));
+    // Patch the frame length so only the extension itself is short.
+    const u64 payload_len = len - 14;
+    for (int b = 0; b < 8; ++b) cut[6 + b] = static_cast<u8>(payload_len >> (8 * b));
+    EXPECT_THROW((void)decode_envelope(cut), SerializeError)
+        << "extension truncated to " << len << " of " << with_deadline.size();
+  }
+}
+
+TEST_F(SerializeTest, EnvelopeHostileExtensionBytesAreRejected) {
+  Envelope envelope;
+  envelope.type = MessageType::kStats;
+  envelope.deadline_ms = 7;
+  const Bytes good = encode_envelope(envelope);
+  const std::size_t ext_tag_at = good.size() - 9;  // u8 tag, then u64 value
+
+  Bytes unknown_ext = good;
+  unknown_ext[ext_tag_at] = 0x7F;
+  EXPECT_THROW((void)decode_envelope(unknown_ext), SerializeError);
+
+  Bytes zero_deadline = good;
+  for (std::size_t b = 0; b < 8; ++b) zero_deadline[ext_tag_at + 1 + b] = 0;
+  EXPECT_THROW((void)decode_envelope(zero_deadline), SerializeError);
+
+  // Two deadline extensions: the second is a duplicate, not a larger value.
+  Bytes duplicated = good;
+  duplicated.insert(duplicated.end(), good.begin() + static_cast<std::ptrdiff_t>(ext_tag_at),
+                    good.end());
+  const u64 payload_len = duplicated.size() - 14;
+  for (int b = 0; b < 8; ++b) duplicated[6 + b] = static_cast<u8>(payload_len >> (8 * b));
+  EXPECT_THROW((void)decode_envelope(duplicated), SerializeError);
+}
+
+TEST_F(SerializeTest, PingPongEnvelopesRoundTrip) {
+  Envelope ping;
+  ping.type = MessageType::kPing;
+  ping.request_id = 11;
+  const Envelope ping_back = decode_envelope(encode_envelope(ping));
+  EXPECT_EQ(ping_back.type, MessageType::kPing);
+  EXPECT_EQ(ping_back.request_id, 11u);
+  EXPECT_TRUE(ping_back.payload.empty());
+
+  Envelope pong;
+  pong.type = MessageType::kPong;
+  pong.request_id = 11;
+  EXPECT_EQ(decode_envelope(encode_envelope(pong)).type, MessageType::kPong);
 }
 
 TEST_F(SerializeTest, ErrorPayloadRoundTripsAndRejectsHostileCodes) {
@@ -557,6 +631,31 @@ TEST_F(SerializeTest, DocumentedSubmitEnvelopeHexExampleRoundTrips) {
   EXPECT_EQ(decoded.spec, request.spec);
   EXPECT_TRUE(decoded.graph.empty());
   EXPECT_TRUE(decoded.inputs.empty());
+}
+
+TEST_F(SerializeTest, DocumentedPingEnvelopeHexExampleRoundTrips) {
+  // The exact 48-byte kPing envelope worked through byte by byte in
+  // docs/wire-protocol.md: request id 3, empty payload, and a 250 ms
+  // deadline riding the versioned extension tail. Keep the doc and this
+  // array in sync.
+  const Bytes documented = {
+      0x48, 0x4D, 0x57, 0x31, 0x01, 0x09, 0x22, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x0A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x01, 0xFA, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+
+  Envelope ping;
+  ping.type = MessageType::kPing;
+  ping.request_id = 3;
+  ping.deadline_ms = 250;
+  EXPECT_EQ(encode_envelope(ping), documented);
+
+  const Envelope back = decode_envelope(documented);
+  EXPECT_EQ(back.type, MessageType::kPing);
+  EXPECT_EQ(back.request_id, 3u);
+  EXPECT_EQ(back.deadline_ms, 250u);
+  EXPECT_TRUE(back.payload.empty());
 }
 
 TEST_F(SerializeTest, CorruptedHeaderBytesAreRejected) {

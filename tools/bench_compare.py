@@ -193,6 +193,17 @@ TRACKED = {
                lambda d: sum(r["forwarded"] for r in d["results"]), mode="hard"),
         Metric("fleet.max_requests_per_sec",
                lambda d: _max_over(d["results"], "requests_per_sec"), mode="warn"),
+        # The degraded-mode cell (3 shards, 1 killed mid-run): the router
+        # must re-home the victims via seeded create replay, the replayed
+        # sessions must answer bit-exactly, and no future may hang.
+        # Deterministic regardless of runner speed.
+        Metric("failover.sessions_rehomed",
+               lambda d: d["failover"]["sessions_rehomed"] >= 1, kind="bool",
+               mode="hard"),
+        Metric("failover.bit_exact", lambda d: d["failover"]["bit_exact"],
+               kind="bool", mode="hard"),
+        Metric("failover.no_hung_futures",
+               lambda d: d["failover"]["no_hung_futures"], kind="bool", mode="hard"),
     ],
 }
 
